@@ -1,0 +1,248 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (section 4) on the simulated cluster, runs the ablations
+   from DESIGN.md, and finishes with Bechamel microbenchmarks — one
+   Test.make per table/figure — measuring the real CPU cost of that
+   experiment's hot path.
+
+   Run with:  dune exec bench/main.exe
+   Subsets:   dune exec bench/main.exe -- table1 fig4 fig6 fig7 ablations micro *)
+
+open Srpc_core
+open Srpc_workloads
+
+let line () = print_endline (String.make 78 '-')
+
+let section name f =
+  line ();
+  Printf.printf "%s\n%!" name;
+  line ();
+  f ();
+  print_newline ()
+
+(* --- paper reproduction --- *)
+
+let run_table1 () =
+  Experiments.table1 Format.std_formatter ();
+  Format.print_newline ()
+
+let run_fig45 () =
+  let rows = Experiments.fig4 () in
+  Format.printf "%a@." (fun ppf -> Experiments.pp_fig4 ppf) rows;
+  print_newline ();
+  let series sel label =
+    { Ascii_plot.label; points = List.map (fun (r : Experiments.fig4_row) -> (r.Experiments.ratio, sel r)) rows }
+  in
+  print_string
+    (Ascii_plot.render ~x_label:"access ratio" ~y_label:"processing time (s)"
+       [
+         series (fun r -> r.Experiments.eager.Experiments.seconds) "fully eager";
+         series (fun r -> r.Experiments.lazy_.Experiments.seconds) "fully lazy";
+         series (fun r -> r.Experiments.proposed.Experiments.seconds) "proposed";
+       ]);
+  print_newline ();
+  Format.printf "%a@." (fun ppf -> Experiments.pp_fig5 ppf) rows;
+  print_newline ();
+  print_string
+    (Ascii_plot.render ~x_label:"access ratio" ~y_label:"callbacks"
+       [
+         series (fun r -> float_of_int r.Experiments.lazy_.Experiments.callbacks) "fully lazy";
+         series (fun r -> float_of_int r.Experiments.proposed.Experiments.callbacks) "proposed";
+       ])
+
+let run_fig6 () =
+  let rows = Experiments.fig6 () in
+  Format.printf "%a@." (fun ppf -> Experiments.pp_fig6 ppf) rows;
+  print_newline ();
+  let depths = match rows with [] -> [] | r :: _ -> List.map fst r.Experiments.by_depth in
+  let series d =
+    {
+      Ascii_plot.label = Printf.sprintf "%d nodes" (Tree.nodes_of_depth d);
+      points =
+        List.map
+          (fun (r : Experiments.fig6_row) ->
+            ( float_of_int r.Experiments.closure_bytes /. 1024.0,
+              (List.assoc d r.Experiments.by_depth).Experiments.seconds ))
+          rows;
+    }
+  in
+  print_string
+    (Ascii_plot.render ~x_label:"closure size (KB)" ~y_label:"processing time (s)"
+       (List.map series depths))
+
+let run_fig6b () =
+  Format.printf
+    "Fig. 6 under the descent reading (10 root-to-leaf paths per call):@.";
+  Format.printf "%a@." (fun ppf -> Experiments.pp_fig6 ppf)
+    (Experiments.fig6_descents ())
+
+let run_fig7 () =
+  let rows = Experiments.fig7 () in
+  Format.printf "%a@." (fun ppf -> Experiments.pp_fig7 ppf) rows;
+  print_newline ();
+  let series sel label =
+    { Ascii_plot.label; points = List.map (fun (r : Experiments.fig7_row) -> (r.Experiments.ratio7, sel r)) rows }
+  in
+  print_string
+    (Ascii_plot.render ~x_label:"update ratio" ~y_label:"processing time (s)"
+       [
+         series (fun r -> r.Experiments.updated.Experiments.seconds) "updated";
+         series (fun r -> r.Experiments.not_updated.Experiments.seconds) "not updated";
+       ])
+
+let run_ablations () =
+  let a1 = Experiments.ablation_alloc_strategy () in
+  let a2 = Experiments.ablation_closure_shape () in
+  let a3 = Experiments.ablation_alloc_batching () in
+  let a4 = Experiments.ablation_writeback_grain () in
+  Format.printf "%a@." (fun ppf -> Experiments.pp_ablations ppf) (a1, a2, a3, a4);
+  Format.print_newline ();
+  Format.printf "%a@." (fun ppf -> Experiments.pp_hint_rows ppf)
+    (Experiments.ablation_closure_hints ());
+  Format.print_newline ();
+  Format.printf "%a@." (fun ppf -> Experiments.pp_page_rows ppf)
+    (Experiments.ablation_page_size ())
+
+let run_kv () =
+  Format.printf "%a@." (fun ppf -> Experiments.pp_kv ppf) (Experiments.kv_store ())
+
+let run_manual () =
+  Format.printf "%a@." (fun ppf -> Experiments.pp_manual ppf)
+    (Experiments.manual_comparison ())
+
+let run_scale () =
+  Format.printf "%a@." (fun ppf -> Experiments.pp_scaling ppf) (Experiments.scaling ())
+
+let run_wan () =
+  let rows = Experiments.fig4_wan ~ratios:[ 0.0; 0.2; 0.4; 0.6; 0.8; 1.0 ] () in
+  Format.printf
+    "Fig. 4 with the caller-callee link behind a 50x-latency WAN:@.";
+  Format.printf "%a@." (fun ppf -> Experiments.pp_fig4 ppf) rows
+
+(* --- Bechamel microbenchmarks --- *)
+
+let micro_tests () =
+  let open Bechamel in
+  (* Shared fixture: a two-site cluster with a small tree, session open,
+     fully warmed cache at the callee. *)
+  let cluster = Cluster.create ~cost:Srpc_simnet.Cost_model.zero () in
+  let a = Cluster.add_node cluster ~site:1 () in
+  let b = Cluster.add_node cluster ~site:2 () in
+  Tree.register_types cluster;
+  let root = Tree.build a ~depth:8 in
+  Node.register b "search" (fun node args ->
+      match args with
+      | [ rootv; limitv ] ->
+        let visited, _ =
+          Tree.visit node (Access.of_value rootv) ~limit:(Value.to_int limitv)
+        in
+        [ Value.int visited ]
+      | _ -> assert false);
+  Node.register b "noop" (fun _ _ -> []);
+  Node.begin_session a;
+  (* warm the callee's cache so per-iteration work is steady-state *)
+  ignore
+    (Node.call a ~dst:(Node.id b) "search"
+       [ Access.to_value root; Value.int max_int ]);
+
+  let reg = Cluster.registry cluster in
+  let lp =
+    Long_pointer.make ~origin:(Node.id a) ~addr:root.Access.addr ~ty:Tree.type_name
+  in
+  let fetch_frame =
+    Wire.encode_request ~reg (Wire.Fetch { session = 1; wanted = [ lp ] })
+  in
+
+  [
+    (* Table 1: the swizzling machinery itself — long-pointer to cache
+       address translation on the hit path. *)
+    Test.make ~name:"table1/swizzle-hit"
+      (Staged.stage (fun () -> ignore (Node.swizzle b (Some lp))));
+    Test.make ~name:"table1/unswizzle"
+      (Staged.stage (fun () ->
+           ignore (Node.unswizzle a ~ty:Tree.type_name root.Access.addr)));
+    (* Fig 4: one complete smart RPC (call + return + coherency). *)
+    Test.make ~name:"fig4/rpc-tree-search"
+      (Staged.stage (fun () ->
+           ignore
+             (Node.call a ~dst:(Node.id b) "search"
+                [ Access.to_value root; Value.int 64 ])));
+    Test.make ~name:"fig4/rpc-noop"
+      (Staged.stage (fun () -> ignore (Node.call a ~dst:(Node.id b) "noop" [])));
+    (* Fig 5: the per-callback CPU cost — decoding one Fetch frame. *)
+    Test.make ~name:"fig5/fetch-frame-decode"
+      (Staged.stage (fun () -> ignore (Wire.decode_request ~reg fetch_frame)));
+    (* Fig 6: the closure engine's unit of work — type-directed encode of
+       one tree node (XDR + pointer unswizzling). *)
+    Test.make ~name:"fig6/encode-tree-node"
+      (Staged.stage
+         (let ctx =
+            {
+              Object_codec.enc_reg = reg;
+              enc_arch = Srpc_memory.Address_space.arch (Node.space a);
+              unswizzle = (fun ~ty w -> Node.unswizzle a ~ty w);
+            }
+          in
+          let raw =
+            Srpc_memory.Address_space.read_unchecked (Node.space a)
+              ~addr:root.Access.addr ~len:16
+          in
+          fun () -> ignore (Object_codec.encode ctx ~ty:Tree.type_name raw)));
+    (* Fig 7: the update path's unit of work — a cached field write
+       through the MMU (steady state: page already writable). *)
+    Test.make ~name:"fig7/cached-field-write"
+      (Staged.stage
+         (let p = Access.ptr ~ty:Tree.type_name (Node.swizzle b (Some lp)) in
+          fun () -> Access.set_int b p ~field:"data" 42));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let tests = micro_tests () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let grouped = Test.make_grouped ~name:"srpc" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let results = Analyze.all ols instance raw in
+  Printf.printf "%-36s %14s\n" "microbenchmark" "ns/run";
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, ols) ->
+         match Analyze.OLS.estimates ols with
+         | Some [ est ] -> Printf.printf "%-36s %14.1f\n" name est
+         | Some _ | None -> Printf.printf "%-36s %14s\n" name "n/a")
+
+(* --- driver --- *)
+
+let all_sections =
+  [
+    ("table1", ("Table 1 - data allocation table", run_table1));
+    ("fig4", ("Fig. 4 / Fig. 5 - three methods vs access ratio", run_fig45));
+    ("fig6", ("Fig. 6 - closure size sweep", run_fig6));
+    ("fig6b", ("Fig. 6 - descent-workload reading", run_fig6b));
+    ("fig7", ("Fig. 7 - update performance", run_fig7));
+    ("ablations", ("Ablations A1-A6", run_ablations));
+    ("wan", ("Derived: Fig. 4 over a WAN link", run_wan));
+    ("kv", ("Derived: remote B-tree key-value store", run_kv));
+    ("scale", ("Derived: session width scaling", run_scale));
+    ("manual", ("Derived: hand-written protocols vs transparency", run_manual));
+    ("micro", ("Bechamel microbenchmarks (real time)", run_micro));
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | [] | [ _ ] -> List.map fst all_sections
+    | _ :: args -> args
+  in
+  List.iter
+    (fun key ->
+      match List.assoc_opt key all_sections with
+      | Some (title, f) -> section title f
+      | None ->
+        Printf.eprintf "unknown section %S; available: %s\n" key
+          (String.concat ", " (List.map fst all_sections));
+        exit 1)
+    requested

@@ -1,0 +1,282 @@
+(* srpc — command-line driver for the Smart-RPC reproduction.
+
+   Subcommands mirror the paper's evaluation: `table1`, `fig4`, `fig6`,
+   `fig7`, `ablations` regenerate the corresponding table/figure with
+   configurable parameters; `run` executes a single tree-search
+   experiment with every knob exposed. *)
+
+open Cmdliner
+open Srpc_workloads
+open Srpc_memory
+
+(* --verbose turns on the runtime's debug logging (swizzles, faults,
+   fetches, frames) on stderr. *)
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log runtime events.")
+
+let ratios_conv =
+  let parse s =
+    try Ok (List.map float_of_string (String.split_on_char ',' s))
+    with Failure _ -> Error (`Msg "expected comma-separated floats")
+  in
+  let print ppf rs =
+    Format.pp_print_string ppf (String.concat "," (List.map string_of_float rs))
+  in
+  Arg.conv (parse, print)
+
+let ints_conv =
+  let parse s =
+    try Ok (List.map int_of_string (String.split_on_char ',' s))
+    with Failure _ -> Error (`Msg "expected comma-separated ints")
+  in
+  let print ppf xs =
+    Format.pp_print_string ppf (String.concat "," (List.map string_of_int xs))
+  in
+  Arg.conv (parse, print)
+
+let arch_conv =
+  let parse = function
+    | "sparc32" -> Ok Arch.sparc32
+    | "ilp32-le" -> Ok Arch.ilp32_le
+    | "lp64-le" -> Ok Arch.lp64_le
+    | "lp64-be" -> Ok Arch.lp64_be
+    | s -> Error (`Msg ("unknown arch " ^ s ^ " (sparc32|ilp32-le|lp64-le|lp64-be)"))
+  in
+  Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf a.Arch.name)
+
+let method_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "eager" ] -> Ok Experiments.Fully_eager
+    | [ "lazy" ] -> Ok Experiments.Fully_lazy
+    | [ "proposed" ] -> Ok (Experiments.Proposed 8192)
+    | [ "proposed"; n ] -> (
+      match int_of_string_opt n with
+      | Some n -> Ok (Experiments.Proposed n)
+      | None -> Error (`Msg "proposed:<bytes>"))
+    | _ -> Error (`Msg "expected eager | lazy | proposed[:<closure bytes>]")
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Experiments.method_name m))
+
+let depth_arg =
+  Arg.(value & opt int 15 & info [ "depth" ] ~docv:"D" ~doc:"Tree depth (2^D-1 nodes).")
+
+let closure_arg =
+  Arg.(value & opt int 8192 & info [ "closure" ] ~docv:"BYTES" ~doc:"Closure size.")
+
+let default_ratios = List.init 11 (fun i -> float_of_int i /. 10.0)
+
+let ratios_arg =
+  Arg.(
+    value
+    & opt ratios_conv default_ratios
+    & info [ "ratios" ] ~docv:"R,R,..." ~doc:"Access ratios to sweep.")
+
+let pp_run tag (r : Experiments.run) =
+  Printf.printf
+    "%-20s %10.4f s | visited %7d | callbacks %6d | msgs %6d | bytes %9d | \
+     faults %6d | cache pages %5d\n"
+    tag r.Experiments.seconds r.visited r.callbacks r.messages r.bytes r.faults
+    r.cache_pages
+
+let table1_cmd =
+  let run verbose =
+    setup_logs verbose;
+    Experiments.table1 Format.std_formatter ();
+    Format.print_newline ()
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Render the paper's Table 1 example.")
+    Term.(const run $ verbose_arg)
+
+let fig4_cmd =
+  let run depth ratios closure =
+    Experiments.pp_fig4 Format.std_formatter
+      (Experiments.fig4 ~depth ~ratios ~closure ());
+    Format.print_newline ();
+    Experiments.pp_fig5 Format.std_formatter
+      (Experiments.fig4 ~depth ~ratios ~closure ());
+    Format.print_newline ()
+  in
+  Cmd.v
+    (Cmd.info "fig4" ~doc:"Fig. 4/5: three methods vs access ratio.")
+    Term.(const run $ depth_arg $ ratios_arg $ closure_arg)
+
+let fig6_cmd =
+  let depths =
+    Arg.(
+      value
+      & opt ints_conv [ 14; 15; 16 ]
+      & info [ "depths" ] ~docv:"D,D,..." ~doc:"Tree depths.")
+  in
+  let closures =
+    Arg.(
+      value
+      & opt ints_conv [ 512; 1024; 2048; 4096; 8192; 16384; 32768; 65536 ]
+      & info [ "closures" ] ~docv:"B,B,..." ~doc:"Closure sizes (bytes).")
+  in
+  let repeats =
+    Arg.(value & opt int 10 & info [ "repeats" ] ~docv:"N" ~doc:"Searches per call.")
+  in
+  let descents =
+    Arg.(value & flag & info [ "descents" ]
+           ~doc:"Use the path-descent reading of the workload.")
+  in
+  let run depths closures repeats descents =
+    let rows =
+      if descents then Experiments.fig6_descents ~depths ~closures ~paths:repeats ()
+      else Experiments.fig6 ~depths ~closures ~repeats ()
+    in
+    Experiments.pp_fig6 Format.std_formatter rows;
+    Format.print_newline ()
+  in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Fig. 6: closure-size sweep with repeated searches.")
+    Term.(const run $ depths $ closures $ repeats $ descents)
+
+let fig7_cmd =
+  let run depth ratios closure =
+    Experiments.pp_fig7 Format.std_formatter
+      (Experiments.fig7 ~depth ~ratios ~closure ());
+    Format.print_newline ()
+  in
+  Cmd.v
+    (Cmd.info "fig7" ~doc:"Fig. 7: update performance vs update ratio.")
+    Term.(const run $ depth_arg $ ratios_arg $ closure_arg)
+
+let kv_cmd =
+  let keys = Arg.(value & opt int 4000 & info [ "keys" ] ~docv:"N") in
+  let run keys =
+    Experiments.pp_kv Format.std_formatter (Experiments.kv_store ~keys ());
+    Format.print_newline ()
+  in
+  Cmd.v
+    (Cmd.info "kv" ~doc:"Remote B-tree key-value store under the three methods.")
+    Term.(const run $ keys)
+
+let wan_cmd =
+  let factor =
+    Arg.(value & opt float 50.0 & info [ "latency-factor" ] ~docv:"F")
+  in
+  let run depth ratios closure factor =
+    Experiments.pp_fig4 Format.std_formatter
+      (Experiments.fig4_wan ~depth ~ratios ~closure ~latency_factor:factor ());
+    Format.print_newline ()
+  in
+  Cmd.v
+    (Cmd.info "wan" ~doc:"Fig. 4 with the caller-callee link behind a WAN.")
+    Term.(const run $ depth_arg $ ratios_arg $ closure_arg $ factor)
+
+let hints_cmd =
+  let cells = Arg.(value & opt int 400 & info [ "cells" ] ~docv:"N") in
+  let run cells closure =
+    Experiments.pp_hint_rows Format.std_formatter
+      (Experiments.ablation_closure_hints ~cells ~closure ());
+    Format.print_newline ()
+  in
+  Cmd.v
+    (Cmd.info "hints" ~doc:"Closure-hint ablation (paper section 6).")
+    Term.(const run $ cells $ closure_arg)
+
+let ablations_cmd =
+  let run () =
+    Experiments.pp_ablations Format.std_formatter
+      ( Experiments.ablation_alloc_strategy (),
+        Experiments.ablation_closure_shape (),
+        Experiments.ablation_alloc_batching (),
+        Experiments.ablation_writeback_grain () );
+    Format.print_newline ()
+  in
+  Cmd.v (Cmd.info "ablations" ~doc:"Run the design-choice ablations A1-A4.")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let method_arg =
+    Arg.(
+      value
+      & opt method_conv (Experiments.Proposed 8192)
+      & info [ "method" ] ~docv:"M" ~doc:"eager | lazy | proposed[:bytes].")
+  in
+  let ratio_arg =
+    Arg.(value & opt float 1.0 & info [ "ratio" ] ~docv:"R" ~doc:"Access ratio.")
+  in
+  let update_arg =
+    Arg.(value & flag & info [ "update" ] ~doc:"Update every visited node.")
+  in
+  let repeats_arg =
+    Arg.(value & opt int 1 & info [ "repeats" ] ~docv:"N" ~doc:"Calls per session.")
+  in
+  let caller_arch =
+    Arg.(value & opt arch_conv Arch.sparc32 & info [ "caller-arch" ] ~docv:"A")
+  in
+  let callee_arch =
+    Arg.(value & opt arch_conv Arch.sparc32 & info [ "callee-arch" ] ~docv:"A")
+  in
+  let run verbose m depth ratio update repeats caller callee =
+    setup_logs verbose;
+    let r =
+      Experiments.run_tree_search ~update ~repeats ~arches:(caller, callee)
+        ~strategy:(Experiments.strategy_of_method m) ~depth ~ratio ()
+    in
+    pp_run (Experiments.method_name m) r
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one tree-search experiment with explicit knobs.")
+    Term.(
+      const run $ verbose_arg $ method_arg $ depth_arg $ ratio_arg $ update_arg
+      $ repeats_arg $ caller_arch $ callee_arch)
+
+let inspect_cmd =
+  (* run a small traced scenario and dump the runtime's internal state:
+     wire trace, callee introspection (data allocation table), final
+     statistics *)
+  let run verbose depth =
+    setup_logs verbose;
+    let cluster = Experiments.strategy_of_method (Experiments.Proposed 1024) |> fun strategy ->
+      let cluster = Srpc_core.Cluster.create () in
+      let a = Srpc_core.Cluster.add_node cluster ~site:1 ~strategy () in
+      let b = Srpc_core.Cluster.add_node cluster ~site:2 ~strategy () in
+      Srpc_workloads.Tree.register_types cluster;
+      let root = Srpc_workloads.Tree.build a ~depth in
+      Srpc_core.Node.register b "visit" (fun node args ->
+          let open Srpc_core in
+          let visited, _ =
+            Srpc_workloads.Tree.visit node (Access.of_value (List.hd args))
+              ~limit:max_int
+          in
+          [ Value.int visited ]);
+      let trace = Srpc_simnet.Trace.create () in
+      Srpc_simnet.Transport.set_trace (Srpc_core.Cluster.transport cluster) (Some trace);
+      Srpc_core.Node.begin_session a;
+      ignore
+        (Srpc_core.Node.call a ~dst:(Srpc_core.Node.id b) "visit"
+           [ Srpc_core.Access.to_value root ]);
+      Format.printf "wire trace:@.%a@.@." Srpc_simnet.Trace.pp trace;
+      Format.printf "callee state before teardown:@.%a@." Srpc_core.Introspect.pp b;
+      Srpc_core.Node.end_session a;
+      cluster
+    in
+    Format.printf "@.final statistics: %a@.simulated time: %.6f s@."
+      Srpc_simnet.Stats.pp_snapshot
+      (Srpc_core.Cluster.snapshot cluster)
+      (Srpc_core.Cluster.now cluster)
+  in
+  let depth = Arg.(value & opt int 5 & info [ "depth" ] ~docv:"D") in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Trace a small RPC and dump the runtime's state.")
+    Term.(const run $ verbose_arg $ depth)
+
+let () =
+  let doc = "Smart Remote Procedure Calls (ICDCS 1994) reproduction driver" in
+  let info = Cmd.info "srpc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            table1_cmd; fig4_cmd; fig6_cmd; fig7_cmd; ablations_cmd; kv_cmd;
+            wan_cmd; hints_cmd; run_cmd; inspect_cmd;
+          ]))

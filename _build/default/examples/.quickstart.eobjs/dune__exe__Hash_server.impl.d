@@ -1,0 +1,1 @@
+examples/hash_server.ml: Access Cluster Format Hash_table Node Printf Srpc_core Srpc_simnet Srpc_workloads Stats Strategy Trace Transport Value

@@ -1,0 +1,1 @@
+examples/heterogeneous.ml: Access Arch Cluster Layout List Node Printf Srpc_core Srpc_memory Srpc_simnet Srpc_types Srpc_workloads Tree Value

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Access Btree Cluster Idl List Node Printf Srpc_core Srpc_workloads Value

@@ -1,0 +1,1 @@
+examples/nested_session.ml: Access Cluster Linked_list List Node Printf Srpc_core Srpc_types Srpc_workloads Type_desc Value

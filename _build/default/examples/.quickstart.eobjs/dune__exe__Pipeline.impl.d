@@ -1,0 +1,1 @@
+examples/pipeline.ml: Access Cluster Format List Matrix Node Printf Srpc_core Srpc_simnet Srpc_workloads Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Access Cluster Format Linked_list List Node Printf Srpc_core Srpc_simnet Srpc_workloads Value

@@ -1,0 +1,1 @@
+examples/remote_alloc.ml: Access Allocator Cluster Format Linked_list List Node Printf Srpc_core Srpc_memory Srpc_simnet Srpc_workloads String Value

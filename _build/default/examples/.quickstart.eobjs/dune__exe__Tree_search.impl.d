@@ -1,0 +1,1 @@
+examples/tree_search.ml: Experiments List Printf Srpc_workloads Tree

@@ -1,0 +1,45 @@
+(* The paper's headline experiment at example scale: a complete binary
+   tree lives on the caller; the callee searches part of it remotely
+   under the three transfer methods (fully eager / fully lazy /
+   proposed), showing who wins at which access ratio.
+
+   Run with:  dune exec examples/tree_search.exe *)
+
+open Srpc_workloads
+
+let () =
+  let depth = 12 (* 4095 nodes of 16 bytes, as in the paper but smaller *) in
+  let methods =
+    [ Experiments.Fully_eager; Experiments.Fully_lazy; Experiments.Proposed 8192 ]
+  in
+  Printf.printf "tree: %d nodes; per-call simulated seconds\n"
+    (Tree.nodes_of_depth depth);
+  Printf.printf "%8s" "ratio";
+  List.iter (fun m -> Printf.printf " %14s" (Experiments.method_name m)) methods;
+  print_newline ();
+  List.iter
+    (fun ratio ->
+      Printf.printf "%8.2f" ratio;
+      List.iter
+        (fun m ->
+          let r =
+            Experiments.run_tree_search
+              ~strategy:(Experiments.strategy_of_method m)
+              ~depth ~ratio ()
+          in
+          Printf.printf " %14.4f" r.Experiments.seconds)
+        methods;
+      print_newline ())
+    [ 0.0; 0.25; 0.5; 0.75; 1.0 ];
+  print_newline ();
+  Printf.printf "callbacks at full traversal:\n";
+  List.iter
+    (fun m ->
+      let r =
+        Experiments.run_tree_search
+          ~strategy:(Experiments.strategy_of_method m)
+          ~depth ~ratio:1.0 ()
+      in
+      Printf.printf "  %-16s %6d callbacks, %8d wire bytes\n"
+        (Experiments.method_name m) r.Experiments.callbacks r.Experiments.bytes)
+    methods

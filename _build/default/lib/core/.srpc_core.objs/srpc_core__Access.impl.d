@@ -1,0 +1,1 @@
+lib/core/access.ml: Address_space Arch Format Hashtbl Int32 Int64 Layout Mem Node Printf Registry Srpc_memory Srpc_types String Type_desc Value

@@ -1,0 +1,1 @@
+lib/core/cache.ml: Address_space Bytes Format Hashtbl List Long_pointer Printf Prot Result Space_id Srpc_memory Strategy

@@ -1,0 +1,1 @@
+lib/core/cache.mli: Address_space Format Long_pointer Srpc_memory Strategy

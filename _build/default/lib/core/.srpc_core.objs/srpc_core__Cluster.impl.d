@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Arch Clock Cost_model Hints List Node Printf Session Space_id Srpc_memory Srpc_simnet Srpc_types Stats Strategy Transport

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Arch Clock Cost_model Hints Node Session Space_id Srpc_memory Srpc_simnet Srpc_types Stats Strategy Transport

@@ -1,0 +1,1 @@
+lib/core/funref.ml: Node Space_id Srpc_memory String Value

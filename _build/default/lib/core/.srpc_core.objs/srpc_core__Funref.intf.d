@@ -1,0 +1,1 @@
+lib/core/funref.mli: Node Space_id Srpc_memory Value

@@ -1,0 +1,1 @@
+lib/core/hints.ml: Hashtbl Layout List Srpc_types Type_desc

@@ -1,0 +1,1 @@
+lib/core/hints.mli: Arch Registry Srpc_memory Srpc_types

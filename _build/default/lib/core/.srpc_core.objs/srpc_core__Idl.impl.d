@@ -1,0 +1,1 @@
+lib/core/idl.ml: Access Format Funref Int64 List Node Printf Stdlib Value

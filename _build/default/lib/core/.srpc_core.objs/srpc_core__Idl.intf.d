@@ -1,0 +1,1 @@
+lib/core/idl.mli: Access Funref Node Srpc_memory

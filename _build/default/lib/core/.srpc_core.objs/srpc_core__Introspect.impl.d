@@ -1,0 +1,1 @@
+lib/core/introspect.ml: Address_space Allocator Arch Cache Format Hashtbl List Long_pointer Node Option Space_id Srpc_memory Strategy

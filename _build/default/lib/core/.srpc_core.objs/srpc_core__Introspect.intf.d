@@ -1,0 +1,1 @@
+lib/core/introspect.mli: Format Node

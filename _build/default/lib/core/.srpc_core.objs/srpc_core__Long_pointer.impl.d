@@ -1,0 +1,1 @@
+lib/core/long_pointer.ml: Format Hashtbl Int Space_id Srpc_memory Srpc_types Srpc_xdr String

@@ -1,0 +1,1 @@
+lib/core/long_pointer.mli: Format Hashtbl Space_id Srpc_memory Srpc_types Srpc_xdr

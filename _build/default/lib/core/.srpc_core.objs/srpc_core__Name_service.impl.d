@@ -1,0 +1,1 @@
+lib/core/name_service.ml: Printf Registry Srpc_simnet Srpc_types Srpc_xdr Transport Type_codec

@@ -1,0 +1,1 @@
+lib/core/name_service.mli: Registry Srpc_simnet Srpc_types Transport Type_desc

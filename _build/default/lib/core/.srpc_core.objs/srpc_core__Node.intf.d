@@ -1,0 +1,1 @@
+lib/core/node.mli: Address_space Allocator Arch Cache Format Hints Long_pointer Mmu Registry Session Space_id Srpc_memory Srpc_simnet Srpc_types Strategy Transport Value

@@ -1,0 +1,1 @@
+lib/core/object_codec.ml: Arch Bytes Layout List Long_pointer Mem Printf Registry Srpc_memory Srpc_types Srpc_xdr Type_desc

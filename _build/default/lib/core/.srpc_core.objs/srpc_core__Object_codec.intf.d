@@ -1,0 +1,1 @@
+lib/core/object_codec.mli: Arch Long_pointer Registry Srpc_memory Srpc_types

@@ -1,0 +1,1 @@
+lib/core/session.ml: Option Space_id Srpc_memory

@@ -1,0 +1,1 @@
+lib/core/wire.ml: Dec Enc Format List Long_pointer Printf Srpc_memory Srpc_xdr Value

@@ -1,0 +1,1 @@
+lib/core/wire.mli: Format Long_pointer Srpc_types Value

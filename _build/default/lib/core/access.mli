@@ -1,0 +1,51 @@
+(** Typed access to (possibly remote) data through ordinary pointers.
+
+    This is the application-facing illusion of the paper: "once a remote
+    data is referenced, it is cached in the local address space and the
+    runtime cost to access it is exactly the same as the cost to access
+    ordinary local data" (section 1). Every accessor issues a plain
+    program-path load or store; if the datum is an absent cache entry the
+    MMU faults and the runtime fetches it transparently.
+
+    A {!ptr} pairs an ordinary address with the pointee's registered type
+    name so field offsets can be resolved per architecture. *)
+
+type ptr = { addr : int; ty : string }
+
+val ptr : ty:string -> int -> ptr
+val null : ty:string -> ptr
+val is_null : ptr -> bool
+
+(** [of_value v] views a {!Value.Ptr} as a typed pointer. *)
+val of_value : Value.t -> ptr
+
+val to_value : ptr -> Value.t
+
+(** Struct-field accessors. [field] must name a direct field of
+    [ptr.ty]; integer fields of any width are read/written as OCaml
+    ints ([get_int]/[set_int]) or exactly ([get_i64] …). Each call
+    counts one application data access in the cost model.
+    @raise Not_found on an unknown field. *)
+
+val get_int : Node.t -> ptr -> field:string -> int
+val set_int : Node.t -> ptr -> field:string -> int -> unit
+val get_i64 : Node.t -> ptr -> field:string -> int64
+val set_i64 : Node.t -> ptr -> field:string -> int64 -> unit
+val get_f64 : Node.t -> ptr -> field:string -> float
+val set_f64 : Node.t -> ptr -> field:string -> float -> unit
+
+(** [get_ptr n p ~field] follows a pointer field; the result carries the
+    field's pointee type. @raise Invalid_argument on a non-pointer
+    field. *)
+val get_ptr : Node.t -> ptr -> field:string -> ptr
+
+val set_ptr : Node.t -> ptr -> field:string -> ptr -> unit
+
+(** [elem n p i] is the address of the [i]-th element when [p] points to
+    a contiguous array of [p.ty]. *)
+val elem : Node.t -> ptr -> int -> ptr
+
+(** Whole-value accessors for pointers to primitive pointees. *)
+
+val load_int : Node.t -> ptr -> int
+val store_int : Node.t -> ptr -> int -> unit

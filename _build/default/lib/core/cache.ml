@@ -1,0 +1,396 @@
+open Srpc_memory
+
+type entry = {
+  mutable lp : Long_pointer.t;
+  local_addr : int;
+  size : int;
+  pages : int list;
+  mutable present : bool;
+  mutable dirty : bool;
+}
+
+type cursor = { mutable page : int; mutable off : int }
+
+type t = {
+  space : Address_space.t;
+  base : int;
+  limit : int;
+  mutable grouping : Strategy.alloc_grouping;
+  mutable grain : Strategy.writeback_grain;
+  by_lp : entry Long_pointer.Table.t;
+  by_addr : (int, entry) Hashtbl.t;
+  by_page : (int, entry list ref) Hashtbl.t;
+  dirty_pages : (int, unit) Hashtbl.t;
+  twins : (int, bytes) Hashtbl.t;
+  cursors : (string, cursor) Hashtbl.t;
+  free_slots : (int, (int * int list) list ref) Hashtbl.t;
+      (** rounded size -> freed (addr, pages) slots available for reuse *)
+  mutable next_page : int;
+  mutable allocated_bytes : int;
+}
+
+exception Region_full
+
+let align = 8
+let round_up n = (n + align - 1) land lnot (align - 1)
+
+let create ~space ~base ~limit ~grouping ~grain =
+  let psz = Address_space.page_size space in
+  if base mod psz <> 0 || limit mod psz <> 0 then
+    invalid_arg "Cache.create: region must be page-aligned";
+  {
+    space;
+    base;
+    limit;
+    grouping;
+    grain;
+    by_lp = Long_pointer.Table.create 256;
+    by_addr = Hashtbl.create 256;
+    by_page = Hashtbl.create 64;
+    dirty_pages = Hashtbl.create 16;
+    twins = Hashtbl.create 16;
+    cursors = Hashtbl.create 8;
+    free_slots = Hashtbl.create 8;
+    next_page = base / psz;
+    allocated_bytes = 0;
+  }
+
+let in_region t addr = addr >= t.base && addr < t.limit
+
+let set_policy t ~grouping ~grain =
+  if Hashtbl.length t.by_addr <> 0 then
+    invalid_arg "Cache.set_policy: cache is not empty";
+  t.grouping <- grouping;
+  t.grain <- grain
+let psz t = Address_space.page_size t.space
+
+let fresh_pages t n =
+  let first = t.next_page in
+  if (first + n) * psz t > t.limit then raise Region_full;
+  t.next_page <- first + n;
+  first
+
+let grouping_key t (lp : Long_pointer.t) =
+  match t.grouping with
+  | Strategy.By_origin -> Space_id.to_string lp.origin
+  | Strategy.Sequential -> "*"
+  | Strategy.By_type -> lp.ty
+  | Strategy.Entry_per_page -> assert false (* handled separately *)
+
+let take_free_slot t ~size =
+  match Hashtbl.find_opt t.free_slots (round_up size) with
+  | Some ({ contents = slot :: rest } as r) ->
+    r := rest;
+    Some slot
+  | Some { contents = [] } | None -> None
+
+let release_slot t ~addr ~size ~pages =
+  let key = round_up size in
+  match Hashtbl.find_opt t.free_slots key with
+  | Some r -> r := (addr, pages) :: !r
+  | None -> Hashtbl.add t.free_slots key (ref [ (addr, pages) ])
+
+(* Pick the slot address for a new entry and return (addr, pages). *)
+let place t lp ~size =
+  let psz = psz t in
+  let pages_for first n = List.init n (fun i -> first + i) in
+  match t.grouping with
+  | Strategy.Entry_per_page ->
+    let n = (size + psz - 1) / psz in
+    let first = fresh_pages t (max n 1) in
+    (first * psz, pages_for first (max n 1))
+  | Strategy.By_origin | Strategy.Sequential | Strategy.By_type ->
+    let key = grouping_key t lp in
+    let cursor =
+      match Hashtbl.find_opt t.cursors key with
+      | Some c -> c
+      | None ->
+        let c = { page = -1; off = 0 } in
+        Hashtbl.add t.cursors key c;
+        c
+    in
+    if size > psz then begin
+      (* Large object: spans fresh whole pages; the tail of the last page
+         keeps filling for this key. *)
+      let n = (size + psz - 1) / psz in
+      let first = fresh_pages t n in
+      cursor.page <- first + n - 1;
+      cursor.off <- round_up (size - ((n - 1) * psz));
+      if cursor.off >= psz then begin
+        cursor.page <- -1;
+        cursor.off <- 0
+      end;
+      (first * psz, pages_for first n)
+    end
+    else begin
+      if cursor.page < 0 || psz - cursor.off < size then begin
+        cursor.page <- fresh_pages t 1;
+        cursor.off <- 0
+      end;
+      let addr = (cursor.page * psz) + cursor.off in
+      cursor.off <- cursor.off + round_up size;
+      if cursor.off >= psz then begin
+        cursor.page <- -1;
+        cursor.off <- 0
+      end;
+      (addr, [ addr / psz; (addr + size - 1) / psz ] |> List.sort_uniq compare)
+    end
+
+let entries_on_page t page =
+  match Hashtbl.find_opt t.by_page page with Some r -> !r | None -> []
+
+let is_page_dirty t ~page = Hashtbl.mem t.dirty_pages page
+
+let refresh_protection t ~page =
+  if Address_space.is_mapped t.space ~page then begin
+    let entries = entries_on_page t page in
+    let prot =
+      if List.exists (fun e -> not e.present) entries then Prot.No_access
+      else if is_page_dirty t ~page then Prot.Read_write
+      else Prot.Read_only
+    in
+    Address_space.set_protection t.space ~page prot
+  end
+
+let allocate t lp ~size =
+  if size <= 0 then invalid_arg "Cache.allocate: non-positive size";
+  if Long_pointer.Table.mem t.by_lp lp then
+    invalid_arg
+      (Format.asprintf "Cache.allocate: %a already allocated" Long_pointer.pp lp);
+  let local_addr, pages =
+    match take_free_slot t ~size with Some slot -> slot | None -> place t lp ~size
+  in
+  let entry = { lp; local_addr; size; pages; present = false; dirty = false } in
+  Long_pointer.Table.add t.by_lp lp entry;
+  Hashtbl.replace t.by_addr local_addr entry;
+  List.iter
+    (fun page ->
+      (match Hashtbl.find_opt t.by_page page with
+      | Some r -> r := entry :: !r
+      | None -> Hashtbl.add t.by_page page (ref [ entry ]));
+      if not (Address_space.is_mapped t.space ~page) then
+        Address_space.map t.space ~page ~prot:Prot.No_access;
+      refresh_protection t ~page)
+    pages;
+  t.allocated_bytes <- t.allocated_bytes + round_up size;
+  entry
+
+let find_by_lp t lp = Long_pointer.Table.find_opt t.by_lp lp
+let find_by_addr t addr = Hashtbl.find_opt t.by_addr addr
+
+let iter_entries t f =
+  (* by_addr has exactly one binding per live entry *)
+  Hashtbl.iter (fun _ e -> f e) t.by_addr
+
+let entry_count t = Hashtbl.length t.by_addr
+
+let mark_present t e =
+  e.present <- true;
+  List.iter (fun page -> refresh_protection t ~page) e.pages
+
+let mark_page_dirty t ~page =
+  if not (is_page_dirty t ~page) then begin
+    if t.grain = Strategy.Twin_diff && not (Hashtbl.mem t.twins page) then begin
+      let data =
+        Address_space.read_unchecked t.space
+          ~addr:(Address_space.page_base t.space page)
+          ~len:(psz t)
+      in
+      Hashtbl.add t.twins page data
+    end;
+    Hashtbl.replace t.dirty_pages page ();
+    refresh_protection t ~page
+  end
+
+let dirty_pages t =
+  Hashtbl.fold (fun p () acc -> p :: acc) t.dirty_pages [] |> List.sort compare
+
+(* Byte range of [e] that lies on [page], as (addr, len). *)
+let entry_range_on_page t e page =
+  let pb = Address_space.page_base t.space page in
+  let start = max e.local_addr pb in
+  let stop = min (e.local_addr + e.size) (pb + psz t) in
+  (start, stop - start)
+
+let entry_changed_vs_twin t e =
+  List.exists
+    (fun page ->
+      match Hashtbl.find_opt t.twins page with
+      | None -> false
+      | Some twin ->
+        let addr, len = entry_range_on_page t e page in
+        if len <= 0 then false
+        else
+          let current = Address_space.read_unchecked t.space ~addr ~len in
+          let off = addr - Address_space.page_base t.space page in
+          not (Bytes.equal current (Bytes.sub twin off len)))
+    e.pages
+
+let dirty_entries t =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  List.iter
+    (fun page ->
+      List.iter
+        (fun e ->
+          if e.present && not (Hashtbl.mem seen e.local_addr) then begin
+            Hashtbl.add seen e.local_addr ();
+            let ship =
+              match t.grain with
+              | Strategy.Page_grain -> true
+              | Strategy.Twin_diff -> e.dirty || entry_changed_vs_twin t e
+            in
+            if ship then begin
+              e.dirty <- true;
+              out := e :: !out
+            end
+          end)
+        (entries_on_page t page))
+    (dirty_pages t);
+  (* Entries dirtied without a page fault (installed writebacks, fresh
+     remote allocations) may sit on pages never marked dirty. *)
+  iter_entries t (fun e ->
+      if e.dirty && e.present && not (Hashtbl.mem seen e.local_addr) then begin
+        Hashtbl.add seen e.local_addr ();
+        out := e :: !out
+      end);
+  !out
+
+let clean_after_flush t =
+  iter_entries t (fun e -> e.dirty <- false);
+  Hashtbl.reset t.twins;
+  let pages = dirty_pages t in
+  Hashtbl.reset t.dirty_pages;
+  List.iter (fun page -> refresh_protection t ~page) pages
+
+let rebind t e lp =
+  Long_pointer.Table.remove t.by_lp e.lp;
+  e.lp <- lp;
+  Long_pointer.Table.replace t.by_lp lp e
+
+let remove t e =
+  Long_pointer.Table.remove t.by_lp e.lp;
+  Hashtbl.remove t.by_addr e.local_addr;
+  List.iter
+    (fun page ->
+      match Hashtbl.find_opt t.by_page page with
+      | None -> ()
+      | Some r ->
+        r := List.filter (fun e' -> e'.local_addr <> e.local_addr) !r;
+        refresh_protection t ~page)
+    e.pages;
+  release_slot t ~addr:e.local_addr ~size:e.size ~pages:e.pages;
+  t.allocated_bytes <- t.allocated_bytes - round_up e.size
+
+let invalidate t =
+  Hashtbl.iter (fun page _ -> Address_space.unmap t.space ~page) t.by_page;
+  Long_pointer.Table.reset t.by_lp;
+  Hashtbl.reset t.by_addr;
+  Hashtbl.reset t.by_page;
+  Hashtbl.reset t.dirty_pages;
+  Hashtbl.reset t.twins;
+  Hashtbl.reset t.cursors;
+  Hashtbl.reset t.free_slots;
+  t.next_page <- t.base / psz t;
+  t.allocated_bytes <- 0
+
+let allocated_bytes t = t.allocated_bytes
+let used_pages t = t.next_page - (t.base / psz t)
+
+let check_invariants t =
+  let ( let* ) r f = Result.bind r f in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) t.by_addr [] in
+  (* by_lp <-> by_addr bijection *)
+  let* () =
+    if Long_pointer.Table.length t.by_lp <> List.length entries then
+      err "by_lp has %d entries, by_addr %d"
+        (Long_pointer.Table.length t.by_lp)
+        (List.length entries)
+    else Ok ()
+  in
+  let rec each = function
+    | [] -> Ok ()
+    | e :: rest ->
+      let* () =
+        match Long_pointer.Table.find_opt t.by_lp e.lp with
+        | Some e' when e' == e -> Ok ()
+        | _ -> err "entry 0x%x not reachable through its lp" e.local_addr
+      in
+      let* () =
+        if in_region t e.local_addr && in_region t (e.local_addr + e.size - 1)
+        then Ok ()
+        else err "entry 0x%x outside region" e.local_addr
+      in
+      let first = e.local_addr / psz t and last = (e.local_addr + e.size - 1) / psz t in
+      let* () =
+        if e.pages = List.init (last - first + 1) (fun i -> first + i) then Ok ()
+        else err "entry 0x%x has wrong page list" e.local_addr
+      in
+      let* () =
+        if
+          List.for_all
+            (fun page ->
+              List.exists (fun e' -> e' == e) (entries_on_page t page)
+              && Address_space.is_mapped t.space ~page)
+            e.pages
+        then Ok ()
+        else err "entry 0x%x missing from a page index" e.local_addr
+      in
+      each rest
+  in
+  let* () = each entries in
+  (* no overlaps *)
+  let sorted =
+    List.sort (fun a b -> compare a.local_addr b.local_addr) entries
+  in
+  let rec disjoint = function
+    | a :: (b :: _ as rest) ->
+      if a.local_addr + round_up a.size > b.local_addr then
+        err "entries 0x%x and 0x%x overlap" a.local_addr b.local_addr
+      else disjoint rest
+    | _ -> Ok ()
+  in
+  let* () = disjoint sorted in
+  (* protection consistent with state *)
+  let pages = Hashtbl.fold (fun p _ acc -> p :: acc) t.by_page [] in
+  let rec prot_ok = function
+    | [] -> Ok ()
+    | page :: rest -> (
+      match Address_space.protection t.space ~page with
+      | None -> err "page %d in table but unmapped" page
+      | Some prot ->
+        let es = entries_on_page t page in
+        let expect =
+          if List.exists (fun e -> not e.present) es then Prot.No_access
+          else if is_page_dirty t ~page then Prot.Read_write
+          else Prot.Read_only
+        in
+        if es = [] || Prot.equal prot expect then prot_ok rest
+        else
+          err "page %d protection %s, expected %s" page (Prot.to_string prot)
+            (Prot.to_string expect))
+  in
+  let* () = prot_ok pages in
+  let total = List.fold_left (fun acc e -> acc + round_up e.size) 0 entries in
+  if total = t.allocated_bytes then Ok ()
+  else err "accounting: %d <> %d" total t.allocated_bytes
+
+let pp_table ppf t =
+  let pages =
+    Hashtbl.fold (fun p _ acc -> p :: acc) t.by_page [] |> List.sort compare
+  in
+  Format.fprintf ppf "@[<v>page # | offset | long pointer@,";
+  List.iter
+    (fun page ->
+      let entries =
+        entries_on_page t page
+        |> List.sort (fun a b -> compare a.local_addr b.local_addr)
+      in
+      List.iter
+        (fun e ->
+          let off = max 0 (e.local_addr - Address_space.page_base t.space page) in
+          Format.fprintf ppf "%6d | %6d | %a@," page off Long_pointer.pp e.lp)
+        entries)
+    pages;
+  Format.fprintf ppf "@]"

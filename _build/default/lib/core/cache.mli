@@ -1,0 +1,120 @@
+(** Cache area and data allocation table.
+
+    When a long pointer arrives, the runtime "allocates for the
+    referenced data a protected page area ... The allocation determines
+    the location to which the referenced data will be copied if the
+    protected page area must be accessed" (paper, section 3.2). This
+    module owns that region: slot placement (per the configurable
+    grouping strategy), the data allocation table (page, offset → long
+    pointer), the reverse maps used by swizzling, per-entry presence,
+    page-grain dirtiness (with optional pristine twins for diff-grain
+    write-back), and the protection state machine
+
+    {v no-access (some datum absent)  →  read-only (all present, clean)
+       →  read-write (dirty)  →  read-only again after a flush v}
+
+    It performs no I/O: fetching, encoding and coherency live in
+    {!Node}. *)
+
+open Srpc_memory
+
+type entry = {
+  mutable lp : Long_pointer.t;
+      (** current home; rebound when a provisional allocation resolves *)
+  local_addr : int;  (** swizzled address of the cached copy *)
+  size : int;  (** in-memory size on this architecture *)
+  pages : int list;  (** pages the slot occupies, ascending *)
+  mutable present : bool;  (** false until the data transfer *)
+  mutable dirty : bool;
+}
+
+type t
+
+(** Raised when the cache region has no room for a new slot. *)
+exception Region_full
+
+(** [create ~space ~base ~limit ~grouping ~grain] manages the cache
+    region [base, limit) of [space]. *)
+val create :
+  space:Address_space.t ->
+  base:int ->
+  limit:int ->
+  grouping:Strategy.alloc_grouping ->
+  grain:Strategy.writeback_grain ->
+  t
+
+val in_region : t -> int -> bool
+
+(** [set_policy t ~grouping ~grain] reconfigures placement and write-back
+    granularity. Only safe while the cache holds no entries.
+    @raise Invalid_argument otherwise. *)
+val set_policy :
+  t -> grouping:Strategy.alloc_grouping -> grain:Strategy.writeback_grain -> unit
+
+(** [allocate t lp ~size] reserves a slot for [lp] (absent, clean) and
+    returns its entry. The slot's pages are mapped and protected.
+    @raise Invalid_argument if [lp] is already allocated. *)
+val allocate : t -> Long_pointer.t -> size:int -> entry
+
+(** Lookups. [find_by_addr] requires the exact slot base address —
+    interior pointers are not valid RPC currency, as in the paper. *)
+
+val find_by_lp : t -> Long_pointer.t -> entry option
+val find_by_addr : t -> int -> entry option
+val entries_on_page : t -> int -> entry list
+val iter_entries : t -> (entry -> unit) -> unit
+val entry_count : t -> int
+
+(** [mark_present t e] records the data transfer for [e] and refreshes
+    the protection of its pages. *)
+val mark_present : t -> entry -> unit
+
+(** [mark_page_dirty t ~page] services a write fault: snapshots a twin
+    when diff-grain is configured, then opens the page for writing.
+    All entries on the page are considered modified (page-grain). *)
+val mark_page_dirty : t -> page:int -> unit
+
+val is_page_dirty : t -> page:int -> bool
+val dirty_pages : t -> int list
+
+(** [dirty_entries t] is the modified data set to ship at the next
+    control transfer: with [Page_grain], every present entry on a dirty
+    page; with [Twin_diff], only entries whose bytes differ from the
+    twin. *)
+val dirty_entries : t -> entry list
+
+(** [clean_after_flush t] marks the whole modified data set clean,
+    drops twins, and restores read-only protection. *)
+val clean_after_flush : t -> unit
+
+(** [rebind t e lp] changes [e]'s home (provisional → real). *)
+val rebind : t -> entry -> Long_pointer.t -> unit
+
+(** [remove t e] drops [e] from all tables ([extended_free] of a cached
+    datum). The slot joins a size-classed free list and is reused by
+    later allocations of the same rounded size. *)
+val remove : t -> entry -> unit
+
+(** [invalidate t] drops every entry, twin and page — the session-end
+    invalidation. *)
+val invalidate : t -> unit
+
+(** [refresh_protection t ~page] recomputes the page's protection from
+    its entries' state. *)
+val refresh_protection : t -> page:int -> unit
+
+(** Bytes of cache slots currently allocated (the working-set measure
+    used by the allocation-strategy ablation). *)
+val allocated_bytes : t -> int
+
+val used_pages : t -> int
+
+(** Render the data allocation table in the layout of the paper's
+    Table 1: page, offset within the page, long pointer. *)
+val pp_table : Format.formatter -> t -> unit
+
+(** Structural invariants, for tests: the lookup tables are mutually
+    consistent, entries lie inside the region on their recorded pages
+    without overlapping, page protection matches entry state, and byte
+    accounting adds up. *)
+val check_invariants : t -> (unit, string) result

@@ -1,0 +1,51 @@
+open Srpc_memory
+open Srpc_simnet
+
+type t = {
+  clock : Clock.t;
+  stats : Stats.t;
+  transport : Transport.t;
+  registry : Srpc_types.Registry.t;
+  session : Session.t;
+  hints : Hints.t;
+  mutable nodes : Node.t list;
+}
+
+let create ?(cost = Cost_model.sparc_10mbps) () =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  {
+    clock;
+    stats;
+    transport = Transport.create ~clock ~stats ~cost;
+    registry = Srpc_types.Registry.create ();
+    session = Session.create ();
+    hints = Hints.create ();
+    nodes = [];
+  }
+
+let clock t = t.clock
+let stats t = t.stats
+let transport t = t.transport
+let registry t = t.registry
+let session t = t.session
+
+let add_node ?(proc = 0) ?(arch = Arch.sparc32) ?(strategy = Strategy.smart ())
+    ?page_size t ~site () =
+  let id = Space_id.make ~site ~proc in
+  if List.exists (fun n -> Space_id.equal (Node.id n) id) t.nodes then
+    invalid_arg (Printf.sprintf "Cluster.add_node: %s exists" (Space_id.to_string id));
+  let node =
+    Node.create ?page_size ~hints:t.hints ~id ~arch ~registry:t.registry
+      ~transport:t.transport ~session:t.session ~strategy ()
+  in
+  t.nodes <- node :: t.nodes;
+  node
+
+let node t id = List.find_opt (fun n -> Space_id.equal (Node.id n) id) t.nodes
+let nodes t = List.rev t.nodes
+let register_type t name desc = Srpc_types.Registry.register t.registry name desc
+let hints t = t.hints
+let set_closure_hint t ~ty rule = Hints.set t.hints ~ty rule
+let now t = Clock.now t.clock
+let snapshot t = Stats.snapshot t.stats

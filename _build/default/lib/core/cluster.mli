@@ -1,0 +1,49 @@
+(** A simulated distributed system: shared clock, statistics, transport,
+    type registry (name server) and session state, plus the nodes. *)
+
+open Srpc_memory
+open Srpc_simnet
+
+type t
+
+(** [create ()] builds an empty cluster. [cost] defaults to the paper's
+    testbed calibration ({!Cost_model.sparc_10mbps}). *)
+val create : ?cost:Cost_model.t -> unit -> t
+
+val clock : t -> Clock.t
+val stats : t -> Stats.t
+val transport : t -> Transport.t
+val registry : t -> Srpc_types.Registry.t
+val session : t -> Session.t
+
+(** [add_node t ~site ()] creates a node. [proc] defaults to 0, [arch]
+    to the paper's SPARC, [strategy] to {!Strategy.smart}. *)
+val add_node :
+  ?proc:int ->
+  ?arch:Arch.t ->
+  ?strategy:Strategy.t ->
+  ?page_size:int ->
+  t ->
+  site:int ->
+  unit ->
+  Node.t
+
+val node : t -> Space_id.t -> Node.t option
+val nodes : t -> Node.t list
+
+(** [register_type t name desc] publishes a type on the name server. *)
+val register_type : t -> string -> Srpc_types.Type_desc.t -> unit
+
+(** Cluster-wide closure-shape hints (paper, section 6: programmer
+    suggestions for the closure's shape). *)
+val hints : t -> Hints.t
+
+(** [set_closure_hint t ~ty rule] installs a hint for [ty] on every
+    node. *)
+val set_closure_hint : t -> ty:string -> Hints.rule -> unit
+
+(** Simulated seconds elapsed so far. *)
+val now : t -> float
+
+(** [snapshot t] is the current statistics. *)
+val snapshot : t -> Stats.snapshot

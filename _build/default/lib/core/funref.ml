@@ -1,0 +1,21 @@
+open Srpc_memory
+
+type t = Value.funref = { home : Space_id.t; name : string }
+
+let make ~home ~name = { home; name }
+let to_value t = Value.Fun t
+let of_value = Value.to_funref
+let to_string t = Space_id.to_string t.home ^ "/" ^ t.name
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> invalid_arg "Funref.of_string: missing '/'"
+  | Some i ->
+    {
+      home = Space_id.of_string (String.sub s 0 i);
+      name = String.sub s (i + 1) (String.length s - i - 1);
+    }
+
+let invoke node t args =
+  if Space_id.equal t.home (Node.id node) then Node.run_local node t.name args
+  else Node.call node ~dst:t.home t.name args

@@ -1,0 +1,36 @@
+(** Remote function references.
+
+    The paper's stated limitation: "the method does not support a remote
+    pointer to a function" (section 6). This module provides the
+    conventional escape hatch the paper alludes to — an explicit
+    (space, procedure-name) reference that can be passed as an RPC
+    string argument and invoked, turning into a callback when the
+    function lives elsewhere. It deliberately does {e not} pretend to be
+    a swizzlable pointer. *)
+
+open Srpc_memory
+
+type t = Value.funref = { home : Space_id.t; name : string }
+
+val make : home:Space_id.t -> name:string -> t
+
+(** First-class form: a funref travels as an RPC argument or result of
+    its own kind ({!Value.Fun}), so procedures can be passed around and
+    invoked — the systematic higher-order treatment the paper's
+    conclusion points at (Ohori & Kato), restricted to named monomorphic
+    procedures. *)
+
+val to_value : t -> Value.t
+
+val of_value : Value.t -> t
+
+(** Wire form for passing through a [Value.Str] argument. *)
+
+val to_string : t -> string
+val of_string : string -> t
+
+(** [invoke node t args] runs the referenced procedure: directly when it
+    lives on [node], as an RPC (e.g. a callback to the caller)
+    otherwise.
+    @raise Node.Unknown_procedure if the local procedure is missing. *)
+val invoke : Node.t -> t -> Value.t list -> Value.t list

@@ -1,0 +1,33 @@
+open Srpc_types
+
+type rule = { follow : string list; prune_others : bool }
+type t = (string, rule) Hashtbl.t
+
+let create () = Hashtbl.create 8
+let set t ~ty rule = Hashtbl.replace t ty rule
+let clear t ~ty = Hashtbl.remove t ty
+let find t ~ty = Hashtbl.find_opt t ty
+
+(* Pointer leaves contributed by one direct field, at its offset. *)
+let field_pointer_leaves reg arch ~ty ~field =
+  let desc = Type_desc.Named ty in
+  let base = Layout.field_offset reg arch ~ty:desc ~field in
+  let fty = Layout.field_type reg ~ty:desc ~field in
+  List.map (fun (off, target) -> (base + off, target)) (Layout.pointer_leaves reg arch fty)
+
+let pointer_fields t reg arch ~ty =
+  match find t ~ty with
+  | None -> Layout.pointer_leaves reg arch (Type_desc.Named ty)
+  | Some { follow; prune_others } ->
+    let followed =
+      List.concat_map (fun field -> field_pointer_leaves reg arch ~ty ~field) follow
+    in
+    if prune_others then followed
+    else begin
+      let seen = List.map fst followed in
+      let rest =
+        Layout.pointer_leaves reg arch (Type_desc.Named ty)
+        |> List.filter (fun (off, _) -> not (List.mem off seen))
+      in
+      followed @ rest
+    end

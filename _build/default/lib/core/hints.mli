@@ -1,0 +1,39 @@
+(** Programmer-supplied closure-shape hints.
+
+    The paper leaves open how to optimize "the shape of the subset of the
+    transitive closure of a pointer" and suggests that "one promising
+    solution is to use suggestions provided by the programmer" (section
+    6). A hint tells the closure engine which pointer fields of a type to
+    traverse, in what order of priority, and whether to prune the rest —
+    e.g. follow a list's [next] chain but never drag its bulky [blob]
+    payloads along. Hints affect only prefetching: pruned data is still
+    fetched on demand when the program actually touches it. *)
+
+open Srpc_memory
+open Srpc_types
+
+type t
+
+(** A hint for one registered struct type. *)
+type rule = {
+  follow : string list;
+      (** direct field names to traverse, highest priority first *)
+  prune_others : bool;
+      (** when true, pointer fields not listed are not traversed (their
+          data stays lazy); when false they are traversed after the
+          listed ones *)
+}
+
+val create : unit -> t
+
+(** [set t ~ty rule] installs (or replaces) the hint for [ty]. *)
+val set : t -> ty:string -> rule -> unit
+
+val clear : t -> ty:string -> unit
+val find : t -> ty:string -> rule option
+
+(** [pointer_fields t reg arch ~ty] is the pointer-leaf list of [ty] —
+    [(offset, pointee type)] — in traversal order after applying the
+    hint; without a hint it equals {!Layout.pointer_leaves}.
+    @raise Not_found if a hinted field does not exist on [ty]. *)
+val pointer_fields : t -> Registry.t -> Arch.t -> ty:string -> (int * string) list

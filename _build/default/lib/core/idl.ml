@@ -1,0 +1,134 @@
+exception Signature_error of string
+
+type _ ty =
+  | Unit : unit ty
+  | Bool : bool ty
+  | Int : int ty
+  | Int64 : int64 ty
+  | Float : float ty
+  | String : string ty
+  | Ptr : string -> Access.ptr ty
+  | Fun : Funref.t ty
+
+let unit = Unit
+let bool = Bool
+let int = Int
+let int64 = Int64
+let float = Float
+let string = String
+let ptr name = Ptr name
+let funref = Fun
+
+type _ ret =
+  | Ret1 : 'r ty -> 'r ret
+  | Ret2 : 'a ty * 'b ty -> ('a * 'b) ret
+  | Ret3 : 'a ty * 'b ty * 'c ty -> ('a * 'b * 'c) ret
+
+type _ signature =
+  | Returning : 'r ret -> 'r signature
+  | Arrow : 'a ty * 'b signature -> ('a -> 'b) signature
+
+let returning ty = Returning (Ret1 ty)
+let returning2 a b = Returning (Ret2 (a, b))
+let returning3 a b c = Returning (Ret3 (a, b, c))
+let ( @-> ) a rest = Arrow (a, rest)
+
+type 'f t = { proc_name : string; sg : 'f signature }
+
+let declare proc_name sg = { proc_name; sg }
+let name t = t.proc_name
+
+let ty_name : type a. a ty -> string = function
+  | Unit -> "unit"
+  | Bool -> "bool"
+  | Int -> "int"
+  | Int64 -> "int64"
+  | Float -> "float"
+  | String -> "string"
+  | Ptr ty -> ty ^ "*"
+  | Fun -> "funref"
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Signature_error msg)) fmt
+
+let encode : type a. a ty -> a -> Value.t =
+ fun ty v ->
+  match ty with
+  | Unit -> Value.unit
+  | Bool -> Value.bool v
+  | Int -> Value.int v
+  | Int64 -> Value.int64 v
+  | Float -> Value.float v
+  | String -> Value.str v
+  | Ptr expected ->
+    if (not (Access.is_null v)) && not (Stdlib.String.equal v.Access.ty expected)
+    then fail "pointer argument is %s*, expected %s*" v.Access.ty expected;
+    Value.Ptr { addr = v.Access.addr; ty = expected }
+  | Fun -> Funref.to_value v
+
+let decode : type a. a ty -> Value.t -> a =
+ fun ty v ->
+  let wrong got = fail "expected %s, got %s" (ty_name ty) got in
+  match (ty, v) with
+  | Unit, Value.Unit -> ()
+  | Bool, Value.Bool b -> b
+  | Int, Value.Int n -> Int64.to_int n
+  | Int64, Value.Int n -> n
+  | Float, Value.Float f -> f
+  | String, Value.Str s -> s
+  | Ptr expected, Value.Ptr { addr; ty = got } ->
+    if addr <> 0 && not (Stdlib.String.equal got expected) then
+      fail "pointer result is %s*, expected %s*" got expected;
+    Access.ptr ~ty:expected addr
+  | Fun, Value.Fun f -> f
+  | _, other -> wrong (Format.asprintf "%a" Value.pp other)
+
+let decode_ret : type r. r ret -> Value.t list -> r =
+ fun rty results ->
+  match (rty, results) with
+  | Ret1 t, [ v ] -> decode t v
+  | Ret2 (ta, tb), [ va; vb ] -> (decode ta va, decode tb vb)
+  | Ret3 (ta, tb, tc), [ va; vb; vc ] -> (decode ta va, decode tb vb, decode tc vc)
+  | (Ret1 _ | Ret2 _ | Ret3 _), results ->
+    fail "wrong result arity: got %d" (List.length results)
+
+let encode_ret : type r. r ret -> r -> Value.t list =
+ fun rty r ->
+  match rty with
+  | Ret1 t -> [ encode t r ]
+  | Ret2 (ta, tb) ->
+    let a, b = r in
+    [ encode ta a; encode tb b ]
+  | Ret3 (ta, tb, tc) ->
+    let a, b, c = r in
+    [ encode ta a; encode tb b; encode tc c ]
+
+(* Client side: each Arrow wraps the continuation so that its argument
+   is consed on after the inner (later) ones are already in the
+   accumulator — the accumulator therefore ends up in call order. *)
+let rec apply_client : type f. f signature -> (Value.t list -> Value.t list) -> f
+    =
+ fun sg send ->
+  match sg with
+  | Returning rty -> decode_ret rty (send [])
+  | Arrow (aty, rest) ->
+    fun a -> apply_client rest (fun acc -> send (encode aty a :: acc))
+
+let stub node ~dst t =
+  apply_client t.sg (fun args -> Node.call node ~dst t.proc_name args)
+
+let local node t =
+  apply_client t.sg (fun args -> Node.run_local node t.proc_name args)
+
+(* Server side: peel arguments off the wire one signature arrow at a
+   time; arity mismatches fail loudly. *)
+let rec apply_server : type f. f signature -> f -> Value.t list -> Value.t list =
+ fun sg f args ->
+  match (sg, args) with
+  | Returning rty, [] -> encode_ret rty f
+  | Returning _, extra -> fail "%d surplus arguments" (List.length extra)
+  | Arrow (aty, rest), a :: args -> apply_server rest (f (decode aty a)) args
+  | Arrow _, [] -> fail "too few arguments"
+
+let export node t impl =
+  Node.register node t.proc_name (fun exec_node args ->
+      apply_server t.sg (impl exec_node) args)

@@ -1,0 +1,70 @@
+(** Typed stubs — the stub-generator layer.
+
+    "Most RPC systems provide a generator of code that performs most of
+    the communication-specific operations at runtime" (paper, section 1).
+    In OCaml the generator is a set of typed combinators: declare a
+    procedure's signature once and obtain a type-checked client stub and
+    a server skeleton that agree on arity and argument kinds by
+    construction; mismatches surface as {!Signature_error} at the
+    boundary instead of silent corruption.
+
+    {[
+      let search =
+        Idl.(declare "search" (ptr "tnode" @-> int @-> returning int))
+
+      (* server *)
+      Idl.export server search (fun node root limit -> ...);
+
+      (* client: an ordinary typed function *)
+      let hits = Idl.stub client ~dst:(Node.id server) search root 64
+    ]} *)
+
+exception Signature_error of string
+
+(** Argument/result kind descriptors. *)
+type _ ty
+
+val unit : unit ty
+val bool : bool ty
+val int : int ty
+val int64 : int64 ty
+val float : float ty
+val string : string ty
+
+(** [ptr tyname] — a swizzled pointer to a registered data type. The
+    stub checks the pointee type name on both ends. *)
+val ptr : string -> Access.ptr ty
+
+val funref : Funref.t ty
+
+(** Procedure signatures, e.g. [ptr "tnode" @-> int @-> returning int]. *)
+type _ signature
+
+val returning : 'r ty -> 'r signature
+
+(** Multiple results as tuples: [returning2 int float] gives
+    [(int * float)]. *)
+val returning2 : 'a ty -> 'b ty -> ('a * 'b) signature
+
+val returning3 : 'a ty -> 'b ty -> 'c ty -> ('a * 'b * 'c) signature
+val ( @-> ) : 'a ty -> 'b signature -> ('a -> 'b) signature
+
+type 'f t
+(** A declared procedure: a name plus its signature. *)
+
+val declare : string -> 'f signature -> 'f t
+val name : _ t -> string
+
+(** [export node proc impl] registers the typed implementation; [impl]
+    receives the executing node first. Incoming calls with the wrong
+    arity or argument kinds raise {!Signature_error} back to the
+    caller. *)
+val export : Node.t -> 'f t -> (Node.t -> 'f) -> unit
+
+(** [stub node ~dst proc] is the typed client function: applying it to
+    its arguments performs the RPC. *)
+val stub : Node.t -> dst:Srpc_memory.Space_id.t -> 'f t -> 'f
+
+(** [local node proc] is the same typed application running the locally
+    registered implementation (no RPC). *)
+val local : Node.t -> 'f t -> 'f

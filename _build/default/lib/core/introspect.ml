@@ -1,0 +1,59 @@
+open Srpc_memory
+
+type heap_stats = { live_blocks : int; live_bytes : int; free_bytes : int }
+
+type cache_stats = {
+  entries : int;
+  present : int;
+  dirty : int;
+  cache_bytes : int;
+  pages : int;
+  by_origin : (string * int) list;
+}
+
+let heap_stats node =
+  let heap = Node.heap node in
+  {
+    live_blocks = Allocator.live_blocks heap;
+    live_bytes = Allocator.allocated_bytes heap;
+    free_bytes = Allocator.free_bytes heap;
+  }
+
+let cache_stats node =
+  let cache = Node.cache node in
+  let present = ref 0 and dirty = ref 0 in
+  let origins = Hashtbl.create 4 in
+  Cache.iter_entries cache (fun e ->
+      if e.Cache.present then incr present;
+      if e.Cache.dirty then incr dirty;
+      let key = Space_id.to_string e.Cache.lp.Long_pointer.origin in
+      Hashtbl.replace origins key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt origins key)));
+  {
+    entries = Cache.entry_count cache;
+    present = !present;
+    dirty = !dirty;
+    cache_bytes = Cache.allocated_bytes cache;
+    pages = Cache.used_pages cache;
+    by_origin =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) origins [] |> List.sort compare;
+  }
+
+let pp ppf node =
+  let h = heap_stats node in
+  let c = cache_stats node in
+  Format.fprintf ppf "@[<v>node %a (%a), strategy %a@,"
+    Space_id.pp (Node.id node) Arch.pp
+    (Address_space.arch (Node.space node))
+    Strategy.pp (Node.strategy node);
+  Format.fprintf ppf "heap : %d live blocks, %d bytes live, %d bytes free@,"
+    h.live_blocks h.live_bytes h.free_bytes;
+  Format.fprintf ppf
+    "cache: %d entries (%d present, %d dirty), %d bytes in %d pages@," c.entries
+    c.present c.dirty c.cache_bytes c.pages;
+  List.iter
+    (fun (origin, n) -> Format.fprintf ppf "       from %s: %d entries@," origin n)
+    c.by_origin;
+  if c.entries > 0 then
+    Format.fprintf ppf "%a@," Cache.pp_table (Node.cache node);
+  Format.fprintf ppf "@]"

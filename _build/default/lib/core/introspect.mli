@@ -1,0 +1,20 @@
+(** Runtime introspection: human-readable snapshots of a node's state
+    for debugging and for the CLI's [inspect] output. *)
+
+type heap_stats = { live_blocks : int; live_bytes : int; free_bytes : int }
+
+type cache_stats = {
+  entries : int;
+  present : int;
+  dirty : int;
+  cache_bytes : int;
+  pages : int;
+  by_origin : (string * int) list;  (** origin space → entry count, sorted *)
+}
+
+val heap_stats : Node.t -> heap_stats
+val cache_stats : Node.t -> cache_stats
+
+(** [pp ppf node] renders id, architecture, strategy, heap and cache
+    statistics, and the data allocation table. *)
+val pp : Format.formatter -> Node.t -> unit

@@ -1,0 +1,65 @@
+open Srpc_simnet
+open Srpc_types
+module Xdr = Srpc_xdr.Xdr
+
+let endpoint = "ns"
+
+type t = { mutable served : int }
+
+(* Requests: 0 = full snapshot; 1 <name> = one descriptor.
+   Replies:  0 <payload> = ok; 1 <msg> = unknown type. *)
+
+let serve transport master =
+  let t = { served = 0 } in
+  Transport.register transport endpoint (fun _src req ->
+      t.served <- t.served + 1;
+      let dec = Xdr.Dec.of_string req in
+      let enc = Xdr.Enc.create () in
+      (match Xdr.Dec.int dec with
+      | 0 ->
+        Xdr.Dec.check_end dec;
+        Xdr.Enc.int enc 0;
+        Xdr.Enc.opaque enc (Type_codec.snapshot master)
+      | 1 -> (
+        let name = Xdr.Dec.string dec in
+        Xdr.Dec.check_end dec;
+        match Registry.find_opt master name with
+        | Some desc ->
+          Xdr.Enc.int enc 0;
+          Type_codec.encode_desc enc desc
+        | None ->
+          Xdr.Enc.int enc 1;
+          Xdr.Enc.string enc name)
+      | n -> raise (Xdr.Decode_error (Printf.sprintf "bad ns request %d" n)));
+      Xdr.Enc.to_string enc);
+  t
+
+let queries t = t.served
+
+let request transport ~client body =
+  let reply = Transport.rpc transport ~src:client ~dst:endpoint body in
+  Xdr.Dec.of_string reply
+
+let sync transport ~client local =
+  let enc = Xdr.Enc.create () in
+  Xdr.Enc.int enc 0;
+  let dec = request transport ~client (Xdr.Enc.to_string enc) in
+  match Xdr.Dec.int dec with
+  | 0 ->
+    let snapshot = Xdr.Dec.opaque dec in
+    Xdr.Dec.check_end dec;
+    Type_codec.load snapshot local
+  | _ -> failwith "name service: snapshot failed"
+
+let lookup transport ~client name =
+  let enc = Xdr.Enc.create () in
+  Xdr.Enc.int enc 1;
+  Xdr.Enc.string enc name;
+  let dec = request transport ~client (Xdr.Enc.to_string enc) in
+  match Xdr.Dec.int dec with
+  | 0 ->
+    let desc = Type_codec.decode_desc dec in
+    Xdr.Dec.check_end dec;
+    desc
+  | 1 -> raise (Registry.Unknown_type (Xdr.Dec.string dec))
+  | n -> raise (Xdr.Decode_error (Printf.sprintf "bad ns reply %d" n))

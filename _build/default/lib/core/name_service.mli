@@ -1,0 +1,35 @@
+(** The name server as an actual network service.
+
+    The paper assumes "the system can obtain an actual data structure
+    from a data type specifier by querying a database that serves as a
+    network name server" (section 3.2). {!Cluster} shares one registry
+    object as that database; this module makes the querying real: a
+    master registry is served at a transport endpoint, and joining sites
+    pull the schema over the wire into their local registry (the cached
+    database the runtime then consults). *)
+
+open Srpc_simnet
+open Srpc_types
+
+(** The endpoint name the service listens on. *)
+val endpoint : string
+
+type t
+
+(** [serve transport master] installs the service. Frames are XDR; each
+    request is counted in the transport's statistics like any other
+    traffic. *)
+val serve : Transport.t -> Registry.t -> t
+
+(** Number of queries served so far. *)
+val queries : t -> int
+
+(** [sync transport ~client local] pulls the full schema into [local]
+    (one round trip). Numeric type ids are preserved, so wire frames
+    interned against the master decode correctly against [local].
+    @raise Registry.Duplicate_type on a conflicting local entry. *)
+val sync : Transport.t -> client:string -> Registry.t -> unit
+
+(** [lookup transport ~client name] queries one descriptor without
+    caching it. @raise Registry.Unknown_type if the master lacks it. *)
+val lookup : Transport.t -> client:string -> string -> Type_desc.t

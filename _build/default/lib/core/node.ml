@@ -1,0 +1,638 @@
+open Srpc_memory
+open Srpc_types
+open Srpc_simnet
+
+let src_log = Logs.Src.create "srpc.node" ~doc:"smart-RPC runtime"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+type t = {
+  id : Space_id.t;
+  space : Address_space.t;
+  mmu : Mmu.t;
+  heap : Allocator.t;
+  cache : Cache.t;
+  registry : Registry.t;
+  transport : Transport.t;
+  session : Session.t;
+  hints : Hints.t;
+  mutable strategy : Strategy.t;
+  procs : (string, proc) Hashtbl.t;
+  shipped : (int, unit) Hashtbl.t Space_id.Table.t;
+      (** per peer, addresses of own data already sent in this session *)
+  traveling : unit Long_pointer.Table.t;
+      (** own data modified elsewhere this session: the paper's modified
+          data set keeps traveling with the thread of control even after
+          reaching home, so stale caches at other participants are
+          refreshed (section 3.4) *)
+  mutable pending_allocs : pending_alloc list;
+  mutable pending_frees : Long_pointer.t list;
+  mutable prov_counter : int;
+}
+
+and proc = t -> Value.t list -> Value.t list
+and pending_alloc = { prov : Long_pointer.t; pa_entry : Cache.entry }
+
+exception Remote_error of string
+exception Unknown_procedure of string
+exception Invalid_pointer of int
+
+let id t = t.id
+let arch t = Address_space.arch t.space
+let space t = t.space
+let mmu t = t.mmu
+let registry t = t.registry
+let transport t = t.transport
+let strategy t = t.strategy
+let hints t = t.hints
+let set_strategy t s =
+  t.strategy <- s;
+  Cache.set_policy t.cache ~grouping:s.Strategy.grouping ~grain:s.Strategy.grain
+let cache t = t.cache
+let heap t = t.heap
+let endpoint t = Space_id.to_string t.id
+let sizeof t ty = Layout.sizeof_name t.registry (arch t) ty
+
+let in_heap t addr = addr >= Allocator.base t.heap && addr < Allocator.limit t.heap
+
+(* --- pointer swizzling (paper, section 3.2) --- *)
+
+let swizzle t = function
+  | None -> 0
+  | Some (lp : Long_pointer.t) ->
+    if Space_id.equal lp.origin t.id then lp.addr
+    else (
+      match Cache.find_by_lp t.cache lp with
+      | Some e -> e.Cache.local_addr
+      | None ->
+        let e = Cache.allocate t.cache lp ~size:(sizeof t lp.ty) in
+        Log.debug (fun m ->
+            m "%a: swizzled %a -> 0x%x" Space_id.pp t.id Long_pointer.pp lp
+              e.Cache.local_addr);
+        e.Cache.local_addr)
+
+let unswizzle t ~ty addr =
+  if addr = 0 then None
+  else if Cache.in_region t.cache addr then (
+    match Cache.find_by_addr t.cache addr with
+    | Some e -> Some e.Cache.lp
+    | None -> raise (Invalid_pointer addr))
+  else if in_heap t addr then Some (Long_pointer.make ~origin:t.id ~addr ~ty)
+  else raise (Invalid_pointer addr)
+
+let encode_ctx t =
+  {
+    Object_codec.enc_reg = t.registry;
+    enc_arch = arch t;
+    unswizzle = (fun ~ty w -> unswizzle t ~ty w);
+  }
+
+let decode_ctx t =
+  {
+    Object_codec.dec_reg = t.registry;
+    dec_arch = arch t;
+    swizzle = (fun lp -> swizzle t lp);
+  }
+
+(* --- data transfer (paper, sections 3.2-3.4) --- *)
+
+let encode_item t ~(lp : Long_pointer.t) ~addr : Wire.item =
+  let raw = Address_space.read_unchecked t.space ~addr ~len:(sizeof t lp.ty) in
+  { lp; data = Object_codec.encode (encode_ctx t) ~ty:lp.ty raw }
+
+(* Install a transferred datum. [dirty] marks writeback items: they
+   overwrite our copy and keep traveling with the thread of control. *)
+let install_item t ~dirty (item : Wire.item) =
+  let lp = item.Wire.lp in
+  if Space_id.equal lp.origin t.id then begin
+    (* The datum came home: apply it to the original location. When it
+       arrived dirty mid-session it stays in the traveling modified set
+       so later control transfers refresh other participants' caches. *)
+    let raw = Object_codec.decode (decode_ctx t) ~ty:lp.ty item.Wire.data in
+    Address_space.write_unchecked t.space ~addr:lp.addr raw;
+    if dirty then Long_pointer.Table.replace t.traveling lp ()
+  end
+  else begin
+    let e =
+      match Cache.find_by_lp t.cache lp with
+      | Some e -> e
+      | None -> Cache.allocate t.cache lp ~size:(sizeof t lp.ty)
+    in
+    if dirty || not e.Cache.present then begin
+      let raw = Object_codec.decode (decode_ctx t) ~ty:lp.ty item.Wire.data in
+      Address_space.write_unchecked t.space ~addr:e.Cache.local_addr raw;
+      if dirty then e.Cache.dirty <- true;
+      Cache.mark_present t.cache e
+    end
+    (* else: a clean copy we already hold; ours is authoritative *)
+  end
+
+let shipped_set t peer =
+  match Space_id.Table.find_opt t.shipped peer with
+  | Some s -> s
+  | None ->
+    let s = Hashtbl.create 64 in
+    Space_id.Table.add t.shipped peer s;
+    s
+
+(* Bounded transitive closure from [seeds], in the configured traversal
+   order (paper, section 3.3). Seeds are shipped unconditionally when
+   [forced_seeds]; extras stop at the closure budget. Data already
+   shipped to [peer] in this session is traversed but not re-sent. *)
+let ship_closure t ~peer ~forced_seeds ~seeds =
+  let strategy = t.strategy in
+  let shipped = shipped_set t peer in
+  let visited : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let out = ref [] in
+  let total = ref 0 in
+  let budget_exceeded = ref false in
+  let queue = Queue.create () in
+  let stack = ref [] in
+  let push lp =
+    match strategy.Strategy.order with
+    | Strategy.Breadth_first -> Queue.add lp queue
+    | Strategy.Depth_first -> stack := lp :: !stack
+  in
+  let pop () =
+    match strategy.Strategy.order with
+    | Strategy.Breadth_first -> Queue.take_opt queue
+    | Strategy.Depth_first -> (
+      match !stack with
+      | [] -> None
+      | lp :: rest ->
+        stack := rest;
+        Some lp)
+  in
+  let children raw ty =
+    Hints.pointer_fields t.hints t.registry (arch t) ~ty
+    |> List.filter_map (fun (off, target) ->
+           let w = Mem.Codec.get_word (arch t) raw off in
+           if w = 0 then None else unswizzle t ~ty:target w)
+  in
+  let visit ~forced (lp : Long_pointer.t) =
+    if Space_id.equal lp.origin t.id && not (Hashtbl.mem visited lp.addr) then begin
+      Hashtbl.add visited lp.addr ();
+      let size = sizeof t lp.ty in
+      let raw () = Address_space.read_unchecked t.space ~addr:lp.addr ~len:size in
+      if Hashtbl.mem shipped lp.addr && not forced then
+        (* peer caches it already; traverse through without re-sending *)
+        List.iter push (children (raw ()) lp.ty)
+      else if forced || Strategy.budget_allows strategy ~total:!total ~extra:size
+      then begin
+        total := !total + size;
+        let raw = raw () in
+        out := { Wire.lp; data = Object_codec.encode (encode_ctx t) ~ty:lp.ty raw } :: !out;
+        Hashtbl.replace shipped lp.addr ();
+        List.iter push (children raw lp.ty)
+      end
+      else budget_exceeded := true
+    end
+  in
+  List.iter (visit ~forced:forced_seeds) seeds;
+  let rec drain () =
+    if not !budget_exceeded then
+      match pop () with
+      | None -> ()
+      | Some lp ->
+        visit ~forced:false lp;
+        drain ()
+  in
+  drain ();
+  List.rev !out
+
+let serve_fetch t ~peer wanted =
+  List.iter
+    (fun (lp : Long_pointer.t) ->
+      if not (Space_id.equal lp.origin t.id) then
+        invalid_arg
+          (Format.asprintf "Fetch for foreign datum %a" Long_pointer.pp lp))
+    wanted;
+  ship_closure t ~peer ~forced_seeds:true ~seeds:wanted
+
+(* --- remote allocation batching (paper, section 3.5) --- *)
+
+let group_by_space key xs =
+  let tbl = Space_id.Table.create 4 in
+  List.iter
+    (fun x ->
+      let k = key x in
+      match Space_id.Table.find_opt tbl k with
+      | Some r -> r := x :: !r
+      | None -> Space_id.Table.add tbl k (ref [ x ]))
+    xs;
+  Space_id.Table.fold (fun k r acc -> (k, List.rev !r) :: acc) tbl []
+
+let session_id t = (Session.current_exn t.session).Session.id
+
+let request t ~dst req =
+  let reply =
+    Transport.rpc t.transport ~src:(endpoint t) ~dst:(Space_id.to_string dst)
+      (Wire.encode_request ~reg:t.registry req)
+  in
+  Wire.decode_response ~reg:t.registry reply
+
+let expect_ack = function
+  | Wire.Ack -> ()
+  | Wire.Error msg -> raise (Remote_error msg)
+  | Wire.Return _ | Wire.Fetched _ | Wire.Allocated _ ->
+    failwith "protocol error: expected Ack"
+
+let flush_remote_ops t =
+  if t.pending_allocs <> [] then begin
+    let batches =
+      group_by_space (fun pa -> pa.prov.Long_pointer.origin) t.pending_allocs
+    in
+    t.pending_allocs <- [];
+    List.iter
+      (fun (home, pas) ->
+        let reqs =
+          List.map
+            (fun pa -> (pa.prov.Long_pointer.addr, pa.prov.Long_pointer.ty))
+            pas
+        in
+        match request t ~dst:home (Wire.Alloc_batch { session = session_id t; reqs })
+        with
+        | Wire.Allocated { addrs } ->
+          List.iter
+            (fun pa ->
+              match List.assoc_opt pa.prov.Long_pointer.addr addrs with
+              | Some real ->
+                let lp =
+                  Long_pointer.make ~origin:home ~addr:real
+                    ~ty:pa.prov.Long_pointer.ty
+                in
+                Cache.rebind t.cache pa.pa_entry lp
+              | None -> failwith "protocol error: allocation not answered")
+            pas
+        | Wire.Error msg -> raise (Remote_error msg)
+        | Wire.Return _ | Wire.Fetched _ | Wire.Ack ->
+          failwith "protocol error: expected Allocated")
+      batches
+  end;
+  if t.pending_frees <> [] then begin
+    let batches = group_by_space (fun lp -> lp.Long_pointer.origin) t.pending_frees in
+    t.pending_frees <- [];
+    List.iter
+      (fun (home, lps) ->
+        expect_ack
+          (request t ~dst:home (Wire.Free_batch { session = session_id t; lps })))
+      batches
+  end
+
+(* --- coherency protocol (paper, section 3.4) --- *)
+
+let collect_writebacks t =
+  let entries = Cache.dirty_entries t.cache in
+  if t.strategy.Strategy.grain = Strategy.Twin_diff then begin
+    let psz = Address_space.page_size t.space in
+    Transport.charge_cpu_bytes t.transport
+      (List.length (Cache.dirty_pages t.cache) * psz)
+  end;
+  let cached_items =
+    List.map
+      (fun (e : Cache.entry) -> encode_item t ~lp:e.lp ~addr:e.local_addr)
+      entries
+  in
+  (* Own data modified elsewhere this session keeps traveling,
+     re-encoded from the (authoritative) original. *)
+  let traveling_items =
+    Long_pointer.Table.fold
+      (fun lp () acc -> encode_item t ~lp ~addr:lp.Long_pointer.addr :: acc)
+      t.traveling []
+  in
+  let items = cached_items @ traveling_items in
+  Stats.add_writebacks (Transport.stats t.transport) (List.length items);
+  Cache.clean_after_flush t.cache;
+  items
+
+(* --- marshaling of argument values --- *)
+
+let wire_of_value t = function
+  | Value.Unit -> Wire.WUnit
+  | Value.Bool b -> Wire.WBool b
+  | Value.Int n -> Wire.WInt n
+  | Value.Float f -> Wire.WFloat f
+  | Value.Str s -> Wire.WStr s
+  | Value.Ptr { addr; ty } -> Wire.WPtr (unswizzle t ~ty addr)
+  | Value.Fun f -> Wire.WFun f
+
+let value_of_wire t = function
+  | Wire.WUnit -> Value.Unit
+  | Wire.WBool b -> Value.Bool b
+  | Wire.WInt n -> Value.Int n
+  | Wire.WFloat f -> Value.Float f
+  | Wire.WStr s -> Value.Str s
+  | Wire.WPtr None -> Value.Ptr { addr = 0; ty = "" }
+  | Wire.WPtr (Some lp) ->
+    Value.Ptr { addr = swizzle t (Some lp); ty = lp.Long_pointer.ty }
+  | Wire.WFun f -> Value.Fun f
+
+(* With an unbounded budget the whole closure travels with the pointer —
+   the fully eager method. Bounded budgets ship at fault time instead,
+   as in the paper's experiments (section 4.1). *)
+let eager_for t ~peer wvalues =
+  match t.strategy.Strategy.budget with
+  | Strategy.Bytes _ -> []
+  | Strategy.Unbounded ->
+    let seeds =
+      List.filter_map
+        (function
+          | Wire.WPtr (Some lp) when Space_id.equal lp.Long_pointer.origin t.id ->
+            Some lp
+          | Wire.WPtr _ | Wire.WUnit | Wire.WBool _ | Wire.WInt _ | Wire.WFloat _
+          | Wire.WStr _ | Wire.WFun _ ->
+            None)
+        wvalues
+    in
+    ship_closure t ~peer ~forced_seeds:false ~seeds
+
+(* --- the RPC itself --- *)
+
+let call t ~dst proc args =
+  let info = Session.current_exn t.session in
+  if Space_id.equal dst t.id then invalid_arg "Node.call: dst is self";
+  flush_remote_ops t;
+  let writebacks = collect_writebacks t in
+  let wargs = List.map (wire_of_value t) args in
+  let eager = eager_for t ~peer:dst wargs in
+  Log.debug (fun m ->
+      m "%a -> %a: call %s (%d wb, %d eager)" Space_id.pp t.id Space_id.pp dst
+        proc (List.length writebacks) (List.length eager));
+  match
+    request t ~dst
+      (Wire.Call { session = info.Session.id; proc; args = wargs; writebacks; eager })
+  with
+  | Wire.Return { results; writebacks; eager } ->
+    List.iter (install_item t ~dirty:true) writebacks;
+    List.iter (install_item t ~dirty:false) eager;
+    List.map (value_of_wire t) results
+  | Wire.Error msg -> raise (Remote_error msg)
+  | Wire.Fetched _ | Wire.Allocated _ | Wire.Ack ->
+    failwith "protocol error: bad reply to Call"
+
+(* --- fault handling: the lazy path (paper, section 3.2) --- *)
+
+let fetch_missing t missing =
+  let batches =
+    group_by_space (fun (e : Cache.entry) -> e.lp.Long_pointer.origin) missing
+  in
+  List.iter
+    (fun (origin, entries) ->
+      Stats.incr_callbacks (Transport.stats t.transport);
+      let wanted = List.map (fun (e : Cache.entry) -> e.Cache.lp) entries in
+      match request t ~dst:origin (Wire.Fetch { session = session_id t; wanted })
+      with
+      | Wire.Fetched { items } -> List.iter (install_item t ~dirty:false) items
+      | Wire.Error msg -> raise (Remote_error msg)
+      | Wire.Return _ | Wire.Allocated _ | Wire.Ack ->
+        failwith "protocol error: bad reply to Fetch")
+    batches
+
+let handle_fault t (fault : Address_space.fault) =
+  Transport.charge_fault t.transport;
+  let page = fault.page in
+  if not (Cache.in_region t.cache (Address_space.page_base t.space page)) then
+    failwith (Format.asprintf "unserviceable %a" Address_space.pp_fault fault);
+  let entries = Cache.entries_on_page t.cache page in
+  if entries = [] then
+    failwith (Format.asprintf "%a on empty cache page" Address_space.pp_fault fault);
+  (* Decoding fetched data swizzles its pointers, which can allocate
+     fresh (absent) slots on this very page; the access protection can
+     only be released once no datum on the page is missing (paper,
+     section 3.2), so iterate until the page is fully present. *)
+  let rec resolve_missing () =
+    let missing =
+      List.filter
+        (fun (e : Cache.entry) -> not e.Cache.present)
+        (Cache.entries_on_page t.cache page)
+    in
+    if missing <> [] then begin
+      Log.debug (fun m ->
+          m "%a: fault page %d, fetching %d data" Space_id.pp t.id page
+            (List.length missing));
+      fetch_missing t missing;
+      resolve_missing ()
+    end
+  in
+  let had_missing = List.exists (fun e -> not e.Cache.present) entries in
+  resolve_missing ();
+  if had_missing then Cache.refresh_protection t.cache ~page
+  else
+    match fault.access with
+    | Address_space.Write ->
+      if t.strategy.Strategy.grain = Strategy.Twin_diff then
+        Transport.charge_cpu_bytes t.transport (Address_space.page_size t.space);
+      Cache.mark_page_dirty t.cache ~page
+    | Address_space.Read -> Cache.refresh_protection t.cache ~page
+
+(* --- dispatch of incoming frames --- *)
+
+(* Every frame names its session; a frame from a session other than the
+   active one is a protocol violation (e.g. a stale remote pointer used
+   after its session ended) and must fail loudly. *)
+let check_session t session =
+  let info = Session.current_exn t.session in
+  if session <> info.Session.id then
+    failwith
+      (Printf.sprintf "session mismatch: frame for #%d, active #%d" session
+         info.Session.id)
+
+let handle t src req =
+  match (req : Wire.request) with
+  | Wire.Call { proc; args; writebacks; eager; session } ->
+    check_session t session;
+    Session.join t.session t.id;
+    List.iter (install_item t ~dirty:true) writebacks;
+    List.iter (install_item t ~dirty:false) eager;
+    let body =
+      match Hashtbl.find_opt t.procs proc with
+      | Some f -> f
+      | None -> raise (Unknown_procedure proc)
+    in
+    let vargs = List.map (value_of_wire t) args in
+    let results = body t vargs in
+    flush_remote_ops t;
+    let wb = collect_writebacks t in
+    let wres = List.map (wire_of_value t) results in
+    let eager = eager_for t ~peer:(Space_id.of_string src) wres in
+    Wire.Return { results = wres; writebacks = wb; eager }
+  | Wire.Fetch { wanted; session } ->
+    check_session t session;
+    Session.join t.session t.id;
+    Wire.Fetched { items = serve_fetch t ~peer:(Space_id.of_string src) wanted }
+  | Wire.Write_back { items; session } ->
+    check_session t session;
+    (* installing write-backs can swizzle foreign pointers into fresh
+       cache slots here, so this space must be invalidated too *)
+    Session.join t.session t.id;
+    List.iter (install_item t ~dirty:true) items;
+    Wire.Ack
+  | Wire.Alloc_batch { reqs; session } ->
+    check_session t session;
+    Session.join t.session t.id;
+    let addrs =
+      List.map (fun (prov, ty) -> (prov, Allocator.alloc t.heap ~size:(sizeof t ty))) reqs
+    in
+    Wire.Allocated { addrs }
+  | Wire.Free_batch { lps; session } ->
+    check_session t session;
+    List.iter
+      (fun (lp : Long_pointer.t) ->
+        if not (Space_id.equal lp.origin t.id) then
+          invalid_arg "Free_batch: foreign datum";
+        Allocator.free t.heap lp.addr)
+      lps;
+    Wire.Ack
+  | Wire.Invalidate { session } ->
+    check_session t session;
+    Cache.invalidate t.cache;
+    Space_id.Table.reset t.shipped;
+    Long_pointer.Table.reset t.traveling;
+    Wire.Ack
+
+let dispatch t src req_str =
+  match handle t src (Wire.decode_request ~reg:t.registry req_str) with
+  | resp -> Wire.encode_response ~reg:t.registry resp
+  | exception exn ->
+    Wire.encode_response ~reg:t.registry (Wire.Error (Printexc.to_string exn))
+
+(* --- sessions --- *)
+
+let begin_session t = ignore (Session.begin_session t.session ~ground:t.id)
+
+let end_session t =
+  let info = Session.current_exn t.session in
+  if not (Space_id.equal info.Session.ground t.id) then
+    invalid_arg "Node.end_session: only the ground thread may end the session";
+  flush_remote_ops t;
+  let items = collect_writebacks t in
+  (* Own traveling items are already applied to our originals. *)
+  let foreign =
+    List.filter
+      (fun (i : Wire.item) -> not (Space_id.equal i.lp.Long_pointer.origin t.id))
+      items
+  in
+  let batches =
+    group_by_space (fun (i : Wire.item) -> i.lp.Long_pointer.origin) foreign
+  in
+  List.iter
+    (fun (origin, items) ->
+      expect_ack
+        (request t ~dst:origin (Wire.Write_back { session = info.Session.id; items })))
+    batches;
+  (* snapshot participants only now: installing write-backs may have
+     enrolled origin spaces that must also drop fresh cache entries *)
+  let others = Space_id.Set.remove t.id info.Session.participants in
+  Space_id.Set.iter
+    (fun peer ->
+      expect_ack (request t ~dst:peer (Wire.Invalidate { session = info.Session.id })))
+    others;
+  Cache.invalidate t.cache;
+  Space_id.Table.reset t.shipped;
+  Long_pointer.Table.reset t.traveling;
+  Session.close t.session
+
+let with_session t f =
+  begin_session t;
+  match f () with
+  | v ->
+    end_session t;
+    v
+  | exception exn ->
+    (try end_session t with _ -> ());
+    raise exn
+
+(* --- memory management --- *)
+
+let malloc t ~ty = Allocator.alloc t.heap ~size:(sizeof t ty)
+
+let malloc_n t ~ty n =
+  let size =
+    Layout.sizeof t.registry (arch t) (Type_desc.Array (Type_desc.Named ty, n))
+  in
+  Allocator.alloc t.heap ~size
+
+let extended_malloc t ~home ~ty =
+  if Space_id.equal home t.id then malloc t ~ty
+  else begin
+    ignore (Session.current_exn t.session);
+    t.prov_counter <- t.prov_counter + 1;
+    let prov = Long_pointer.make ~origin:home ~addr:(-t.prov_counter) ~ty in
+    let e = Cache.allocate t.cache prov ~size:(sizeof t ty) in
+    e.Cache.dirty <- true;
+    Cache.mark_present t.cache e;
+    Stats.add_remote_allocs (Transport.stats t.transport) 1;
+    t.pending_allocs <- { prov; pa_entry = e } :: t.pending_allocs;
+    if not t.strategy.Strategy.batch_remote_ops then flush_remote_ops t;
+    e.Cache.local_addr
+  end
+
+let extended_free t addr =
+  if addr = 0 then ()
+  else if Cache.in_region t.cache addr then (
+    match Cache.find_by_addr t.cache addr with
+    | None -> raise (Invalid_pointer addr)
+    | Some e ->
+      Cache.remove t.cache e;
+      if Long_pointer.is_provisional e.Cache.lp then
+        (* never reached its home space: cancel the batched allocation *)
+        t.pending_allocs <-
+          List.filter
+            (fun pa -> not (Long_pointer.equal pa.prov e.Cache.lp))
+            t.pending_allocs
+      else begin
+        Stats.add_remote_frees (Transport.stats t.transport) 1;
+        t.pending_frees <- e.Cache.lp :: t.pending_frees;
+        if not t.strategy.Strategy.batch_remote_ops then flush_remote_ops t
+      end)
+  else if in_heap t addr then Allocator.free t.heap addr
+  else raise (Invalid_pointer addr)
+
+(* --- construction --- *)
+
+let create ?(page_size = 4096) ?(heap_base = 0x10000) ?(heap_limit = 0x4000000)
+    ?(cache_limit = 0x24000000) ?hints ~id ~arch ~registry ~transport ~session
+    ~strategy () =
+  if heap_limit mod page_size <> 0 then
+    invalid_arg "Node.create: heap_limit must be page-aligned";
+  let space = Address_space.create ~page_size ~id ~arch () in
+  let mmu = Mmu.create space in
+  let heap = Allocator.create ~space ~base:heap_base ~limit:heap_limit in
+  let cache =
+    Cache.create ~space ~base:heap_limit ~limit:cache_limit
+      ~grouping:strategy.Strategy.grouping ~grain:strategy.Strategy.grain
+  in
+  let hints = match hints with Some h -> h | None -> Hints.create () in
+  let t =
+    {
+      id;
+      space;
+      mmu;
+      heap;
+      cache;
+      registry;
+      transport;
+      session;
+      hints;
+      strategy;
+      procs = Hashtbl.create 16;
+      shipped = Space_id.Table.create 4;
+      traveling = Long_pointer.Table.create 16;
+      pending_allocs = [];
+      pending_frees = [];
+      prov_counter = 0;
+    }
+  in
+  Mmu.set_handler mmu (handle_fault t);
+  Transport.register transport (endpoint t) (dispatch t);
+  t
+
+let register t name body = Hashtbl.replace t.procs name body
+
+let run_local t name args =
+  match Hashtbl.find_opt t.procs name with
+  | Some f -> f t args
+  | None -> raise (Unknown_procedure name)
+let charge_touch t = Transport.charge_local_touches t.transport 1
+let cached_entries t = Cache.entry_count t.cache
+let pp_alloc_table ppf t = Cache.pp_table ppf t.cache

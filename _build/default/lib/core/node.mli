@@ -1,0 +1,140 @@
+(** A node: one address space plus its smart-RPC runtime.
+
+    The runtime implements the paper's method end to end:
+    - stubs that unswizzle pointer arguments to long pointers and
+      swizzle them back into protected cache slots (section 3.2);
+    - the MMU fault handler that services the first touch of remote data
+      by fetching everything allocated to the faulting page, together
+      with a bounded breadth-first closure (sections 3.2–3.3);
+    - the coherency protocol that ships the modified data set on every
+      control transfer and performs the end-of-session write-back and
+      invalidation multicast (section 3.4);
+    - transparent remote memory allocation and release with batching
+      (section 3.5). *)
+
+open Srpc_memory
+open Srpc_types
+open Srpc_simnet
+
+type t
+
+(** A remote procedure body. It runs on the callee node with swizzled
+    arguments; pointer arguments can be dereferenced through {!Access}
+    (or raw loads via [mmu]) exactly like local data. *)
+type proc = t -> Value.t list -> Value.t list
+
+exception Remote_error of string
+exception Unknown_procedure of string
+
+(** Raised when an address that is neither null, a live heap block base,
+    nor a cache slot base is unswizzled or freed. *)
+exception Invalid_pointer of int
+
+(** {1 Construction} *)
+
+(** [create ~id ~arch ~registry ~transport ~session ~strategy ()] builds
+    a node and registers its dispatcher with the transport. Region sizes
+    are configurable for tests ([page_size] must be a power of two). *)
+val create :
+  ?page_size:int ->
+  ?heap_base:int ->
+  ?heap_limit:int ->
+  ?cache_limit:int ->
+  ?hints:Hints.t ->
+  id:Space_id.t ->
+  arch:Arch.t ->
+  registry:Registry.t ->
+  transport:Transport.t ->
+  session:Session.t ->
+  strategy:Strategy.t ->
+  unit ->
+  t
+
+val id : t -> Space_id.t
+val arch : t -> Arch.t
+val space : t -> Address_space.t
+val mmu : t -> Mmu.t
+val registry : t -> Registry.t
+val transport : t -> Transport.t
+val strategy : t -> Strategy.t
+
+(** The closure-shape hint table this node consults when computing
+    transitive closures (shared cluster-wide when built through
+    {!Cluster}). *)
+val hints : t -> Hints.t
+
+(** [set_strategy t s] reconfigures the transfer strategy (between
+    sessions; changing it mid-session is undefined). *)
+val set_strategy : t -> Strategy.t -> unit
+
+val cache : t -> Cache.t
+val heap : t -> Allocator.t
+
+(** {1 Procedures and sessions} *)
+
+(** [register t name body] installs a remote procedure. *)
+val register : t -> string -> proc -> unit
+
+(** [run_local t name args] invokes a locally registered procedure
+    directly, without an RPC.
+    @raise Unknown_procedure if it is not registered. *)
+val run_local : t -> string -> Value.t list -> Value.t list
+
+(** [begin_session t] declares this node's thread the ground thread of a
+    new RPC session. *)
+val begin_session : t -> unit
+
+(** [end_session t] writes the modified data set back to the origin
+    spaces and multicasts the invalidation; every participant drops its
+    cached data (paper, section 3.4). Must be called by the ground
+    node. *)
+val end_session : t -> unit
+
+(** [with_session t f] brackets [f] with [begin_session]/[end_session].
+    The session is also ended if [f] raises. *)
+val with_session : t -> (unit -> 'a) -> 'a
+
+(** [call t ~dst proc args] performs a smart RPC: flushes batched remote
+    allocations, ships the modified data set and (for an unbounded
+    closure budget) the eager closure of pointer arguments, then blocks
+    until the results return. Nested calls and callbacks are calls
+    issued from inside a procedure body.
+    @raise Session.No_active_session outside a session
+    @raise Remote_error if the callee raised *)
+val call : t -> dst:Space_id.t -> string -> Value.t list -> Value.t list
+
+(** {1 Memory management} *)
+
+(** [malloc t ~ty] allocates one object of registered type [ty] in this
+    node's own heap and returns its address. *)
+val malloc : t -> ty:string -> int
+
+(** [malloc_n t ~ty n] allocates an array of [n] contiguous objects and
+    returns the base address. *)
+val malloc_n : t -> ty:string -> int -> int
+
+(** [extended_malloc t ~home ~ty] allocates an object whose original
+    location is address space [home] and returns a swizzled pointer
+    valid here (paper, section 3.5). The home-space allocation is
+    batched until the next control transfer when the strategy says so. *)
+val extended_malloc : t -> home:Space_id.t -> ty:string -> int
+
+(** [extended_free t addr] releases the object referenced by [addr];
+    [addr] "may reference data whose original location is not in the
+    address space in which it is issued" (paper, section 3.5). *)
+val extended_free : t -> int -> unit
+
+(** {1 Pointer plumbing (exposed for the access layer and tests)} *)
+
+val swizzle : t -> Long_pointer.t option -> int
+val unswizzle : t -> ty:string -> int -> Long_pointer.t option
+
+(** [charge_touch t] accounts one application-level data access in the
+    cost model. *)
+val charge_touch : t -> unit
+
+(** Number of live entries in the data allocation table. *)
+val cached_entries : t -> int
+
+(** Render this node's data allocation table (paper, Table 1). *)
+val pp_alloc_table : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+(** Type-directed canonical encoding of in-memory objects.
+
+    Transfers "must be encoded and decoded to preserve their data types
+    in a heterogeneous environment. We can use the standard methods
+    except for the case of pointers, which must be unswizzled and
+    swizzled" (paper, section 3.2). The encoder walks the object's
+    scalar leaves in declaration order, converting each primitive to XDR
+    and each pointer word through the caller-supplied unswizzler; the
+    decoder does the reverse for the destination architecture, swizzling
+    pointers into local cache addresses (which may allocate fresh
+    protected slots). *)
+
+open Srpc_memory
+open Srpc_types
+
+type encode_ctx = {
+  enc_reg : Registry.t;
+  enc_arch : Arch.t;
+  unswizzle : ty:string -> int -> Long_pointer.t option;
+      (** ordinary pointer word → long pointer; [None] for null *)
+}
+
+type decode_ctx = {
+  dec_reg : Registry.t;
+  dec_arch : Arch.t;
+  swizzle : Long_pointer.t option -> int;
+      (** long pointer → ordinary pointer word; null → 0 *)
+}
+
+(** [encode ctx ~ty raw] converts the in-memory image [raw] of an object
+    of registered type [ty] to its canonical form. [raw] must be exactly
+    the type's size on [ctx.enc_arch]. *)
+val encode : encode_ctx -> ty:string -> bytes -> string
+
+(** [decode ctx ~ty data] converts canonical [data] back to an in-memory
+    image for [ctx.dec_arch]. *)
+val decode : decode_ctx -> ty:string -> string -> bytes
+
+(** [wire_size reg ~ty] is the canonical encoding's size upper bound for
+    scalars (pointers are variable-width); exposed for tests. *)
+val scalar_leaf_count : Registry.t -> ty:string -> int

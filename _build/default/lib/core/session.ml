@@ -1,0 +1,41 @@
+open Srpc_memory
+
+type info = {
+  id : int;
+  ground : Space_id.t;
+  mutable participants : Space_id.Set.t;
+}
+
+type t = { mutable counter : int; mutable current : info option }
+
+exception No_active_session
+exception Session_already_active
+
+let create () = { counter = 0; current = None }
+
+let begin_session t ~ground =
+  match t.current with
+  | Some _ -> raise Session_already_active
+  | None ->
+    t.counter <- t.counter + 1;
+    let info =
+      { id = t.counter; ground; participants = Space_id.Set.singleton ground }
+    in
+    t.current <- Some info;
+    info
+
+let close t =
+  match t.current with
+  | None -> raise No_active_session
+  | Some _ -> t.current <- None
+
+let current t = t.current
+
+let current_exn t =
+  match t.current with None -> raise No_active_session | Some info -> info
+
+let is_active t = Option.is_some t.current
+
+let join t id =
+  let info = current_exn t in
+  info.participants <- Space_id.Set.add id info.participants

@@ -1,0 +1,41 @@
+(** RPC session state, shared by every node of a cluster.
+
+    "A ground thread must declare the beginning and the end of an RPC
+    session. The concept of an RPC session is needed to determine the
+    period for which the runtime system guarantees to respond to remote
+    data references and to maintain the coherency of the cached data"
+    (paper, section 3.1). One session is active at a time — the paper's
+    single-active-thread model. *)
+
+open Srpc_memory
+
+type info = {
+  id : int;
+  ground : Space_id.t;
+  mutable participants : Space_id.Set.t;
+}
+
+type t
+
+exception No_active_session
+exception Session_already_active
+
+val create : unit -> t
+
+(** [begin_session t ~ground] opens a session rooted at [ground].
+    @raise Session_already_active if one is open. *)
+val begin_session : t -> ground:Space_id.t -> info
+
+(** [close t] marks the session ended (the ground node's runtime calls
+    this after write-back and invalidation). *)
+val close : t -> unit
+
+val current : t -> info option
+
+(** @raise No_active_session when none is open. *)
+val current_exn : t -> info
+
+val is_active : t -> bool
+
+(** [join t id] records [id] as a participant of the active session. *)
+val join : t -> Space_id.t -> unit

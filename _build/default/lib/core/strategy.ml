@@ -1,0 +1,61 @@
+type closure_budget = Unbounded | Bytes of int
+type alloc_grouping = By_origin | Sequential | By_type | Entry_per_page
+type closure_order = Breadth_first | Depth_first
+type writeback_grain = Page_grain | Twin_diff
+
+type t = {
+  budget : closure_budget;
+  grouping : alloc_grouping;
+  order : closure_order;
+  grain : writeback_grain;
+  batch_remote_ops : bool;
+}
+
+let smart ?(closure_size = 8192) () =
+  {
+    budget = Bytes closure_size;
+    grouping = By_origin;
+    order = Breadth_first;
+    grain = Page_grain;
+    batch_remote_ops = true;
+  }
+
+let fully_eager =
+  {
+    budget = Unbounded;
+    grouping = By_origin;
+    order = Breadth_first;
+    grain = Page_grain;
+    batch_remote_ops = true;
+  }
+
+let fully_lazy =
+  {
+    budget = Bytes 0;
+    grouping = Entry_per_page;
+    order = Breadth_first;
+    grain = Page_grain;
+    batch_remote_ops = true;
+  }
+
+let pp ppf t =
+  let budget ppf = function
+    | Unbounded -> Format.pp_print_string ppf "inf"
+    | Bytes n -> Format.fprintf ppf "%dB" n
+  in
+  let grouping = function
+    | By_origin -> "by-origin"
+    | Sequential -> "sequential"
+    | By_type -> "by-type"
+    | Entry_per_page -> "entry-per-page"
+  in
+  let order = function Breadth_first -> "bfs" | Depth_first -> "dfs" in
+  let grain = function Page_grain -> "page" | Twin_diff -> "twin-diff" in
+  Format.fprintf ppf "{closure=%a;group=%s;order=%s;grain=%s;batch=%b}" budget
+    t.budget (grouping t.grouping) (order t.order) (grain t.grain)
+    t.batch_remote_ops
+
+let budget_allows t ~total ~extra =
+  match t.budget with
+  | Unbounded -> true
+  | Bytes b -> total + extra <= b

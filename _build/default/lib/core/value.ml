@@ -1,0 +1,63 @@
+type funref = { home : Srpc_memory.Space_id.t; name : string }
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int64
+  | Float of float
+  | Str of string
+  | Ptr of { addr : int; ty : string }
+  | Fun of funref
+
+let unit = Unit
+let bool b = Bool b
+let int n = Int (Int64.of_int n)
+let int64 n = Int n
+let float f = Float f
+let str s = Str s
+let ptr ~ty addr = Ptr { addr; ty }
+let null ~ty = Ptr { addr = 0; ty }
+let fn ~home ~name = Fun { home; name }
+
+let type_error want got =
+  let name = function
+    | Unit -> "unit"
+    | Bool _ -> "bool"
+    | Int _ -> "int"
+    | Float _ -> "float"
+    | Str _ -> "string"
+    | Ptr _ -> "pointer"
+    | Fun _ -> "funref"
+  in
+  invalid_arg (Printf.sprintf "Value: expected %s, got %s" want (name got))
+
+let to_bool = function Bool b -> b | v -> type_error "bool" v
+let to_int64 = function Int n -> n | v -> type_error "int" v
+let to_int v = Int64.to_int (to_int64 v)
+let to_float = function Float f -> f | v -> type_error "float" v
+let to_str = function Str s -> s | v -> type_error "string" v
+let to_addr = function Ptr p -> p.addr | v -> type_error "pointer" v
+let ptr_ty = function Ptr p -> p.ty | v -> type_error "pointer" v
+let to_funref = function Fun f -> f | v -> type_error "funref" v
+
+let equal a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> Int64.equal x y
+  | Float x, Float y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | Ptr x, Ptr y -> x.addr = y.addr && String.equal x.ty y.ty
+  | Fun x, Fun y ->
+    Srpc_memory.Space_id.equal x.home y.home && String.equal x.name y.name
+  | (Unit | Bool _ | Int _ | Float _ | Str _ | Ptr _ | Fun _), _ -> false
+
+let pp ppf = function
+  | Unit -> Format.pp_print_string ppf "()"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int n -> Format.fprintf ppf "%Ld" n
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Ptr { addr; ty } -> Format.fprintf ppf "&%s@0x%x" ty addr
+  | Fun { home; name } ->
+    Format.fprintf ppf "fun:%a/%s" Srpc_memory.Space_id.pp home name

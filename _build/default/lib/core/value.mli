@@ -1,0 +1,50 @@
+(** RPC argument and result values.
+
+    Scalars are passed by copy as in any RPC system; [Ptr] is the
+    paper's novelty — an ordinary pointer (a node-local address) tagged
+    with its pointee's registered type so the stubs can unswizzle and
+    swizzle it. The address [0] is the null pointer. *)
+
+(** A reference to a named remote procedure — the conventional explicit
+    form of a "function pointer" (see {!Funref}). *)
+type funref = { home : Srpc_memory.Space_id.t; name : string }
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int64
+  | Float of float
+  | Str of string
+  | Ptr of { addr : int; ty : string }
+  | Fun of funref
+
+val unit : t
+val bool : bool -> t
+val int : int -> t
+val int64 : int64 -> t
+val float : float -> t
+val str : string -> t
+val ptr : ty:string -> int -> t
+val null : ty:string -> t
+val fn : home:Srpc_memory.Space_id.t -> name:string -> t
+
+(** Projections; raise [Invalid_argument] on a type mismatch (an RPC
+    signature violation). *)
+
+val to_bool : t -> bool
+val to_int : t -> int
+val to_int64 : t -> int64
+val to_float : t -> float
+val to_str : t -> string
+
+(** [to_addr v] is the address carried by a [Ptr] (possibly 0). *)
+val to_addr : t -> int
+
+(** [ptr_ty v] is the pointee type of a [Ptr]. *)
+val ptr_ty : t -> string
+
+(** [to_funref v] projects a [Fun]. *)
+val to_funref : t -> funref
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,243 @@
+module Xdr = Srpc_xdr.Xdr
+open Xdr
+
+type wvalue =
+  | WUnit
+  | WBool of bool
+  | WInt of int64
+  | WFloat of float
+  | WStr of string
+  | WPtr of Long_pointer.t option
+  | WFun of Value.funref
+
+type item = { lp : Long_pointer.t; data : string }
+
+type request =
+  | Call of {
+      session : int;
+      proc : string;
+      args : wvalue list;
+      writebacks : item list;
+      eager : item list;
+    }
+  | Fetch of { session : int; wanted : Long_pointer.t list }
+  | Write_back of { session : int; items : item list }
+  | Alloc_batch of { session : int; reqs : (int * string) list }
+  | Free_batch of { session : int; lps : Long_pointer.t list }
+  | Invalidate of { session : int }
+
+type response =
+  | Return of { results : wvalue list; writebacks : item list; eager : item list }
+  | Fetched of { items : item list }
+  | Allocated of { addrs : (int * int) list }
+  | Ack
+  | Error of string
+
+let encode_wvalue ~reg enc = function
+  | WUnit -> Enc.int enc 0
+  | WBool b ->
+    Enc.int enc 1;
+    Enc.bool enc b
+  | WInt n ->
+    Enc.int enc 2;
+    Enc.int64 enc n
+  | WFloat f ->
+    Enc.int enc 3;
+    Enc.float64 enc f
+  | WStr s ->
+    Enc.int enc 4;
+    Enc.string enc s
+  | WPtr lp ->
+    Enc.int enc 5;
+    Long_pointer.encode ~reg enc lp
+  | WFun { Value.home; name } ->
+    Enc.int enc 6;
+    Enc.uint32 enc
+      ((home.Srpc_memory.Space_id.site lsl 16) lor home.Srpc_memory.Space_id.proc);
+    Enc.string enc name
+
+let decode_wvalue ~reg dec =
+  match Dec.int dec with
+  | 0 -> WUnit
+  | 1 -> WBool (Dec.bool dec)
+  | 2 -> WInt (Dec.int64 dec)
+  | 3 -> WFloat (Dec.float64 dec)
+  | 4 -> WStr (Dec.string dec)
+  | 5 -> WPtr (Long_pointer.decode ~reg dec)
+  | 6 ->
+    let packed = Dec.uint32 dec in
+    let name = Dec.string dec in
+    WFun
+      {
+        Value.home =
+          Srpc_memory.Space_id.make ~site:(packed lsr 16) ~proc:(packed land 0xffff);
+        name;
+      }
+  | n -> raise (Decode_error (Printf.sprintf "bad wvalue tag %d" n))
+
+let encode_item ~reg enc { lp; data } =
+  Long_pointer.encode ~reg enc (Some lp);
+  Enc.opaque enc data
+
+let decode_item ~reg dec =
+  match Long_pointer.decode ~reg dec with
+  | None -> raise (Decode_error "null item pointer")
+  | Some lp ->
+    let data = Dec.opaque dec in
+    { lp; data }
+
+let encode_lp ~reg enc lp = Long_pointer.encode ~reg enc (Some lp)
+
+let decode_lp ~reg dec =
+  match Long_pointer.decode ~reg dec with
+  | None -> raise (Decode_error "unexpected null long pointer")
+  | Some lp -> lp
+
+let encode_request ~reg r =
+  let enc = Enc.create () in
+  (match r with
+  | Call { session; proc; args; writebacks; eager } ->
+    Enc.int enc 0;
+    Enc.int enc session;
+    Enc.string enc proc;
+    Enc.list enc (encode_wvalue ~reg) args;
+    Enc.list enc (encode_item ~reg) writebacks;
+    Enc.list enc (encode_item ~reg) eager
+  | Fetch { session; wanted } ->
+    Enc.int enc 1;
+    Enc.int enc session;
+    Enc.list enc (encode_lp ~reg) wanted
+  | Write_back { session; items } ->
+    Enc.int enc 2;
+    Enc.int enc session;
+    Enc.list enc (encode_item ~reg) items
+  | Alloc_batch { session; reqs } ->
+    Enc.int enc 3;
+    Enc.int enc session;
+    Enc.list enc
+      (fun enc (id, ty) ->
+        Enc.int enc id;
+        Enc.string enc ty)
+      reqs
+  | Free_batch { session; lps } ->
+    Enc.int enc 4;
+    Enc.int enc session;
+    Enc.list enc (encode_lp ~reg) lps
+  | Invalidate { session } ->
+    Enc.int enc 5;
+    Enc.int enc session);
+  Enc.to_string enc
+
+let decode_request ~reg s =
+  let dec = Dec.of_string s in
+  let r =
+    match Dec.int dec with
+    | 0 ->
+      let session = Dec.int dec in
+      let proc = Dec.string dec in
+      let args = Dec.list dec (decode_wvalue ~reg) in
+      let writebacks = Dec.list dec (decode_item ~reg) in
+      let eager = Dec.list dec (decode_item ~reg) in
+      Call { session; proc; args; writebacks; eager }
+    | 1 ->
+      let session = Dec.int dec in
+      let wanted = Dec.list dec (decode_lp ~reg) in
+      Fetch { session; wanted }
+    | 2 ->
+      let session = Dec.int dec in
+      let items = Dec.list dec (decode_item ~reg) in
+      Write_back { session; items }
+    | 3 ->
+      let session = Dec.int dec in
+      let reqs =
+        Dec.list dec (fun dec ->
+            let id = Dec.int dec in
+            let ty = Dec.string dec in
+            (id, ty))
+      in
+      Alloc_batch { session; reqs }
+    | 4 ->
+      let session = Dec.int dec in
+      let lps = Dec.list dec (decode_lp ~reg) in
+      Free_batch { session; lps }
+    | 5 ->
+      let session = Dec.int dec in
+      Invalidate { session }
+    | n -> raise (Decode_error (Printf.sprintf "bad request tag %d" n))
+  in
+  Dec.check_end dec;
+  r
+
+let encode_response ~reg r =
+  let enc = Enc.create () in
+  (match r with
+  | Return { results; writebacks; eager } ->
+    Enc.int enc 0;
+    Enc.list enc (encode_wvalue ~reg) results;
+    Enc.list enc (encode_item ~reg) writebacks;
+    Enc.list enc (encode_item ~reg) eager
+  | Fetched { items } ->
+    Enc.int enc 1;
+    Enc.list enc (encode_item ~reg) items
+  | Allocated { addrs } ->
+    Enc.int enc 2;
+    Enc.list enc
+      (fun enc (id, addr) ->
+        Enc.int enc id;
+        Enc.hyper enc addr)
+      addrs
+  | Ack -> Enc.int enc 3
+  | Error msg ->
+    Enc.int enc 4;
+    Enc.string enc msg);
+  Enc.to_string enc
+
+let decode_response ~reg s =
+  let dec = Dec.of_string s in
+  let r =
+    match Dec.int dec with
+    | 0 ->
+      let results = Dec.list dec (decode_wvalue ~reg) in
+      let writebacks = Dec.list dec (decode_item ~reg) in
+      let eager = Dec.list dec (decode_item ~reg) in
+      Return { results; writebacks; eager }
+    | 1 -> Fetched { items = Dec.list dec (decode_item ~reg) }
+    | 2 ->
+      let addrs =
+        Dec.list dec (fun dec ->
+            let id = Dec.int dec in
+            let addr = Dec.hyper dec in
+            (id, addr))
+      in
+      Allocated { addrs }
+    | 3 -> Ack
+    | 4 -> Error (Dec.string dec)
+    | n -> raise (Decode_error (Printf.sprintf "bad response tag %d" n))
+  in
+  Dec.check_end dec;
+  r
+
+let pp_items ppf items = Format.fprintf ppf "%d items" (List.length items)
+
+let pp_request ppf = function
+  | Call { proc; args; writebacks; eager; session } ->
+    Format.fprintf ppf "Call[%d] %s/%d (wb %a, eager %a)" session proc
+      (List.length args) pp_items writebacks pp_items eager
+  | Fetch { wanted; session } ->
+    Format.fprintf ppf "Fetch[%d] %d lps" session (List.length wanted)
+  | Write_back { items; session } ->
+    Format.fprintf ppf "WriteBack[%d] %a" session pp_items items
+  | Alloc_batch { reqs; session } ->
+    Format.fprintf ppf "AllocBatch[%d] %d reqs" session (List.length reqs)
+  | Free_batch { lps; session } ->
+    Format.fprintf ppf "FreeBatch[%d] %d lps" session (List.length lps)
+  | Invalidate { session } -> Format.fprintf ppf "Invalidate[%d]" session
+
+let pp_response ppf = function
+  | Return { results; writebacks; eager } ->
+    Format.fprintf ppf "Return/%d (wb %a, eager %a)" (List.length results)
+      pp_items writebacks pp_items eager
+  | Fetched { items } -> Format.fprintf ppf "Fetched %a" pp_items items
+  | Allocated { addrs } -> Format.fprintf ppf "Allocated %d" (List.length addrs)
+  | Ack -> Format.pp_print_string ppf "Ack"
+  | Error msg -> Format.fprintf ppf "Error %S" msg

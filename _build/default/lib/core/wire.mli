@@ -1,0 +1,52 @@
+(** Runtime wire protocol.
+
+    Every frame is XDR-encoded; byte counts the cost model charges come
+    from these real encodings. Pointer-valued arguments travel as long
+    pointers ({!wvalue}); transferred data travels as {!item}s — a long
+    pointer naming the datum plus its canonical (type-directed XDR)
+    encoding. *)
+
+type wvalue =
+  | WUnit
+  | WBool of bool
+  | WInt of int64
+  | WFloat of float
+  | WStr of string
+  | WPtr of Long_pointer.t option  (** unswizzled pointer; [None] = null *)
+  | WFun of Value.funref  (** named-procedure reference *)
+
+type item = { lp : Long_pointer.t; data : string }
+
+type request =
+  | Call of {
+      session : int;
+      proc : string;
+      args : wvalue list;
+      writebacks : item list;  (** the traveling modified data set *)
+      eager : item list;  (** bounded closure of the pointer arguments *)
+    }
+  | Fetch of { session : int; wanted : Long_pointer.t list }
+      (** lazy path: first touch of a protected page requests all the
+          data allocated to it *)
+  | Write_back of { session : int; items : item list }
+      (** end-of-session write-back to the origin space *)
+  | Alloc_batch of { session : int; reqs : (int * string) list }
+      (** batched [extended_malloc]: (provisional id, type name) *)
+  | Free_batch of { session : int; lps : Long_pointer.t list }
+      (** batched [extended_free] *)
+  | Invalidate of { session : int }
+      (** end-of-session multicast: drop all cached data *)
+
+type response =
+  | Return of { results : wvalue list; writebacks : item list; eager : item list }
+  | Fetched of { items : item list }
+  | Allocated of { addrs : (int * int) list }  (** provisional id, real address *)
+  | Ack
+  | Error of string  (** remote exception, re-raised at the caller *)
+
+val encode_request : reg:Srpc_types.Registry.t -> request -> string
+val decode_request : reg:Srpc_types.Registry.t -> string -> request
+val encode_response : reg:Srpc_types.Registry.t -> response -> string
+val decode_response : reg:Srpc_types.Registry.t -> string -> response
+val pp_request : Format.formatter -> request -> unit
+val pp_response : Format.formatter -> response -> unit

@@ -1,0 +1,1 @@
+lib/memory/address_space.ml: Arch Bytes Format Hashtbl List Option Prot Space_id

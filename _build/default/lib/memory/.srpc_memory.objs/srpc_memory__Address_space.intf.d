@@ -1,0 +1,1 @@
+lib/memory/address_space.mli: Arch Format Prot Space_id

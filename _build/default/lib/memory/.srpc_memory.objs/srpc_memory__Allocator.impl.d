@@ -1,0 +1,1 @@
+lib/memory/allocator.ml: Address_space Hashtbl List Printf Prot Result

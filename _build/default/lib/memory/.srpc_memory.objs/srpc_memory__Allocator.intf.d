@@ -1,0 +1,1 @@
+lib/memory/allocator.mli: Address_space

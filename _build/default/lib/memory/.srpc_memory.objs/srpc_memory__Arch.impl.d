@@ -1,0 +1,1 @@
+lib/memory/arch.ml: Format

@@ -1,0 +1,1 @@
+lib/memory/mem.ml: Address_space Arch Bytes Char Int32 Int64 Mmu Printf

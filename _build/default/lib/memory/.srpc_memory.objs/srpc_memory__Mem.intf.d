@@ -1,0 +1,1 @@
+lib/memory/mem.mli: Address_space Arch Mmu

@@ -1,0 +1,1 @@
+lib/memory/mmu.ml: Address_space Bytes

@@ -1,0 +1,1 @@
+lib/memory/mmu.mli: Address_space

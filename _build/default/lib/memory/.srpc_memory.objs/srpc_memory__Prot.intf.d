@@ -1,0 +1,1 @@
+lib/memory/prot.mli: Format

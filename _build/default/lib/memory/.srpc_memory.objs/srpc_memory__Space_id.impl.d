@@ -1,0 +1,1 @@
+lib/memory/space_id.ml: Format Hashtbl Int Map Printf Set String

@@ -1,0 +1,1 @@
+lib/memory/space_id.mli: Format Hashtbl Map Set

@@ -1,0 +1,121 @@
+type access = Read | Write
+
+type fault = { space : Space_id.t; addr : int; page : int; access : access }
+
+exception Page_fault of fault
+exception Segv of { space : Space_id.t; addr : int; access : access }
+
+type page = { data : Bytes.t; mutable prot : Prot.t }
+
+type t = {
+  id : Space_id.t;
+  arch : Arch.t;
+  page_size : int;
+  page_shift : int;
+  pages : (int, page) Hashtbl.t;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ?(page_size = 4096) ~id ~arch () =
+  if not (is_power_of_two page_size) then
+    invalid_arg "Address_space.create: page_size must be a power of two";
+  { id; arch; page_size; page_shift = log2 page_size; pages = Hashtbl.create 64 }
+
+let id t = t.id
+let arch t = t.arch
+let page_size t = t.page_size
+let page_of_addr t addr = addr lsr t.page_shift
+let page_base t page = page lsl t.page_shift
+
+let map t ~page ~prot =
+  match Hashtbl.find_opt t.pages page with
+  | Some p -> p.prot <- prot
+  | None -> Hashtbl.add t.pages page { data = Bytes.make t.page_size '\000'; prot }
+
+let unmap t ~page = Hashtbl.remove t.pages page
+let is_mapped t ~page = Hashtbl.mem t.pages page
+
+let protection t ~page =
+  Option.map (fun p -> p.prot) (Hashtbl.find_opt t.pages page)
+
+let set_protection t ~page prot =
+  match Hashtbl.find_opt t.pages page with
+  | Some p -> p.prot <- prot
+  | None -> invalid_arg "Address_space.set_protection: page not mapped"
+
+let mapped_pages t =
+  Hashtbl.fold (fun page _ acc -> page :: acc) t.pages [] |> List.sort compare
+
+let ensure_mapped t ~addr ~len ~prot =
+  if len > 0 then begin
+    let first = page_of_addr t addr and last = page_of_addr t (addr + len - 1) in
+    for page = first to last do
+      if not (is_mapped t ~page) then map t ~page ~prot
+    done
+  end
+
+(* Walk the pages of [addr, addr+len), calling [f page_record
+   offset_in_page offset_in_range chunk_len] per intersected page.
+   [check] validates protection before any byte is touched so a faulting
+   access has no partial effect, like a hardware trap. *)
+let iter_range t ~addr ~len ~access ~check f =
+  if len < 0 then invalid_arg "Address_space: negative length";
+  if addr < 0 then raise (Segv { space = t.id; addr; access });
+  if len > 0 then begin
+    let first = page_of_addr t addr and last = page_of_addr t (addr + len - 1) in
+    (* Validation pass: find the first unmapped or protection-violating
+       page before touching anything. *)
+    for page = first to last do
+      match Hashtbl.find_opt t.pages page with
+      | None ->
+        let fault_addr = max addr (page_base t page) in
+        raise (Segv { space = t.id; addr = fault_addr; access })
+      | Some p ->
+        if check && not (match access with
+                         | Read -> Prot.allows_read p.prot
+                         | Write -> Prot.allows_write p.prot)
+        then
+          let fault_addr = max addr (page_base t page) in
+          raise (Page_fault { space = t.id; addr = fault_addr; page; access })
+    done;
+    let pos = ref addr in
+    let done_ = ref 0 in
+    while !done_ < len do
+      let page = page_of_addr t !pos in
+      let p = Hashtbl.find t.pages page in
+      let off = !pos - page_base t page in
+      let chunk = min (t.page_size - off) (len - !done_) in
+      f p off !done_ chunk;
+      pos := !pos + chunk;
+      done_ := !done_ + chunk
+    done
+  end
+
+let read_gen t ~check ~addr ~len =
+  let out = Bytes.create len in
+  iter_range t ~addr ~len ~access:Read ~check (fun p off dst chunk ->
+      Bytes.blit p.data off out dst chunk);
+  out
+
+let write_gen t ~check ~addr data =
+  iter_range t ~addr ~len:(Bytes.length data) ~access:Write ~check
+    (fun p off src chunk -> Bytes.blit data src p.data off chunk)
+
+let read t ~addr ~len = read_gen t ~check:true ~addr ~len
+let write t ~addr data = write_gen t ~check:true ~addr data
+let read_unchecked t ~addr ~len = read_gen t ~check:false ~addr ~len
+let write_unchecked t ~addr data = write_gen t ~check:false ~addr data
+
+let fill_zero_unchecked t ~addr ~len =
+  iter_range t ~addr ~len ~access:Write ~check:false (fun p off _ chunk ->
+      Bytes.fill p.data off chunk '\000')
+
+let pp_fault ppf f =
+  Format.fprintf ppf "fault[%a] %s at 0x%x (page %d)" Space_id.pp f.space
+    (match f.access with Read -> "read" | Write -> "write")
+    f.addr f.page

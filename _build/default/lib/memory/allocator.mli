@@ -1,0 +1,48 @@
+(** First-fit heap allocator over a region of a simulated address space.
+
+    The paper assumes "all data referenced by long pointers are located in
+    the heap area under the system control" (section 3.2); this is that
+    heap. Block bookkeeping lives beside the space (as an allocator in a
+    kernel-managed region would), so blocks have no in-memory headers and
+    the data layout matches the declared type layout exactly. *)
+
+type t
+
+exception Out_of_region of { requested : int; free : int }
+exception Invalid_free of int
+
+(** [create ~space ~base ~limit] manages [base, limit) of [space]. Pages
+    backing allocations are mapped [Read_write] on demand. [base] must be
+    positive (address 0 is the null pointer) and 8-byte aligned. *)
+val create : space:Address_space.t -> base:int -> limit:int -> t
+
+val base : t -> int
+val limit : t -> int
+
+(** [alloc t ~size] returns the address of a fresh 8-byte-aligned block of
+    at least [size] bytes, zero-filled.
+    @raise Out_of_region when no free block fits. *)
+val alloc : t -> size:int -> int
+
+(** [free t addr] releases the block previously returned by [alloc].
+    Adjacent free blocks are coalesced.
+    @raise Invalid_free if [addr] is not a live allocation. *)
+val free : t -> int -> unit
+
+(** [block_size t addr] is the (rounded) size of the live block at [addr],
+    if any. *)
+val block_size : t -> int -> int option
+
+val is_allocated : t -> int -> bool
+val allocated_bytes : t -> int
+val free_bytes : t -> int
+val live_blocks : t -> int
+
+(** [iter_live t f] calls [f addr size] on every live block, in
+    unspecified order. *)
+val iter_live : t -> (int -> int -> unit) -> unit
+
+(** Internal invariant check for tests: free list sorted, non-overlapping,
+    coalesced, disjoint from live blocks, and sizes add up to the
+    region. *)
+val check_invariants : t -> (unit, string) result

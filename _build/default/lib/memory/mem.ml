@@ -1,0 +1,112 @@
+module Codec = struct
+  let get_i8 b off = Char.code (Bytes.get b off)
+  let set_i8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+
+  let get_i16 endian b off =
+    match (endian : Arch.endian) with
+    | Little -> Bytes.get_uint16_le b off
+    | Big -> Bytes.get_uint16_be b off
+
+  let set_i16 endian b off v =
+    match (endian : Arch.endian) with
+    | Little -> Bytes.set_uint16_le b off (v land 0xffff)
+    | Big -> Bytes.set_uint16_be b off (v land 0xffff)
+
+  let get_i32 endian b off =
+    match (endian : Arch.endian) with
+    | Little -> Bytes.get_int32_le b off
+    | Big -> Bytes.get_int32_be b off
+
+  let set_i32 endian b off v =
+    match (endian : Arch.endian) with
+    | Little -> Bytes.set_int32_le b off v
+    | Big -> Bytes.set_int32_be b off v
+
+  let get_i64 endian b off =
+    match (endian : Arch.endian) with
+    | Little -> Bytes.get_int64_le b off
+    | Big -> Bytes.get_int64_be b off
+
+  let set_i64 endian b off v =
+    match (endian : Arch.endian) with
+    | Little -> Bytes.set_int64_le b off v
+    | Big -> Bytes.set_int64_be b off v
+
+  let get_f64 endian b off = Int64.float_of_bits (get_i64 endian b off)
+  let set_f64 endian b off v = set_i64 endian b off (Int64.bits_of_float v)
+  let get_f32 endian b off = Int32.float_of_bits (get_i32 endian b off)
+  let set_f32 endian b off v = set_i32 endian b off (Int32.bits_of_float v)
+
+  let get_word (arch : Arch.t) b off =
+    match arch.word_size with
+    | 4 -> Int32.to_int (get_i32 arch.endian b off) land 0xffffffff
+    | 8 -> Int64.to_int (get_i64 arch.endian b off)
+    | n -> invalid_arg (Printf.sprintf "Codec.get_word: word size %d" n)
+
+  let set_word (arch : Arch.t) b off v =
+    match arch.word_size with
+    | 4 ->
+      if v < 0 || v > 0xffffffff then
+        invalid_arg (Printf.sprintf "Codec.set_word: 0x%x out of 32-bit range" v);
+      set_i32 arch.endian b off (Int32.of_int v)
+    | 8 -> set_i64 arch.endian b off (Int64.of_int v)
+    | n -> invalid_arg (Printf.sprintf "Codec.set_word: word size %d" n)
+end
+
+let endian m = (Address_space.arch (Mmu.space m)).Arch.endian
+let arch m = Address_space.arch (Mmu.space m)
+
+let load_via m ~addr ~len get =
+  let b = Mmu.read m ~addr ~len in
+  get b 0
+
+let store_via m ~addr ~len set v =
+  let b = Bytes.create len in
+  set b 0 v;
+  Mmu.write m ~addr b
+
+let load_i8 m ~addr = load_via m ~addr ~len:1 Codec.get_i8
+let store_i8 m ~addr v = store_via m ~addr ~len:1 Codec.set_i8 v
+let load_i16 m ~addr = load_via m ~addr ~len:2 (Codec.get_i16 (endian m))
+let store_i16 m ~addr v = store_via m ~addr ~len:2 (Codec.set_i16 (endian m)) v
+let load_i32 m ~addr = load_via m ~addr ~len:4 (Codec.get_i32 (endian m))
+let store_i32 m ~addr v = store_via m ~addr ~len:4 (Codec.set_i32 (endian m)) v
+let load_i64 m ~addr = load_via m ~addr ~len:8 (Codec.get_i64 (endian m))
+let store_i64 m ~addr v = store_via m ~addr ~len:8 (Codec.set_i64 (endian m)) v
+let load_f64 m ~addr = load_via m ~addr ~len:8 (Codec.get_f64 (endian m))
+let store_f64 m ~addr v = store_via m ~addr ~len:8 (Codec.set_f64 (endian m)) v
+let load_f32 m ~addr = load_via m ~addr ~len:4 (Codec.get_f32 (endian m))
+let store_f32 m ~addr v = store_via m ~addr ~len:4 (Codec.set_f32 (endian m)) v
+
+let load_word m ~addr =
+  let a = arch m in
+  load_via m ~addr ~len:a.Arch.word_size (Codec.get_word a)
+
+let store_word m ~addr v =
+  let a = arch m in
+  store_via m ~addr ~len:a.Arch.word_size (Codec.set_word a) v
+
+let load_bytes m ~addr ~len = Mmu.read m ~addr ~len
+let store_bytes m ~addr b = Mmu.write m ~addr b
+
+let raw_load_word space ~addr =
+  let a = Address_space.arch space in
+  let b = Address_space.read_unchecked space ~addr ~len:a.Arch.word_size in
+  Codec.get_word a b 0
+
+let raw_store_word space ~addr v =
+  let a = Address_space.arch space in
+  let b = Bytes.create a.Arch.word_size in
+  Codec.set_word a b 0 v;
+  Address_space.write_unchecked space ~addr b
+
+let raw_load_i64 space ~addr =
+  let a = Address_space.arch space in
+  let b = Address_space.read_unchecked space ~addr ~len:8 in
+  Codec.get_i64 a.Arch.endian b 0
+
+let raw_store_i64 space ~addr v =
+  let a = Address_space.arch space in
+  let b = Bytes.create 8 in
+  Codec.set_i64 a.Arch.endian b 0 v;
+  Address_space.write_unchecked space ~addr b

@@ -1,0 +1,42 @@
+type t = {
+  space : Address_space.t;
+  mutable handler : (Address_space.fault -> unit) option;
+}
+
+exception Fault_loop of Address_space.fault
+exception Unhandled_fault of Address_space.fault
+
+let create space = { space; handler = None }
+let space t = t.space
+let set_handler t h = t.handler <- Some h
+let clear_handler t = t.handler <- None
+
+(* A single access may touch several pages, and servicing one page can
+   leave the next still protected, so allow one handler run per page plus
+   slack before declaring a loop. *)
+let max_retries t ~len =
+  let pages = (len / Address_space.page_size t.space) + 2 in
+  (2 * pages) + 4
+
+let with_restart t ~len f =
+  let budget = ref (max_retries t ~len) in
+  let rec attempt () =
+    match f () with
+    | v -> v
+    | exception Address_space.Page_fault fault ->
+      (match t.handler with
+      | None -> raise (Unhandled_fault fault)
+      | Some handler ->
+        if !budget <= 0 then raise (Fault_loop fault);
+        decr budget;
+        handler fault;
+        attempt ())
+  in
+  attempt ()
+
+let read t ~addr ~len =
+  with_restart t ~len (fun () -> Address_space.read t.space ~addr ~len)
+
+let write t ~addr data =
+  with_restart t ~len:(Bytes.length data) (fun () ->
+      Address_space.write t.space ~addr data)

@@ -1,0 +1,37 @@
+type t = { site : int; proc : int }
+
+let make ~site ~proc = { site; proc }
+let compare a b =
+  match Int.compare a.site b.site with
+  | 0 -> Int.compare a.proc b.proc
+  | c -> c
+
+let equal a b = a.site = b.site && a.proc = b.proc
+let hash a = (a.site * 65599) + a.proc
+let pp ppf a = Format.fprintf ppf "%d.%d" a.site a.proc
+let to_string a = Printf.sprintf "%d.%d" a.site a.proc
+
+let of_string s =
+  match String.index_opt s '.' with
+  | None -> invalid_arg "Space_id.of_string: missing '.'"
+  | Some i ->
+    let site = int_of_string (String.sub s 0 i) in
+    let proc = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    { site; proc }
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+module Table = Hashtbl.Make (Hashed)

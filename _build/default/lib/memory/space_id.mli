@@ -1,0 +1,23 @@
+(** Address-space identifiers.
+
+    The paper defines an address-space identifier as "typically a pair
+    consisting of a site ID and a process ID in the site" (section 3.2);
+    we use exactly that pair. *)
+
+type t = { site : int; proc : int }
+
+val make : site:int -> proc:int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** [to_string id] renders as ["site.proc"]; [of_string] parses it back.
+    Used as the transport endpoint name. *)
+val to_string : t -> string
+
+val of_string : string -> t
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Table : Hashtbl.S with type key = t

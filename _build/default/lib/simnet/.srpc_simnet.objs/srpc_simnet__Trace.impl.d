@@ -1,0 +1,1 @@
+lib/simnet/trace.ml: Format List String

@@ -1,0 +1,1 @@
+lib/simnet/transport.ml: Clock Cost_model Hashtbl List Logs Stats String Trace

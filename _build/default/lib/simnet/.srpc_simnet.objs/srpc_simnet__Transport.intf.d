@@ -1,0 +1,1 @@
+lib/simnet/transport.mli: Clock Cost_model Stats Trace

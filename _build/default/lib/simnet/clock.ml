@@ -1,0 +1,15 @@
+type t = { mutable now : float }
+
+let create () = { now = 0.0 }
+let now t = t.now
+
+let advance t dt =
+  assert (dt >= 0.0);
+  t.now <- t.now +. dt
+
+let reset t = t.now <- 0.0
+
+let measure t f =
+  let start = t.now in
+  let result = f () in
+  (result, t.now -. start)

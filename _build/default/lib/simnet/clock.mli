@@ -1,0 +1,23 @@
+(** Simulated global clock.
+
+    An RPC session has a single active thread of control (paper, section
+    3.1), so one monotone clock per simulated world is a faithful time
+    model: whoever holds control advances it. *)
+
+type t
+
+val create : unit -> t
+
+(** [now t] is the current simulated time in seconds. *)
+val now : t -> float
+
+(** [advance t dt] moves time forward by [dt] seconds. [dt] must be
+    non-negative. *)
+val advance : t -> float -> unit
+
+(** [reset t] rewinds the clock to zero (used between experiment runs). *)
+val reset : t -> unit
+
+(** [measure t f] runs [f ()] and returns its result together with the
+    simulated time that elapsed during the call. *)
+val measure : t -> (unit -> 'a) -> 'a * float

@@ -1,0 +1,39 @@
+type t = {
+  message_latency : float;
+  bandwidth : float;
+  per_byte_cpu : float;
+  fault_overhead : float;
+  local_touch : float;
+}
+
+(* Calibration notes.  10 Mbps Ethernet = 1.25e6 B/s.  The fully lazy run
+   of Fig. 4 performs ~32767 callbacks in ~12 s, i.e. ~360 us per small
+   round trip: two frames of ~50-120 B each at ~100 us fixed cost per
+   frame, plus the fault overhead.  The fully eager run ships the whole
+   tree in ~2.4 s.  Our wire format is ~3.5x larger per tree node than
+   the paper's raw-payload accounting (long pointers and item framing
+   are counted honestly), so the per-byte XDR CPU figure is scaled down
+   correspondingly (3.5 us/B / 3.5) to keep the methods' relative costs
+   where the paper's hardware put them. *)
+let sparc_10mbps =
+  {
+    message_latency = 1.0e-4;
+    bandwidth = 1.25e6;
+    per_byte_cpu = 1.0e-6;
+    fault_overhead = 3.0e-5;
+    local_touch = 1.0e-6;
+  }
+
+let zero =
+  {
+    message_latency = 0.0;
+    bandwidth = infinity;
+    per_byte_cpu = 0.0;
+    fault_overhead = 0.0;
+    local_touch = 0.0;
+  }
+
+let frame_cost t ~bytes =
+  t.message_latency
+  +. (float_of_int bytes /. t.bandwidth)
+  +. (float_of_int bytes *. t.per_byte_cpu)

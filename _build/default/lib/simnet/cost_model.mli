@@ -1,0 +1,33 @@
+(** Cost model mapping transport and runtime events to simulated seconds.
+
+    Calibrated against the paper's testbed: Sun SPARCstations (28.5 MIPS)
+    on 10 Mbps Ethernet with TCP_NODELAY, XDR conversion on both ends. The
+    evaluation's shape is driven by message counts and byte volumes; this
+    model only converts those (measured from real encoded frames) into
+    seconds. *)
+
+type t = {
+  message_latency : float;
+      (** fixed one-way cost per frame: wire latency + protocol stack +
+          thread switch, seconds *)
+  bandwidth : float;  (** network bandwidth, bytes per second *)
+  per_byte_cpu : float;
+      (** XDR encode + decode CPU cost per payload byte, seconds *)
+  fault_overhead : float;
+      (** servicing one access-violation exception: trap, handler entry,
+          table lookup, protection change, seconds *)
+  local_touch : float;
+      (** CPU cost of one in-memory node visit in the application,
+          seconds *)
+}
+
+(** Calibration for the paper's 1994 testbed (section 4). *)
+val sparc_10mbps : t
+
+(** Free networking and CPU: useful in unit tests where only event counts
+    matter. *)
+val zero : t
+
+(** [frame_cost t ~bytes] is the simulated one-way cost of a frame of
+    [bytes] payload bytes. *)
+val frame_cost : t -> bytes:int -> float

@@ -1,0 +1,87 @@
+type snapshot = {
+  messages : int;
+  bytes : int;
+  faults : int;
+  callbacks : int;
+  writebacks : int;
+  remote_allocs : int;
+  remote_frees : int;
+}
+
+type t = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable faults : int;
+  mutable callbacks : int;
+  mutable writebacks : int;
+  mutable remote_allocs : int;
+  mutable remote_frees : int;
+}
+
+let create () =
+  {
+    messages = 0;
+    bytes = 0;
+    faults = 0;
+    callbacks = 0;
+    writebacks = 0;
+    remote_allocs = 0;
+    remote_frees = 0;
+  }
+
+let incr_messages t = t.messages <- t.messages + 1
+let add_bytes t n = t.bytes <- t.bytes + n
+let incr_faults t = t.faults <- t.faults + 1
+let incr_callbacks t = t.callbacks <- t.callbacks + 1
+let add_writebacks t n = t.writebacks <- t.writebacks + n
+let add_remote_allocs t n = t.remote_allocs <- t.remote_allocs + n
+let add_remote_frees t n = t.remote_frees <- t.remote_frees + n
+
+let snapshot t : snapshot =
+  {
+    messages = t.messages;
+    bytes = t.bytes;
+    faults = t.faults;
+    callbacks = t.callbacks;
+    writebacks = t.writebacks;
+    remote_allocs = t.remote_allocs;
+    remote_frees = t.remote_frees;
+  }
+
+let reset t =
+  t.messages <- 0;
+  t.bytes <- 0;
+  t.faults <- 0;
+  t.callbacks <- 0;
+  t.writebacks <- 0;
+  t.remote_allocs <- 0;
+  t.remote_frees <- 0
+
+let diff (a : snapshot) (b : snapshot) : snapshot =
+  {
+    messages = a.messages - b.messages;
+    bytes = a.bytes - b.bytes;
+    faults = a.faults - b.faults;
+    callbacks = a.callbacks - b.callbacks;
+    writebacks = a.writebacks - b.writebacks;
+    remote_allocs = a.remote_allocs - b.remote_allocs;
+    remote_frees = a.remote_frees - b.remote_frees;
+  }
+
+let zero : snapshot =
+  {
+    messages = 0;
+    bytes = 0;
+    faults = 0;
+    callbacks = 0;
+    writebacks = 0;
+    remote_allocs = 0;
+    remote_frees = 0;
+  }
+
+let pp_snapshot ppf (s : snapshot) =
+  Format.fprintf ppf
+    "@[<h>msgs=%d bytes=%d faults=%d callbacks=%d writebacks=%d allocs=%d \
+     frees=%d@]"
+    s.messages s.bytes s.faults s.callbacks s.writebacks s.remote_allocs
+    s.remote_frees

@@ -1,0 +1,34 @@
+(** Event counters for a simulated world.
+
+    Counters accumulate across a run; experiment harnesses snapshot and
+    subtract to attribute traffic to a measured region. *)
+
+type t
+
+type snapshot = {
+  messages : int;  (** transport frames sent (requests and replies) *)
+  bytes : int;  (** payload bytes over the wire *)
+  faults : int;  (** page faults serviced by the runtime *)
+  callbacks : int;  (** fetch round-trips issued by the lazy path *)
+  writebacks : int;  (** dirty data items shipped by the coherency protocol *)
+  remote_allocs : int;  (** batched remote allocation requests *)
+  remote_frees : int;  (** batched remote release requests *)
+}
+
+val create : unit -> t
+val incr_messages : t -> unit
+val add_bytes : t -> int -> unit
+val incr_faults : t -> unit
+val incr_callbacks : t -> unit
+val add_writebacks : t -> int -> unit
+val add_remote_allocs : t -> int -> unit
+val add_remote_frees : t -> int -> unit
+val snapshot : t -> snapshot
+val reset : t -> unit
+
+(** [diff later earlier] is the per-field difference, for attributing
+    counts to a region of a run. *)
+val diff : snapshot -> snapshot -> snapshot
+
+val zero : snapshot
+val pp_snapshot : Format.formatter -> snapshot -> unit

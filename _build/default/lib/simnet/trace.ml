@@ -1,0 +1,38 @@
+type direction = Request | Reply
+
+type event = {
+  at : float;
+  src : string;
+  dst : string;
+  dir : direction;
+  bytes : int;
+}
+
+type t = { mutable rev_events : event list; mutable count : int }
+
+let create () = { rev_events = []; count = 0 }
+
+let record t ~at ~src ~dst ~dir ~bytes =
+  t.rev_events <- { at; src; dst; dir; bytes } :: t.rev_events;
+  t.count <- t.count + 1
+
+let events t = List.rev t.rev_events
+let length t = t.count
+
+let clear t =
+  t.rev_events <- [];
+  t.count <- 0
+
+let between t ~src ~dst =
+  List.length
+    (List.filter
+       (fun e -> e.dir = Request && String.equal e.src src && String.equal e.dst dst)
+       t.rev_events)
+
+let pp_event ppf e =
+  Format.fprintf ppf "%10.6f %s -> %s %s (%d bytes)" e.at e.src e.dst
+    (match e.dir with Request -> "request" | Reply -> "reply")
+    e.bytes
+
+let pp ppf t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_event ppf (events t)

@@ -1,0 +1,34 @@
+(** Wire-event recorder.
+
+    Attach a trace to a {!Transport} to capture every frame with its
+    simulated send time — the raw material for debugging protocols,
+    asserting message sequences in tests, and rendering timelines. *)
+
+type direction = Request | Reply
+
+type event = {
+  at : float;  (** simulated send time, seconds *)
+  src : string;
+  dst : string;
+  dir : direction;
+  bytes : int;
+}
+
+type t
+
+val create : unit -> t
+val record : t -> at:float -> src:string -> dst:string -> dir:direction -> bytes:int -> unit
+
+(** Events in chronological (= recording) order. *)
+val events : t -> event list
+
+val length : t -> int
+val clear : t -> unit
+
+(** [between t ~src ~dst] counts request frames from [src] to [dst]. *)
+val between : t -> src:string -> dst:string -> int
+
+val pp_event : Format.formatter -> event -> unit
+
+(** Render the whole trace, one event per line. *)
+val pp : Format.formatter -> t -> unit

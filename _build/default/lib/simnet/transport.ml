@@ -1,0 +1,77 @@
+type endpoint = string
+
+exception Unknown_endpoint of endpoint
+
+type t = {
+  clock : Clock.t;
+  stats : Stats.t;
+  cost : Cost_model.t;
+  dispatchers : (endpoint, endpoint -> string -> string) Hashtbl.t;
+  link_costs : (endpoint * endpoint, Cost_model.t) Hashtbl.t;
+  mutable trace : Trace.t option;
+}
+
+let src_log = Logs.Src.create "srpc.transport" ~doc:"simulated transport"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+let create ~clock ~stats ~cost =
+  {
+    clock;
+    stats;
+    cost;
+    dispatchers = Hashtbl.create 16;
+    link_costs = Hashtbl.create 4;
+    trace = None;
+  }
+
+let clock t = t.clock
+let stats t = t.stats
+let cost t = t.cost
+let set_link_cost t ~src ~dst cost = Hashtbl.replace t.link_costs (src, dst) cost
+let clear_link_cost t ~src ~dst = Hashtbl.remove t.link_costs (src, dst)
+
+let link_cost t ~src ~dst =
+  match Hashtbl.find_opt t.link_costs (src, dst) with
+  | Some c -> c
+  | None -> t.cost
+
+let set_trace t trace = t.trace <- trace
+let register t ep dispatch = Hashtbl.replace t.dispatchers ep dispatch
+let unregister t ep = Hashtbl.remove t.dispatchers ep
+let is_registered t ep = Hashtbl.mem t.dispatchers ep
+let endpoints t = Hashtbl.fold (fun ep _ acc -> ep :: acc) t.dispatchers []
+
+let charge_frame t ~src ~dst ~dir frame =
+  let bytes = String.length frame in
+  Stats.incr_messages t.stats;
+  Stats.add_bytes t.stats bytes;
+  (match t.trace with
+  | Some trace -> Trace.record trace ~at:(Clock.now t.clock) ~src ~dst ~dir ~bytes
+  | None -> ());
+  Clock.advance t.clock (Cost_model.frame_cost (link_cost t ~src ~dst) ~bytes)
+
+let rpc t ~src ~dst request =
+  match Hashtbl.find_opt t.dispatchers dst with
+  | None -> raise (Unknown_endpoint dst)
+  | Some dispatch ->
+    Log.debug (fun m ->
+        m "rpc %s -> %s (%d bytes)" src dst (String.length request));
+    charge_frame t ~src ~dst ~dir:Trace.Request request;
+    let reply = dispatch src request in
+    charge_frame t ~src:dst ~dst:src ~dir:Trace.Reply reply;
+    reply
+
+let multicast t ~src ~dsts request =
+  let send dst = if dst <> src then ignore (rpc t ~src ~dst request) in
+  List.iter send dsts
+
+let charge_fault t =
+  Stats.incr_faults t.stats;
+  Clock.advance t.clock t.cost.Cost_model.fault_overhead
+
+let charge_local_touches t n =
+  Clock.advance t.clock (float_of_int n *. t.cost.Cost_model.local_touch)
+
+let charge_cpu_bytes t n =
+  Clock.advance t.clock (float_of_int n *. t.cost.Cost_model.per_byte_cpu)

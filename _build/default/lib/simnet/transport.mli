@@ -1,0 +1,68 @@
+(** Reliable synchronous transport between simulated endpoints.
+
+    RPC sessions have exactly one active thread (paper, section 3.1), so a
+    request is delivered by invoking the destination dispatcher
+    re-entrantly and handing its reply back; nested RPCs and callbacks are
+    nested dispatches. Frames are opaque byte strings: callers encode with
+    their own wire format, and the cost model charges for the real encoded
+    sizes. *)
+
+type t
+
+(** Endpoints are named by strings (address-space identifiers render
+    themselves). *)
+type endpoint = string
+
+exception Unknown_endpoint of endpoint
+
+val create : clock:Clock.t -> stats:Stats.t -> cost:Cost_model.t -> t
+val clock : t -> Clock.t
+val stats : t -> Stats.t
+val cost : t -> Cost_model.t
+
+(** [set_link_cost t ~src ~dst cost] overrides the cost model for frames
+    from [src] to [dst] (one direction only) — e.g. to put one pair of
+    sites behind a WAN link. *)
+val set_link_cost : t -> src:endpoint -> dst:endpoint -> Cost_model.t -> unit
+
+val clear_link_cost : t -> src:endpoint -> dst:endpoint -> unit
+
+(** [link_cost t ~src ~dst] is the effective model for that direction. *)
+val link_cost : t -> src:endpoint -> dst:endpoint -> Cost_model.t
+
+(** [set_trace t trace] attaches an event recorder; every frame is
+    recorded with its simulated send time. [None] detaches. *)
+val set_trace : t -> Trace.t option -> unit
+
+(** [register t ep dispatch] installs [dispatch] as [ep]'s request
+    handler. A second registration for the same endpoint replaces the
+    first. *)
+val register : t -> endpoint -> (endpoint -> string -> string) -> unit
+
+val unregister : t -> endpoint -> unit
+val is_registered : t -> endpoint -> bool
+val endpoints : t -> endpoint list
+
+(** [rpc t ~src ~dst request] delivers [request] to [dst]'s dispatcher and
+    returns its reply, advancing the clock by the frame costs of both
+    directions. The dispatcher receives [src] so it can call back.
+    @raise Unknown_endpoint if [dst] has no dispatcher. *)
+val rpc : t -> src:endpoint -> dst:endpoint -> string -> string
+
+(** [multicast t ~src ~dsts request] sends [request] to every destination
+    in turn, discarding replies (used for the end-of-session invalidation
+    multicast). Destinations equal to [src] are skipped. *)
+val multicast : t -> src:endpoint -> dsts:endpoint list -> string -> unit
+
+(** [charge_fault t] advances the clock by the cost of servicing one page
+    fault and counts it. *)
+val charge_fault : t -> unit
+
+(** [charge_local_touches t n] advances the clock by the CPU cost of [n]
+    in-memory application-level accesses. *)
+val charge_local_touches : t -> int -> unit
+
+(** [charge_cpu_bytes t n] advances the clock by the per-byte CPU cost
+    for [n] bytes of runtime-side byte crunching that is not wire
+    traffic (e.g. twin snapshots and diffs). *)
+val charge_cpu_bytes : t -> int -> unit

@@ -1,0 +1,1 @@
+lib/types/layout.ml: Arch List Registry Srpc_memory String Type_desc

@@ -1,0 +1,1 @@
+lib/types/layout.mli: Arch Registry Srpc_memory Type_desc

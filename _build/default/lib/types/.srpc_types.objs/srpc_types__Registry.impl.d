@@ -1,0 +1,1 @@
+lib/types/registry.ml: Hashtbl List Printf Type_desc

@@ -1,0 +1,1 @@
+lib/types/registry.mli: Type_desc

@@ -1,0 +1,1 @@
+lib/types/type_codec.ml: Dec Enc Int List Printf Registry Srpc_xdr Type_desc

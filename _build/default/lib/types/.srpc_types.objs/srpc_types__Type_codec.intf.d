@@ -1,0 +1,1 @@
+lib/types/type_codec.mli: Registry Srpc_xdr Type_desc

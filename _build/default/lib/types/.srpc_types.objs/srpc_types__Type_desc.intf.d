@@ -1,0 +1,1 @@
+lib/types/type_desc.mli: Format

@@ -1,0 +1,82 @@
+module Xdr = Srpc_xdr.Xdr
+open Xdr
+
+let prim_tag = function
+  | Type_desc.I8 -> 0
+  | I16 -> 1
+  | I32 -> 2
+  | I64 -> 3
+  | F32 -> 4
+  | F64 -> 5
+
+let prim_of_tag = function
+  | 0 -> Type_desc.I8
+  | 1 -> I16
+  | 2 -> I32
+  | 3 -> I64
+  | 4 -> F32
+  | 5 -> F64
+  | n -> raise (Decode_error (Printf.sprintf "bad prim tag %d" n))
+
+let rec encode_desc enc = function
+  | Type_desc.Prim p ->
+    Enc.int enc 0;
+    Enc.int enc (prim_tag p)
+  | Type_desc.Pointer name ->
+    Enc.int enc 1;
+    Enc.string enc name
+  | Type_desc.Array (elem, n) ->
+    Enc.int enc 2;
+    Enc.uint32 enc n;
+    encode_desc enc elem
+  | Type_desc.Struct fields ->
+    Enc.int enc 3;
+    Enc.list enc
+      (fun enc (name, ty) ->
+        Enc.string enc name;
+        encode_desc enc ty)
+      fields
+  | Type_desc.Named name ->
+    Enc.int enc 4;
+    Enc.string enc name
+
+let rec decode_desc dec =
+  match Dec.int dec with
+  | 0 -> Type_desc.Prim (prim_of_tag (Dec.int dec))
+  | 1 -> Type_desc.Pointer (Dec.string dec)
+  | 2 ->
+    let n = Dec.uint32 dec in
+    Type_desc.Array (decode_desc dec, n)
+  | 3 ->
+    Type_desc.Struct
+      (Dec.list dec (fun dec ->
+           let name = Dec.string dec in
+           let ty = decode_desc dec in
+           (name, ty)))
+  | 4 -> Type_desc.Named (Dec.string dec)
+  | n -> raise (Decode_error (Printf.sprintf "bad descriptor tag %d" n))
+
+let snapshot reg =
+  let names =
+    Registry.names reg
+    |> List.sort (fun a b ->
+           Int.compare (Registry.id_of_name reg a) (Registry.id_of_name reg b))
+  in
+  let enc = Enc.create () in
+  Enc.list enc
+    (fun enc name ->
+      Enc.string enc name;
+      encode_desc enc (Registry.find reg name))
+    names;
+  Enc.to_string enc
+
+let load s reg =
+  let dec = Dec.of_string s in
+  let entries =
+    Dec.list dec (fun dec ->
+        let name = Dec.string dec in
+        let desc = decode_desc dec in
+        (name, desc))
+  in
+  Dec.check_end dec;
+  List.iter (fun (name, desc) -> Registry.register reg name desc) entries

@@ -1,0 +1,18 @@
+(** Wire codec for type descriptors.
+
+    Lets the name-server database be queried and replicated over the
+    wire: a joining site can pull the full schema (name, id, descriptor
+    triples) instead of being configured out of band. *)
+
+val encode_desc : Srpc_xdr.Xdr.Enc.t -> Type_desc.t -> unit
+val decode_desc : Srpc_xdr.Xdr.Dec.t -> Type_desc.t
+
+(** [snapshot reg] serializes the whole registry (names in id order, so
+    the receiver interns identical numeric ids). *)
+val snapshot : Registry.t -> string
+
+(** [load s reg] registers every type of a snapshot into [reg].
+    Registration order follows the snapshot's id order, so numeric ids
+    match the source registry. Idempotent against identical existing
+    entries; conflicting ones raise {!Registry.Duplicate_type}. *)
+val load : string -> Registry.t -> unit

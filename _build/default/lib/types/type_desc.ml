@@ -1,0 +1,58 @@
+type prim = I8 | I16 | I32 | I64 | F32 | F64
+
+type t =
+  | Prim of prim
+  | Pointer of string
+  | Array of t * int
+  | Struct of (string * t) list
+  | Named of string
+
+let prim_size = function
+  | I8 -> 1
+  | I16 -> 2
+  | I32 -> 4
+  | I64 -> 8
+  | F32 -> 4
+  | F64 -> 8
+
+let rec equal a b =
+  match (a, b) with
+  | Prim p, Prim q -> p = q
+  | Pointer s, Pointer s' -> String.equal s s'
+  | Array (t, n), Array (t', n') -> n = n' && equal t t'
+  | Struct fs, Struct fs' ->
+    List.length fs = List.length fs'
+    && List.for_all2
+         (fun (n, t) (n', t') -> String.equal n n' && equal t t')
+         fs fs'
+  | Named s, Named s' -> String.equal s s'
+  | (Prim _ | Pointer _ | Array _ | Struct _ | Named _), _ -> false
+
+let pp_prim ppf p =
+  Format.pp_print_string ppf
+    (match p with
+    | I8 -> "i8"
+    | I16 -> "i16"
+    | I32 -> "i32"
+    | I64 -> "i64"
+    | F32 -> "f32"
+    | F64 -> "f64")
+
+let rec pp ppf = function
+  | Prim p -> pp_prim ppf p
+  | Pointer s -> Format.fprintf ppf "%s*" s
+  | Array (t, n) -> Format.fprintf ppf "%a[%d]" pp t n
+  | Named s -> Format.pp_print_string ppf s
+  | Struct fs ->
+    let field ppf (n, t) = Format.fprintf ppf "%s: %a" n pp t in
+    Format.fprintf ppf "{@[%a@]}"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") field)
+      fs
+
+let i8 = Prim I8
+let i16 = Prim I16
+let i32 = Prim I32
+let i64 = Prim I64
+let f32 = Prim F32
+let f64 = Prim F64
+let ptr name = Pointer name

@@ -1,0 +1,1 @@
+lib/workloads/btree.ml: Access Address_space Arch Cluster Hashtbl Int64 Layout List Long_pointer Mem Node Option Printf Result Srpc_core Srpc_memory Srpc_types Type_desc

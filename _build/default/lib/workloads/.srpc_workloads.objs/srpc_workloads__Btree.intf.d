@@ -1,0 +1,1 @@
+lib/workloads/btree.mli: Access Cluster Node Srpc_core

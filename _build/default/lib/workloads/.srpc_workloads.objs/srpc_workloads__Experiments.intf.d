@@ -1,0 +1,1 @@
+lib/workloads/experiments.mli: Arch Format Srpc_core Srpc_memory Srpc_simnet Strategy

@@ -1,0 +1,1 @@
+lib/workloads/graph.ml: Access Array Cluster Hashtbl Int64 Layout Node Srpc_core Srpc_memory Srpc_types Type_desc

@@ -1,0 +1,1 @@
+lib/workloads/hash_table.ml: Access Cluster Layout Node Srpc_core Srpc_memory Srpc_types Type_desc

@@ -1,0 +1,1 @@
+lib/workloads/hash_table.mli: Access Cluster Node Srpc_core

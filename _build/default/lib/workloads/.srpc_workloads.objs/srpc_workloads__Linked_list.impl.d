@@ -1,0 +1,1 @@
+lib/workloads/linked_list.ml: Access Cluster List Node Srpc_core Srpc_types Type_desc

@@ -1,0 +1,1 @@
+lib/workloads/linked_list.mli: Access Cluster Node Srpc_core Srpc_memory

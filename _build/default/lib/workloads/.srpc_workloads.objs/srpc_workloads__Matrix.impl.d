@@ -1,0 +1,1 @@
+lib/workloads/matrix.ml: Access Address_space Arch Cluster Layout Mem Node Printf Srpc_core Srpc_memory Srpc_types Type_desc

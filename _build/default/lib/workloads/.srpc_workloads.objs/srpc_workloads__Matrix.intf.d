@@ -1,0 +1,1 @@
+lib/workloads/matrix.mli: Access Cluster Node Srpc_core

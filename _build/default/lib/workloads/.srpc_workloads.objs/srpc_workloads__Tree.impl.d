@@ -1,0 +1,1 @@
+lib/workloads/tree.ml: Access Cluster Int64 Node Srpc_core Srpc_types Type_desc

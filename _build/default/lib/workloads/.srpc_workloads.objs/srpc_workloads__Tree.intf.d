@@ -1,0 +1,1 @@
+lib/workloads/tree.mli: Access Cluster Node Srpc_core

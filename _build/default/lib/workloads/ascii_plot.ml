@@ -1,0 +1,79 @@
+type series = { label : string; points : (float * float) list }
+
+let markers = [| '*'; '+'; 'o'; 'x'; '#'; '@' |]
+
+let bounds series =
+  let xs = List.concat_map (fun s -> List.map fst s.points) series in
+  let ys = List.concat_map (fun s -> List.map snd s.points) series in
+  match (xs, ys) with
+  | [], _ | _, [] -> None
+  | _ ->
+    let min_l = List.fold_left min infinity and max_l = List.fold_left max neg_infinity in
+    Some (min_l xs, max_l xs, min_l ys, max_l ys)
+
+let render ?(width = 64) ?(height = 20) ?(x_label = "x") ?(y_label = "y") series =
+  match bounds series with
+  | None -> "(no data)\n"
+  | Some (x0, x1, y0, y1) ->
+    let x1 = if x1 = x0 then x0 +. 1.0 else x1 in
+    let y1 = if y1 = y0 then y0 +. 1.0 else y1 in
+    let grid = Array.make_matrix height width ' ' in
+    let col x =
+      let c = int_of_float (Float.round ((x -. x0) /. (x1 -. x0) *. float_of_int (width - 1))) in
+      max 0 (min (width - 1) c)
+    in
+    let row y =
+      let r = int_of_float (Float.round ((y -. y0) /. (y1 -. y0) *. float_of_int (height - 1))) in
+      (height - 1) - max 0 (min (height - 1) r)
+    in
+    (* connect consecutive points of a series with linear interpolation
+       so curves read as lines, then stamp the markers on top *)
+    List.iteri
+      (fun i s ->
+        let m = markers.(i mod Array.length markers) in
+        let dot = '.' in
+        let rec segments = function
+          | (xa, ya) :: ((xb, yb) :: _ as rest) ->
+            let steps = max 1 (abs (col xb - col xa)) in
+            for k = 0 to steps do
+              let t = float_of_int k /. float_of_int steps in
+              let x = xa +. (t *. (xb -. xa)) and y = ya +. (t *. (yb -. ya)) in
+              let r = row y and c = col x in
+              if grid.(r).(c) = ' ' then grid.(r).(c) <- dot
+            done;
+            segments rest
+          | _ -> ()
+        in
+        segments s.points;
+        List.iter (fun (x, y) -> grid.(row y).(col x) <- m) s.points)
+      series;
+    let buf = Buffer.create ((width + 12) * (height + 4)) in
+    Buffer.add_string buf (Printf.sprintf "%s\n" y_label);
+    Array.iteri
+      (fun r line ->
+        let tag =
+          if r = 0 then Printf.sprintf "%10.3f " y1
+          else if r = height - 1 then Printf.sprintf "%10.3f " y0
+          else String.make 11 ' '
+        in
+        Buffer.add_string buf tag;
+        Buffer.add_char buf '|';
+        Array.iter (Buffer.add_char buf) line;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make 11 ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%11s%-8.3f%s%8.3f\n" "" x0
+         (String.make (max 1 (width - 16)) ' ')
+         x1);
+    Buffer.add_string buf (Printf.sprintf "%11s%s\n" "" x_label);
+    List.iteri
+      (fun i s ->
+        Buffer.add_string buf
+          (Printf.sprintf "%11s%c = %s\n" "" markers.(i mod Array.length markers)
+             s.label))
+      series;
+    Buffer.contents buf

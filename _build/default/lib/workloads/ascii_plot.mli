@@ -1,0 +1,16 @@
+(** Terminal line plots, so the bench harness can re-draw the paper's
+    figures and not just print their tables. *)
+
+type series = { label : string; points : (float * float) list }
+
+(** [render series] draws all series on one pair of axes. Each series
+    gets a distinct marker; colliding points show the later series'
+    marker. Axes are linear, annotated with min/max, and sized
+    [width]×[height] characters for the plot area (defaults 64×20). *)
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  string

@@ -1,0 +1,344 @@
+open Srpc_core
+open Srpc_types
+open Srpc_memory
+
+let max_keys = 3 (* order 4: minimum degree t = 2 *)
+let type_name = "bnode"
+let root_type = "broot"
+
+let register_types cluster =
+  Cluster.register_type cluster type_name
+    (Type_desc.Struct
+       [
+         ("nkeys", Type_desc.i64);
+         ("is_leaf", Type_desc.i64);
+         ("keys", Type_desc.Array (Type_desc.i64, max_keys));
+         ("vals", Type_desc.Array (Type_desc.i64, max_keys));
+         ("kids", Type_desc.Array (Type_desc.ptr type_name, max_keys + 1));
+       ]);
+  Cluster.register_type cluster root_type
+    (Type_desc.Struct [ ("root", Type_desc.ptr type_name) ])
+
+(* --- field plumbing (array elements need explicit offsets) --- *)
+
+let arch node = Address_space.arch (Node.space node)
+
+let field_base =
+  (* (arch, field) -> offset; bnode only *)
+  let memo : (string * string, int) Hashtbl.t = Hashtbl.create 8 in
+  fun node field ->
+    let a = arch node in
+    match Hashtbl.find_opt memo (a.Arch.name, field) with
+    | Some off -> off
+    | None ->
+      let off =
+        Layout.field_offset (Node.registry node) a ~ty:(Type_desc.Named type_name)
+          ~field
+      in
+      Hashtbl.add memo (a.Arch.name, field) off;
+      off
+
+let nkeys node p = Access.get_int node p ~field:"nkeys"
+let set_nkeys node p n = Access.set_int node p ~field:"nkeys" n
+let is_leaf node p = Access.get_int node p ~field:"is_leaf" = 1
+
+let get_key node p i =
+  Node.charge_touch node;
+  Int64.to_int
+    (Mem.load_i64 (Node.mmu node) ~addr:(p.Access.addr + field_base node "keys" + (8 * i)))
+
+let set_key node p i v =
+  Node.charge_touch node;
+  Mem.store_i64 (Node.mmu node)
+    ~addr:(p.Access.addr + field_base node "keys" + (8 * i))
+    (Int64.of_int v)
+
+let get_val node p i =
+  Node.charge_touch node;
+  Int64.to_int
+    (Mem.load_i64 (Node.mmu node) ~addr:(p.Access.addr + field_base node "vals" + (8 * i)))
+
+let set_val node p i v =
+  Node.charge_touch node;
+  Mem.store_i64 (Node.mmu node)
+    ~addr:(p.Access.addr + field_base node "vals" + (8 * i))
+    (Int64.of_int v)
+
+let get_kid node p i =
+  Node.charge_touch node;
+  let w = (arch node).Arch.word_size in
+  Access.ptr ~ty:type_name
+    (Mem.load_word (Node.mmu node) ~addr:(p.Access.addr + field_base node "kids" + (w * i)))
+
+let set_kid node p i (q : Access.ptr) =
+  Node.charge_touch node;
+  let w = (arch node).Arch.word_size in
+  Mem.store_word (Node.mmu node)
+    ~addr:(p.Access.addr + field_base node "kids" + (w * i))
+    q.Access.addr
+
+let get_root node handle = Access.get_ptr node handle ~field:"root"
+let set_root node handle p = Access.set_ptr node handle ~field:"root" p
+
+(* The space that owns the tree: new nodes are homed there even when the
+   insert runs on a remote worker. *)
+let home_of node handle =
+  match Node.unswizzle node ~ty:root_type handle.Access.addr with
+  | Some lp -> lp.Long_pointer.origin
+  | None -> invalid_arg "Btree: null tree handle"
+
+let alloc_node node ~home ~leaf =
+  let p = Access.ptr ~ty:type_name (Node.extended_malloc node ~home ~ty:type_name) in
+  Access.set_int node p ~field:"is_leaf" (if leaf then 1 else 0);
+  p
+
+(* --- construction --- *)
+
+let create node =
+  let handle = Access.ptr ~ty:root_type (Node.malloc node ~ty:root_type) in
+  set_root node handle (Access.null ~ty:type_name);
+  handle
+
+(* --- search --- *)
+
+let rec search_node node p ~key =
+  if Access.is_null p then None
+  else begin
+    let n = nkeys node p in
+    let rec scan i =
+      if i >= n then
+        if is_leaf node p then None else search_node node (get_kid node p i) ~key
+      else
+        let k = get_key node p i in
+        if key = k then Some (get_val node p i)
+        else if key < k then
+          if is_leaf node p then None else search_node node (get_kid node p i) ~key
+        else scan (i + 1)
+    in
+    scan 0
+  end
+
+let search node handle ~key = search_node node (get_root node handle) ~key
+
+(* --- insert (CLRS-style preemptive splitting) --- *)
+
+(* Split the full [i]-th child of non-full [p]; the median key moves up
+   into [p]. *)
+let split_child node ~home p i =
+  let child = get_kid node p i in
+  let leaf = is_leaf node child in
+  let sibling = alloc_node node ~home ~leaf in
+  (* right half (index 2) moves to the sibling *)
+  set_key node sibling 0 (get_key node child 2);
+  set_val node sibling 0 (get_val node child 2);
+  if not leaf then begin
+    set_kid node sibling 0 (get_kid node child 2);
+    set_kid node sibling 1 (get_kid node child 3)
+  end;
+  set_nkeys node sibling 1;
+  set_nkeys node child 1;
+  (* shift p's keys/kids right of i and insert the median *)
+  let n = nkeys node p in
+  for j = n - 1 downto i do
+    set_key node p (j + 1) (get_key node p j);
+    set_val node p (j + 1) (get_val node p j)
+  done;
+  for j = n downto i + 1 do
+    set_kid node p (j + 1) (get_kid node p j)
+  done;
+  set_key node p i (get_key node child 1);
+  set_val node p i (get_val node child 1);
+  set_kid node p (i + 1) sibling;
+  set_nkeys node p (n + 1)
+
+(* Overwrite [key] if it is present anywhere below [p]; returns whether
+   it was. Separate from insertion so splits only happen for new keys. *)
+let rec overwrite node p ~key ~value =
+  if Access.is_null p then false
+  else begin
+    let n = nkeys node p in
+    let rec scan i =
+      if i >= n then
+        (not (is_leaf node p)) && overwrite node (get_kid node p i) ~key ~value
+      else
+        let k = get_key node p i in
+        if key = k then begin
+          set_val node p i value;
+          true
+        end
+        else if key < k then
+          (not (is_leaf node p)) && overwrite node (get_kid node p i) ~key ~value
+        else scan (i + 1)
+    in
+    scan 0
+  end
+
+let rec insert_nonfull node ~home p ~key ~value =
+  let n = nkeys node p in
+  if is_leaf node p then begin
+    (* shift larger keys right and place *)
+    let rec place j =
+      if j >= 0 && get_key node p j > key then begin
+        set_key node p (j + 1) (get_key node p j);
+        set_val node p (j + 1) (get_val node p j);
+        place (j - 1)
+      end
+      else j + 1
+    in
+    let pos = place (n - 1) in
+    set_key node p pos key;
+    set_val node p pos value;
+    set_nkeys node p (n + 1)
+  end
+  else begin
+    let rec child_index i =
+      if i >= n then i else if key < get_key node p i then i else child_index (i + 1)
+    in
+    let i = child_index 0 in
+    let i =
+      if nkeys node (get_kid node p i) = max_keys then begin
+        split_child node ~home p i;
+        if key > get_key node p i then i + 1 else i
+      end
+      else i
+    in
+    insert_nonfull node ~home (get_kid node p i) ~key ~value
+  end
+
+let insert node handle ~key ~value =
+  let home = home_of node handle in
+  let root = get_root node handle in
+  if Access.is_null root then begin
+    let root = alloc_node node ~home ~leaf:true in
+    set_key node root 0 key;
+    set_val node root 0 value;
+    set_nkeys node root 1;
+    set_root node handle root
+  end
+  else if overwrite node root ~key ~value then ()
+  else begin
+    let root =
+      if nkeys node root = max_keys then begin
+        let new_root = alloc_node node ~home ~leaf:false in
+        set_kid node new_root 0 root;
+        set_root node handle new_root;
+        split_child node ~home new_root 0;
+        new_root
+      end
+      else root
+    in
+    insert_nonfull node ~home root ~key ~value
+  end
+
+(* --- traversal --- *)
+
+let fold node handle ~init ~f =
+  let rec go p acc =
+    if Access.is_null p then acc
+    else begin
+      let n = nkeys node p in
+      let leaf = is_leaf node p in
+      let rec slots i acc =
+        if i >= n then if leaf then acc else go (get_kid node p i) acc
+        else
+          let acc = if leaf then acc else go (get_kid node p i) acc in
+          slots (i + 1) (f acc (get_key node p i) (get_val node p i))
+      in
+      slots 0 acc
+    end
+  in
+  go (get_root node handle) init
+
+let to_list node handle =
+  List.rev (fold node handle ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
+let cardinal node handle = fold node handle ~init:0 ~f:(fun acc _ _ -> acc + 1)
+
+let range_count node handle ~lo ~hi =
+  (* prune subtrees outside [lo, hi] *)
+  let rec go p acc =
+    if Access.is_null p then acc
+    else begin
+      let n = nkeys node p in
+      let leaf = is_leaf node p in
+      let rec slots i acc =
+        if i > n then acc
+        else begin
+          let acc =
+            if leaf then acc
+            else begin
+              (* kid i holds keys in (key[i-1], key[i]) *)
+              let lo_bound = if i = 0 then min_int else get_key node p (i - 1) in
+              let hi_bound = if i = n then max_int else get_key node p i in
+              if hi_bound < lo || lo_bound > hi then acc
+              else go (get_kid node p i) acc
+            end
+          in
+          let acc =
+            if i < n then begin
+              let k = get_key node p i in
+              if lo <= k && k <= hi then acc + 1 else acc
+            end
+            else acc
+          in
+          slots (i + 1) acc
+        end
+      in
+      slots 0 acc
+    end
+  in
+  go (get_root node handle) 0
+
+(* --- invariants --- *)
+
+let check_invariants node handle =
+  let ( let* ) r f = Result.bind r f in
+  (* returns leaf depth *)
+  let rec go p ~is_root ~lo ~hi =
+    let n = nkeys node p in
+    let* () =
+      if n < 1 || n > max_keys then
+        Error (Printf.sprintf "node 0x%x has %d keys" p.Access.addr n)
+      else Ok ()
+    in
+    let* () =
+      let rec sorted i =
+        if i + 1 >= n then Ok ()
+        else if get_key node p i >= get_key node p (i + 1) then
+          Error (Printf.sprintf "unsorted keys in 0x%x" p.Access.addr)
+        else sorted (i + 1)
+      in
+      sorted 0
+    in
+    let* () =
+      if get_key node p 0 > lo && get_key node p (n - 1) < hi then Ok ()
+      else Error (Printf.sprintf "key range violation in 0x%x" p.Access.addr)
+    in
+    ignore is_root;
+    if is_leaf node p then Ok 1
+    else
+      let rec kids i depth =
+        if i > n then Ok depth
+        else begin
+          let klo = if i = 0 then lo else get_key node p (i - 1) in
+          let khi = if i = n then hi else get_key node p i in
+          let kid = get_kid node p i in
+          let* () =
+            if Access.is_null kid then
+              Error (Printf.sprintf "null kid %d in internal 0x%x" i p.Access.addr)
+            else Ok ()
+          in
+          let* d = go kid ~is_root:false ~lo:klo ~hi:khi in
+          match depth with
+          | None -> kids (i + 1) (Some d)
+          | Some d' when d = d' -> kids (i + 1) depth
+          | Some d' ->
+            Error (Printf.sprintf "uneven leaf depth (%d vs %d) under 0x%x" d d' p.Access.addr)
+        end
+      in
+      let* depth = kids 0 None in
+      Ok (1 + Option.value ~default:0 depth)
+  in
+  let root = get_root node handle in
+  if Access.is_null root then Ok ()
+  else Result.map (fun _ -> ()) (go root ~is_root:true ~lo:min_int ~hi:max_int)

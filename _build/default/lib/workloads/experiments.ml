@@ -1,0 +1,1079 @@
+open Srpc_core
+open Srpc_memory
+open Srpc_simnet
+
+type run = {
+  seconds : float;
+  callbacks : int;
+  messages : int;
+  bytes : int;
+  faults : int;
+  visited : int;
+  cache_pages : int;
+}
+
+type method_kind = Fully_eager | Fully_lazy | Proposed of int
+
+let method_name = function
+  | Fully_eager -> "fully-eager"
+  | Fully_lazy -> "fully-lazy"
+  | Proposed c -> Printf.sprintf "proposed(%dB)" c
+
+let strategy_of_method = function
+  | Fully_eager -> Strategy.fully_eager
+  | Fully_lazy -> Strategy.fully_lazy
+  | Proposed closure_size -> Strategy.smart ~closure_size ()
+
+let search_proc = "search_tree"
+
+(* Build the paper's two-site setup and run [calls] RPC invocations of a
+   tree search inside one session, measuring the calls only. *)
+let run_tree_search ?(update = false) ?(repeats = 1)
+    ?(arches = (Arch.sparc32, Arch.sparc32)) ?link_cost ?page_size ~strategy
+    ~depth ~ratio () =
+  let cluster = Cluster.create () in
+  let caller_arch, callee_arch = arches in
+  let caller =
+    Cluster.add_node cluster ~site:1 ~arch:caller_arch ~strategy ?page_size ()
+  in
+  let callee =
+    Cluster.add_node cluster ~site:2 ~arch:callee_arch ~strategy ?page_size ()
+  in
+  (match link_cost with
+  | None -> ()
+  | Some cost ->
+    let tr = Cluster.transport cluster in
+    let a = Space_id.to_string (Node.id caller) in
+    let b = Space_id.to_string (Node.id callee) in
+    Transport.set_link_cost tr ~src:a ~dst:b cost;
+    Transport.set_link_cost tr ~src:b ~dst:a cost);
+  Tree.register_types cluster;
+  let root = Tree.build caller ~depth in
+  Node.register callee search_proc (fun node args ->
+      match args with
+      | [ rootv; limitv; updatev ] ->
+        let root = Access.of_value rootv in
+        let limit = Value.to_int limitv in
+        let upd = Value.to_bool updatev in
+        let visit = if upd then Tree.visit_update else Tree.visit in
+        let visited, _sum = visit node root ~limit in
+        [ Value.int visited ]
+      | _ -> invalid_arg (search_proc ^ ": expected (root, limit, update)"));
+  let total = Tree.nodes_of_depth depth in
+  let limit = int_of_float (Float.round (ratio *. float_of_int total)) in
+  let visited = ref 0 in
+  Node.begin_session caller;
+  let s0 = Cluster.snapshot cluster in
+  let t0 = Cluster.now cluster in
+  for _ = 1 to repeats do
+    match
+      Node.call caller ~dst:(Node.id callee) search_proc
+        [ Access.to_value root; Value.int limit; Value.bool update ]
+    with
+    | [ v ] -> visited := Value.to_int v
+    | _ -> failwith (search_proc ^ ": bad result arity")
+  done;
+  let t1 = Cluster.now cluster in
+  let s1 = Cluster.snapshot cluster in
+  let cache_pages = Cache.used_pages (Node.cache callee) in
+  Node.end_session caller;
+  let d = Stats.diff s1 s0 in
+  {
+    seconds = (t1 -. t0) /. float_of_int repeats;
+    callbacks = d.Stats.callbacks;
+    messages = d.Stats.messages;
+    bytes = d.Stats.bytes;
+    faults = d.Stats.faults;
+    visited = !visited;
+    cache_pages;
+  }
+
+(* --- Fig. 4 / Fig. 5 --- *)
+
+type fig4_row = { ratio : float; eager : run; lazy_ : run; proposed : run }
+
+let default_ratios = List.init 11 (fun i -> float_of_int i /. 10.0)
+
+let fig4 ?(depth = 15) ?(ratios = default_ratios) ?(closure = 8192) () =
+  let point ratio =
+    let go m = run_tree_search ~strategy:(strategy_of_method m) ~depth ~ratio () in
+    {
+      ratio;
+      eager = go Fully_eager;
+      lazy_ = go Fully_lazy;
+      proposed = go (Proposed closure);
+    }
+  in
+  List.map point ratios
+
+(* --- Fig. 6 --- *)
+
+type fig6_row = { closure_bytes : int; by_depth : (int * run) list }
+
+let default_closures = [ 512; 1024; 2048; 4096; 8192; 16384; 32768; 65536 ]
+
+let fig6 ?(depths = [ 14; 15; 16 ]) ?(closures = default_closures)
+    ?(repeats = 10) () =
+  let row closure_bytes =
+    let per_depth depth =
+      ( depth,
+        run_tree_search
+          ~strategy:(strategy_of_method (Proposed closure_bytes))
+          ~repeats ~depth ~ratio:1.0 () )
+    in
+    { closure_bytes; by_depth = List.map per_depth depths }
+  in
+  List.map row closures
+
+(* Fig. 6, descent reading: 10 pseudo-random root-to-leaf paths per
+   call. *)
+let descend_proc = "descend_paths"
+
+let run_tree_descents ~strategy ~depth ~paths =
+  let cluster = Cluster.create () in
+  let caller = Cluster.add_node cluster ~site:1 ~strategy () in
+  let callee = Cluster.add_node cluster ~site:2 ~strategy () in
+  Tree.register_types cluster;
+  let root = Tree.build caller ~depth in
+  Node.register callee descend_proc (fun node args ->
+      match args with
+      | [ rootv; nv ] ->
+        let root = Access.of_value rootv in
+        let n = Value.to_int nv in
+        let seen = ref 0 in
+        for k = 1 to n do
+          (* deterministic scrambled paths *)
+          let path = k * 2654435761 in
+          let count, _ = Tree.descend node root ~path in
+          seen := !seen + count
+        done;
+        [ Value.int !seen ]
+      | _ -> invalid_arg (descend_proc ^ ": expected (root, paths)"));
+  Node.begin_session caller;
+  let s0 = Cluster.snapshot cluster in
+  let t0 = Cluster.now cluster in
+  let visited =
+    match
+      Node.call caller ~dst:(Node.id callee) descend_proc
+        [ Access.to_value root; Value.int paths ]
+    with
+    | [ v ] -> Value.to_int v
+    | _ -> failwith (descend_proc ^ ": bad arity")
+  in
+  let t1 = Cluster.now cluster in
+  let s1 = Cluster.snapshot cluster in
+  let cache_pages = Cache.used_pages (Node.cache callee) in
+  Node.end_session caller;
+  let d = Stats.diff s1 s0 in
+  {
+    seconds = t1 -. t0;
+    callbacks = d.Stats.callbacks;
+    messages = d.Stats.messages;
+    bytes = d.Stats.bytes;
+    faults = d.Stats.faults;
+    visited;
+    cache_pages;
+  }
+
+let fig6_descents ?(depths = [ 14; 15; 16 ]) ?(closures = default_closures)
+    ?(paths = 10) () =
+  let row closure_bytes =
+    let per_depth depth =
+      ( depth,
+        run_tree_descents
+          ~strategy:(strategy_of_method (Proposed closure_bytes))
+          ~depth ~paths )
+    in
+    { closure_bytes; by_depth = List.map per_depth depths }
+  in
+  List.map row closures
+
+(* --- Fig. 7 --- *)
+
+type fig7_row = { ratio7 : float; updated : run; not_updated : run }
+
+let fig7 ?(depth = 15) ?(ratios = default_ratios) ?(closure = 8192) () =
+  let strategy = strategy_of_method (Proposed closure) in
+  let point ratio7 =
+    {
+      ratio7;
+      updated = run_tree_search ~update:true ~strategy ~depth ~ratio:ratio7 ();
+      not_updated = run_tree_search ~update:false ~strategy ~depth ~ratio:ratio7 ();
+    }
+  in
+  List.map point ratios
+
+(* --- A1: allocation strategy under a two-origin interleaved walk --- *)
+
+type alloc_row = { grouping : Strategy.alloc_grouping; merge : run }
+
+let merge_proc = "merge_walk"
+
+(* Partial lockstep walk over two trees owned by different spaces, with a
+   small closure: placement policy then decides whether a faulting page
+   holds one origin's data (one fetch) or a mixture (a fetch per origin),
+   and how many pages the working set occupies. *)
+let run_merge_walk ~grouping ~depth =
+  let strategy =
+    { (Strategy.smart ~closure_size:1024 ()) with Strategy.grouping }
+  in
+  let cluster = Cluster.create () in
+  let owner_a = Cluster.add_node cluster ~site:1 ~strategy () in
+  let owner_b = Cluster.add_node cluster ~site:2 ~strategy () in
+  let walker = Cluster.add_node cluster ~site:3 ~strategy () in
+  Tree.register_types cluster;
+  let root_a = Tree.build owner_a ~depth in
+  let root_b = Tree.build owner_b ~depth in
+  Node.register walker merge_proc (fun node args ->
+      match args with
+      | [ a; b; limitv ] ->
+        (* Lockstep DFS over both trees: the access stream interleaves
+           the two origins, which is what distinguishes the placement
+           heuristics. The limit keeps the access partial so placement
+           waste is visible. *)
+        let pa = Access.of_value a and pb = Access.of_value b in
+        let limit = Value.to_int limitv in
+        let sum = ref 0 in
+        let steps = ref 0 in
+        let rec go p q =
+          let live r = not (Access.is_null r) in
+          if !steps < limit && (live p || live q) then begin
+            incr steps;
+            if live p then sum := !sum + Access.get_int node p ~field:"data";
+            if live q then sum := !sum + Access.get_int node q ~field:"data";
+            let child r f =
+              if live r then Access.get_ptr node r ~field:f
+              else Access.null ~ty:Tree.type_name
+            in
+            go (child p "left") (child q "left");
+            go (child p "right") (child q "right")
+          end
+        in
+        go pa pb;
+        [ Value.int !sum ]
+      | _ -> invalid_arg (merge_proc ^ ": expected two roots"));
+  (* Ground thread is owner A (it also owns data), calling the walker. *)
+  Node.begin_session owner_a;
+  (* Hand B's root to A first so it can pass both pointers on. *)
+  Node.register owner_b "give_root" (fun _node _args -> [ Access.to_value root_b ]);
+  let root_b_at_a =
+    match Node.call owner_a ~dst:(Node.id owner_b) "give_root" [] with
+    | [ v ] -> v
+    | _ -> failwith "give_root: bad arity"
+  in
+  let s0 = Cluster.snapshot cluster in
+  let t0 = Cluster.now cluster in
+  let visited =
+    match
+      Node.call owner_a ~dst:(Node.id walker) merge_proc
+        [
+          Access.to_value root_a;
+          root_b_at_a;
+          Value.int (Tree.nodes_of_depth depth * 2 / 5);
+        ]
+    with
+    | [ v ] -> Value.to_int v
+    | _ -> failwith (merge_proc ^ ": bad arity")
+  in
+  let t1 = Cluster.now cluster in
+  let s1 = Cluster.snapshot cluster in
+  let cache_pages = Cache.used_pages (Node.cache walker) in
+  Node.end_session owner_a;
+  let d = Stats.diff s1 s0 in
+  {
+    seconds = t1 -. t0;
+    callbacks = d.Stats.callbacks;
+    messages = d.Stats.messages;
+    bytes = d.Stats.bytes;
+    faults = d.Stats.faults;
+    visited;
+    cache_pages;
+  }
+
+let ablation_alloc_strategy ?(depth = 11) () =
+  List.map
+    (fun grouping -> { grouping; merge = run_merge_walk ~grouping ~depth })
+    [ Strategy.By_origin; Strategy.Sequential; Strategy.By_type ]
+
+(* --- A2: closure traversal order under a partial DFS consumer --- *)
+
+type shape_row = { order : Strategy.closure_order; partial : run }
+
+let ablation_closure_shape ?(depth = 13) ?(ratio = 0.3) ?(closure = 2048) () =
+  (* Entry-per-page placement isolates the closure traversal order from
+     page-grain fetch amplification: each fault requests exactly one
+     datum plus a closure in the configured order, so a depth-first
+     closure tracks the depth-first consumer and a breadth-first one
+     wastes breadth on unvisited subtrees. *)
+  let go order =
+    let strategy =
+      {
+        (Strategy.smart ~closure_size:closure ()) with
+        Strategy.order;
+        grouping = Strategy.Entry_per_page;
+      }
+    in
+    { order; partial = run_tree_search ~strategy ~depth ~ratio () }
+  in
+  [ go Strategy.Breadth_first; go Strategy.Depth_first ]
+
+(* --- A3: remote allocation batching --- *)
+
+type batching_row = { batched : bool; alloc_run : run }
+
+let grow_proc = "grow_list"
+
+let run_remote_growth ~batched ~cells =
+  let strategy = { (Strategy.smart ()) with Strategy.batch_remote_ops = batched } in
+  let cluster = Cluster.create () in
+  let owner = Cluster.add_node cluster ~site:1 ~strategy () in
+  let worker = Cluster.add_node cluster ~site:2 ~strategy () in
+  Linked_list.register_types cluster;
+  Node.register worker grow_proc (fun node args ->
+      match args with
+      | [ n ] ->
+        (* Allocate a list whose home is the caller's space, then release
+           every other cell: exercises both batched primitives. *)
+        let n = Value.to_int n in
+        let home = Space_id.make ~site:1 ~proc:0 in
+        let head =
+          Linked_list.append node (Access.null ~ty:Linked_list.type_name) ~home
+            (List.init n (fun i -> i))
+        in
+        let rec thin i p =
+          if not (Access.is_null p) then begin
+            let next = Access.get_ptr node p ~field:"next" in
+            if i mod 2 = 1 then begin
+              let after =
+                if Access.is_null next then next
+                else Access.get_ptr node next ~field:"next"
+              in
+              Access.set_ptr node p ~field:"next" after;
+              if not (Access.is_null next) then
+                Node.extended_free node next.Access.addr;
+              thin (i + 2) after
+            end
+            else thin (i + 1) next
+          end
+        in
+        thin 1 head;
+        [ Access.to_value head ]
+      | _ -> invalid_arg (grow_proc ^ ": expected cell count"));
+  Node.begin_session owner;
+  let s0 = Cluster.snapshot cluster in
+  let t0 = Cluster.now cluster in
+  let head =
+    match Node.call owner ~dst:(Node.id worker) grow_proc [ Value.int cells ] with
+    | [ v ] -> v
+    | _ -> failwith (grow_proc ^ ": bad arity")
+  in
+  let t1 = Cluster.now cluster in
+  let s1 = Cluster.snapshot cluster in
+  let surviving = Linked_list.length owner (Access.of_value head) in
+  let cache_pages = Cache.used_pages (Node.cache worker) in
+  Node.end_session owner;
+  let d = Stats.diff s1 s0 in
+  {
+    seconds = t1 -. t0;
+    callbacks = d.Stats.callbacks;
+    messages = d.Stats.messages;
+    bytes = d.Stats.bytes;
+    faults = d.Stats.faults;
+    visited = surviving;
+    cache_pages;
+  }
+
+let ablation_alloc_batching ?(cells = 400) () =
+  List.map
+    (fun batched -> { batched; alloc_run = run_remote_growth ~batched ~cells })
+    [ true; false ]
+
+(* --- A4: write-back granularity under sparse updates --- *)
+
+type grain_row = { grain : Strategy.writeback_grain; sparse_update : run }
+
+let sparse_proc = "sparse_update"
+
+let run_sparse_update ~grain ~depth ~stride =
+  let strategy = { (Strategy.smart ()) with Strategy.grain } in
+  let cluster = Cluster.create () in
+  let owner = Cluster.add_node cluster ~site:1 ~strategy () in
+  let worker = Cluster.add_node cluster ~site:2 ~strategy () in
+  Tree.register_types cluster;
+  let root = Tree.build owner ~depth in
+  Node.register worker sparse_proc (fun node args ->
+      match args with
+      | [ rootv; stridev ] ->
+        let stride = Value.to_int stridev in
+        let count = ref 0 in
+        let touched = ref 0 in
+        let rec go p =
+          if not (Access.is_null p) then begin
+            let d = Access.get_int node p ~field:"data" in
+            if !count mod stride = 0 then begin
+              Access.set_int node p ~field:"data" (d + 1000);
+              incr touched
+            end;
+            incr count;
+            go (Access.get_ptr node p ~field:"left");
+            go (Access.get_ptr node p ~field:"right")
+          end
+        in
+        go (Access.of_value rootv);
+        [ Value.int !touched ]
+      | _ -> invalid_arg (sparse_proc ^ ": expected (root, stride)"));
+  Node.begin_session owner;
+  let s0 = Cluster.snapshot cluster in
+  let t0 = Cluster.now cluster in
+  let touched =
+    match
+      Node.call owner ~dst:(Node.id worker) sparse_proc
+        [ Access.to_value root; Value.int stride ]
+    with
+    | [ v ] -> Value.to_int v
+    | _ -> failwith (sparse_proc ^ ": bad arity")
+  in
+  let t1 = Cluster.now cluster in
+  let s1 = Cluster.snapshot cluster in
+  let cache_pages = Cache.used_pages (Node.cache worker) in
+  Node.end_session owner;
+  let d = Stats.diff s1 s0 in
+  {
+    seconds = t1 -. t0;
+    callbacks = d.Stats.callbacks;
+    messages = d.Stats.messages;
+    bytes = d.Stats.bytes;
+    faults = d.Stats.faults;
+    visited = touched;
+    cache_pages;
+  }
+
+let ablation_writeback_grain ?(depth = 12) ?(stride = 16) () =
+  List.map
+    (fun grain -> { grain; sparse_update = run_sparse_update ~grain ~depth ~stride })
+    [ Strategy.Page_grain; Strategy.Twin_diff ]
+
+(* --- A5: programmer closure hints (paper section 6) --- *)
+
+type hint_row = { hinted : bool; chain_walk : run }
+
+let rcell_ty = "rcell"
+let blob_ty = "blob"
+let chain_proc = "walk_chain"
+
+let run_chain_walk ~hinted ~cells ~closure =
+  (* By-type placement keeps payload blobs on their own cache pages;
+     otherwise page-grain fetching would drag them over regardless of
+     what the closure engine skips. *)
+  let strategy =
+    { (Strategy.smart ~closure_size:closure ()) with Strategy.grouping = Strategy.By_type }
+  in
+  let cluster = Cluster.create () in
+  let owner = Cluster.add_node cluster ~site:1 ~strategy () in
+  let walker = Cluster.add_node cluster ~site:2 ~strategy () in
+  Cluster.register_type cluster blob_ty
+    (Srpc_types.Type_desc.Struct
+       [ ("payload", Srpc_types.Type_desc.Array (Srpc_types.Type_desc.f64, 64)) ]);
+  Cluster.register_type cluster rcell_ty
+    (Srpc_types.Type_desc.Struct
+       [
+         ("next", Srpc_types.Type_desc.ptr rcell_ty);
+         ("blob", Srpc_types.Type_desc.ptr blob_ty);
+         ("tag", Srpc_types.Type_desc.i64);
+       ]);
+  if hinted then
+    Cluster.set_closure_hint cluster ~ty:rcell_ty
+      { Hints.follow = [ "next" ]; prune_others = true };
+  (* build the chain, each cell pointing at a 512-byte blob *)
+  let head = ref (Access.null ~ty:rcell_ty) in
+  for i = cells - 1 downto 0 do
+    let cell = Access.ptr ~ty:rcell_ty (Node.malloc owner ~ty:rcell_ty) in
+    let blob = Access.ptr ~ty:blob_ty (Node.malloc owner ~ty:blob_ty) in
+    Access.set_ptr owner cell ~field:"next" !head;
+    Access.set_ptr owner cell ~field:"blob" blob;
+    Access.set_int owner cell ~field:"tag" i;
+    head := cell
+  done;
+  Node.register walker chain_proc (fun node args ->
+      let rec go p acc =
+        if Access.is_null p then acc
+        else
+          go (Access.get_ptr node p ~field:"next")
+            (acc + Access.get_int node p ~field:"tag")
+      in
+      [ Value.int (go (Access.of_value (List.hd args)) 0) ]);
+  Node.begin_session owner;
+  let s0 = Cluster.snapshot cluster in
+  let t0 = Cluster.now cluster in
+  let sum =
+    match Node.call owner ~dst:(Node.id walker) chain_proc [ Access.to_value !head ]
+    with
+    | [ v ] -> Value.to_int v
+    | _ -> failwith (chain_proc ^ ": bad arity")
+  in
+  let t1 = Cluster.now cluster in
+  let s1 = Cluster.snapshot cluster in
+  let cache_pages = Cache.used_pages (Node.cache walker) in
+  Node.end_session owner;
+  assert (sum = cells * (cells - 1) / 2);
+  let d = Stats.diff s1 s0 in
+  {
+    seconds = t1 -. t0;
+    callbacks = d.Stats.callbacks;
+    messages = d.Stats.messages;
+    bytes = d.Stats.bytes;
+    faults = d.Stats.faults;
+    visited = cells;
+    cache_pages;
+  }
+
+let ablation_closure_hints ?(cells = 400) ?(closure = 4096) () =
+  List.map
+    (fun hinted -> { hinted; chain_walk = run_chain_walk ~hinted ~cells ~closure })
+    [ false; true ]
+
+(* --- derived: Fig. 4 behind a WAN link --- *)
+
+let fig4_wan ?(depth = 15) ?(ratios = default_ratios) ?(closure = 8192)
+    ?(latency_factor = 50.0) () =
+  let lan = Cost_model.sparc_10mbps in
+  let wan =
+    { lan with Cost_model.message_latency = lan.Cost_model.message_latency *. latency_factor }
+  in
+  let point ratio =
+    let go m =
+      run_tree_search ~link_cost:wan
+        ~strategy:(strategy_of_method m)
+        ~depth ~ratio ()
+    in
+    {
+      ratio;
+      eager = go Fully_eager;
+      lazy_ = go Fully_lazy;
+      proposed = go (Proposed closure);
+    }
+  in
+  List.map point ratios
+
+(* --- rendering --- *)
+
+let pp_fig4 ppf rows =
+  Format.fprintf ppf "@[<v>Fig. 4 — processing time (s) vs access ratio@,";
+  Format.fprintf ppf "%8s %12s %12s %12s@," "ratio" "fully-eager" "fully-lazy"
+    "proposed";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%8.2f %12.3f %12.3f %12.3f@," r.ratio r.eager.seconds
+        r.lazy_.seconds r.proposed.seconds)
+    rows;
+  Format.fprintf ppf "@]"
+
+let pp_fig5 ppf rows =
+  Format.fprintf ppf "@[<v>Fig. 5 — callbacks vs access ratio@,";
+  Format.fprintf ppf "%8s %12s %12s@," "ratio" "fully-lazy" "proposed";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%8.2f %12d %12d@," r.ratio r.lazy_.callbacks
+        r.proposed.callbacks)
+    rows;
+  Format.fprintf ppf "@]"
+
+let pp_fig6 ppf rows =
+  Format.fprintf ppf
+    "@[<v>Fig. 6 — processing time (s) vs closure size (10 repeated searches)@,";
+  let header () =
+    match rows with
+    | [] -> ()
+    | r :: _ ->
+      Format.fprintf ppf "%12s" "closure";
+      List.iter
+        (fun (d, _) -> Format.fprintf ppf " %11d" (Tree.nodes_of_depth d))
+        r.by_depth;
+      Format.fprintf ppf "@,"
+  in
+  header ();
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%11dB" r.closure_bytes;
+      List.iter (fun (_, run) -> Format.fprintf ppf " %11.3f" run.seconds) r.by_depth;
+      Format.fprintf ppf "@,")
+    rows;
+  (* the working-set side of the same sweep (paper section 6 discusses
+     the allocation/working-set trade-off) *)
+  Format.fprintf ppf "@,callee cache working set (pages):@,";
+  header ();
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%11dB" r.closure_bytes;
+      List.iter
+        (fun (_, run) -> Format.fprintf ppf " %11d" run.cache_pages)
+        r.by_depth;
+      Format.fprintf ppf "@,")
+    rows;
+  Format.fprintf ppf "@]"
+
+let pp_fig7 ppf rows =
+  Format.fprintf ppf "@[<v>Fig. 7 — update performance (s) vs update ratio@,";
+  Format.fprintf ppf "%8s %12s %12s@," "ratio" "updated" "not-updated";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%8.2f %12.3f %12.3f@," r.ratio7 r.updated.seconds
+        r.not_updated.seconds)
+    rows;
+  Format.fprintf ppf "@]"
+
+let grouping_name = function
+  | Strategy.By_origin -> "by-origin"
+  | Strategy.Sequential -> "sequential"
+  | Strategy.By_type -> "by-type"
+  | Strategy.Entry_per_page -> "entry-per-page"
+
+let pp_ablations ppf (a1, a2, a3, a4) =
+  Format.fprintf ppf "@[<v>A1 — cache allocation strategy (two-origin walk)@,";
+  Format.fprintf ppf "%16s %10s %10s %10s %12s@," "grouping" "time(s)" "msgs"
+    "callbacks" "cache-pages";
+  List.iter
+    (fun { grouping; merge = r } ->
+      Format.fprintf ppf "%16s %10.3f %10d %10d %12d@," (grouping_name grouping)
+        r.seconds r.messages r.callbacks r.cache_pages)
+    a1;
+  Format.fprintf ppf "@,A2 — closure shape (DFS consumer, 30%% of the tree)@,";
+  Format.fprintf ppf "%16s %10s %12s %10s@," "order" "time(s)" "bytes" "callbacks";
+  List.iter
+    (fun { order; partial = r } ->
+      let name =
+        match order with
+        | Strategy.Breadth_first -> "breadth-first"
+        | Strategy.Depth_first -> "depth-first"
+      in
+      Format.fprintf ppf "%16s %10.3f %12d %10d@," name r.seconds r.bytes
+        r.callbacks)
+    a2;
+  Format.fprintf ppf "@,A3 — remote allocation batching (section 3.5)@,";
+  Format.fprintf ppf "%16s %10s %10s %12s@," "mode" "time(s)" "msgs" "bytes";
+  List.iter
+    (fun { batched; alloc_run = r } ->
+      Format.fprintf ppf "%16s %10.3f %10d %12d@,"
+        (if batched then "batched" else "immediate")
+        r.seconds r.messages r.bytes)
+    a3;
+  Format.fprintf ppf "@,A4 — write-back granularity (sparse updates)@,";
+  Format.fprintf ppf "%16s %10s %12s %12s@," "grain" "time(s)" "bytes" "writebacks";
+  List.iter
+    (fun { grain; sparse_update = r } ->
+      let name =
+        match grain with
+        | Strategy.Page_grain -> "page-grain"
+        | Strategy.Twin_diff -> "twin-diff"
+      in
+      Format.fprintf ppf "%16s %10.3f %12d %12d@," name r.seconds r.bytes
+        r.messages)
+    a4;
+  Format.fprintf ppf "@]"
+
+(* --- derived: B-tree key-value store --- *)
+
+type kv_row = { kv_method : method_kind; point : run; range : run; scan : run }
+
+let kv_run ~strategy ~keys ~points ~phase =
+  let cluster = Cluster.create () in
+  let owner = Cluster.add_node cluster ~site:1 ~strategy () in
+  let client = Cluster.add_node cluster ~site:2 ~strategy () in
+  Btree.register_types cluster;
+  let t = Btree.create owner in
+  for k = 0 to keys - 1 do
+    Btree.insert owner t ~key:k ~value:(k * 3)
+  done;
+  Node.register client "points" (fun node args ->
+      match args with
+      | [ tv; nv ] ->
+        let t = Access.of_value tv in
+        let n = Value.to_int nv in
+        let hits = ref 0 in
+        for i = 1 to n do
+          (* spread deterministic probes across the key space *)
+          let k = i * 7919 mod keys in
+          if Btree.search node t ~key:k = Some (k * 3) then incr hits
+        done;
+        [ Value.int !hits ]
+      | _ -> assert false);
+  Node.register client "range" (fun node args ->
+      match args with
+      | [ tv; lov; hiv ] ->
+        [
+          Value.int
+            (Btree.range_count node (Access.of_value tv) ~lo:(Value.to_int lov)
+               ~hi:(Value.to_int hiv));
+        ]
+      | _ -> assert false);
+  Node.register client "scan" (fun node args ->
+      [ Value.int (Btree.cardinal node (Access.of_value (List.hd args))) ]);
+  Node.begin_session owner;
+  let s0 = Cluster.snapshot cluster in
+  let t0 = Cluster.now cluster in
+  let visited =
+    match phase with
+    | `Point -> (
+      match
+        Node.call owner ~dst:(Node.id client) "points"
+          [ Access.to_value t; Value.int points ]
+      with
+      | [ v ] ->
+        let hits = Value.to_int v in
+        assert (hits = points);
+        hits
+      | _ -> failwith "points: bad arity")
+    | `Range -> (
+      let lo = keys / 4 and hi = keys / 2 in
+      match
+        Node.call owner ~dst:(Node.id client) "range"
+          [ Access.to_value t; Value.int lo; Value.int hi ]
+      with
+      | [ v ] -> Value.to_int v
+      | _ -> failwith "range: bad arity")
+    | `Scan -> (
+      match Node.call owner ~dst:(Node.id client) "scan" [ Access.to_value t ] with
+      | [ v ] -> Value.to_int v
+      | _ -> failwith "scan: bad arity")
+  in
+  let t1 = Cluster.now cluster in
+  let s1 = Cluster.snapshot cluster in
+  let cache_pages = Cache.used_pages (Node.cache client) in
+  Node.end_session owner;
+  let d = Stats.diff s1 s0 in
+  {
+    seconds = t1 -. t0;
+    callbacks = d.Stats.callbacks;
+    messages = d.Stats.messages;
+    bytes = d.Stats.bytes;
+    faults = d.Stats.faults;
+    visited;
+    cache_pages;
+  }
+
+let kv_store ?(keys = 4000) ?(points = 20) ?(closure = 1024) () =
+  let row m =
+    let strategy = strategy_of_method m in
+    {
+      kv_method = m;
+      point = kv_run ~strategy ~keys ~points ~phase:`Point;
+      range = kv_run ~strategy ~keys ~points ~phase:`Range;
+      scan = kv_run ~strategy ~keys ~points ~phase:`Scan;
+    }
+  in
+  List.map row [ Fully_eager; Fully_lazy; Proposed closure ]
+
+let pp_kv ppf rows =
+  Format.fprintf ppf
+    "@[<v>KV — remote B-tree store: 20 point lookups / range count / full scan@,";
+  Format.fprintf ppf "%16s %12s %12s %12s@," "method" "points(s)" "range(s)"
+    "scan(s)";
+  List.iter
+    (fun { kv_method; point; range; scan } ->
+      Format.fprintf ppf "%16s %12.4f %12.4f %12.4f@," (method_name kv_method)
+        point.seconds range.seconds scan.seconds)
+    rows;
+  Format.fprintf ppf "@]"
+
+(* --- derived: session width scaling --- *)
+
+type scale_row = { sites : int; relay : run }
+
+let scaling_run ~depth ~sites =
+  let strategy = Strategy.smart () in
+  let cluster = Cluster.create () in
+  let nodes =
+    List.init sites (fun i -> Cluster.add_node cluster ~site:(i + 1) ~strategy ())
+  in
+  Tree.register_types cluster;
+  let ground = List.hd nodes in
+  let root = Tree.build ground ~depth in
+  let total = Tree.nodes_of_depth depth in
+  (* every intermediate site relays to the next; the last site does the
+     work: visit 30%, update the first 10% *)
+  let rec wire = function
+    | [] | [ _ ] -> ()
+    | this :: (next :: _ as rest) ->
+      Node.register this "relay" (fun node args ->
+          Node.call node ~dst:(Node.id next) "relay" args);
+      wire rest
+  in
+  wire (List.tl nodes @ [ List.hd (List.rev nodes) ]);
+  let last = List.hd (List.rev nodes) in
+  Node.register last "relay" (fun node args ->
+      let root = Access.of_value (List.hd args) in
+      let _, _ = Tree.visit_update node root ~limit:(total / 10) in
+      let visited, _ = Tree.visit node root ~limit:(3 * total / 10) in
+      [ Value.int visited ]);
+  Node.begin_session ground;
+  let s0 = Cluster.snapshot cluster in
+  let t0 = Cluster.now cluster in
+  let visited =
+    if sites = 1 then 0
+    else
+      match
+        Node.call ground ~dst:(Node.id (List.nth nodes 1)) "relay"
+          [ Access.to_value root ]
+      with
+      | [ v ] -> Value.to_int v
+      | _ -> failwith "relay: bad arity"
+  in
+  let t1 = Cluster.now cluster in
+  let s1 = Cluster.snapshot cluster in
+  let cache_pages = Cache.used_pages (Node.cache last) in
+  Node.end_session ground;
+  let d = Stats.diff s1 s0 in
+  {
+    seconds = t1 -. t0;
+    callbacks = d.Stats.callbacks;
+    messages = d.Stats.messages;
+    bytes = d.Stats.bytes;
+    faults = d.Stats.faults;
+    visited;
+    cache_pages;
+  }
+
+let scaling ?(depth = 12) ?(max_sites = 8) () =
+  List.init (max_sites - 1) (fun i ->
+      let sites = i + 2 in
+      { sites; relay = scaling_run ~depth ~sites })
+
+let pp_scaling ppf rows =
+  Format.fprintf ppf
+    "@[<v>SCALE — nested relay chain, work at the far end (30%% read, 10%%      update)@,";
+  Format.fprintf ppf "%8s %10s %10s %12s %10s@," "sites" "time(s)" "msgs" "bytes"
+    "callbacks";
+  List.iter
+    (fun { sites; relay = r } ->
+      Format.fprintf ppf "%8d %10.3f %10d %12d %10d@," sites r.seconds r.messages
+        r.bytes r.callbacks)
+    rows;
+  Format.fprintf ppf "@]"
+
+(* --- A6: page size = transfer granularity --- *)
+
+type page_row = { page_bytes : int; partial_search : run }
+
+let ablation_page_size ?(depth = 14) ?(ratio = 0.3) ?(closure = 2048)
+    ?(page_sizes = [ 512; 1024; 2048; 4096; 8192; 16384 ]) () =
+  List.map
+    (fun page_bytes ->
+      {
+        page_bytes;
+        partial_search =
+          run_tree_search ~page_size:page_bytes
+            ~strategy:(strategy_of_method (Proposed closure))
+            ~depth ~ratio ();
+      })
+    page_sizes
+
+let pp_page_rows ppf rows =
+  Format.fprintf ppf
+    "@[<v>A6 — page size as transfer granularity (30%% DFS, closure 2 KB)@,";
+  Format.fprintf ppf "%10s %10s %12s %10s %12s@," "page" "time(s)" "bytes"
+    "callbacks" "cache-pages";
+  List.iter
+    (fun { page_bytes; partial_search = r } ->
+      Format.fprintf ppf "%9dB %10.3f %12d %10d %12d@," page_bytes r.seconds
+        r.bytes r.callbacks r.cache_pages)
+    rows;
+  Format.fprintf ppf "@]"
+
+(* --- derived: hand-written protocols vs transparent pointers --- *)
+
+type manual_row = {
+  m_ratio : float;
+  smart_rpc : run;
+  manual_naive : run;
+  manual_subtree : run;
+}
+
+(* The manual protocols pass raw addresses as plain integers and encode
+   node contents as scalar results — no pointer machinery at all, which
+   is exactly what a conventional RPC system forces on the programmer. *)
+let run_manual ~variant ~depth ~ratio ~batch =
+  let strategy = Strategy.smart () (* irrelevant: no pointers cross *) in
+  let cluster = Cluster.create () in
+  let caller = Cluster.add_node cluster ~site:1 ~strategy () in
+  let callee = Cluster.add_node cluster ~site:2 ~strategy () in
+  Tree.register_types cluster;
+  let root = Tree.build caller ~depth in
+  let total = Tree.nodes_of_depth depth in
+  let limit = int_of_float (Float.round (ratio *. float_of_int total)) in
+  (* caller-side accessors working on its own raw memory *)
+  let read_node node addr =
+    let p = Access.ptr ~ty:Tree.type_name addr in
+    ( Access.get_int node p ~field:"data",
+      (Access.get_ptr node p ~field:"left").Access.addr,
+      (Access.get_ptr node p ~field:"right").Access.addr )
+  in
+  Node.register caller "get_node" (fun node args ->
+      let d, l, r = read_node node (Value.to_int (List.hd args)) in
+      [ Value.int d; Value.int l; Value.int r ]);
+  Node.register caller "get_subtree" (fun node args ->
+      match args with
+      | [ addrv; maxv ] ->
+        (* preorder batch of up to max nodes: 4 ints per node *)
+        let out = ref [] in
+        let count = ref 0 in
+        let max_nodes = Value.to_int maxv in
+        let rec go addr =
+          if addr <> 0 && !count < max_nodes then begin
+            incr count;
+            let d, l, r = read_node node addr in
+            out := Value.int r :: Value.int l :: Value.int d :: Value.int addr :: !out;
+            go l;
+            go r
+          end
+        in
+        go (Value.to_int addrv);
+        List.rev !out
+      | _ -> assert false);
+  (* callee-side searches *)
+  Node.register callee "search_naive" (fun node args ->
+      match args with
+      | [ rootv; limitv ] ->
+        let limit = Value.to_int limitv in
+        let visited = ref 0 in
+        let rec go addr =
+          if addr <> 0 && !visited < limit then begin
+            incr visited;
+            match Node.call node ~dst:(Node.id caller) "get_node" [ Value.int addr ]
+            with
+            | [ _d; l; r ] ->
+              go (Value.to_int l);
+              go (Value.to_int r)
+            | _ -> assert false
+          end
+        in
+        go (Value.to_int rootv);
+        [ Value.int !visited ]
+      | _ -> assert false);
+  Node.register callee "search_subtree" (fun node args ->
+      match args with
+      | [ rootv; limitv; batchv ] ->
+        let limit = Value.to_int limitv in
+        let batch = Value.to_int batchv in
+        (* local cache of fetched nodes, hand-rolled *)
+        let known : (int, int * int * int) Hashtbl.t = Hashtbl.create 256 in
+        let fetch addr =
+          match
+            Node.call node ~dst:(Node.id caller) "get_subtree"
+              [ Value.int addr; Value.int batch ]
+          with
+          | vs ->
+            let rec install = function
+              | a :: d :: l :: r :: rest ->
+                Hashtbl.replace known (Value.to_int a)
+                  (Value.to_int d, Value.to_int l, Value.to_int r);
+                install rest
+              | [] -> ()
+              | _ -> assert false
+            in
+            install vs
+        in
+        let visited = ref 0 in
+        let rec go addr =
+          if addr <> 0 && !visited < limit then begin
+            if not (Hashtbl.mem known addr) then fetch addr;
+            incr visited;
+            Node.charge_touch node;
+            let _, l, r = Hashtbl.find known addr in
+            go l;
+            go r
+          end
+        in
+        go (Value.to_int rootv);
+        [ Value.int !visited ]
+      | _ -> assert false);
+  Node.begin_session caller;
+  let s0 = Cluster.snapshot cluster in
+  let t0 = Cluster.now cluster in
+  let visited =
+    let proc, args =
+      match variant with
+      | `Naive -> ("search_naive", [ Value.int root.Access.addr; Value.int limit ])
+      | `Subtree ->
+        ( "search_subtree",
+          [ Value.int root.Access.addr; Value.int limit; Value.int batch ] )
+    in
+    match Node.call caller ~dst:(Node.id callee) proc args with
+    | [ v ] -> Value.to_int v
+    | _ -> failwith "manual search: bad arity"
+  in
+  let t1 = Cluster.now cluster in
+  let s1 = Cluster.snapshot cluster in
+  Node.end_session caller;
+  let d = Stats.diff s1 s0 in
+  {
+    seconds = t1 -. t0;
+    callbacks = d.Stats.callbacks;
+    messages = d.Stats.messages;
+    bytes = d.Stats.bytes;
+    faults = d.Stats.faults;
+    visited;
+    cache_pages = 0;
+  }
+
+let manual_comparison ?(depth = 15) ?(ratios = [ 0.1; 0.3; 0.6; 1.0 ])
+    ?(closure = 8192) () =
+  let batch = closure / 16 (* same data budget per round trip *) in
+  List.map
+    (fun m_ratio ->
+      {
+        m_ratio;
+        smart_rpc =
+          run_tree_search
+            ~strategy:(strategy_of_method (Proposed closure))
+            ~depth ~ratio:m_ratio ();
+        manual_naive = run_manual ~variant:`Naive ~depth ~ratio:m_ratio ~batch;
+        manual_subtree = run_manual ~variant:`Subtree ~depth ~ratio:m_ratio ~batch;
+      })
+    ratios
+
+let pp_manual ppf rows =
+  Format.fprintf ppf
+    "@[<v>MANUAL — transparent pointers vs hand-written protocols (section 2)@,";
+  Format.fprintf ppf "%8s %14s %14s %16s@," "ratio" "smart RPC" "manual-naive"
+    "manual-subtree";
+  List.iter
+    (fun { m_ratio; smart_rpc; manual_naive; manual_subtree } ->
+      Format.fprintf ppf "%8.2f %13.3fs %13.3fs %15.3fs@," m_ratio
+        smart_rpc.seconds manual_naive.seconds manual_subtree.seconds)
+    rows;
+  Format.fprintf ppf "@]"
+
+let pp_hint_rows ppf rows =
+  Format.fprintf ppf
+    "@[<v>A5 — closure hints (chain walk past bulky payloads, section 6)@,";
+  Format.fprintf ppf "%16s %10s %12s %10s %12s@," "hints" "time(s)" "bytes"
+    "callbacks" "cache-pages";
+  List.iter
+    (fun { hinted; chain_walk = r } ->
+      Format.fprintf ppf "%16s %10.3f %12d %10d %12d@,"
+        (if hinted then "follow-next" else "none")
+        r.seconds r.bytes r.callbacks r.cache_pages)
+    rows;
+  Format.fprintf ppf "@]"
+
+(* --- Table 1 --- *)
+
+let table1 ppf () =
+  let cluster = Cluster.create () in
+  let caller = Cluster.add_node cluster ~site:1 () in
+  let callee = Cluster.add_node cluster ~site:2 () in
+  Linked_list.register_types cluster;
+  let a = Linked_list.build caller [ 1; 2; 3 ] in
+  let b = Linked_list.build caller [ 10; 20 ] in
+  Node.register callee "take_two" (fun _node args ->
+      match args with
+      | [ _; _ ] -> [ Value.unit ]
+      | _ -> invalid_arg "take_two");
+  Node.with_session caller (fun () ->
+      ignore
+        (Node.call caller ~dst:(Node.id callee) "take_two"
+           [ Access.to_value a; Access.to_value b ]);
+      Format.fprintf ppf
+        "@[<v>Table 1 — callee data allocation table after swizzling two \
+         pointers A and B@,%a@]"
+        Node.pp_alloc_table callee)

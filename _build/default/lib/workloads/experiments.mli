@@ -1,0 +1,194 @@
+(** Harnesses regenerating the paper's evaluation (section 4), one entry
+    per table/figure, plus the ablations of DESIGN.md.
+
+    Every run builds a fresh two-site cluster (caller site 1 owns the
+    data and is the ground thread; callee site 2 runs the remote
+    procedure), exactly the paper's setup. Times are simulated seconds
+    under {!Srpc_simnet.Cost_model.sparc_10mbps}; counts are measured
+    from the real protocol frames. *)
+
+open Srpc_core
+open Srpc_memory
+
+(** Aggregate measurements of one experimental run. *)
+type run = {
+  seconds : float;  (** simulated time per RPC (averaged over repeats) *)
+  callbacks : int;  (** fetch round-trips *)
+  messages : int;
+  bytes : int;  (** wire payload bytes *)
+  faults : int;
+  visited : int;  (** nodes the callee actually visited *)
+  cache_pages : int;  (** callee cache working set, pages *)
+}
+
+(** The three compared methods of section 4.1. *)
+type method_kind = Fully_eager | Fully_lazy | Proposed of int
+
+val method_name : method_kind -> string
+val strategy_of_method : method_kind -> Strategy.t
+
+(** [run_tree_search ~strategy ~depth ~ratio ()] is one point of the
+    Fig. 4 experiment: a [2^depth - 1]-node tree on the caller, one RPC
+    visiting [ratio] of the nodes depth-first on the callee.
+    [update] makes the callee increment each visited node (Fig. 7);
+    [repeats] issues that many identical calls inside one session
+    (Fig. 6); [arches] selects caller/callee architectures;
+    [link_cost] replaces the default cost model on the caller-callee
+    link (both directions) — e.g. a WAN. *)
+val run_tree_search :
+  ?update:bool ->
+  ?repeats:int ->
+  ?arches:Arch.t * Arch.t ->
+  ?link_cost:Srpc_simnet.Cost_model.t ->
+  ?page_size:int ->
+  strategy:Strategy.t ->
+  depth:int ->
+  ratio:float ->
+  unit ->
+  run
+
+(** {1 Figures} *)
+
+type fig4_row = {
+  ratio : float;
+  eager : run;
+  lazy_ : run;
+  proposed : run;
+}
+
+(** Fig. 4 (times) and Fig. 5 (callback counts) come from the same
+    sweep. Defaults: depth 15 (32 767 nodes), ratios 0.0, 0.1, …, 1.0,
+    closure 8 192 B. *)
+val fig4 : ?depth:int -> ?ratios:float list -> ?closure:int -> unit -> fig4_row list
+
+type fig6_row = { closure_bytes : int; by_depth : (int * run) list }
+
+(** Fig. 6: closure-size sweep with 10 repeated searches, for trees of
+    the given depths (paper: 16 383 / 32 767 / 65 535 nodes = depths
+    14/15/16). *)
+val fig6 :
+  ?depths:int list -> ?closures:int list -> ?repeats:int -> unit -> fig6_row list
+
+(** Fig. 6 under the descent reading: each search is one pseudo-random
+    root-to-leaf path, 10 per call. Sparse consumption makes {e large}
+    closures pay for unused breadth — the other side of the paper's
+    dip (small closures lose under the full-traversal reading above). *)
+val fig6_descents :
+  ?depths:int list -> ?closures:int list -> ?paths:int -> unit -> fig6_row list
+
+type fig7_row = { ratio7 : float; updated : run; not_updated : run }
+
+(** Fig. 7: update-ratio sweep at closure 8 192 B. *)
+val fig7 : ?depth:int -> ?ratios:float list -> ?closure:int -> unit -> fig7_row list
+
+(** {1 Ablations} *)
+
+type alloc_row = { grouping : Strategy.alloc_grouping; merge : run }
+
+(** A1: cache-allocation strategy under a two-origin interleaved walk
+    (section 6's open problem). *)
+val ablation_alloc_strategy : ?depth:int -> unit -> alloc_row list
+
+type shape_row = { order : Strategy.closure_order; partial : run }
+
+(** A2: closure traversal order under a partial depth-first consumer. *)
+val ablation_closure_shape :
+  ?depth:int -> ?ratio:float -> ?closure:int -> unit -> shape_row list
+
+type batching_row = { batched : bool; alloc_run : run }
+
+(** A3: batched vs immediate remote allocation/release (section 3.5). *)
+val ablation_alloc_batching : ?cells:int -> unit -> batching_row list
+
+type grain_row = { grain : Strategy.writeback_grain; sparse_update : run }
+
+(** A4: write-back granularity under sparse updates (1 node in
+    [stride]). *)
+val ablation_writeback_grain :
+  ?depth:int -> ?stride:int -> unit -> grain_row list
+
+type page_row = { page_bytes : int; partial_search : run }
+
+(** A6: the page is the system's transfer granularity (a fault moves
+    every datum allocated to the faulting page), so the simulated page
+    size is itself a design knob: small pages approach per-datum
+    laziness, large pages approach bulk transfer. *)
+val ablation_page_size :
+  ?depth:int -> ?ratio:float -> ?closure:int -> ?page_sizes:int list -> unit ->
+  page_row list
+
+val pp_page_rows : Format.formatter -> page_row list -> unit
+
+type hint_row = { hinted : bool; chain_walk : run }
+
+(** A5: programmer closure hints (paper, section 6). A chain of cells
+    each carrying a pointer to a bulky payload; the consumer walks the
+    chain without touching payloads. The hint prunes payload pointers
+    from the prefetch closure. *)
+val ablation_closure_hints : ?cells:int -> ?closure:int -> unit -> hint_row list
+
+(** {1 Derived experiments} *)
+
+(** [fig4_wan ()] re-runs the Fig. 4 sweep with the caller-callee link
+    behind a WAN ([latency_factor] × the LAN latency, default 50): shows
+    how the method ranking shifts when round-trips dominate. *)
+val fig4_wan :
+  ?depth:int -> ?ratios:float list -> ?closure:int -> ?latency_factor:float ->
+  unit -> fig4_row list
+
+type kv_row = { kv_method : method_kind; point : run; range : run; scan : run }
+
+(** [kv_store ()] — an application-scale derived experiment: a B-tree
+    key-value store owned by one site, queried remotely under the three
+    methods with point lookups, a range count, and a full scan; shows
+    which method suits which query shape. *)
+val kv_store :
+  ?keys:int -> ?points:int -> ?closure:int -> unit -> kv_row list
+
+val pp_kv : Format.formatter -> kv_row list -> unit
+
+type scale_row = { sites : int; relay : run }
+
+(** [scaling ()] — sessions spanning 2..[max_sites] address spaces: the
+    ground site's tree is passed down a chain of nested RPCs; the last
+    site visits 30% and updates 10% of it, so the modified data set
+    travels back through every frame. Shows how per-hop coherency
+    traffic scales with session width. *)
+val scaling : ?depth:int -> ?max_sites:int -> unit -> scale_row list
+
+val pp_scaling : Format.formatter -> scale_row list -> unit
+
+type manual_row = {
+  m_ratio : float;
+  smart_rpc : run;  (** the proposed method, transparent pointers *)
+  manual_naive : run;
+      (** hand-written caller-callee protocol, one callback per node
+          (paper section 2: the lazy programming style) *)
+  manual_subtree : run;
+      (** hand-written protocol shipping subtree batches (section 2: "an
+          experienced programmer might ... develop a caller-callee
+          protocol to pass only the required portion of the tree") *)
+}
+
+(** [manual_comparison ()] pits the transparent system against the two
+    hand-written protocols the paper's section 2 describes. Shows the
+    transparency is (nearly) free. *)
+val manual_comparison :
+  ?depth:int -> ?ratios:float list -> ?closure:int -> unit -> manual_row list
+
+val pp_manual : Format.formatter -> manual_row list -> unit
+
+(** {1 Rendering} *)
+
+val pp_fig4 : Format.formatter -> fig4_row list -> unit
+val pp_fig5 : Format.formatter -> fig4_row list -> unit
+val pp_fig6 : Format.formatter -> fig6_row list -> unit
+val pp_fig7 : Format.formatter -> fig7_row list -> unit
+val pp_ablations : Format.formatter ->
+  alloc_row list * shape_row list * batching_row list * grain_row list -> unit
+
+val pp_hint_rows : Format.formatter -> hint_row list -> unit
+
+(** Table 1: run the paper's two-pointer example and render the callee's
+    data allocation table. *)
+val table1 : Format.formatter -> unit -> unit

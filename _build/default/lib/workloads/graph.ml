@@ -1,0 +1,78 @@
+open Srpc_core
+open Srpc_types
+
+let type_name = "gnode"
+let out_degree = 4
+
+let register_types cluster =
+  Cluster.register_type cluster type_name
+    (Type_desc.Struct
+       [
+         ("out", Type_desc.Array (Type_desc.ptr type_name, out_degree));
+         ("payload", Type_desc.i64);
+       ])
+
+(* xorshift64* — deterministic across runs, no wall-clock seeds. *)
+let prng seed =
+  let state = ref (Int64.of_int (if seed = 0 then 0x9E3779B9 else seed)) in
+  fun bound ->
+    let x = !state in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    state := x;
+    Int64.to_int (Int64.rem (Int64.logand x Int64.max_int) (Int64.of_int bound))
+
+let out_slot_addr node p i =
+  let arch = Srpc_memory.Address_space.arch (Node.space node) in
+  let reg = Node.registry node in
+  let base =
+    Layout.field_offset reg arch ~ty:(Type_desc.Named type_name) ~field:"out"
+  in
+  p.Access.addr + base + (i * arch.Srpc_memory.Arch.word_size)
+
+let set_edge node p i q =
+  Node.charge_touch node;
+  Srpc_memory.Mem.store_word (Node.mmu node) ~addr:(out_slot_addr node p i)
+    q.Access.addr
+
+let get_edge node p i =
+  Node.charge_touch node;
+  Access.ptr ~ty:type_name
+    (Srpc_memory.Mem.load_word (Node.mmu node) ~addr:(out_slot_addr node p i))
+
+let build node ~nodes ~seed =
+  if nodes <= 0 then invalid_arg "Graph.build: need at least one vertex";
+  let rand = prng seed in
+  let vertices =
+    Array.init nodes (fun i ->
+        let p = Access.ptr ~ty:type_name (Node.malloc node ~ty:type_name) in
+        Access.set_i64 node p ~field:"payload" (Int64.of_int i);
+        p)
+  in
+  Array.iteri
+    (fun i p ->
+      (* edge 0 keeps the graph connected as a chain; the rest are random
+         (possibly cyclic, possibly null) *)
+      if i + 1 < nodes then set_edge node p 0 vertices.(i + 1);
+      for slot = 1 to out_degree - 1 do
+        let roll = rand (nodes + 1) in
+        if roll < nodes then set_edge node p slot vertices.(roll)
+      done)
+    vertices;
+  vertices.(0)
+
+let reachable_sum node root =
+  let seen = Hashtbl.create 64 in
+  let sum = ref 0 in
+  let rec go p =
+    if (not (Access.is_null p)) && not (Hashtbl.mem seen p.Access.addr) then begin
+      Hashtbl.add seen p.Access.addr ();
+      sum := !sum + Access.get_int node p ~field:"payload";
+      for i = 0 to out_degree - 1 do
+        go (get_edge node p i)
+      done
+    end
+  in
+  go root;
+  (Hashtbl.length seen, !sum)

@@ -1,0 +1,22 @@
+(** Random directed graphs with cycles — stress for the closure engine
+    (visited sets, shared substructure) beyond the paper's tree
+    subject. *)
+
+open Srpc_core
+
+(** Registered name, ["gnode"]: 4 out-edges plus a 64-bit payload. *)
+val type_name : string
+
+val out_degree : int
+val register_types : Cluster.t -> unit
+
+(** [build node ~nodes ~seed] creates [nodes] vertices whose edges are
+    chosen by a deterministic PRNG seeded with [seed] (self-loops and
+    shared targets allowed); returns vertex 0. Every vertex is reachable
+    from the root (vertex [i] always has an edge to vertex [i+1] while
+    one exists). *)
+val build : Node.t -> nodes:int -> seed:int -> Access.ptr
+
+(** [reachable_sum node root] walks the graph from [root] (cycle-safe)
+    and returns (vertices seen, payload sum). *)
+val reachable_sum : Node.t -> Access.ptr -> int * int

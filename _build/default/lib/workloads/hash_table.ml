@@ -1,0 +1,90 @@
+open Srpc_core
+open Srpc_types
+
+let bucket_count = 64
+let table_type = "htable"
+let node_type = "hnode"
+
+let register_types cluster =
+  Cluster.register_type cluster node_type
+    (Type_desc.Struct
+       [
+         ("next", Type_desc.ptr node_type);
+         ("key", Type_desc.i64);
+         ("value", Type_desc.i64);
+       ]);
+  Cluster.register_type cluster table_type
+    (Type_desc.Struct
+       [ ("buckets", Type_desc.Array (Type_desc.ptr node_type, bucket_count)) ])
+
+let bucket_index key = ((key mod bucket_count) + bucket_count) mod bucket_count
+
+(* The buckets field is an array of pointers; the access layer exposes
+   struct fields, so compute element addresses with the word size. *)
+let bucket_ptr node table key =
+  let arch = Srpc_memory.Address_space.arch (Node.space node) in
+  let reg = Node.registry node in
+  let base =
+    Layout.field_offset reg arch ~ty:(Type_desc.Named table_type) ~field:"buckets"
+  in
+  table.Access.addr + base + (bucket_index key * arch.Srpc_memory.Arch.word_size)
+
+let load_bucket node table key =
+  Node.charge_touch node;
+  let w = Srpc_memory.Mem.load_word (Node.mmu node) ~addr:(bucket_ptr node table key) in
+  Access.ptr ~ty:node_type w
+
+let store_bucket node table key p =
+  Node.charge_touch node;
+  Srpc_memory.Mem.store_word (Node.mmu node) ~addr:(bucket_ptr node table key)
+    p.Access.addr
+
+let create node = Access.ptr ~ty:table_type (Node.malloc node ~ty:table_type)
+
+let insert node table ~key ~value =
+  let cell = Access.ptr ~ty:node_type (Node.malloc node ~ty:node_type) in
+  Access.set_ptr node cell ~field:"next" (load_bucket node table key);
+  Access.set_int node cell ~field:"key" key;
+  Access.set_int node cell ~field:"value" value;
+  store_bucket node table key cell
+
+let lookup node table ~key =
+  let rec go p =
+    if Access.is_null p then None
+    else if Access.get_int node p ~field:"key" = key then
+      Some (Access.get_int node p ~field:"value")
+    else go (Access.get_ptr node p ~field:"next")
+  in
+  go (load_bucket node table key)
+
+let remove node table ~key =
+  let rec go prev p =
+    if Access.is_null p then false
+    else if Access.get_int node p ~field:"key" = key then begin
+      let next = Access.get_ptr node p ~field:"next" in
+      (match prev with
+      | None -> store_bucket node table key next
+      | Some q -> Access.set_ptr node q ~field:"next" next);
+      Node.extended_free node p.Access.addr;
+      true
+    end
+    else go (Some p) (Access.get_ptr node p ~field:"next")
+  in
+  go None (load_bucket node table key)
+
+let iter node table f =
+  for b = 0 to bucket_count - 1 do
+    let rec go p =
+      if not (Access.is_null p) then begin
+        f ~key:(Access.get_int node p ~field:"key")
+          ~value:(Access.get_int node p ~field:"value");
+        go (Access.get_ptr node p ~field:"next")
+      end
+    in
+    go (load_bucket node table b)
+  done
+
+let population node table =
+  let n = ref 0 in
+  iter node table (fun ~key:_ ~value:_ -> incr n);
+  !n

@@ -1,0 +1,76 @@
+open Srpc_core
+open Srpc_types
+
+let type_name = "lnode"
+
+let register_types cluster =
+  Cluster.register_type cluster type_name
+    (Type_desc.Struct
+       [ ("next", Type_desc.ptr type_name); ("value", Type_desc.i64) ])
+
+let set_cell node p ~next ~value =
+  Access.set_ptr node p ~field:"next" next;
+  Access.set_int node p ~field:"value" value
+
+let build node values =
+  List.fold_right
+    (fun value next ->
+      let p = Access.ptr ~ty:type_name (Node.malloc node ~ty:type_name) in
+      set_cell node p ~next ~value;
+      p)
+    values
+    (Access.null ~ty:type_name)
+
+let fold node head ~init ~f =
+  let rec go acc p =
+    if Access.is_null p then acc
+    else
+      go (f acc p (Access.get_int node p ~field:"value"))
+        (Access.get_ptr node p ~field:"next")
+  in
+  go init head
+
+let to_list node head =
+  List.rev (fold node head ~init:[] ~f:(fun acc _ v -> v :: acc))
+
+let sum node head = fold node head ~init:0 ~f:(fun acc _ v -> acc + v)
+let length node head = fold node head ~init:0 ~f:(fun acc _ _ -> acc + 1)
+
+let nth node head i =
+  let rec go p k =
+    if Access.is_null p then raise Not_found
+    else if k = 0 then p
+    else go (Access.get_ptr node p ~field:"next") (k - 1)
+  in
+  go head i
+
+let map_in_place node head f =
+  let rec go p =
+    if not (Access.is_null p) then begin
+      Access.set_int node p ~field:"value" (f (Access.get_int node p ~field:"value"));
+      go (Access.get_ptr node p ~field:"next")
+    end
+  in
+  go head
+
+let append node head ~home values =
+  let tail =
+    List.fold_right
+      (fun value next ->
+        let p =
+          Access.ptr ~ty:type_name (Node.extended_malloc node ~home ~ty:type_name)
+        in
+        set_cell node p ~next ~value;
+        p)
+      values
+      (Access.null ~ty:type_name)
+  in
+  if Access.is_null head then tail
+  else begin
+    let rec last p =
+      let next = Access.get_ptr node p ~field:"next" in
+      if Access.is_null next then p else last next
+    in
+    Access.set_ptr node (last head) ~field:"next" tail;
+    head
+  end

@@ -1,0 +1,35 @@
+(** Singly linked list workload — the recursive structure Sun's rpcgen
+    passes eagerly (paper, section 2.1); here it exercises pointer
+    chains whose closure is purely sequential. *)
+
+open Srpc_core
+
+(** Registered type name, ["lnode"]: [{ next : lnode*; value : i64 }]. *)
+val type_name : string
+
+val register_types : Cluster.t -> unit
+
+(** [build node values] creates a list holding [values] in order and
+    returns its head (null for the empty list). *)
+val build : Node.t -> int list -> Access.ptr
+
+(** [to_list node head] reads the list back. *)
+val to_list : Node.t -> Access.ptr -> int list
+
+(** [sum node head] is the sum of the values. *)
+val sum : Node.t -> Access.ptr -> int
+
+(** [nth node head i] is a pointer to the [i]-th cell.
+    @raise Not_found when the list is shorter. *)
+val nth : Node.t -> Access.ptr -> int -> Access.ptr
+
+(** [map_in_place node head f] rewrites every value through [f]. *)
+val map_in_place : Node.t -> Access.ptr -> (int -> int) -> unit
+
+(** [append node head ~home values] extends the list in place with cells
+    allocated in address space [home] via [extended_malloc]; returns the
+    (possibly new) head. *)
+val append : Node.t -> Access.ptr -> home:Srpc_memory.Space_id.t -> int list -> Access.ptr
+
+(** [length node head] is the number of cells. *)
+val length : Node.t -> Access.ptr -> int

@@ -1,0 +1,111 @@
+open Srpc_core
+open Srpc_types
+open Srpc_memory
+
+let tile_edge = 32
+let tile_elems = tile_edge * tile_edge
+let max_tiles = 64
+let tile_type = "mtile"
+let grid_type = "mgrid"
+
+let register_types cluster =
+  Cluster.register_type cluster tile_type
+    (Type_desc.Struct [ ("elems", Type_desc.Array (Type_desc.f64, tile_elems)) ]);
+  Cluster.register_type cluster grid_type
+    (Type_desc.Struct
+       [
+         ("tile_rows", Type_desc.i64);
+         ("tile_cols", Type_desc.i64);
+         ("tiles", Type_desc.Array (Type_desc.ptr tile_type, max_tiles));
+       ])
+
+let word_size node = (Address_space.arch (Node.space node)).Arch.word_size
+
+let tiles_base node grid =
+  grid.Access.addr
+  + Layout.field_offset (Node.registry node)
+      (Address_space.arch (Node.space node))
+      ~ty:(Type_desc.Named grid_type) ~field:"tiles"
+
+let tile_ptr node grid index =
+  Node.charge_touch node;
+  let addr = tiles_base node grid + (index * word_size node) in
+  Access.ptr ~ty:tile_type (Mem.load_word (Node.mmu node) ~addr)
+
+let set_tile_ptr node grid index p =
+  Node.charge_touch node;
+  let addr = tiles_base node grid + (index * word_size node) in
+  Mem.store_word (Node.mmu node) ~addr p.Access.addr
+
+let tile_shape node grid =
+  ( Access.get_int node grid ~field:"tile_rows",
+    Access.get_int node grid ~field:"tile_cols" )
+
+let create node ~tile_rows ~tile_cols =
+  if tile_rows <= 0 || tile_cols <= 0 || tile_rows * tile_cols > max_tiles then
+    invalid_arg "Matrix.create: bad tile grid shape";
+  let grid = Access.ptr ~ty:grid_type (Node.malloc node ~ty:grid_type) in
+  Access.set_int node grid ~field:"tile_rows" tile_rows;
+  Access.set_int node grid ~field:"tile_cols" tile_cols;
+  for i = 0 to (tile_rows * tile_cols) - 1 do
+    set_tile_ptr node grid i (Access.ptr ~ty:tile_type (Node.malloc node ~ty:tile_type))
+  done;
+  grid
+
+let dims node grid =
+  let tr, tc = tile_shape node grid in
+  (tr * tile_edge, tc * tile_edge)
+
+let locate node grid ~row ~col =
+  let tr, tc = tile_shape node grid in
+  if row < 0 || col < 0 || row >= tr * tile_edge || col >= tc * tile_edge then
+    invalid_arg (Printf.sprintf "Matrix: (%d,%d) out of bounds" row col);
+  let tile = ((row / tile_edge) * tc) + (col / tile_edge) in
+  let off = ((row mod tile_edge) * tile_edge) + (col mod tile_edge) in
+  let p = tile_ptr node grid tile in
+  p.Access.addr + (off * 8)
+
+let get node grid ~row ~col =
+  let addr = locate node grid ~row ~col in
+  Node.charge_touch node;
+  Mem.load_f64 (Node.mmu node) ~addr
+
+let set node grid ~row ~col v =
+  let addr = locate node grid ~row ~col in
+  Node.charge_touch node;
+  Mem.store_f64 (Node.mmu node) ~addr v
+
+let row_sum node grid ~row =
+  let _, cols = dims node grid in
+  let total = ref 0.0 in
+  for col = 0 to cols - 1 do
+    total := !total +. get node grid ~row ~col
+  done;
+  !total
+
+let iter_tiles node grid f =
+  let tr, tc = tile_shape node grid in
+  for i = 0 to (tr * tc) - 1 do
+    f (tile_ptr node grid i)
+  done
+
+let scale node grid k =
+  iter_tiles node grid (fun tile ->
+      for e = 0 to tile_elems - 1 do
+        let addr = tile.Access.addr + (e * 8) in
+        Node.charge_touch node;
+        let v = Mem.load_f64 (Node.mmu node) ~addr in
+        Node.charge_touch node;
+        Mem.store_f64 (Node.mmu node) ~addr (v *. k)
+      done)
+
+let frobenius node grid =
+  let total = ref 0.0 in
+  iter_tiles node grid (fun tile ->
+      for e = 0 to tile_elems - 1 do
+        let addr = tile.Access.addr + (e * 8) in
+        Node.charge_touch node;
+        let v = Mem.load_f64 (Node.mmu node) ~addr in
+        total := !total +. (v *. v)
+      done);
+  !total

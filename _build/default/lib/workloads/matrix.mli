@@ -1,0 +1,45 @@
+(** Block-partitioned matrix: a grid of pointers to large tiles.
+
+    Tiles are 32×32 doubles (8 KiB) — individual data larger than a
+    page, so their cache slots span multiple protected pages; the grid
+    header is a small array of tile pointers. Remote access patterns
+    (one row of tiles vs the whole matrix) exercise partial transfer of
+    large objects the way the tree exercises many small ones. *)
+
+open Srpc_core
+
+(** Elements per tile edge (32) and maximum tiles per grid (64, i.e. up
+    to 8×8 tiles = 256×256 elements). *)
+val tile_edge : int
+
+val max_tiles : int
+
+(** Registered names: ["mtile"], ["mgrid"]. *)
+val tile_type : string
+
+val grid_type : string
+val register_types : Cluster.t -> unit
+
+(** [create node ~tile_rows ~tile_cols] allocates a zeroed grid of
+    [tile_rows × tile_cols] tiles.
+    @raise Invalid_argument beyond [max_tiles]. *)
+val create : Node.t -> tile_rows:int -> tile_cols:int -> Access.ptr
+
+(** Element dimensions (rows, cols). *)
+val dims : Node.t -> Access.ptr -> int * int
+
+(** [get]/[set] address elements in row-major element coordinates.
+    @raise Invalid_argument out of bounds. *)
+val get : Node.t -> Access.ptr -> row:int -> col:int -> float
+
+val set : Node.t -> Access.ptr -> row:int -> col:int -> float -> unit
+
+(** [row_sum node grid ~row] sums one element row (touches one tile
+    row). *)
+val row_sum : Node.t -> Access.ptr -> row:int -> float
+
+(** [scale node grid k] multiplies every element in place. *)
+val scale : Node.t -> Access.ptr -> float -> unit
+
+(** [frobenius node grid] is the sum of squares of all elements. *)
+val frobenius : Node.t -> Access.ptr -> float

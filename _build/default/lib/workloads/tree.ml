@@ -1,0 +1,90 @@
+open Srpc_core
+open Srpc_types
+
+let type_name = "tnode"
+
+let register_types cluster =
+  Cluster.register_type cluster type_name
+    (Type_desc.Struct
+       [
+         ("left", Type_desc.ptr type_name);
+         ("right", Type_desc.ptr type_name);
+         ("data", Type_desc.i64);
+       ])
+
+let nodes_of_depth d = (1 lsl d) - 1
+
+let build node ~depth =
+  if depth <= 0 then Access.null ~ty:type_name
+  else begin
+    let counter = ref 0 in
+    (* Build iteratively on an explicit work list: at depth 16+ an OCaml
+       recursion would be fine, but allocation order should be preorder
+       so that data fields match preorder numbering. *)
+    let rec grow level =
+      let p = Access.ptr ~ty:type_name (Node.malloc node ~ty:type_name) in
+      Access.set_i64 node p ~field:"data" (Int64.of_int !counter);
+      incr counter;
+      if level > 1 then begin
+        Access.set_ptr node p ~field:"left" (grow (level - 1));
+        Access.set_ptr node p ~field:"right" (grow (level - 1))
+      end;
+      p
+    in
+    grow depth
+  end
+
+let visit_gen ~update node root ~limit =
+  let visited = ref 0 in
+  let sum = ref 0 in
+  let rec go p =
+    if (not (Access.is_null p)) && !visited < limit then begin
+      incr visited;
+      let d = Access.get_int node p ~field:"data" in
+      sum := !sum + d;
+      if update then Access.set_int node p ~field:"data" (d + 1);
+      go (Access.get_ptr node p ~field:"left");
+      go (Access.get_ptr node p ~field:"right")
+    end
+  in
+  go root;
+  (!visited, !sum)
+
+let visit = visit_gen ~update:false
+let visit_update = visit_gen ~update:true
+
+let descend node root ~path =
+  let rec go p level count sum =
+    if Access.is_null p then (count, sum)
+    else
+      let d = Access.get_int node p ~field:"data" in
+      let branch = if (path lsr level) land 1 = 0 then "left" else "right" in
+      go (Access.get_ptr node p ~field:branch) (level + 1) (count + 1) (sum + d)
+  in
+  go root 0 0 0
+
+let depth_of node root =
+  let rec go p acc =
+    if Access.is_null p then acc
+    else go (Access.get_ptr node p ~field:"left") (acc + 1)
+  in
+  go root 0
+
+let count node root =
+  let rec go p acc =
+    if Access.is_null p then acc
+    else
+      let acc = go (Access.get_ptr node p ~field:"left") (acc + 1) in
+      go (Access.get_ptr node p ~field:"right") acc
+  in
+  go root 0
+
+let free node root =
+  let rec go p =
+    if not (Access.is_null p) then begin
+      go (Access.get_ptr node p ~field:"left");
+      go (Access.get_ptr node p ~field:"right");
+      Node.extended_free node p.Access.addr
+    end
+  in
+  go root

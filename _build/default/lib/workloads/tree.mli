@@ -1,0 +1,50 @@
+(** The paper's experimental subject: a complete binary tree whose nodes
+    hold "two 4-byte pointers and 8-byte data" (section 4.1) — 16 bytes
+    per node on the 32-bit SPARC; the same declared type is 24 bytes on
+    a 64-bit machine, which is exactly the heterogeneity the system
+    handles. *)
+
+open Srpc_core
+
+(** Registered type name, ["tnode"]:
+    [{ left : tnode*; right : tnode*; data : i64 }]. *)
+val type_name : string
+
+(** [register_types cluster] publishes the node type on the name
+    server. Idempotent. *)
+val register_types : Cluster.t -> unit
+
+(** [nodes_of_depth d] is [2^d - 1], the size of a complete tree of
+    depth [d] (the paper's 32 767 nodes is depth 15). *)
+val nodes_of_depth : int -> int
+
+(** [build node ~depth] creates a complete binary tree in [node]'s own
+    heap, numbering data fields in depth-first preorder, and returns the
+    root. *)
+val build : Node.t -> depth:int -> Access.ptr
+
+(** [visit node root ~limit] walks the tree depth-first (preorder)
+    through the access layer, reading each visited node's data field,
+    stopping after [limit] nodes. Returns (visited count, sum of data
+    fields). *)
+val visit : Node.t -> Access.ptr -> limit:int -> int * int
+
+(** [visit_update node root ~limit] is [visit] but also increments each
+    visited node's data field — the paper's Fig. 7 updated case, with
+    the same access pattern as the not-updated case. *)
+val visit_update : Node.t -> Access.ptr -> limit:int -> int * int
+
+(** [descend node root ~path] walks one root-to-leaf path, choosing left
+    or right at level [l] by bit [l] of [path]; returns the number of
+    nodes on the path and the sum of their data fields. *)
+val descend : Node.t -> Access.ptr -> path:int -> int * int
+
+(** [depth_of node root] measures the depth by following left
+    children. *)
+val depth_of : Node.t -> Access.ptr -> int
+
+(** [count node root] walks the whole tree and counts nodes. *)
+val count : Node.t -> Access.ptr -> int
+
+(** [free node root] releases every node with [extended_free]. *)
+val free : Node.t -> Access.ptr -> unit

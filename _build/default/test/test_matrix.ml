@@ -1,0 +1,202 @@
+(* The strategy matrix: every canonical usage scenario executed under
+   every transfer-strategy configuration. The strategies select genuinely
+   different code paths (eager closure at call time, per-datum callbacks,
+   bounded BFS/DFS prefetch, twin-diff write-back, by-type placement,
+   unbatched remote ops), and all of them must preserve the same
+   observable semantics. *)
+
+open Srpc_memory
+open Srpc_types
+open Srpc_core
+open Srpc_simnet
+open Srpc_workloads
+
+let strategies =
+  [
+    ("fully-eager", Strategy.fully_eager);
+    ("fully-lazy", Strategy.fully_lazy);
+    ("smart-64", Strategy.smart ~closure_size:64 ());
+    ("smart-8k", Strategy.smart ());
+    ("smart-dfs", { (Strategy.smart ()) with Strategy.order = Strategy.Depth_first });
+    ("smart-twin", { (Strategy.smart ()) with Strategy.grain = Strategy.Twin_diff });
+    ("smart-bytype", { (Strategy.smart ()) with Strategy.grouping = Strategy.By_type });
+    ( "smart-unbatched",
+      { (Strategy.smart ()) with Strategy.batch_remote_ops = false } );
+  ]
+
+let node_ty = "mnode"
+
+let mk3 strategy =
+  let cluster = Cluster.create ~cost:Cost_model.zero () in
+  let a = Cluster.add_node cluster ~site:1 ~strategy () in
+  let b = Cluster.add_node cluster ~site:2 ~strategy () in
+  let c = Cluster.add_node cluster ~site:3 ~strategy () in
+  Cluster.register_type cluster node_ty
+    (Type_desc.Struct
+       [ ("next", Type_desc.ptr node_ty); ("data", Type_desc.i64) ]);
+  Linked_list.register_types cluster;
+  Tree.register_types cluster;
+  Btree.register_types cluster;
+  (cluster, a, b, c)
+
+(* Each scenario takes the fresh 3-node cluster and must assert its own
+   postconditions. *)
+
+let scenario_read_chain (_, a, b, _) =
+  let head = Linked_list.build a [ 9; 8; 7; 6; 5 ] in
+  Node.register b "sum" (fun node args ->
+      [ Value.int (Linked_list.sum node (Access.of_value (List.hd args))) ]);
+  Node.with_session a (fun () ->
+      match Node.call a ~dst:(Node.id b) "sum" [ Access.to_value head ] with
+      | [ v ] -> Alcotest.(check int) "sum" 35 (Value.to_int v)
+      | _ -> Alcotest.fail "arity")
+
+let scenario_deep_tree_search (_, a, b, _) =
+  let root = Tree.build a ~depth:9 in
+  Node.register b "count" (fun node args ->
+      [ Value.int (Tree.count node (Access.of_value (List.hd args))) ]);
+  Node.with_session a (fun () ->
+      match Node.call a ~dst:(Node.id b) "count" [ Access.to_value root ] with
+      | [ v ] -> Alcotest.(check int) "count" 511 (Value.to_int v)
+      | _ -> Alcotest.fail "arity")
+
+let scenario_update_writeback (_, a, b, _) =
+  let head = Linked_list.build a [ 1; 2; 3; 4; 5; 6 ] in
+  Node.register b "square" (fun node args ->
+      Linked_list.map_in_place node (Access.of_value (List.hd args)) (fun x -> x * x);
+      []);
+  Node.with_session a (fun () ->
+      ignore (Node.call a ~dst:(Node.id b) "square" [ Access.to_value head ]));
+  Alcotest.(check (list int)) "squared at origin" [ 1; 4; 9; 16; 25; 36 ]
+    (Linked_list.to_list a head)
+
+let scenario_three_site_relay (_, a, b, c) =
+  let head = Linked_list.build a [ 10; 20; 30 ] in
+  Node.register b "relay" (fun node args -> Node.call node ~dst:(Node.id c) "work" args);
+  Node.register c "work" (fun node args ->
+      let h = Access.of_value (List.hd args) in
+      Linked_list.map_in_place node h (fun x -> x + 1);
+      [ Value.int (Linked_list.sum node h) ]);
+  Node.with_session a (fun () ->
+      (match Node.call a ~dst:(Node.id b) "relay" [ Access.to_value head ] with
+      | [ v ] -> Alcotest.(check int) "sum at c" 63 (Value.to_int v)
+      | _ -> Alcotest.fail "arity");
+      (* the ground thread must observe c's writes mid-session *)
+      Alcotest.(check int) "visible at a" 63 (Linked_list.sum a head))
+
+let scenario_remote_growth (_, a, b, _) =
+  let head = Linked_list.build a [ 0 ] in
+  Node.register b "extend" (fun node args ->
+      let h = Access.of_value (List.hd args) in
+      ignore
+        (Linked_list.append node h ~home:(Space_id.make ~site:1 ~proc:0)
+           [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]);
+      []);
+  Node.with_session a (fun () ->
+      ignore (Node.call a ~dst:(Node.id b) "extend" [ Access.to_value head ]));
+  Alcotest.(check (list int)) "grown at home" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (Linked_list.to_list a head);
+  Alcotest.(check int) "all cells in a's heap" 10
+    (Allocator.live_blocks (Node.heap a))
+
+let scenario_free_and_rebuild (_, a, b, _) =
+  let head = Linked_list.build a [ 1; 2; 3 ] in
+  Node.register b "drop_tail" (fun node args ->
+      let h = Access.of_value (List.hd args) in
+      let second = Linked_list.nth node h 1 in
+      let third = Linked_list.nth node h 2 in
+      Access.set_ptr node second ~field:"next" (Access.null ~ty:Linked_list.type_name);
+      Node.extended_free node third.Access.addr;
+      []);
+  Node.with_session a (fun () ->
+      ignore (Node.call a ~dst:(Node.id b) "drop_tail" [ Access.to_value head ]));
+  Alcotest.(check (list int)) "truncated" [ 1; 2 ] (Linked_list.to_list a head);
+  Alcotest.(check int) "cell released at home" 2
+    (Allocator.live_blocks (Node.heap a))
+
+let scenario_callee_returns_structure (_, a, b, _) =
+  Node.register b "make" (fun node _ ->
+      [ Access.to_value (Linked_list.build node [ 4; 2 ]) ]);
+  Node.with_session a (fun () ->
+      match Node.call a ~dst:(Node.id b) "make" [] with
+      | [ v ] ->
+        Alcotest.(check (list int)) "read remote result" [ 4; 2 ]
+          (Linked_list.to_list a (Access.of_value v))
+      | _ -> Alcotest.fail "arity")
+
+let scenario_btree_remote_growth (_, a, b, _) =
+  let t = Btree.create a in
+  Btree.insert a t ~key:0 ~value:0;
+  Node.register b "fill" (fun node args ->
+      let t = Access.of_value (List.hd args) in
+      for k = 1 to 30 do
+        Btree.insert node t ~key:((k * 13) mod 31) ~value:k
+      done;
+      []);
+  Node.with_session a (fun () ->
+      ignore (Node.call a ~dst:(Node.id b) "fill" [ Access.to_value t ]));
+  Alcotest.(check bool) "invariants hold at owner" true
+    (Btree.check_invariants a t = Ok ());
+  Alcotest.(check int) "31 keys" 31 (Btree.cardinal a t)
+
+let scenario_cache_persists_within_session (cluster, a, b, _) =
+  let head = Linked_list.build a [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  Node.register b "sum" (fun node args ->
+      [ Value.int (Linked_list.sum node (Access.of_value (List.hd args))) ]);
+  Node.with_session a (fun () ->
+      ignore (Node.call a ~dst:(Node.id b) "sum" [ Access.to_value head ]);
+      let s0 = Cluster.snapshot cluster in
+      (match Node.call a ~dst:(Node.id b) "sum" [ Access.to_value head ] with
+      | [ v ] -> Alcotest.(check int) "second call" 36 (Value.to_int v)
+      | _ -> Alcotest.fail "arity");
+      let d = Stats.diff (Cluster.snapshot cluster) s0 in
+      (* "each site keeps all the cached data until the ground thread
+         declares the end of the session": the second call re-fetches
+         nothing *)
+      Alcotest.(check int) "no refetch" 0 d.Stats.callbacks)
+
+let scenario_heterogeneous (strategy_name, strategy) =
+  ignore strategy_name;
+  let cluster = Cluster.create ~cost:Cost_model.zero () in
+  let a = Cluster.add_node cluster ~site:1 ~arch:Arch.sparc32 ~strategy () in
+  let b = Cluster.add_node cluster ~site:2 ~arch:Arch.lp64_le ~strategy () in
+  Linked_list.register_types cluster;
+  let head = Linked_list.build a [ 100; 200; 300 ] in
+  Node.register b "negate" (fun node args ->
+      Linked_list.map_in_place node (Access.of_value (List.hd args)) (fun x -> -x);
+      [ Value.int (Linked_list.sum node (Access.of_value (List.hd args))) ]);
+  Node.with_session a (fun () ->
+      match Node.call a ~dst:(Node.id b) "negate" [ Access.to_value head ] with
+      | [ v ] -> Alcotest.(check int) "sum on 64-bit" (-600) (Value.to_int v)
+      | _ -> Alcotest.fail "arity");
+  Alcotest.(check (list int)) "negated at 32-bit origin" [ -100; -200; -300 ]
+    (Linked_list.to_list a head)
+
+let scenarios =
+  [
+    ("read chain", scenario_read_chain);
+    ("deep tree search", scenario_deep_tree_search);
+    ("update + write-back", scenario_update_writeback);
+    ("three-site relay", scenario_three_site_relay);
+    ("remote growth (extended_malloc)", scenario_remote_growth);
+    ("free and rebuild (extended_free)", scenario_free_and_rebuild);
+    ("callee returns structure", scenario_callee_returns_structure);
+    ("b-tree remote growth", scenario_btree_remote_growth);
+    ("cache persists within session", scenario_cache_persists_within_session);
+  ]
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "strategy-matrix"
+    (List.map
+       (fun (sname, strategy) ->
+         ( sname,
+           List.map
+             (fun (scen_name, scenario) ->
+               tc scen_name `Quick (fun () -> scenario (mk3 strategy)))
+             scenarios
+           @ [
+               tc "heterogeneous 32be/64le" `Quick (fun () ->
+                   scenario_heterogeneous (sname, strategy));
+             ] ))
+       strategies)

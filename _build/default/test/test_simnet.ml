@@ -1,0 +1,305 @@
+(* Unit tests for the simulated-network substrate: clock, statistics,
+   cost model and synchronous transport. *)
+
+open Srpc_simnet
+
+let feq = Alcotest.float 1e-9
+
+(* --- Clock --- *)
+
+let test_clock_starts_at_zero () =
+  Alcotest.check feq "zero" 0.0 (Clock.now (Clock.create ()))
+
+let test_clock_advance () =
+  let c = Clock.create () in
+  Clock.advance c 1.5;
+  Clock.advance c 0.25;
+  Alcotest.check feq "sum" 1.75 (Clock.now c)
+
+let test_clock_reset () =
+  let c = Clock.create () in
+  Clock.advance c 3.0;
+  Clock.reset c;
+  Alcotest.check feq "reset" 0.0 (Clock.now c)
+
+let test_clock_measure () =
+  let c = Clock.create () in
+  Clock.advance c 1.0;
+  let v, dt =
+    Clock.measure c (fun () ->
+        Clock.advance c 2.5;
+        42)
+  in
+  Alcotest.(check int) "result" 42 v;
+  Alcotest.check feq "elapsed" 2.5 dt;
+  Alcotest.check feq "absolute" 3.5 (Clock.now c)
+
+(* --- Stats --- *)
+
+let test_stats_counts () =
+  let s = Stats.create () in
+  Stats.incr_messages s;
+  Stats.incr_messages s;
+  Stats.add_bytes s 100;
+  Stats.incr_faults s;
+  Stats.incr_callbacks s;
+  Stats.add_writebacks s 3;
+  Stats.add_remote_allocs s 2;
+  Stats.add_remote_frees s 1;
+  let snap = Stats.snapshot s in
+  Alcotest.(check int) "messages" 2 snap.Stats.messages;
+  Alcotest.(check int) "bytes" 100 snap.Stats.bytes;
+  Alcotest.(check int) "faults" 1 snap.Stats.faults;
+  Alcotest.(check int) "callbacks" 1 snap.Stats.callbacks;
+  Alcotest.(check int) "writebacks" 3 snap.Stats.writebacks;
+  Alcotest.(check int) "allocs" 2 snap.Stats.remote_allocs;
+  Alcotest.(check int) "frees" 1 snap.Stats.remote_frees
+
+let test_stats_diff () =
+  let s = Stats.create () in
+  Stats.incr_messages s;
+  let a = Stats.snapshot s in
+  Stats.incr_messages s;
+  Stats.add_bytes s 10;
+  let b = Stats.snapshot s in
+  let d = Stats.diff b a in
+  Alcotest.(check int) "messages" 1 d.Stats.messages;
+  Alcotest.(check int) "bytes" 10 d.Stats.bytes
+
+let test_stats_reset () =
+  let s = Stats.create () in
+  Stats.incr_messages s;
+  Stats.reset s;
+  Alcotest.(check int) "messages" 0 (Stats.snapshot s).Stats.messages
+
+let test_stats_zero () =
+  Alcotest.(check int) "zero" 0 Stats.zero.Stats.messages
+
+(* --- Cost model --- *)
+
+let test_frame_cost_zero_model () =
+  Alcotest.check feq "free" 0.0 (Cost_model.frame_cost Cost_model.zero ~bytes:1000)
+
+let test_frame_cost_components () =
+  let m =
+    {
+      Cost_model.message_latency = 0.5;
+      bandwidth = 100.0;
+      per_byte_cpu = 0.01;
+      fault_overhead = 0.0;
+      local_touch = 0.0;
+    }
+  in
+  (* 0.5 latency + 200/100 wire + 200*0.01 cpu *)
+  Alcotest.check feq "cost" 4.5 (Cost_model.frame_cost m ~bytes:200)
+
+let test_frame_cost_monotone_in_bytes () =
+  let m = Cost_model.sparc_10mbps in
+  let c1 = Cost_model.frame_cost m ~bytes:10 in
+  let c2 = Cost_model.frame_cost m ~bytes:10000 in
+  Alcotest.(check bool) "monotone" true (c2 > c1)
+
+(* --- Transport --- *)
+
+let mk_transport ?(cost = Cost_model.zero) () =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  (Transport.create ~clock ~stats ~cost, clock, stats)
+
+let test_transport_echo () =
+  let t, _, _ = mk_transport () in
+  Transport.register t "b" (fun src req -> src ^ ":" ^ req);
+  let reply = Transport.rpc t ~src:"a" ~dst:"b" "hello" in
+  Alcotest.(check string) "echo" "a:hello" reply
+
+let test_transport_unknown_endpoint () =
+  let t, _, _ = mk_transport () in
+  Alcotest.check_raises "unknown" (Transport.Unknown_endpoint "nope") (fun () ->
+      ignore (Transport.rpc t ~src:"a" ~dst:"nope" "x"))
+
+let test_transport_counts_messages_and_bytes () =
+  let t, _, stats = mk_transport () in
+  Transport.register t "b" (fun _ _ -> "pong!");
+  ignore (Transport.rpc t ~src:"a" ~dst:"b" "ping");
+  let s = Stats.snapshot stats in
+  Alcotest.(check int) "two frames" 2 s.Stats.messages;
+  Alcotest.(check int) "bytes both ways" 9 s.Stats.bytes
+
+let test_transport_advances_clock () =
+  let cost =
+    {
+      Cost_model.message_latency = 1.0;
+      bandwidth = infinity;
+      per_byte_cpu = 0.0;
+      fault_overhead = 0.0;
+      local_touch = 0.0;
+    }
+  in
+  let t, clock, _ = mk_transport ~cost () in
+  Transport.register t "b" (fun _ _ -> "");
+  ignore (Transport.rpc t ~src:"a" ~dst:"b" "x");
+  Alcotest.check feq "two latencies" 2.0 (Clock.now clock)
+
+let test_transport_nested_dispatch () =
+  (* b's handler calls back into a: the synchronous single-thread model *)
+  let t, _, stats = mk_transport () in
+  Transport.register t "a" (fun _ req -> "a-saw-" ^ req);
+  Transport.register t "b" (fun src req ->
+      let nested = Transport.rpc t ~src:"b" ~dst:src req in
+      "b:" ^ nested);
+  let reply = Transport.rpc t ~src:"a" ~dst:"b" "cb" in
+  Alcotest.(check string) "callback" "b:a-saw-cb" reply;
+  Alcotest.(check int) "four frames" 4 (Stats.snapshot stats).Stats.messages
+
+let test_transport_reregister_replaces () =
+  let t, _, _ = mk_transport () in
+  Transport.register t "b" (fun _ _ -> "old");
+  Transport.register t "b" (fun _ _ -> "new");
+  Alcotest.(check string) "replaced" "new" (Transport.rpc t ~src:"a" ~dst:"b" "")
+
+let test_transport_unregister () =
+  let t, _, _ = mk_transport () in
+  Transport.register t "b" (fun _ _ -> "x");
+  Alcotest.(check bool) "registered" true (Transport.is_registered t "b");
+  Transport.unregister t "b";
+  Alcotest.(check bool) "gone" false (Transport.is_registered t "b")
+
+let test_transport_multicast_skips_src () =
+  let t, _, _ = mk_transport () in
+  let hits = ref [] in
+  let handler name _ req =
+    hits := name :: !hits;
+    req
+  in
+  Transport.register t "a" (handler "a");
+  Transport.register t "b" (handler "b");
+  Transport.register t "c" (handler "c");
+  Transport.multicast t ~src:"a" ~dsts:[ "a"; "b"; "c" ] "inv";
+  Alcotest.(check (list string)) "b and c only" [ "b"; "c" ] (List.sort compare !hits)
+
+let test_transport_charge_fault () =
+  let cost = { Cost_model.zero with Cost_model.fault_overhead = 0.125 } in
+  let t, clock, stats = mk_transport ~cost () in
+  Transport.charge_fault t;
+  Transport.charge_fault t;
+  Alcotest.check feq "time" 0.25 (Clock.now clock);
+  Alcotest.(check int) "count" 2 (Stats.snapshot stats).Stats.faults
+
+let test_transport_charge_touches () =
+  let cost = { Cost_model.zero with Cost_model.local_touch = 0.5 } in
+  let t, clock, _ = mk_transport ~cost () in
+  Transport.charge_local_touches t 4;
+  Alcotest.check feq "time" 2.0 (Clock.now clock)
+
+let test_transport_charge_cpu_bytes () =
+  let cost = { Cost_model.zero with Cost_model.per_byte_cpu = 0.001 } in
+  let t, clock, _ = mk_transport ~cost () in
+  Transport.charge_cpu_bytes t 500;
+  Alcotest.check feq "time" 0.5 (Clock.now clock)
+
+let test_link_cost_override () =
+  let cost =
+    {
+      Cost_model.message_latency = 1.0;
+      bandwidth = infinity;
+      per_byte_cpu = 0.0;
+      fault_overhead = 0.0;
+      local_touch = 0.0;
+    }
+  in
+  let t, clock, _ = mk_transport ~cost () in
+  Transport.register t "b" (fun _ _ -> "");
+  (* make only the a->b direction 10x slower *)
+  Transport.set_link_cost t ~src:"a" ~dst:"b"
+    { cost with Cost_model.message_latency = 10.0 };
+  ignore (Transport.rpc t ~src:"a" ~dst:"b" "x");
+  (* request 10.0 + reply 1.0 *)
+  Alcotest.check feq "asymmetric" 11.0 (Clock.now clock);
+  Transport.clear_link_cost t ~src:"a" ~dst:"b";
+  Clock.reset clock;
+  ignore (Transport.rpc t ~src:"a" ~dst:"b" "x");
+  Alcotest.check feq "cleared" 2.0 (Clock.now clock)
+
+let test_trace_records_frames () =
+  let t, _, _ = mk_transport () in
+  let trace = Trace.create () in
+  Transport.set_trace t (Some trace);
+  Transport.register t "b" (fun _ _ -> "reply!");
+  Transport.register t "c" (fun _ _ -> "");
+  ignore (Transport.rpc t ~src:"a" ~dst:"b" "req");
+  ignore (Transport.rpc t ~src:"a" ~dst:"c" "req2");
+  Alcotest.(check int) "four frames" 4 (Trace.length trace);
+  Alcotest.(check int) "a->b requests" 1 (Trace.between trace ~src:"a" ~dst:"b");
+  Alcotest.(check int) "b->a replies are not requests" 0
+    (Trace.between trace ~src:"b" ~dst:"a");
+  (match Trace.events trace with
+  | { Trace.src = "a"; dst = "b"; dir = Trace.Request; bytes = 3; _ }
+    :: { Trace.src = "b"; dst = "a"; dir = Trace.Reply; bytes = 6; _ } :: _ ->
+    ()
+  | _ -> Alcotest.fail "unexpected event sequence");
+  Transport.set_trace t None;
+  ignore (Transport.rpc t ~src:"a" ~dst:"b" "req");
+  Alcotest.(check int) "detached" 4 (Trace.length trace);
+  Trace.clear trace;
+  Alcotest.(check int) "cleared" 0 (Trace.length trace)
+
+let test_trace_pp () =
+  let trace = Trace.create () in
+  Trace.record trace ~at:0.5 ~src:"a" ~dst:"b" ~dir:Trace.Request ~bytes:10;
+  let s = Format.asprintf "%a" Trace.pp trace in
+  Alcotest.(check bool) "rendered" true (String.length s > 10)
+
+let test_transport_endpoints_list () =
+  let t, _, _ = mk_transport () in
+  Transport.register t "x" (fun _ r -> r);
+  Transport.register t "y" (fun _ r -> r);
+  Alcotest.(check (list string))
+    "endpoints" [ "x"; "y" ]
+    (List.sort compare (Transport.endpoints t))
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "simnet"
+    [
+      ( "clock",
+        [
+          tc "starts at zero" `Quick test_clock_starts_at_zero;
+          tc "advance accumulates" `Quick test_clock_advance;
+          tc "reset" `Quick test_clock_reset;
+          tc "measure" `Quick test_clock_measure;
+        ] );
+      ( "stats",
+        [
+          tc "counters" `Quick test_stats_counts;
+          tc "diff" `Quick test_stats_diff;
+          tc "reset" `Quick test_stats_reset;
+          tc "zero" `Quick test_stats_zero;
+        ] );
+      ( "cost-model",
+        [
+          tc "zero model is free" `Quick test_frame_cost_zero_model;
+          tc "components add up" `Quick test_frame_cost_components;
+          tc "monotone in bytes" `Quick test_frame_cost_monotone_in_bytes;
+        ] );
+      ( "transport",
+        [
+          tc "echo" `Quick test_transport_echo;
+          tc "unknown endpoint" `Quick test_transport_unknown_endpoint;
+          tc "counts messages and bytes" `Quick test_transport_counts_messages_and_bytes;
+          tc "advances clock" `Quick test_transport_advances_clock;
+          tc "nested dispatch (callback)" `Quick test_transport_nested_dispatch;
+          tc "re-register replaces" `Quick test_transport_reregister_replaces;
+          tc "unregister" `Quick test_transport_unregister;
+          tc "multicast skips source" `Quick test_transport_multicast_skips_src;
+          tc "charge fault" `Quick test_transport_charge_fault;
+          tc "charge touches" `Quick test_transport_charge_touches;
+          tc "charge cpu bytes" `Quick test_transport_charge_cpu_bytes;
+          tc "endpoints" `Quick test_transport_endpoints_list;
+          tc "per-link cost override" `Quick test_link_cost_override;
+        ] );
+      ( "trace",
+        [
+          tc "records frames" `Quick test_trace_records_frames;
+          tc "pretty printing" `Quick test_trace_pp;
+        ] );
+    ]

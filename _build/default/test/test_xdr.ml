@@ -1,0 +1,206 @@
+(* Unit tests for the XDR codec: wire layout (big-endian, 4-byte
+   padding), roundtrips, and decode error handling. *)
+
+module Xdr = Srpc_xdr.Xdr
+open Xdr
+
+let enc_to_string f =
+  let e = Enc.create () in
+  f e;
+  Enc.to_string e
+
+let test_int32_wire_layout () =
+  Alcotest.(check string) "big endian" "\x01\x02\x03\x04"
+    (enc_to_string (fun e -> Enc.int32 e 0x01020304l))
+
+let test_int_roundtrip () =
+  List.iter
+    (fun v -> Alcotest.(check int) (string_of_int v) v (roundturn Enc.int Dec.int v))
+    [ 0; 1; -1; 42; 0x7fffffff; -0x80000000 ]
+
+let test_int_out_of_range () =
+  Alcotest.(check bool) "too big" true
+    (match Enc.int (Enc.create ()) 0x80000000 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_uint32_roundtrip () =
+  List.iter
+    (fun v ->
+      Alcotest.(check int) (string_of_int v) v (roundturn Enc.uint32 Dec.uint32 v))
+    [ 0; 1; 0x7fffffff; 0x80000000; 0xffffffff ]
+
+let test_int64_roundtrip () =
+  List.iter
+    (fun v ->
+      Alcotest.(check int64) (Int64.to_string v) v (roundturn Enc.int64 Dec.int64 v))
+    [ 0L; -1L; Int64.max_int; Int64.min_int; 0x0123456789abcdefL ]
+
+let test_hyper_roundtrip () =
+  List.iter
+    (fun v -> Alcotest.(check int) (string_of_int v) v (roundturn Enc.hyper Dec.hyper v))
+    [ 0; -1; max_int; min_int; 1 lsl 40 ]
+
+let test_bool_roundtrip () =
+  Alcotest.(check bool) "true" true (roundturn Enc.bool Dec.bool true);
+  Alcotest.(check bool) "false" false (roundturn Enc.bool Dec.bool false)
+
+let test_bool_wire_is_int () =
+  Alcotest.(check string) "true = 1" "\x00\x00\x00\x01"
+    (enc_to_string (fun e -> Enc.bool e true))
+
+let test_bad_bool_rejected () =
+  let d = Dec.of_string "\x00\x00\x00\x07" in
+  Alcotest.(check bool) "7 is not a bool" true
+    (match Dec.bool d with _ -> false | exception Decode_error _ -> true)
+
+let test_float_roundtrips () =
+  List.iter
+    (fun v ->
+      Alcotest.(check (float 0.0)) (string_of_float v) v
+        (roundturn Enc.float64 Dec.float64 v))
+    [ 0.0; -1.5; Float.pi; infinity; neg_infinity; Float.max_float ];
+  Alcotest.(check (float 1e-6)) "f32" 2.5 (roundturn Enc.float32 Dec.float32 2.5);
+  Alcotest.(check bool) "nan survives" true
+    (Float.is_nan (roundturn Enc.float64 Dec.float64 Float.nan))
+
+let test_string_padding () =
+  (* length word + 5 bytes + 3 zero pad *)
+  Alcotest.(check string) "padded" "\x00\x00\x00\x05hello\x00\x00\x00"
+    (enc_to_string (fun e -> Enc.string e "hello"));
+  (* multiple of 4 needs no pad *)
+  Alcotest.(check string) "no pad" "\x00\x00\x00\x04hell"
+    (enc_to_string (fun e -> Enc.string e "hell"))
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) (String.escaped s) s (roundturn Enc.string Dec.string s))
+    [ ""; "a"; "ab"; "abc"; "abcd"; "hello world"; String.make 1000 'x'; "\x00\xff" ]
+
+let test_opaque_bytes () =
+  let b = Bytes.of_string "binary\x00data" in
+  let d = Dec.of_string (enc_to_string (fun e -> Enc.opaque_bytes e b)) in
+  Alcotest.(check string) "bytes" "binary\x00data" (Dec.opaque d)
+
+let test_fixed_opaque () =
+  let wire = enc_to_string (fun e -> Enc.fixed_opaque e "abcde") in
+  Alcotest.(check int) "padded to 8" 8 (String.length wire);
+  let d = Dec.of_string wire in
+  Alcotest.(check string) "value" "abcde" (Dec.fixed_opaque d 5);
+  Dec.check_end d
+
+let test_list_roundtrip () =
+  let xs = [ 3; 1; 4; 1; 5; 9; 2; 6 ] in
+  Alcotest.(check (list int)) "list" xs
+    (roundturn (fun e -> Enc.list e Enc.int) (fun d -> Dec.list d Dec.int) xs);
+  Alcotest.(check (list int)) "empty" []
+    (roundturn (fun e -> Enc.list e Enc.int) (fun d -> Dec.list d Dec.int) [])
+
+let test_list_decode_order () =
+  (* decoding must be strictly left-to-right *)
+  let xs = List.init 100 (fun i -> i) in
+  Alcotest.(check (list int)) "order" xs
+    (roundturn (fun e -> Enc.list e Enc.int) (fun d -> Dec.list d Dec.int) xs)
+
+let test_array_roundtrip () =
+  let xs = [| "a"; "bb"; "ccc" |] in
+  Alcotest.(check (array string)) "array" xs
+    (roundturn (fun e -> Enc.array e Enc.string) (fun d -> Dec.array d Dec.string) xs)
+
+let test_option_roundtrip () =
+  let enc e v = Enc.option e Enc.int v in
+  let dec d = Dec.option d Dec.int in
+  Alcotest.(check (option int)) "some" (Some 7) (roundturn enc dec (Some 7));
+  Alcotest.(check (option int)) "none" None (roundturn enc dec None)
+
+let test_truncated_input () =
+  let d = Dec.of_string "\x00\x00" in
+  Alcotest.(check bool) "truncated" true
+    (match Dec.int d with _ -> false | exception Decode_error _ -> true)
+
+let test_truncated_string_body () =
+  (* declared length 100, only 4 bytes present *)
+  let d = Dec.of_string "\x00\x00\x00\x64abcd" in
+  Alcotest.(check bool) "truncated body" true
+    (match Dec.string d with _ -> false | exception Decode_error _ -> true)
+
+let test_trailing_bytes_detected () =
+  let d = Dec.of_string "\x00\x00\x00\x01\xff" in
+  ignore (Dec.int d);
+  Alcotest.(check bool) "trailing" true
+    (match Dec.check_end d with () -> false | exception Decode_error _ -> true)
+
+let test_remaining_and_at_end () =
+  let d = Dec.of_string "\x00\x00\x00\x2a" in
+  Alcotest.(check int) "remaining" 4 (Dec.remaining d);
+  Alcotest.(check bool) "not at end" false (Dec.at_end d);
+  ignore (Dec.int d);
+  Alcotest.(check bool) "at end" true (Dec.at_end d)
+
+let test_sequence_of_values () =
+  (* mixed-type message framing *)
+  let wire =
+    enc_to_string (fun e ->
+        Enc.int e 1;
+        Enc.string e "proc";
+        Enc.float64 e 2.5;
+        Enc.bool e true)
+  in
+  Alcotest.(check int) "4-aligned" 0 (String.length wire mod 4);
+  let d = Dec.of_string wire in
+  Alcotest.(check int) "int" 1 (Dec.int d);
+  Alcotest.(check string) "string" "proc" (Dec.string d);
+  Alcotest.(check (float 0.0)) "float" 2.5 (Dec.float64 d);
+  Alcotest.(check bool) "bool" true (Dec.bool d);
+  Dec.check_end d
+
+let test_enc_length_tracks () =
+  let e = Enc.create () in
+  Alcotest.(check int) "empty" 0 (Enc.length e);
+  Enc.int e 5;
+  Alcotest.(check int) "one word" 4 (Enc.length e);
+  Enc.string e "xyz";
+  Alcotest.(check int) "word + padded string" 12 (Enc.length e)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "xdr"
+    [
+      ( "scalars",
+        [
+          tc "int32 wire layout" `Quick test_int32_wire_layout;
+          tc "int roundtrip" `Quick test_int_roundtrip;
+          tc "int out of range" `Quick test_int_out_of_range;
+          tc "uint32 roundtrip" `Quick test_uint32_roundtrip;
+          tc "int64 roundtrip" `Quick test_int64_roundtrip;
+          tc "hyper roundtrip" `Quick test_hyper_roundtrip;
+          tc "bool roundtrip" `Quick test_bool_roundtrip;
+          tc "bool wire form" `Quick test_bool_wire_is_int;
+          tc "bad bool rejected" `Quick test_bad_bool_rejected;
+          tc "float roundtrips" `Quick test_float_roundtrips;
+        ] );
+      ( "strings",
+        [
+          tc "padding" `Quick test_string_padding;
+          tc "roundtrip" `Quick test_string_roundtrip;
+          tc "opaque bytes" `Quick test_opaque_bytes;
+          tc "fixed opaque" `Quick test_fixed_opaque;
+        ] );
+      ( "composites",
+        [
+          tc "list roundtrip" `Quick test_list_roundtrip;
+          tc "list decode order" `Quick test_list_decode_order;
+          tc "array roundtrip" `Quick test_array_roundtrip;
+          tc "option roundtrip" `Quick test_option_roundtrip;
+          tc "sequence framing" `Quick test_sequence_of_values;
+          tc "encoder length" `Quick test_enc_length_tracks;
+        ] );
+      ( "errors",
+        [
+          tc "truncated input" `Quick test_truncated_input;
+          tc "truncated string body" `Quick test_truncated_string_body;
+          tc "trailing bytes" `Quick test_trailing_bytes_detected;
+          tc "remaining / at_end" `Quick test_remaining_and_at_end;
+        ] );
+    ]
