@@ -270,6 +270,126 @@ let inspect_cmd =
     (Cmd.info "inspect" ~doc:"Trace a small RPC and dump the runtime's state.")
     Term.(const run $ verbose_arg $ depth)
 
+(* --- lint: static descriptor analysis + session-protocol verification --- *)
+
+(* Every type the shipped examples and workloads register, combined in
+   one registry: the linter's "shipped surface". Keep in sync with
+   examples/ and lib/workloads (the example-local descriptors are
+   repeated here verbatim). *)
+let example_registry () =
+  let module T = Srpc_types.Type_desc in
+  let cluster = Srpc_core.Cluster.create () in
+  Tree.register_types cluster;
+  Linked_list.register_types cluster;
+  Btree.register_types cluster;
+  Graph.register_types cluster;
+  Hash_table.register_types cluster;
+  Matrix.register_types cluster;
+  (* examples/nested_session.ml *)
+  Srpc_core.Cluster.register_type cluster "counter"
+    (T.Struct [ ("value", T.i64) ]);
+  (* lib/workloads/experiments.ml, closure-hint ablation *)
+  Srpc_core.Cluster.register_type cluster "blob"
+    (T.Struct [ ("payload", T.Array (T.f64, 64)) ]);
+  Srpc_core.Cluster.register_type cluster "rcell"
+    (T.Struct
+       [ ("next", T.ptr "rcell"); ("blob", T.ptr "blob"); ("tag", T.i64) ]);
+  Srpc_core.Cluster.registry cluster
+
+(* A scripted session that exercises the whole protocol — nested calls,
+   a callback into the ground space, dirty data, the session-close
+   write-back and invalidation — recorded as a trace for the verifier. *)
+let traced_session () =
+  let open Srpc_core in
+  let cluster = Cluster.create () in
+  let a = Cluster.add_node cluster ~site:1 () in
+  let b = Cluster.add_node cluster ~site:2 () in
+  let c = Cluster.add_node cluster ~site:3 () in
+  Linked_list.register_types cluster;
+  let trace = Srpc_simnet.Trace.create () in
+  Srpc_simnet.Transport.set_trace (Cluster.transport cluster) (Some trace);
+  Node.register a "bonus" (fun _ _ -> [ Value.int 1 ]);
+  Node.register c "sum" (fun node args ->
+      let p = Access.of_value (List.hd args) in
+      let bonus =
+        match Node.call node ~dst:(Node.id a) "bonus" [] with
+        | [ v ] -> Value.to_int v
+        | _ -> 0
+      in
+      (* dirty one cell so the session close has data to write back *)
+      let v = Access.get_int node p ~field:"value" in
+      Access.set_int node p ~field:"value" (v + bonus);
+      [ Value.int (Linked_list.sum node p) ]);
+  Node.register b "relay" (fun node args ->
+      Node.call node ~dst:(Node.id c) "sum" args);
+  let head = Linked_list.build a [ 1; 2; 3; 4 ] in
+  Node.with_session a (fun () ->
+      ignore (Node.call a ~dst:(Node.id b) "relay" [ Access.to_value head ]));
+  trace
+
+let report_diags header diags =
+  let module D = Srpc_analysis.Diagnostic in
+  if diags = [] then Format.printf "%s: ok, 0 findings@." header
+  else
+    Format.printf "%s: %d finding(s), %d error(s)@.%a@." header
+      (List.length diags) (D.count_errors diags) D.pp_list diags;
+  D.count_errors diags
+
+let lint_cmd =
+  let types_flag =
+    Arg.(value & flag & info [ "types" ]
+           ~doc:"Lint the type descriptors registered by the shipped \
+                 examples and workloads.")
+  in
+  let trace_flag =
+    Arg.(value & flag & info [ "trace" ]
+           ~doc:"Record a representative session and verify the trace \
+                 against the protocol invariants.")
+  in
+  let all_flag = Arg.(value & flag & info [ "all" ] ~doc:"Run every engine.") in
+  let rules_flag =
+    Arg.(value & flag & info [ "rules" ] ~doc:"Print the rule catalogue and exit.")
+  in
+  let arches_arg =
+    Arg.(
+      value
+      & opt (list arch_conv) [ Arch.sparc32 ]
+      & info [ "arch" ] ~docv:"A,A,..."
+          ~doc:"Architectures the registry must agree on (the TD005 \
+                divergence rule needs at least two).")
+  in
+  let run verbose types trace all rules arches =
+    setup_logs verbose;
+    if rules then Srpc_analysis.Diagnostic.pp_rules Format.std_formatter ()
+    else begin
+      let types = types || all in
+      let trace = trace || all in
+      if not (types || trace) then begin
+        prerr_endline "lint: nothing to do (pass --types, --trace or --all)";
+        exit 2
+      end;
+      let errors = ref 0 in
+      if types then
+        errors :=
+          !errors
+          + report_diags "descriptor lint"
+              (Srpc_analysis.Desc_lint.check ~arches (example_registry ()));
+      if trace then
+        errors :=
+          !errors
+          + report_diags "protocol trace"
+              (Srpc_analysis.Proto_lint.check (traced_session ()));
+      if !errors > 0 then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static type-descriptor analysis and session-protocol trace \
+             verification (non-zero exit on error findings).")
+    Term.(
+      const run $ verbose_arg $ types_flag $ trace_flag $ all_flag $ rules_flag
+      $ arches_arg)
+
 let () =
   let doc = "Smart Remote Procedure Calls (ICDCS 1994) reproduction driver" in
   let info = Cmd.info "srpc" ~version:"1.0.0" ~doc in
@@ -278,5 +398,5 @@ let () =
        (Cmd.group info
           [
             table1_cmd; fig4_cmd; fig6_cmd; fig7_cmd; ablations_cmd; kv_cmd;
-            wan_cmd; hints_cmd; run_cmd; inspect_cmd;
+            wan_cmd; hints_cmd; run_cmd; inspect_cmd; lint_cmd;
           ]))

@@ -20,6 +20,7 @@ let () =
   Cluster.register_type cluster counter_ty
     (Type_desc.Struct [ ("value", Type_desc.i64) ]);
   Linked_list.register_types cluster;
+  Cluster.validate cluster;
 
   (* A's datum, shared by pointer through the whole session. *)
   let counter = Access.ptr ~ty:counter_ty (Node.malloc a ~ty:counter_ty) in

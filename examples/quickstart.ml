@@ -16,8 +16,10 @@ let () =
   let client = Cluster.add_node cluster ~site:1 () in
   let server = Cluster.add_node cluster ~site:2 () in
 
-  (* Publish the list-cell type on the name server. *)
+  (* Publish the list-cell type on the name server, and let the
+     descriptor linter reject it if it is malformed. *)
   Linked_list.register_types cluster;
+  Cluster.validate cluster;
 
   (* Build a list in the CLIENT's address space. *)
   let head = Linked_list.build client [ 3; 1; 4; 1; 5; 9; 2; 6 ] in

@@ -1,0 +1,147 @@
+open Srpc_types
+open Srpc_memory
+
+exception Invalid_registry of Diagnostic.t list
+
+let all_arches = [ Arch.ilp32_le; Arch.sparc32; Arch.lp64_le; Arch.lp64_be ]
+
+(* --- TD001 / TD003 / TD004 / TD006: one structural walk per type --- *)
+
+let structural_diags reg name desc =
+  let out = ref [] in
+  let emit severity rule_id path message =
+    out := Diagnostic.make ~severity ~rule_id ~path message :: !out
+  in
+  let rec go path (ty : Type_desc.t) =
+    match ty with
+    | Prim _ -> ()
+    | Pointer target ->
+      if not (Registry.mem reg target) then
+        emit Error "TD006" path
+          (Printf.sprintf "pointee type %S is never registered" target)
+    | Named target ->
+      if not (Registry.mem reg target) then
+        emit Error "TD001" path
+          (Printf.sprintf "dangling reference to unregistered type %S" target)
+    | Array (elem, n) ->
+      if n < 0 then emit Error "TD003" path (Printf.sprintf "negative array length %d" n)
+      else if n = 0 then emit Warning "TD003" path "zero-length array";
+      go (path ^ "[]") elem
+    | Struct fields ->
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (fname, _) ->
+          if Hashtbl.mem seen fname then
+            emit Error "TD004" (path ^ "." ^ fname)
+              (Printf.sprintf "duplicate field name %S" fname)
+          else Hashtbl.add seen fname ())
+        fields;
+      List.iter (fun (fname, fty) -> go (path ^ "." ^ fname) fty) fields
+  in
+  go name desc;
+  List.rev !out
+
+(* --- TD002: by-value cycles through Named references ---
+
+   Pointers do not recurse (a list node pointing at itself is finite),
+   so the walk descends through Named, Struct and Array only. Each cycle
+   is reported once, at the first name that closes it. *)
+
+let cycle_diags reg =
+  let out = ref [] in
+  let safe : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let reported : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let rec go visiting (ty : Type_desc.t) =
+    match ty with
+    | Prim _ | Pointer _ -> ()
+    | Array (elem, _) -> go visiting elem
+    | Struct fields -> List.iter (fun (_, fty) -> go visiting fty) fields
+    | Named n ->
+      if Hashtbl.mem safe n then ()
+      else if List.mem n visiting then begin
+        if not (Hashtbl.mem reported n) then begin
+          Hashtbl.add reported n ();
+          let chain =
+            let rec drop = function
+              | [] -> []
+              | x :: rest -> if String.equal x n then x :: rest else drop rest
+            in
+            drop (List.rev visiting) @ [ n ]
+          in
+          out :=
+            Diagnostic.make ~severity:Error ~rule_id:"TD002" ~path:n
+              (Printf.sprintf "by-value struct cycle: %s"
+                 (String.concat " -> " chain))
+            :: !out
+        end
+      end
+      else (
+        match Registry.find_opt reg n with
+        | None -> () (* dangling: TD001's business *)
+        | Some d ->
+          go (n :: visiting) d;
+          Hashtbl.replace safe n ())
+  in
+  List.iter
+    (fun name ->
+      match Registry.find_opt reg name with
+      | Some d ->
+        go [ name ] d;
+        Hashtbl.replace safe name ()
+      | None -> ())
+    (Registry.names reg);
+  List.rev !out
+
+(* --- TD005: layout divergence across architectures ---
+
+   Expected whenever a type transitively contains pointers (word size
+   differs), which the leaf-wise object codec handles — hence a warning,
+   not an error. It matters to any code path that copies raw bytes with
+   a size computed on one architecture. Types that already failed a
+   structural rule are skipped: their layout cannot be computed. *)
+
+let divergence_diags reg arches name =
+  let distinct_arches =
+    List.sort_uniq (fun a b -> compare a.Arch.name b.Arch.name) arches
+  in
+  if List.length distinct_arches < 2 then []
+  else
+    let layouts =
+      List.filter_map
+        (fun arch ->
+          match Layout.of_type reg arch (Type_desc.Named name) with
+          | l -> Some (arch, l.Layout.size, l.Layout.align)
+          | exception _ -> None)
+        distinct_arches
+    in
+    match layouts with
+    | [] | [ _ ] -> []
+    | (_, size0, align0) :: rest ->
+      if List.for_all (fun (_, s, a) -> s = size0 && a = align0) rest then []
+      else
+        let detail =
+          String.concat ", "
+            (List.map
+               (fun (arch, s, a) ->
+                 Printf.sprintf "%s=%d/%d" arch.Arch.name s a)
+               layouts)
+        in
+        [
+          Diagnostic.make ~severity:Warning ~rule_id:"TD005" ~path:name
+            ("size/align differs across architectures: " ^ detail);
+        ]
+
+let check ?(arches = [ Arch.sparc32 ]) reg =
+  let names = Registry.names reg in
+  let structural =
+    List.concat_map
+      (fun name -> structural_diags reg name (Registry.find reg name))
+      names
+  in
+  let cycles = cycle_diags reg in
+  let divergence = List.concat_map (divergence_diags reg arches) names in
+  Diagnostic.sort (structural @ cycles @ divergence)
+
+let validate ?arches reg =
+  let errors = List.filter Diagnostic.is_error (check ?arches reg) in
+  if errors <> [] then raise (Invalid_registry errors)

@@ -1,0 +1,36 @@
+(** Static linter for registered type descriptors.
+
+    The runtime trusts descriptors to drive swizzling, layout
+    translation and closure traversal; a bad descriptor corrupts data
+    silently at run time instead of failing loudly. This pass checks a
+    whole {!Srpc_types.Registry} offline:
+
+    - [TD001] dangling [Named] target (alias to an unregistered type)
+    - [TD002] by-value struct cycle — the type's size is infinite
+      (self-reference behind a [Pointer] is fine)
+    - [TD003] negative (error) or zero (warning) array length
+    - [TD004] duplicate struct field names
+    - [TD005] size/alignment divergence between architectures (warning:
+      expected for pointer-bearing types, but fatal to raw byte copies)
+    - [TD006] pointer field whose pointee type is never registered
+      (swizzling such a pointer would raise [Unknown_type] mid-session) *)
+
+open Srpc_types
+open Srpc_memory
+
+(** Raised by {!validate} with the error-severity findings. *)
+exception Invalid_registry of Diagnostic.t list
+
+(** The four built-in architectures, for a maximally pessimistic
+    divergence check. *)
+val all_arches : Arch.t list
+
+(** [check ?arches reg] lints every registered type and returns the
+    findings sorted errors-first. [arches] (default [[Arch.sparc32]])
+    is the set of architectures the registry must agree on; TD005 only
+    fires when at least two distinct architectures are given. *)
+val check : ?arches:Arch.t list -> Registry.t -> Diagnostic.t list
+
+(** [validate ?arches reg] raises {!Invalid_registry} if [check] finds
+    any error-severity diagnostic. Used by [Node.create ~validate:true]. *)
+val validate : ?arches:Arch.t list -> Registry.t -> unit

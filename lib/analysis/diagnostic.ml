@@ -1,0 +1,70 @@
+type severity = Info | Warning | Error
+
+type t = { severity : severity; rule_id : string; path : string; message : string }
+
+let make ~severity ~rule_id ~path message = { severity; rule_id; path; message }
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+let is_error d = d.severity = Error
+
+let count_errors ds = List.length (List.filter is_error ds)
+
+let compare a b =
+  (* errors first, then by rule id, then by path — a stable report order *)
+  match Int.compare (severity_rank b.severity) (severity_rank a.severity) with
+  | 0 -> (
+    match String.compare a.rule_id b.rule_id with
+    | 0 -> String.compare a.path b.path
+    | c -> c)
+  | c -> c
+
+let sort ds = List.stable_sort compare ds
+
+let pp_severity ppf s =
+  Format.pp_print_string ppf
+    (match s with Info -> "info" | Warning -> "warning" | Error -> "error")
+
+let pp ppf d =
+  Format.fprintf ppf "%a[%s] %s: %s" pp_severity d.severity d.rule_id d.path
+    d.message
+
+let pp_list ppf ds =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp ppf ds
+
+(* --- the stable rule catalogue --- *)
+
+type rule = { id : string; default_severity : severity; title : string }
+
+let rules =
+  [
+    { id = "TD001"; default_severity = Error;
+      title = "dangling Named target: alias references an unregistered type" };
+    { id = "TD002"; default_severity = Error;
+      title = "by-value struct cycle: the type's size is infinite" };
+    { id = "TD003"; default_severity = Error;
+      title = "invalid array length (negative is an error, zero a warning)" };
+    { id = "TD004"; default_severity = Error;
+      title = "duplicate struct field name" };
+    { id = "TD005"; default_severity = Warning;
+      title = "cross-architecture layout divergence (size/alignment differs)" };
+    { id = "TD006"; default_severity = Error;
+      title = "pointer field whose pointee type is never registered" };
+    { id = "SP001"; default_severity = Error;
+      title = "more than one active thread per session (overlapping requests)" };
+    { id = "SP002"; default_severity = Error;
+      title = "request never replied" };
+    { id = "SP003"; default_severity = Error;
+      title = "wire traffic or protocol mark outside an open session" };
+    { id = "SP004"; default_severity = Error;
+      title = "session close: invalidation multicast not preceded by write-back" };
+  ]
+
+let find_rule id = List.find_opt (fun r -> String.equal r.id id) rules
+
+let pp_rules ppf () =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%s  %-7s  %s@." r.id
+        (Format.asprintf "%a" pp_severity r.default_severity)
+        r.title)
+    rules

@@ -1,0 +1,38 @@
+(** Structured findings shared by the descriptor linter and the
+    session-protocol verifier, plus the stable rule catalogue.
+
+    Rule ids are stable across releases: [TD0xx] rules come from
+    {!Desc_lint} (type descriptors), [SP0xx] rules from {!Proto_lint}
+    (session protocol). See [docs/ANALYSIS.md] for the full catalogue
+    with examples. *)
+
+type severity = Info | Warning | Error
+
+type t = {
+  severity : severity;
+  rule_id : string;  (** stable catalogue id, e.g. ["TD001"] *)
+  path : string;  (** locus: ["type.field"] or ["event[12]"] *)
+  message : string;
+}
+
+val make : severity:severity -> rule_id:string -> path:string -> string -> t
+val is_error : t -> bool
+val count_errors : t list -> int
+
+(** Orders errors before warnings before infos, then by rule id and path. *)
+val compare : t -> t -> int
+
+val sort : t list -> t list
+val pp_severity : Format.formatter -> severity -> unit
+val pp : Format.formatter -> t -> unit
+val pp_list : Format.formatter -> t list -> unit
+
+(** {1 Rule catalogue} *)
+
+type rule = { id : string; default_severity : severity; title : string }
+
+val rules : rule list
+val find_rule : string -> rule option
+
+(** Render the whole catalogue, one rule per line. *)
+val pp_rules : Format.formatter -> unit -> unit

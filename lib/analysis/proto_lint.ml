@@ -1,0 +1,134 @@
+open Srpc_simnet
+
+(* The verifier replays a trace against the paper's session model
+   (section 3.1): one ground thread opens a session; the single thread
+   of control moves with each request and returns with each reply, so
+   outstanding requests form a stack; the session close performs the
+   ground space's write-back before the invalidation multicast. *)
+
+type state = {
+  mutable session : int option;  (* open session id *)
+  mutable holder : string;  (* endpoint currently holding the thread *)
+  mutable stack : (string * string) list;  (* outstanding (src, dst) *)
+  mutable wb_seen : bool;  (* write-back phase started this session *)
+  mutable inv_seen : bool;  (* invalidation multicast started *)
+  mutable out : Diagnostic.t list;
+}
+
+let emit st idx rule_id message =
+  st.out <-
+    Diagnostic.make ~severity:Error ~rule_id
+      ~path:(Printf.sprintf "event[%d]" idx)
+      message
+    :: st.out
+
+let pp_ev e = Format.asprintf "%a" Trace.pp_event e
+
+let check_open st idx (e : Trace.event) =
+  match st.session with
+  | Some id -> Some id
+  | None ->
+    emit st idx "SP003" ("traffic outside an open session: " ^ pp_ev e);
+    None
+
+let check_mark_session st idx id what =
+  match st.session with
+  | Some open_id when open_id <> id ->
+    emit st idx "SP003"
+      (Printf.sprintf "%s names session #%d but #%d is open" what id open_id)
+  | Some _ | None -> ()
+
+let step st idx (e : Trace.event) =
+  match e.Trace.kind with
+  | Trace.Session_begin id -> (
+    match st.session with
+    | Some open_id ->
+      emit st idx "SP003"
+        (Printf.sprintf "session #%d begins while #%d is still open" id open_id)
+    | None ->
+      st.session <- Some id;
+      st.holder <- e.Trace.src;
+      st.stack <- [];
+      st.wb_seen <- false;
+      st.inv_seen <- false)
+  | Trace.Session_end id -> (
+    check_mark_session st idx id "session end";
+    match st.session with
+    | None ->
+      emit st idx "SP003" (Printf.sprintf "session #%d ends but none is open" id)
+    | Some _ ->
+      List.iter
+        (fun (src, dst) ->
+          emit st idx "SP002"
+            (Printf.sprintf "request %s -> %s never replied before session end"
+               src dst))
+        st.stack;
+      st.session <- None;
+      st.stack <- [])
+  | Trace.Message Trace.Request -> (
+    match check_open st idx e with
+    | None -> ()
+    | Some _ ->
+      if not (String.equal e.Trace.src st.holder) then
+        emit st idx "SP001"
+          (Printf.sprintf
+             "overlapping threads: request from %s while the thread of \
+              control is at %s"
+             e.Trace.src st.holder);
+      st.stack <- (e.Trace.src, e.Trace.dst) :: st.stack;
+      st.holder <- e.Trace.dst)
+  | Trace.Message Trace.Reply -> (
+    match check_open st idx e with
+    | None -> ()
+    | Some _ -> (
+      match st.stack with
+      | [] ->
+        emit st idx "SP001" ("reply with no outstanding request: " ^ pp_ev e)
+      | (rq_src, rq_dst) :: rest ->
+        if String.equal e.Trace.src rq_dst && String.equal e.Trace.dst rq_src
+        then begin
+          st.stack <- rest;
+          st.holder <- rq_src
+        end
+        else
+          emit st idx "SP001"
+            (Printf.sprintf
+               "reply %s -> %s does not match the innermost request %s -> %s"
+               e.Trace.src e.Trace.dst rq_src rq_dst)))
+  | Trace.Write_back id -> (
+    check_mark_session st idx id "write-back mark";
+    match check_open st idx e with
+    | None -> ()
+    | Some _ ->
+      if st.inv_seen then
+        emit st idx "SP004"
+          "write-back phase after the invalidation multicast already started";
+      st.wb_seen <- true)
+  | Trace.Invalidate id -> (
+    check_mark_session st idx id "invalidation mark";
+    match check_open st idx e with
+    | None -> ()
+    | Some _ ->
+      if not st.wb_seen then
+        emit st idx "SP004"
+          "invalidation multicast not preceded by the ground space's write-back";
+      st.inv_seen <- true)
+
+let check_events events =
+  let st =
+    { session = None; holder = ""; stack = []; wb_seen = false; inv_seen = false;
+      out = [] }
+  in
+  List.iteri (fun idx e -> step st idx e) events;
+  (* a trace may stop mid-session (e.g. a live inspection), but every
+     request must have been replied by the time recording stopped *)
+  (* the locus is one past the last event: the violation is the absence
+     of a reply, not any recorded frame *)
+  let n = List.length events in
+  List.iter
+    (fun (src, dst) ->
+      emit st n "SP002" (Printf.sprintf "request %s -> %s never replied" src dst))
+    st.stack;
+  Diagnostic.sort (List.rev st.out)
+
+let check trace = check_events (Trace.events trace)

@@ -1,0 +1,23 @@
+(** Session-protocol verifier: replays a {!Srpc_simnet.Trace} against
+    the paper's coherency-protocol invariants (sections 3.1 and 3.4).
+
+    - [SP001] exactly one active thread per session: outstanding
+      requests must nest like a stack, every request is issued by the
+      current holder of the thread of control, and every reply matches
+      the innermost outstanding request
+    - [SP002] every request is eventually replied (before session end,
+      or at the latest by the end of the trace)
+    - [SP003] no wire traffic or protocol mark outside an open session,
+      no overlapping or mismatched session begin/end marks
+    - [SP004] at session close, the ground space's write-back phase
+      precedes the invalidation multicast *)
+
+open Srpc_simnet
+
+(** [check trace] replays the whole trace and returns the violations,
+    sorted errors-first. An empty list means the trace is a valid
+    witness of the protocol. *)
+val check : Trace.t -> Diagnostic.t list
+
+(** [check_events events] is {!check} on an explicit event list. *)
+val check_events : Trace.event list -> Diagnostic.t list

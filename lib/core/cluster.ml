@@ -31,16 +31,24 @@ let registry t = t.registry
 let session t = t.session
 
 let add_node ?(proc = 0) ?(arch = Arch.sparc32) ?(strategy = Strategy.smart ())
-    ?page_size t ~site () =
+    ?page_size ?validate t ~site () =
   let id = Space_id.make ~site ~proc in
   if List.exists (fun n -> Space_id.equal (Node.id n) id) t.nodes then
     invalid_arg (Printf.sprintf "Cluster.add_node: %s exists" (Space_id.to_string id));
   let node =
-    Node.create ?page_size ~hints:t.hints ~id ~arch ~registry:t.registry
+    Node.create ?page_size ?validate ~hints:t.hints ~id ~arch ~registry:t.registry
       ~transport:t.transport ~session:t.session ~strategy ()
   in
   t.nodes <- node :: t.nodes;
   node
+
+let validate t =
+  let arches =
+    match List.sort_uniq compare (List.map Node.arch t.nodes) with
+    | [] -> [ Arch.sparc32 ]
+    | arches -> arches
+  in
+  Srpc_analysis.Desc_lint.validate ~arches t.registry
 
 let node t id = List.find_opt (fun n -> Space_id.equal (Node.id n) id) t.nodes
 let nodes t = List.rev t.nodes

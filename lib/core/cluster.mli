@@ -17,16 +17,25 @@ val registry : t -> Srpc_types.Registry.t
 val session : t -> Session.t
 
 (** [add_node t ~site ()] creates a node. [proc] defaults to 0, [arch]
-    to the paper's SPARC, [strategy] to {!Strategy.smart}. *)
+    to the paper's SPARC, [strategy] to {!Strategy.smart}. [validate]
+    is forwarded to {!Node.create}: when true, the shared registry is
+    linted against the node's architecture before the node comes up. *)
 val add_node :
   ?proc:int ->
   ?arch:Arch.t ->
   ?strategy:Strategy.t ->
   ?page_size:int ->
+  ?validate:bool ->
   t ->
   site:int ->
   unit ->
   Node.t
+
+(** [validate t] runs the descriptor linter over the shared registry
+    against the architectures of every node added so far (defaulting to
+    SPARC for an empty cluster). Call it after registering types.
+    @raise Srpc_analysis.Desc_lint.Invalid_registry on error findings. *)
+val validate : t -> unit
 
 val node : t -> Space_id.t -> Node.t option
 val nodes : t -> Node.t list

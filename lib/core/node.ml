@@ -498,13 +498,16 @@ let dispatch t src req_str =
 
 (* --- sessions --- *)
 
-let begin_session t = ignore (Session.begin_session t.session ~ground:t.id)
+let begin_session t =
+  let info = Session.begin_session t.session ~ground:t.id in
+  Transport.mark t.transport ~src:(endpoint t) (Trace.Session_begin info.Session.id)
 
 let end_session t =
   let info = Session.current_exn t.session in
   if not (Space_id.equal info.Session.ground t.id) then
     invalid_arg "Node.end_session: only the ground thread may end the session";
   flush_remote_ops t;
+  Transport.mark t.transport ~src:(endpoint t) (Trace.Write_back info.Session.id);
   let items = collect_writebacks t in
   (* Own traveling items are already applied to our originals. *)
   let foreign =
@@ -522,6 +525,7 @@ let end_session t =
     batches;
   (* snapshot participants only now: installing write-backs may have
      enrolled origin spaces that must also drop fresh cache entries *)
+  Transport.mark t.transport ~src:(endpoint t) (Trace.Invalidate info.Session.id);
   let others = Space_id.Set.remove t.id info.Session.participants in
   Space_id.Set.iter
     (fun peer ->
@@ -530,7 +534,8 @@ let end_session t =
   Cache.invalidate t.cache;
   Space_id.Table.reset t.shipped;
   Long_pointer.Table.reset t.traveling;
-  Session.close t.session
+  Session.close t.session;
+  Transport.mark t.transport ~src:(endpoint t) (Trace.Session_end info.Session.id)
 
 let with_session t f =
   begin_session t;
@@ -591,10 +596,14 @@ let extended_free t addr =
 (* --- construction --- *)
 
 let create ?(page_size = 4096) ?(heap_base = 0x10000) ?(heap_limit = 0x4000000)
-    ?(cache_limit = 0x24000000) ?hints ~id ~arch ~registry ~transport ~session
-    ~strategy () =
+    ?(cache_limit = 0x24000000) ?hints ?(validate = false) ~id ~arch ~registry
+    ~transport ~session ~strategy () =
   if heap_limit mod page_size <> 0 then
     invalid_arg "Node.create: heap_limit must be page-aligned";
+  (* Reject a malformed registry before any datum is laid out against
+     it: a defective descriptor corrupts silently at run time.
+     @raise Srpc_analysis.Desc_lint.Invalid_registry on error findings. *)
+  if validate then Srpc_analysis.Desc_lint.validate ~arches:[ arch ] registry;
   let space = Address_space.create ~page_size ~id ~arch () in
   let mmu = Mmu.create space in
   let heap = Allocator.create ~space ~base:heap_base ~limit:heap_limit in

@@ -34,13 +34,18 @@ exception Invalid_pointer of int
 
 (** [create ~id ~arch ~registry ~transport ~session ~strategy ()] builds
     a node and registers its dispatcher with the transport. Region sizes
-    are configurable for tests ([page_size] must be a power of two). *)
+    are configurable for tests ([page_size] must be a power of two).
+    With [~validate:true] the registry is first checked by the
+    descriptor linter against this node's architecture.
+    @raise Srpc_analysis.Desc_lint.Invalid_registry if validation finds
+    error-severity defects. *)
 val create :
   ?page_size:int ->
   ?heap_base:int ->
   ?heap_limit:int ->
   ?cache_limit:int ->
   ?hints:Hints.t ->
+  ?validate:bool ->
   id:Space_id.t ->
   arch:Arch.t ->
   registry:Registry.t ->

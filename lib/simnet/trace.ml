@@ -1,10 +1,17 @@
 type direction = Request | Reply
 
+type kind =
+  | Message of direction
+  | Session_begin of int
+  | Session_end of int
+  | Write_back of int
+  | Invalidate of int
+
 type event = {
   at : float;
   src : string;
   dst : string;
-  dir : direction;
+  kind : kind;
   bytes : int;
 }
 
@@ -12,9 +19,14 @@ type t = { mutable rev_events : event list; mutable count : int }
 
 let create () = { rev_events = []; count = 0 }
 
-let record t ~at ~src ~dst ~dir ~bytes =
-  t.rev_events <- { at; src; dst; dir; bytes } :: t.rev_events;
+let add t e =
+  t.rev_events <- e :: t.rev_events;
   t.count <- t.count + 1
+
+let record t ~at ~src ~dst ~dir ~bytes =
+  add t { at; src; dst; kind = Message dir; bytes }
+
+let mark t ~at ~src kind = add t { at; src; dst = src; kind; bytes = 0 }
 
 let events t = List.rev t.rev_events
 let length t = t.count
@@ -26,13 +38,25 @@ let clear t =
 let between t ~src ~dst =
   List.length
     (List.filter
-       (fun e -> e.dir = Request && String.equal e.src src && String.equal e.dst dst)
+       (fun e ->
+         e.kind = Message Request && String.equal e.src src && String.equal e.dst dst)
        t.rev_events)
 
+let pp_kind ppf = function
+  | Message Request -> Format.pp_print_string ppf "request"
+  | Message Reply -> Format.pp_print_string ppf "reply"
+  | Session_begin id -> Format.fprintf ppf "session-begin #%d" id
+  | Session_end id -> Format.fprintf ppf "session-end #%d" id
+  | Write_back id -> Format.fprintf ppf "write-back #%d" id
+  | Invalidate id -> Format.fprintf ppf "invalidate #%d" id
+
 let pp_event ppf e =
-  Format.fprintf ppf "%10.6f %s -> %s %s (%d bytes)" e.at e.src e.dst
-    (match e.dir with Request -> "request" | Reply -> "reply")
-    e.bytes
+  match e.kind with
+  | Message _ ->
+    Format.fprintf ppf "%10.6f %s -> %s %a (%d bytes)" e.at e.src e.dst pp_kind
+      e.kind e.bytes
+  | Session_begin _ | Session_end _ | Write_back _ | Invalidate _ ->
+    Format.fprintf ppf "%10.6f %s %a" e.at e.src pp_kind e.kind
 
 let pp ppf t =
   Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_event ppf (events t)

@@ -1,23 +1,43 @@
-(** Wire-event recorder.
+(** Wire- and protocol-event recorder.
 
     Attach a trace to a {!Transport} to capture every frame with its
     simulated send time — the raw material for debugging protocols,
-    asserting message sequences in tests, and rendering timelines. *)
+    asserting message sequences in tests, and rendering timelines.
+
+    Beyond raw frames the runtime also records protocol {e marks} —
+    session begin/end and the session-close write-back / invalidation
+    phases — so a trace is a complete witness of the session coherency
+    protocol that [Srpc_analysis.Proto_lint] can verify offline. *)
 
 type direction = Request | Reply
 
+type kind =
+  | Message of direction  (** a wire frame *)
+  | Session_begin of int  (** a ground thread opened session [id] *)
+  | Session_end of int  (** session [id] closed *)
+  | Write_back of int
+      (** the ground space started the session-close write-back phase *)
+  | Invalidate of int
+      (** the ground space started the invalidation multicast *)
+
 type event = {
-  at : float;  (** simulated send time, seconds *)
+  at : float;  (** simulated time, seconds *)
   src : string;
-  dst : string;
-  dir : direction;
-  bytes : int;
+  dst : string;  (** for marks, [dst = src] *)
+  kind : kind;
+  bytes : int;  (** 0 for marks *)
 }
 
 type t
 
 val create : unit -> t
-val record : t -> at:float -> src:string -> dst:string -> dir:direction -> bytes:int -> unit
+
+(** [record t ~at ~src ~dst ~dir ~bytes] records a wire frame. *)
+val record :
+  t -> at:float -> src:string -> dst:string -> dir:direction -> bytes:int -> unit
+
+(** [mark t ~at ~src kind] records a zero-byte protocol mark. *)
+val mark : t -> at:float -> src:string -> kind -> unit
 
 (** Events in chronological (= recording) order. *)
 val events : t -> event list
@@ -28,6 +48,7 @@ val clear : t -> unit
 (** [between t ~src ~dst] counts request frames from [src] to [dst]. *)
 val between : t -> src:string -> dst:string -> int
 
+val pp_kind : Format.formatter -> kind -> unit
 val pp_event : Format.formatter -> event -> unit
 
 (** Render the whole trace, one event per line. *)

@@ -37,6 +37,11 @@ let link_cost t ~src ~dst =
   | None -> t.cost
 
 let set_trace t trace = t.trace <- trace
+
+let mark t ~src kind =
+  match t.trace with
+  | Some trace -> Trace.mark trace ~at:(Clock.now t.clock) ~src kind
+  | None -> ()
 let register t ep dispatch = Hashtbl.replace t.dispatchers ep dispatch
 let unregister t ep = Hashtbl.remove t.dispatchers ep
 let is_registered t ep = Hashtbl.mem t.dispatchers ep

@@ -34,6 +34,11 @@ val link_cost : t -> src:endpoint -> dst:endpoint -> Cost_model.t
     recorded with its simulated send time. [None] detaches. *)
 val set_trace : t -> Trace.t option -> unit
 
+(** [mark t ~src kind] records a protocol mark (session begin/end,
+    write-back or invalidation phase) at the current simulated time, if a
+    trace is attached. *)
+val mark : t -> src:endpoint -> Trace.kind -> unit
+
 (** [register t ep dispatch] installs [dispatch] as [ep]'s request
     handler. A second registration for the same endpoint replaces the
     first. *)

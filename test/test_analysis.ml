@@ -1,0 +1,295 @@
+(* Unit tests for the offline analysis layer: one seeded-defect fixture
+   per descriptor-lint rule, one per protocol invariant, plus clean
+   negative cases for both engines and the startup-validation hook. *)
+
+open Srpc_memory
+open Srpc_types
+open Srpc_analysis
+open Type_desc
+
+let rule_ids diags = List.map (fun d -> d.Diagnostic.rule_id) diags
+let errors_of diags = List.filter Diagnostic.is_error diags
+
+let has_rule id diags = List.mem id (rule_ids diags)
+
+let check_has ?arches reg id =
+  Alcotest.(check bool)
+    (id ^ " reported") true
+    (has_rule id (Desc_lint.check ?arches reg))
+
+(* --- descriptor linter: seeded defects --- *)
+
+let test_dangling_named () =
+  let reg = Registry.create () in
+  Registry.register reg "a" (Struct [ ("x", Named "missing") ]);
+  check_has reg "TD001";
+  Alcotest.(check int) "one error" 1
+    (Diagnostic.count_errors (Desc_lint.check reg))
+
+let test_by_value_cycle () =
+  let reg = Registry.create () in
+  Registry.register reg "c1" (Struct [ ("next", Named "c2") ]);
+  Registry.register reg "c2" (Struct [ ("prev", Named "c1") ]);
+  check_has reg "TD002";
+  (* the cycle is one defect, reported once, not once per member *)
+  Alcotest.(check int) "cycle reported once" 1
+    (List.length
+       (List.filter (fun d -> d.Diagnostic.rule_id = "TD002") (Desc_lint.check reg)))
+
+let test_self_cycle () =
+  let reg = Registry.create () in
+  Registry.register reg "selfish" (Struct [ ("me", Named "selfish") ]);
+  check_has reg "TD002"
+
+let test_array_lengths () =
+  let reg = Registry.create () in
+  Registry.register reg "neg" (Struct [ ("xs", Array (i64, -1)) ]);
+  Registry.register reg "zero" (Struct [ ("xs", Array (i64, 0)) ]);
+  let diags = Desc_lint.check reg in
+  let td3 = List.filter (fun d -> d.Diagnostic.rule_id = "TD003") diags in
+  Alcotest.(check int) "both lengths flagged" 2 (List.length td3);
+  Alcotest.(check int) "negative is the only error" 1
+    (List.length (errors_of td3));
+  let err = List.hd (errors_of td3) in
+  Alcotest.(check string) "error path" "neg.xs" err.Diagnostic.path
+
+let test_duplicate_fields () =
+  let reg = Registry.create () in
+  Registry.register reg "dup" (Struct [ ("x", i64); ("x", f64) ]);
+  check_has reg "TD004"
+
+let test_layout_divergence () =
+  let reg = Registry.create () in
+  Registry.register reg "cell"
+    (Struct [ ("next", ptr "cell"); ("prev", ptr "cell"); ("v", i64) ]);
+  (* pointer width differs between the 32- and 64-bit architectures *)
+  check_has ~arches:[ Arch.sparc32; Arch.lp64_le ] reg "TD005";
+  let diags = Desc_lint.check ~arches:[ Arch.sparc32; Arch.lp64_le ] reg in
+  Alcotest.(check bool) "divergence is a warning, not an error" true
+    (errors_of diags = []);
+  (* under a single architecture there is nothing to disagree with *)
+  Alcotest.(check bool) "single arch clean" false
+    (has_rule "TD005" (Desc_lint.check ~arches:[ Arch.sparc32 ] reg));
+  (* same word size everywhere: no divergence either *)
+  Alcotest.(check bool) "same word size clean" false
+    (has_rule "TD005" (Desc_lint.check ~arches:[ Arch.lp64_le; Arch.lp64_be ] reg))
+
+let test_unregistered_pointee () =
+  let reg = Registry.create () in
+  Registry.register reg "holder" (Struct [ ("p", ptr "ghost") ]);
+  check_has reg "TD006"
+
+let test_clean_registry () =
+  let reg = Registry.create () in
+  Registry.register reg "tnode"
+    (Struct [ ("left", ptr "tnode"); ("right", ptr "tnode"); ("data", i64) ]);
+  Registry.register reg "flat"
+    (Struct [ ("tag", i8); ("xs", Array (f64, 16)) ]);
+  Alcotest.(check (list string)) "no findings" [] (rule_ids (Desc_lint.check reg));
+  (* a pointer-free type agrees even across every architecture *)
+  let reg2 = Registry.create () in
+  Registry.register reg2 "flat"
+    (Struct [ ("tag", i8); ("xs", Array (f64, 16)) ]);
+  Alcotest.(check (list string)) "arch-stable" []
+    (rule_ids (Desc_lint.check ~arches:Desc_lint.all_arches reg2))
+
+let test_validate_raises () =
+  let reg = Registry.create () in
+  Registry.register reg "bad" (Struct [ ("p", ptr "ghost") ]);
+  Alcotest.check_raises "validate raises"
+    (Desc_lint.Invalid_registry
+       [
+         Diagnostic.make ~severity:Error ~rule_id:"TD006" ~path:"bad.p"
+           "pointee type \"ghost\" is never registered";
+       ])
+    (fun () -> Desc_lint.validate reg)
+
+let test_node_startup_validation () =
+  let open Srpc_core in
+  let cluster = Cluster.create () in
+  Cluster.register_type cluster "bad" (Struct [ ("p", ptr "ghost") ]);
+  (match Cluster.add_node cluster ~site:1 ~validate:true () with
+  | _ -> Alcotest.fail "bad registry accepted at startup"
+  | exception Desc_lint.Invalid_registry _ -> ());
+  (* the same cluster comes up fine once the pointee exists *)
+  Cluster.register_type cluster "ghost" (Struct [ ("v", i64) ]);
+  ignore (Cluster.add_node cluster ~site:2 ~validate:true ())
+
+(* --- protocol verifier: synthetic traces --- *)
+
+open Srpc_simnet
+
+let ev ?(at = 0.0) ?(bytes = 0) src dst kind = { Trace.at; src; dst; kind; bytes }
+let req src dst = ev ~bytes:4 src dst (Trace.Message Trace.Request)
+let rep src dst = ev ~bytes:4 src dst (Trace.Message Trace.Reply)
+let mark src kind = ev src src kind
+
+let proto_ids events = rule_ids (Proto_lint.check_events events)
+
+let close_phase ground peer id =
+  (* a well-formed session close: write-back, then invalidation *)
+  [
+    mark ground (Trace.Write_back id);
+    req ground peer; rep peer ground;
+    mark ground (Trace.Invalidate id);
+    req ground peer; rep peer ground;
+    mark ground (Trace.Session_end id);
+  ]
+
+let test_clean_trace () =
+  let events =
+    [ mark "a" (Trace.Session_begin 1); req "a" "b"; rep "b" "a" ]
+    @ close_phase "a" "b" 1
+  in
+  Alcotest.(check (list string)) "no findings" [] (proto_ids events)
+
+let test_nested_calls_ok () =
+  (* a -> b -> c -> a (callback), replies unwinding in LIFO order *)
+  let events =
+    [
+      mark "a" (Trace.Session_begin 1);
+      req "a" "b"; req "b" "c"; req "c" "a";
+      rep "a" "c"; rep "c" "b"; rep "b" "a";
+    ]
+    @ close_phase "a" "b" 1
+  in
+  Alcotest.(check (list string)) "nesting is legal" [] (proto_ids events)
+
+let test_overlapping_requests () =
+  (* a issues a second request while its first is outstanding: two
+     active threads in one session *)
+  let events =
+    [ mark "a" (Trace.Session_begin 1); req "a" "b"; req "a" "c" ]
+  in
+  Alcotest.(check bool) "SP001" true (List.mem "SP001" (proto_ids events))
+
+let test_mismatched_reply () =
+  let events =
+    [ mark "a" (Trace.Session_begin 1); req "a" "b"; rep "c" "a" ]
+  in
+  Alcotest.(check bool) "SP001" true (List.mem "SP001" (proto_ids events))
+
+let test_unreplied_request () =
+  let at_end = [ mark "a" (Trace.Session_begin 1); req "a" "b" ] in
+  Alcotest.(check bool) "SP002 at end of trace" true
+    (List.mem "SP002" (proto_ids at_end));
+  let at_close =
+    [
+      mark "a" (Trace.Session_begin 1); req "a" "b";
+      mark "a" (Trace.Session_end 1);
+    ]
+  in
+  Alcotest.(check bool) "SP002 at session end" true
+    (List.mem "SP002" (proto_ids at_close))
+
+let test_traffic_outside_session () =
+  Alcotest.(check bool) "SP003 before any session" true
+    (List.mem "SP003" (proto_ids [ req "a" "b"; rep "b" "a" ]));
+  let after_close =
+    [ mark "a" (Trace.Session_begin 1) ]
+    @ close_phase "a" "b" 1
+    @ [ req "a" "b" ]
+  in
+  Alcotest.(check bool) "SP003 after close" true
+    (List.mem "SP003" (proto_ids after_close))
+
+let test_invalidate_before_writeback () =
+  let events =
+    [
+      mark "a" (Trace.Session_begin 1);
+      req "a" "b"; rep "b" "a";
+      mark "a" (Trace.Invalidate 1);
+      req "a" "b"; rep "b" "a";
+      mark "a" (Trace.Write_back 1);
+      mark "a" (Trace.Session_end 1);
+    ]
+  in
+  Alcotest.(check bool) "SP004" true (List.mem "SP004" (proto_ids events))
+
+(* --- protocol verifier: a real runtime trace --- *)
+
+let test_runtime_trace_verifies () =
+  let open Srpc_core in
+  let cluster = Cluster.create () in
+  let a = Cluster.add_node cluster ~site:1 () in
+  let b = Cluster.add_node cluster ~site:2 () in
+  let c = Cluster.add_node cluster ~site:3 () in
+  Srpc_workloads.Linked_list.register_types cluster;
+  let trace = Trace.create () in
+  Transport.set_trace (Cluster.transport cluster) (Some trace);
+  Node.register a "bonus" (fun _ _ -> [ Value.int 5 ]);
+  Node.register c "bump" (fun node args ->
+      let p = Access.of_value (List.hd args) in
+      let bonus =
+        match Node.call node ~dst:(Node.id a) "bonus" [] with
+        | [ v ] -> Value.to_int v
+        | _ -> 0
+      in
+      let v = Access.get_int node p ~field:"value" in
+      Access.set_int node p ~field:"value" (v + bonus);
+      [ Value.unit ]);
+  Node.register b "relay" (fun node args ->
+      Node.call node ~dst:(Node.id c) "bump" args);
+  let head = Srpc_workloads.Linked_list.build a [ 1; 2; 3 ] in
+  Node.with_session a (fun () ->
+      ignore (Node.call a ~dst:(Node.id b) "relay" [ Access.to_value head ]));
+  (* the runtime recorded all four mark kinds... *)
+  let kinds = List.map (fun e -> e.Trace.kind) (Trace.events trace) in
+  let has p = List.exists p kinds in
+  Alcotest.(check bool) "session begin mark" true
+    (has (function Trace.Session_begin _ -> true | _ -> false));
+  Alcotest.(check bool) "write-back mark" true
+    (has (function Trace.Write_back _ -> true | _ -> false));
+  Alcotest.(check bool) "invalidate mark" true
+    (has (function Trace.Invalidate _ -> true | _ -> false));
+  Alcotest.(check bool) "session end mark" true
+    (has (function Trace.Session_end _ -> true | _ -> false));
+  (* ...and the whole trace satisfies every invariant *)
+  Alcotest.(check (list string)) "runtime trace clean" []
+    (rule_ids (Proto_lint.check trace));
+  (* the callback value really arrived (the scenario is not vacuous) *)
+  Alcotest.(check int) "callback applied" 6
+    (Access.get_int a head ~field:"value")
+
+(* --- catalogue hygiene --- *)
+
+let test_catalogue_covers_emitted_rules () =
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " in catalogue") true
+        (Diagnostic.find_rule id <> None))
+    [ "TD001"; "TD002"; "TD003"; "TD004"; "TD005"; "TD006";
+      "SP001"; "SP002"; "SP003"; "SP004" ]
+
+let tc = Alcotest.test_case
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "desc-lint",
+        [
+          tc "dangling named target" `Quick test_dangling_named;
+          tc "by-value cycle" `Quick test_by_value_cycle;
+          tc "self cycle" `Quick test_self_cycle;
+          tc "array lengths" `Quick test_array_lengths;
+          tc "duplicate fields" `Quick test_duplicate_fields;
+          tc "layout divergence" `Quick test_layout_divergence;
+          tc "unregistered pointee" `Quick test_unregistered_pointee;
+          tc "clean registry" `Quick test_clean_registry;
+          tc "validate raises" `Quick test_validate_raises;
+          tc "node startup validation" `Quick test_node_startup_validation;
+        ] );
+      ( "proto-lint",
+        [
+          tc "clean trace" `Quick test_clean_trace;
+          tc "nested calls ok" `Quick test_nested_calls_ok;
+          tc "overlapping requests" `Quick test_overlapping_requests;
+          tc "mismatched reply" `Quick test_mismatched_reply;
+          tc "unreplied request" `Quick test_unreplied_request;
+          tc "traffic outside session" `Quick test_traffic_outside_session;
+          tc "invalidate before write-back" `Quick test_invalidate_before_writeback;
+          tc "runtime trace verifies" `Quick test_runtime_trace_verifies;
+        ] );
+      ( "catalogue",
+        [ tc "ids are stable" `Quick test_catalogue_covers_emitted_rules ] );
+    ]

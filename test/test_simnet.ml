@@ -233,8 +233,9 @@ let test_trace_records_frames () =
   Alcotest.(check int) "b->a replies are not requests" 0
     (Trace.between trace ~src:"b" ~dst:"a");
   (match Trace.events trace with
-  | { Trace.src = "a"; dst = "b"; dir = Trace.Request; bytes = 3; _ }
-    :: { Trace.src = "b"; dst = "a"; dir = Trace.Reply; bytes = 6; _ } :: _ ->
+  | { Trace.src = "a"; dst = "b"; kind = Trace.Message Trace.Request; bytes = 3; _ }
+    :: { Trace.src = "b"; dst = "a"; kind = Trace.Message Trace.Reply; bytes = 6; _ }
+    :: _ ->
     ()
   | _ -> Alcotest.fail "unexpected event sequence");
   Transport.set_trace t None;
