@@ -118,6 +118,115 @@ let run_wan () =
     "Fig. 4 with the caller-callee link behind a 50x-latency WAN:@.";
   Format.printf "%a@." (fun ppf -> Experiments.pp_fig4 ppf) rows
 
+(* --- adaptive policy (srpc-adapt) --- *)
+
+(* Final-session time, best static competitor, and the acceptance verdict
+   (within 1.15x of the best of fully-eager / fully-lazy / smart-8192,
+   the bar set for the adaptive controller). *)
+let adaptive_acceptance (r : Experiments.adaptive_fig4_row) =
+  let final =
+    match List.rev r.Experiments.af_adaptive.Experiments.a_sessions with
+    | last :: _ -> last.Experiments.seconds
+    | [] -> infinity
+  in
+  let best =
+    min r.Experiments.af_eager.Experiments.seconds
+      (min r.Experiments.af_lazy.Experiments.seconds
+         r.Experiments.af_smart.Experiments.seconds)
+  in
+  (final, best, final <= (1.15 *. best) +. 1e-9)
+
+(* Hand-rolled JSON so the bench stays free of parser dependencies. *)
+let adaptive_json ~depth ~sessions ~closure
+    (rows : Experiments.adaptive_fig4_row list) =
+  let b = Buffer.create 4096 in
+  Printf.bprintf b
+    "{\n\
+    \  \"experiment\": \"adaptive_fig4\",\n\
+    \  \"depth\": %d,\n\
+    \  \"sessions\": %d,\n\
+    \  \"closure_bytes\": %d,\n\
+    \  \"acceptance_factor\": 1.15,\n\
+    \  \"rows\": [\n"
+    depth sessions closure;
+  let n = List.length rows in
+  List.iteri
+    (fun i (r : Experiments.adaptive_fig4_row) ->
+      let final, best, pass = adaptive_acceptance r in
+      let final_bytes =
+        match List.rev r.Experiments.af_adaptive.Experiments.a_sessions with
+        | last :: _ -> last.Experiments.bytes
+        | [] -> 0
+      in
+      Printf.bprintf b
+        "    {\"ratio\": %.2f, \"eager_s\": %.6f, \"lazy_s\": %.6f, \
+         \"smart_s\": %.6f,\n\
+        \     \"eager_bytes\": %d, \"lazy_bytes\": %d, \"smart_bytes\": %d, \
+         \"adaptive_final_bytes\": %d,\n\
+        \     \"adaptive_final_s\": %.6f, \"best_static_s\": %.6f, \
+         \"adaptive_over_best\": %.4f, \"pass\": %b,\n"
+        r.Experiments.af_ratio r.Experiments.af_eager.Experiments.seconds
+        r.Experiments.af_lazy.Experiments.seconds
+        r.Experiments.af_smart.Experiments.seconds
+        r.Experiments.af_eager.Experiments.bytes
+        r.Experiments.af_lazy.Experiments.bytes
+        r.Experiments.af_smart.Experiments.bytes final_bytes final best
+        (final /. best) pass;
+      Printf.bprintf b "     \"adaptive_sessions_s\": [%s],\n"
+        (String.concat ", "
+           (List.map
+              (fun (s : Experiments.run) ->
+                Printf.sprintf "%.6f" s.Experiments.seconds)
+              r.Experiments.af_adaptive.Experiments.a_sessions));
+      Printf.bprintf b "     \"budgets\": {%s}}%s\n"
+        (String.concat ", "
+           (List.map
+              (fun (ty, bu) -> Printf.sprintf "%S: %d" ty bu)
+              r.Experiments.af_adaptive.Experiments.a_budgets))
+        (if i = n - 1 then "" else ","))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let report_acceptance rows =
+  let failures = ref 0 in
+  List.iter
+    (fun (r : Experiments.adaptive_fig4_row) ->
+      let final, best, pass = adaptive_acceptance r in
+      if not pass then incr failures;
+      Printf.printf "ratio %.2f  adaptive %.6fs  best static %.6fs  x%.3f  %s\n"
+        r.Experiments.af_ratio final best (final /. best)
+        (if pass then "ok" else "FAIL"))
+    rows;
+  !failures
+
+let run_adaptive () =
+  let depth = 15 and sessions = 12 and closure = 8192 in
+  let rows = Experiments.adaptive_fig4 ~depth ~sessions ~closure () in
+  Format.printf "%a@." (fun ppf -> Experiments.pp_adaptive_fig4 ppf) rows;
+  let json = adaptive_json ~depth ~sessions ~closure rows in
+  let path = "BENCH_adaptive.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  ignore (report_acceptance rows)
+
+(* Scaled-down adaptive acceptance gate, wired into `dune runtest` via the
+   bench-smoke alias: fails the build if the controller stops converging. *)
+let run_smoke () =
+  let depth = 10
+  and sessions = 12
+  and closure = 8192
+  and ratios = [ 0.0; 0.25; 0.5; 0.75; 1.0 ] in
+  let rows = Experiments.adaptive_fig4 ~depth ~ratios ~sessions ~closure () in
+  print_string (adaptive_json ~depth ~sessions ~closure rows);
+  let failures = report_acceptance rows in
+  if failures > 0 then begin
+    Printf.eprintf "bench-smoke: %d ratio(s) outside the 1.15x bound\n" failures;
+    exit 1
+  end
+
 (* --- Bechamel microbenchmarks --- *)
 
 let micro_tests () =
@@ -224,6 +333,8 @@ let all_sections =
     ("fig6b", ("Fig. 6 - descent-workload reading", run_fig6b));
     ("fig7", ("Fig. 7 - update performance", run_fig7));
     ("ablations", ("Ablations A1-A6", run_ablations));
+    ("adaptive", ("Adaptive policy vs Fig. 4 statics", run_adaptive));
+    ("smoke", ("Adaptive acceptance smoke (scaled down)", run_smoke));
     ("wan", ("Derived: Fig. 4 over a WAN link", run_wan));
     ("kv", ("Derived: remote B-tree key-value store", run_kv));
     ("scale", ("Derived: session width scaling", run_scale));

@@ -131,7 +131,49 @@ let divergence_diags reg arches name =
             ("size/align differs across architectures: " ^ detail);
         ]
 
-let check ?(arches = [ Arch.sparc32 ]) reg =
+(* --- TD007: closure-shape hints must match the registry ---
+
+   A hint's [follow] list is consulted on every closure traversal: a
+   misspelled field raises mid-session, and a pointer-free field
+   silently prefetches nothing. Hints arrive as plain
+   (type, followed fields) pairs so this library stays below the
+   runtime in the dependency order. *)
+
+let hint_diags reg arches ((ty, fields) : string * string list) =
+  let path = "hint:" ^ ty in
+  let emit severity message =
+    Diagnostic.make ~severity ~rule_id:"TD007" ~path message
+  in
+  match Registry.find_opt reg ty with
+  | None -> [ emit Diagnostic.Error (Printf.sprintf "closure hint for unregistered type %S" ty) ]
+  | Some _ -> (
+    match Registry.resolve reg (Type_desc.Named ty) with
+    | exception _ -> [] (* dangling alias chain: TD001's business *)
+    | Type_desc.Struct struct_fields ->
+      List.filter_map
+        (fun field ->
+          match List.assoc_opt field struct_fields with
+          | None ->
+            Some
+              (emit Diagnostic.Error
+                 (Printf.sprintf "hint follows field %S, which type %S does not declare"
+                    field ty))
+          | Some fty -> (
+            let arch = match arches with a :: _ -> a | [] -> Arch.sparc32 in
+            match Layout.pointer_leaves reg arch fty with
+            | [] ->
+              Some
+                (emit Diagnostic.Warning
+                   (Printf.sprintf
+                      "hinted field %S of %S contains no pointers; following it prefetches nothing"
+                      field ty))
+            | _ :: _ -> None
+            | exception _ -> None (* broken field type: structural rules report it *)))
+        fields
+    | Type_desc.Prim _ | Pointer _ | Array _ | Named _ ->
+      [ emit Diagnostic.Error (Printf.sprintf "closure hint for non-struct type %S" ty) ])
+
+let check ?(arches = [ Arch.sparc32 ]) ?(hints = []) reg =
   let names = Registry.names reg in
   let structural =
     List.concat_map
@@ -140,8 +182,9 @@ let check ?(arches = [ Arch.sparc32 ]) reg =
   in
   let cycles = cycle_diags reg in
   let divergence = List.concat_map (divergence_diags reg arches) names in
-  Diagnostic.sort (structural @ cycles @ divergence)
+  let hinted = List.concat_map (hint_diags reg arches) hints in
+  Diagnostic.sort (structural @ cycles @ divergence @ hinted)
 
-let validate ?arches reg =
-  let errors = List.filter Diagnostic.is_error (check ?arches reg) in
+let validate ?arches ?hints reg =
+  let errors = List.filter Diagnostic.is_error (check ?arches ?hints reg) in
   if errors <> [] then raise (Invalid_registry errors)

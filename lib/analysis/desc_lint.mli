@@ -13,7 +13,11 @@
     - [TD005] size/alignment divergence between architectures (warning:
       expected for pointer-bearing types, but fatal to raw byte copies)
     - [TD006] pointer field whose pointee type is never registered
-      (swizzling such a pointer would raise [Unknown_type] mid-session) *)
+      (swizzling such a pointer would raise [Unknown_type] mid-session)
+    - [TD007] closure-shape hint naming an unregistered or non-struct
+      type or a field the type does not declare (error: traversal would
+      raise mid-session), or a followed field with no pointers in it
+      (warning: the hint prefetches nothing) *)
 
 open Srpc_types
 open Srpc_memory
@@ -25,12 +29,20 @@ exception Invalid_registry of Diagnostic.t list
     divergence check. *)
 val all_arches : Arch.t list
 
-(** [check ?arches reg] lints every registered type and returns the
-    findings sorted errors-first. [arches] (default [[Arch.sparc32]])
-    is the set of architectures the registry must agree on; TD005 only
-    fires when at least two distinct architectures are given. *)
-val check : ?arches:Arch.t list -> Registry.t -> Diagnostic.t list
+(** [check ?arches ?hints reg] lints every registered type and returns
+    the findings sorted errors-first. [arches] (default
+    [[Arch.sparc32]]) is the set of architectures the registry must
+    agree on; TD005 only fires when at least two distinct architectures
+    are given. [hints] is the installed closure-shape hint table as
+    plain (type, followed fields) pairs, checked by TD007. *)
+val check :
+  ?arches:Arch.t list ->
+  ?hints:(string * string list) list ->
+  Registry.t ->
+  Diagnostic.t list
 
-(** [validate ?arches reg] raises {!Invalid_registry} if [check] finds
-    any error-severity diagnostic. Used by [Node.create ~validate:true]. *)
-val validate : ?arches:Arch.t list -> Registry.t -> unit
+(** [validate ?arches ?hints reg] raises {!Invalid_registry} if [check]
+    finds any error-severity diagnostic. Used by
+    [Node.create ~validate:true]. *)
+val validate :
+  ?arches:Arch.t list -> ?hints:(string * string list) list -> Registry.t -> unit

@@ -49,6 +49,8 @@ let rules =
       title = "cross-architecture layout divergence (size/alignment differs)" };
     { id = "TD006"; default_severity = Error;
       title = "pointer field whose pointee type is never registered" };
+    { id = "TD007"; default_severity = Error;
+      title = "closure hint names an absent type or field, or a pointer-free field" };
     { id = "SP001"; default_severity = Error;
       title = "more than one active thread per session (overlapping requests)" };
     { id = "SP002"; default_severity = Error;

@@ -45,7 +45,7 @@ let check_not_null p =
 
 let get_int node p ~field =
   check_not_null p;
-  Node.charge_touch node;
+  Node.charge_touch ~addr:p.addr node;
   let { offset; fty } = field_info node p ~field in
   let addr = p.addr + offset in
   let m = Node.mmu node in
@@ -58,7 +58,7 @@ let get_int node p ~field =
 
 let set_int node p ~field v =
   check_not_null p;
-  Node.charge_touch node;
+  Node.charge_touch ~addr:p.addr node;
   let { offset; fty } = field_info node p ~field in
   let addr = p.addr + offset in
   let m = Node.mmu node in
@@ -71,19 +71,19 @@ let set_int node p ~field v =
 
 let get_i64 node p ~field =
   check_not_null p;
-  Node.charge_touch node;
+  Node.charge_touch ~addr:p.addr node;
   let { offset; _ } = field_info node p ~field in
   Mem.load_i64 (Node.mmu node) ~addr:(p.addr + offset)
 
 let set_i64 node p ~field v =
   check_not_null p;
-  Node.charge_touch node;
+  Node.charge_touch ~addr:p.addr node;
   let { offset; _ } = field_info node p ~field in
   Mem.store_i64 (Node.mmu node) ~addr:(p.addr + offset) v
 
 let get_f64 node p ~field =
   check_not_null p;
-  Node.charge_touch node;
+  Node.charge_touch ~addr:p.addr node;
   let { offset; fty } = field_info node p ~field in
   let addr = p.addr + offset in
   let m = Node.mmu node in
@@ -94,7 +94,7 @@ let get_f64 node p ~field =
 
 let set_f64 node p ~field v =
   check_not_null p;
-  Node.charge_touch node;
+  Node.charge_touch ~addr:p.addr node;
   let { offset; fty } = field_info node p ~field in
   let addr = p.addr + offset in
   let m = Node.mmu node in
@@ -112,7 +112,7 @@ let pointee node fty =
 
 let get_ptr node p ~field =
   check_not_null p;
-  Node.charge_touch node;
+  Node.charge_touch ~addr:p.addr node;
   let { offset; fty } = field_info node p ~field in
   let target = pointee node fty in
   let word = Mem.load_word (Node.mmu node) ~addr:(p.addr + offset) in
@@ -120,7 +120,7 @@ let get_ptr node p ~field =
 
 let set_ptr node p ~field q =
   check_not_null p;
-  Node.charge_touch node;
+  Node.charge_touch ~addr:p.addr node;
   let { offset; fty } = field_info node p ~field in
   let target = pointee node fty in
   if (not (is_null q)) && not (String.equal q.ty target) then
@@ -139,7 +139,7 @@ let elem node p i =
 
 let load_int node p =
   check_not_null p;
-  Node.charge_touch node;
+  Node.charge_touch ~addr:p.addr node;
   let m = Node.mmu node in
   match Registry.resolve (Node.registry node) (Type_desc.Named p.ty) with
   | Type_desc.Prim I8 -> Mem.load_i8 m ~addr:p.addr
@@ -152,7 +152,7 @@ let load_int node p =
 
 let store_int node p v =
   check_not_null p;
-  Node.charge_touch node;
+  Node.charge_touch ~addr:p.addr node;
   let m = Node.mmu node in
   match Registry.resolve (Node.registry node) (Type_desc.Named p.ty) with
   | Type_desc.Prim I8 -> Mem.store_i8 m ~addr:p.addr v

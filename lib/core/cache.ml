@@ -7,6 +7,8 @@ type entry = {
   pages : int list;
   mutable present : bool;
   mutable dirty : bool;
+  mutable prefetched : bool;
+  mutable touched : bool;
 }
 
 type cursor = { mutable page : int; mutable off : int }
@@ -160,7 +162,18 @@ let allocate t lp ~size =
   let local_addr, pages =
     match take_free_slot t ~size with Some slot -> slot | None -> place t lp ~size
   in
-  let entry = { lp; local_addr; size; pages; present = false; dirty = false } in
+  let entry =
+    {
+      lp;
+      local_addr;
+      size;
+      pages;
+      present = false;
+      dirty = false;
+      prefetched = false;
+      touched = false;
+    }
+  in
   Long_pointer.Table.add t.by_lp lp entry;
   Hashtbl.replace t.by_addr local_addr entry;
   List.iter
@@ -177,6 +190,14 @@ let allocate t lp ~size =
 
 let find_by_lp t lp = Long_pointer.Table.find_opt t.by_lp lp
 let find_by_addr t addr = Hashtbl.find_opt t.by_addr addr
+
+let find_containing t addr =
+  match Hashtbl.find_opt t.by_addr addr with
+  | Some _ as hit -> hit
+  | None ->
+    entries_on_page t (addr / psz t)
+    |> List.find_opt (fun e ->
+           addr >= e.local_addr && addr < e.local_addr + e.size)
 
 let iter_entries t f =
   (* by_addr has exactly one binding per live entry *)

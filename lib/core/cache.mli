@@ -26,6 +26,10 @@ type entry = {
   pages : int list;  (** pages the slot occupies, ascending *)
   mutable present : bool;  (** false until the data transfer *)
   mutable dirty : bool;
+  mutable prefetched : bool;
+      (** the data transfer was speculative (closure extra), not a
+          demand fetch — the access-pattern profile's raw material *)
+  mutable touched : bool;  (** the program accessed this datum *)
 }
 
 type t
@@ -61,6 +65,11 @@ val allocate : t -> Long_pointer.t -> size:int -> entry
 
 val find_by_lp : t -> Long_pointer.t -> entry option
 val find_by_addr : t -> int -> entry option
+
+(** [find_containing t addr] is the entry whose slot covers [addr] —
+    unlike {!find_by_addr} it also resolves interior addresses (array
+    elements, field offsets), as needed by touch tracking. *)
+val find_containing : t -> int -> entry option
 val entries_on_page : t -> int -> entry list
 val iter_entries : t -> (entry -> unit) -> unit
 val entry_count : t -> int

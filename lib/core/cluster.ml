@@ -8,10 +8,11 @@ type t = {
   registry : Srpc_types.Registry.t;
   session : Session.t;
   hints : Hints.t;
+  policy : Srpc_policy.Engine.t option;
   mutable nodes : Node.t list;
 }
 
-let create ?(cost = Cost_model.sparc_10mbps) () =
+let create ?(cost = Cost_model.sparc_10mbps) ?policy () =
   let clock = Clock.create () in
   let stats = Stats.create () in
   {
@@ -21,6 +22,7 @@ let create ?(cost = Cost_model.sparc_10mbps) () =
     registry = Srpc_types.Registry.create ();
     session = Session.create ();
     hints = Hints.create ();
+    policy;
     nodes = [];
   }
 
@@ -36,8 +38,9 @@ let add_node ?(proc = 0) ?(arch = Arch.sparc32) ?(strategy = Strategy.smart ())
   if List.exists (fun n -> Space_id.equal (Node.id n) id) t.nodes then
     invalid_arg (Printf.sprintf "Cluster.add_node: %s exists" (Space_id.to_string id));
   let node =
-    Node.create ?page_size ?validate ~hints:t.hints ~id ~arch ~registry:t.registry
-      ~transport:t.transport ~session:t.session ~strategy ()
+    Node.create ?page_size ?validate ?policy:t.policy ~hints:t.hints ~id ~arch
+      ~registry:t.registry ~transport:t.transport ~session:t.session ~strategy
+      ()
   in
   t.nodes <- node :: t.nodes;
   node
@@ -48,12 +51,17 @@ let validate t =
     | [] -> [ Arch.sparc32 ]
     | arches -> arches
   in
-  Srpc_analysis.Desc_lint.validate ~arches t.registry
+  let hints =
+    Hints.to_list t.hints
+    |> List.map (fun (ty, (r : Hints.rule)) -> (ty, r.Hints.follow))
+  in
+  Srpc_analysis.Desc_lint.validate ~arches ~hints t.registry
 
 let node t id = List.find_opt (fun n -> Space_id.equal (Node.id n) id) t.nodes
 let nodes t = List.rev t.nodes
 let register_type t name desc = Srpc_types.Registry.register t.registry name desc
 let hints t = t.hints
+let policy t = t.policy
 let set_closure_hint t ~ty rule = Hints.set t.hints ~ty rule
 let now t = Clock.now t.clock
 let snapshot t = Stats.snapshot t.stats

@@ -7,8 +7,11 @@ open Srpc_simnet
 type t
 
 (** [create ()] builds an empty cluster. [cost] defaults to the paper's
-    testbed calibration ({!Cost_model.sparc_10mbps}). *)
-val create : ?cost:Cost_model.t -> unit -> t
+    testbed calibration ({!Cost_model.sparc_10mbps}). Passing [policy]
+    shares one adaptive policy engine across every node added later:
+    receivers feed it access-pattern observations and senders consult
+    its budgets, closing the feedback loop (see {!Srpc_policy.Engine}). *)
+val create : ?cost:Cost_model.t -> ?policy:Srpc_policy.Engine.t -> unit -> t
 
 val clock : t -> Clock.t
 val stats : t -> Stats.t
@@ -33,7 +36,9 @@ val add_node :
 
 (** [validate t] runs the descriptor linter over the shared registry
     against the architectures of every node added so far (defaulting to
-    SPARC for an empty cluster). Call it after registering types.
+    SPARC for an empty cluster), and checks installed closure-shape
+    hints against the registry (rule TD007). Call it after registering
+    types.
     @raise Srpc_analysis.Desc_lint.Invalid_registry on error findings. *)
 val validate : t -> unit
 
@@ -46,6 +51,10 @@ val register_type : t -> string -> Srpc_types.Type_desc.t -> unit
 (** Cluster-wide closure-shape hints (paper, section 6: programmer
     suggestions for the closure's shape). *)
 val hints : t -> Hints.t
+
+(** The shared adaptive policy engine, when the cluster was created with
+    one. *)
+val policy : t -> Srpc_policy.Engine.t option
 
 (** [set_closure_hint t ~ty rule] installs a hint for [ty] on every
     node. *)

@@ -3,15 +3,31 @@ open Srpc_types
 type rule = { follow : string list; prune_others : bool }
 type t = (string, rule) Hashtbl.t
 
+exception Unknown_field of { ty : string; field : string }
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_field { ty; field } ->
+      Some
+        (Printf.sprintf
+           "Srpc_core.Hints.Unknown_field: hint for type %S names field %S, \
+            which the type does not declare"
+           ty field)
+    | _ -> None)
+
 let create () = Hashtbl.create 8
 let set t ~ty rule = Hashtbl.replace t ty rule
 let clear t ~ty = Hashtbl.remove t ty
 let find t ~ty = Hashtbl.find_opt t ty
+let to_list t = Hashtbl.fold (fun ty rule acc -> (ty, rule) :: acc) t []
 
 (* Pointer leaves contributed by one direct field, at its offset. *)
 let field_pointer_leaves reg arch ~ty ~field =
   let desc = Type_desc.Named ty in
-  let base = Layout.field_offset reg arch ~ty:desc ~field in
+  let base =
+    try Layout.field_offset reg arch ~ty:desc ~field
+    with Not_found -> raise (Unknown_field { ty; field })
+  in
   let fty = Layout.field_type reg ~ty:desc ~field in
   List.map (fun (off, target) -> (base + off, target)) (Layout.pointer_leaves reg arch fty)
 

@@ -24,6 +24,10 @@ type rule = {
           listed ones *)
 }
 
+(** Raised by {!pointer_fields} when a hint's [follow] list names a
+    field the hinted type does not declare. *)
+exception Unknown_field of { ty : string; field : string }
+
 val create : unit -> t
 
 (** [set t ~ty rule] installs (or replaces) the hint for [ty]. *)
@@ -32,8 +36,11 @@ val set : t -> ty:string -> rule -> unit
 val clear : t -> ty:string -> unit
 val find : t -> ty:string -> rule option
 
+(** All installed hints, unordered — the linter's view of the table. *)
+val to_list : t -> (string * rule) list
+
 (** [pointer_fields t reg arch ~ty] is the pointer-leaf list of [ty] —
     [(offset, pointee type)] — in traversal order after applying the
     hint; without a hint it equals {!Layout.pointer_leaves}.
-    @raise Not_found if a hinted field does not exist on [ty]. *)
+    @raise Unknown_field if a hinted field does not exist on [ty]. *)
 val pointer_fields : t -> Registry.t -> Arch.t -> ty:string -> (int * string) list

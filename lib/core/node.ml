@@ -16,6 +16,7 @@ type t = {
   transport : Transport.t;
   session : Session.t;
   hints : Hints.t;
+  policy : Srpc_policy.Engine.t option;
   mutable strategy : Strategy.t;
   procs : (string, proc) Hashtbl.t;
   shipped : (int, unit) Hashtbl.t Space_id.Table.t;
@@ -28,6 +29,9 @@ type t = {
   mutable pending_allocs : pending_alloc list;
   mutable pending_frees : Long_pointer.t list;
   mutable prov_counter : int;
+  mutable session_t0 : float;
+      (** simulated clock at [begin_session], for the policy's measured
+          session duration *)
 }
 
 and proc = t -> Value.t list -> Value.t list
@@ -45,6 +49,7 @@ let registry t = t.registry
 let transport t = t.transport
 let strategy t = t.strategy
 let hints t = t.hints
+let policy t = t.policy
 let set_strategy t s =
   t.strategy <- s;
   Cache.set_policy t.cache ~grouping:s.Strategy.grouping ~grain:s.Strategy.grain
@@ -100,10 +105,14 @@ let encode_item t ~(lp : Long_pointer.t) ~addr : Wire.item =
   let raw = Address_space.read_unchecked t.space ~addr ~len:(sizeof t lp.ty) in
   { lp; data = Object_codec.encode (encode_ctx t) ~ty:lp.ty raw }
 
-(* Install a transferred datum. [dirty] marks writeback items: they
-   overwrite our copy and keep traveling with the thread of control. *)
-let install_item t ~dirty (item : Wire.item) =
+(* Install a transferred datum. [kind] is its provenance: [`Writeback]
+   items overwrite our copy and keep traveling with the thread of
+   control; [`Eager] items are speculative closure extras; [`Demand]
+   items answer an explicit fetch from this node. Provenance is what the
+   access-pattern profile keys its outcome accounting on. *)
+let install_item t ~kind (item : Wire.item) =
   let lp = item.Wire.lp in
+  let dirty = kind = `Writeback in
   if Space_id.equal lp.origin t.id then begin
     (* The datum came home: apply it to the original location. When it
        arrived dirty mid-session it stays in the traveling modified set
@@ -118,13 +127,33 @@ let install_item t ~dirty (item : Wire.item) =
       | Some e -> e
       | None -> Cache.allocate t.cache lp ~size:(sizeof t lp.ty)
     in
-    if dirty || not e.Cache.present then begin
+    let fresh = not e.Cache.present in
+    if dirty || fresh then begin
       let raw = Object_codec.decode (decode_ctx t) ~ty:lp.ty item.Wire.data in
       Address_space.write_unchecked t.space ~addr:e.Cache.local_addr raw;
       if dirty then e.Cache.dirty <- true;
       Cache.mark_present t.cache e
-    end
+    end;
     (* else: a clean copy we already hold; ours is authoritative *)
+    if fresh then begin
+      (match kind with
+      | `Eager ->
+        e.Cache.prefetched <- true;
+        Stats.add_prefetched_bytes (Transport.stats t.transport) e.Cache.size
+      | `Writeback | `Demand -> ());
+      match t.policy with
+      | None -> ()
+      | Some pol -> (
+        let profile = Srpc_policy.Engine.profile pol in
+        match kind with
+        | `Eager ->
+          Srpc_policy.Profile.prefetched profile ~ty:lp.Long_pointer.ty
+            ~bytes:e.Cache.size
+        | `Demand ->
+          Srpc_policy.Profile.demand_fetched profile ~ty:lp.Long_pointer.ty
+            ~bytes:e.Cache.size
+        | `Writeback -> ())
+    end
   end
 
 let shipped_set t peer =
@@ -138,7 +167,14 @@ let shipped_set t peer =
 (* Bounded transitive closure from [seeds], in the configured traversal
    order (paper, section 3.3). Seeds are shipped unconditionally when
    [forced_seeds]; extras stop at the closure budget. Data already
-   shipped to [peer] in this session is traversed but not re-sent. *)
+   shipped to [peer] in this session is traversed but not re-sent.
+
+   With an adaptive policy installed the static byte budget is replaced
+   by the controller's per-type budgets: each candidate datum is charged
+   against the budget of its own type, an exhausted type is skipped
+   (left for the lazy path) without stopping traversal of the others,
+   and its children are not explored. An [Unbounded] strategy stays
+   unbounded — the policy only retunes bounded shipping. *)
 let ship_closure t ~peer ~forced_seeds ~seeds =
   let strategy = t.strategy in
   let shipped = shipped_set t peer in
@@ -146,6 +182,21 @@ let ship_closure t ~peer ~forced_seeds ~seeds =
   let out = ref [] in
   let total = ref 0 in
   let budget_exceeded = ref false in
+  let per_type_budget =
+    match t.policy with
+    | Some pol when strategy.Strategy.budget <> Strategy.Unbounded ->
+      Some (fun ty -> Srpc_policy.Engine.budget_for pol ~ty)
+    | Some _ | None -> None
+  in
+  let total_by_ty : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let used_by_ty ty =
+    Option.value ~default:0 (Hashtbl.find_opt total_by_ty ty)
+  in
+  let budget_allows ~ty ~extra =
+    match per_type_budget with
+    | None -> Strategy.budget_allows strategy ~total:!total ~extra
+    | Some budget -> used_by_ty ty + extra <= budget ty
+  in
   let queue = Queue.create () in
   let stack = ref [] in
   let push lp =
@@ -177,15 +228,16 @@ let ship_closure t ~peer ~forced_seeds ~seeds =
       if Hashtbl.mem shipped lp.addr && not forced then
         (* peer caches it already; traverse through without re-sending *)
         List.iter push (children (raw ()) lp.ty)
-      else if forced || Strategy.budget_allows strategy ~total:!total ~extra:size
-      then begin
+      else if forced || budget_allows ~ty:lp.ty ~extra:size then begin
         total := !total + size;
+        Hashtbl.replace total_by_ty lp.ty (used_by_ty lp.ty + size);
         let raw = raw () in
         out := { Wire.lp; data = Object_codec.encode (encode_ctx t) ~ty:lp.ty raw } :: !out;
         Hashtbl.replace shipped lp.addr ();
         List.iter push (children raw lp.ty)
       end
-      else budget_exceeded := true
+      else if Option.is_none per_type_budget then budget_exceeded := true
+      (* per-type budgets: this datum stays lazy, other types continue *)
     end
   in
   List.iter (visit ~forced:forced_seeds) seeds;
@@ -363,8 +415,8 @@ let call t ~dst proc args =
       (Wire.Call { session = info.Session.id; proc; args = wargs; writebacks; eager })
   with
   | Wire.Return { results; writebacks; eager } ->
-    List.iter (install_item t ~dirty:true) writebacks;
-    List.iter (install_item t ~dirty:false) eager;
+    List.iter (install_item t ~kind:`Writeback) writebacks;
+    List.iter (install_item t ~kind:`Eager) eager;
     List.map (value_of_wire t) results
   | Wire.Error msg -> raise (Remote_error msg)
   | Wire.Fetched _ | Wire.Allocated _ | Wire.Ack ->
@@ -376,13 +428,53 @@ let fetch_missing t missing =
   let batches =
     group_by_space (fun (e : Cache.entry) -> e.lp.Long_pointer.origin) missing
   in
+  let clock = Transport.clock t.transport in
   List.iter
     (fun (origin, entries) ->
       Stats.incr_callbacks (Transport.stats t.transport);
       let wanted = List.map (fun (e : Cache.entry) -> e.Cache.lp) entries in
+      let t0 = Clock.now clock in
       match request t ~dst:origin (Wire.Fetch { session = session_id t; wanted })
       with
-      | Wire.Fetched { items } -> List.iter (install_item t ~dirty:false) items
+      | Wire.Fetched { items } ->
+        (* Items we asked for are demand fetches; anything extra in the
+           same reply is the server's speculative closure around them. *)
+        List.iter
+          (fun (item : Wire.item) ->
+            let kind =
+              if List.exists (Long_pointer.equal item.Wire.lp) wanted then `Demand
+              else `Eager
+            in
+            install_item t ~kind item)
+          items;
+        (* The clock advance across this synchronous round trip is
+           exactly how long the faulting thread was stopped. *)
+        let stall = Clock.now clock -. t0 in
+        Stats.add_stall_ns (Transport.stats t.transport)
+          (int_of_float (stall *. 1e9));
+        (match t.policy with
+        | None -> ()
+        | Some pol ->
+          (* The profile gets only the avoidable part of the stall: the
+             fixed round-trip and fault overheads. The demanded bytes
+             cost the same wire and conversion time whether they ship
+             eagerly or lazily, so pricing them as stall would push the
+             controller toward eager-sized budgets whose waste it can
+             never recoup. *)
+          let c =
+            Transport.link_cost t.transport ~src:(endpoint t)
+              ~dst:(Space_id.to_string origin)
+          in
+          let overhead =
+            (2.0 *. c.Cost_model.message_latency) +. c.Cost_model.fault_overhead
+          in
+          let profile = Srpc_policy.Engine.profile pol in
+          let share = overhead /. float_of_int (List.length entries) in
+          List.iter
+            (fun (e : Cache.entry) ->
+              Srpc_policy.Profile.stall profile ~ty:e.Cache.lp.Long_pointer.ty
+                ~seconds:share)
+            entries)
       | Wire.Error msg -> raise (Remote_error msg)
       | Wire.Return _ | Wire.Allocated _ | Wire.Ack ->
         failwith "protocol error: bad reply to Fetch")
@@ -425,6 +517,64 @@ let handle_fault t (fault : Address_space.fault) =
       Cache.mark_page_dirty t.cache ~page
     | Address_space.Read -> Cache.refresh_protection t.cache ~page
 
+(* --- outcome accounting for the adaptive policy --- *)
+
+(* Close the session's book on the cache, just before invalidation:
+   every prefetched datum either paid off (it was touched) or was pure
+   waste, and each pointer field of a touched datum yields one edge
+   observation — child still absent: a healthy skip; child prefetched:
+   touched or wasted; child present otherwise: the program had to
+   demand it. The controller turns these into budgets and hints. *)
+let record_outcomes t =
+  let stats = Transport.stats t.transport in
+  Cache.iter_entries t.cache (fun e ->
+      if e.Cache.present && e.Cache.prefetched && not e.Cache.touched then
+        Stats.add_wasted_prefetch_bytes stats e.Cache.size);
+  match t.policy with
+  | None -> ()
+  | Some pol ->
+    let profile = Srpc_policy.Engine.profile pol in
+    let arch = arch t in
+    Cache.iter_entries t.cache (fun (e : Cache.entry) ->
+        if e.Cache.present then begin
+          let ty = e.Cache.lp.Long_pointer.ty in
+          if e.Cache.prefetched then
+            Srpc_policy.Profile.outcome profile ~ty ~bytes:e.Cache.size
+              ~touched:e.Cache.touched;
+          if e.Cache.touched then
+            let fields =
+              (Layout.of_type t.registry arch (Type_desc.Named ty)).Layout.fields
+            in
+            let raw =
+              lazy
+                (Address_space.read_unchecked t.space ~addr:e.Cache.local_addr
+                   ~len:e.Cache.size)
+            in
+            List.iter
+              (fun (f : Layout.field) ->
+                List.iter
+                  (fun (off, _target) ->
+                    let w =
+                      Mem.Codec.get_word arch (Lazy.force raw)
+                        (f.Layout.offset + off)
+                    in
+                    if w <> 0 && Cache.in_region t.cache w then
+                      match Cache.find_by_addr t.cache w with
+                      | None -> ()
+                      | Some child ->
+                        let outcome : Srpc_policy.Profile.edge_outcome =
+                          if not child.Cache.present then Avoided
+                          else if child.Cache.prefetched then
+                            if child.Cache.touched then Prefetched_touched
+                            else Prefetched_wasted
+                          else Demanded
+                        in
+                        Srpc_policy.Profile.edge profile ~ty
+                          ~field:f.Layout.name ~outcome ~bytes:child.Cache.size)
+                  (Layout.pointer_leaves t.registry arch f.Layout.ty))
+              fields
+        end)
+
 (* --- dispatch of incoming frames --- *)
 
 (* Every frame names its session; a frame from a session other than the
@@ -442,8 +592,8 @@ let handle t src req =
   | Wire.Call { proc; args; writebacks; eager; session } ->
     check_session t session;
     Session.join t.session t.id;
-    List.iter (install_item t ~dirty:true) writebacks;
-    List.iter (install_item t ~dirty:false) eager;
+    List.iter (install_item t ~kind:`Writeback) writebacks;
+    List.iter (install_item t ~kind:`Eager) eager;
     let body =
       match Hashtbl.find_opt t.procs proc with
       | Some f -> f
@@ -465,7 +615,7 @@ let handle t src req =
     (* installing write-backs can swizzle foreign pointers into fresh
        cache slots here, so this space must be invalidated too *)
     Session.join t.session t.id;
-    List.iter (install_item t ~dirty:true) items;
+    List.iter (install_item t ~kind:`Writeback) items;
     Wire.Ack
   | Wire.Alloc_batch { reqs; session } ->
     check_session t session;
@@ -485,6 +635,7 @@ let handle t src req =
     Wire.Ack
   | Wire.Invalidate { session } ->
     check_session t session;
+    record_outcomes t;
     Cache.invalidate t.cache;
     Space_id.Table.reset t.shipped;
     Long_pointer.Table.reset t.traveling;
@@ -500,6 +651,7 @@ let dispatch t src req_str =
 
 let begin_session t =
   let info = Session.begin_session t.session ~ground:t.id in
+  t.session_t0 <- Clock.now (Transport.clock t.transport);
   Transport.mark t.transport ~src:(endpoint t) (Trace.Session_begin info.Session.id)
 
 let end_session t =
@@ -531,9 +683,29 @@ let end_session t =
     (fun peer ->
       expect_ack (request t ~dst:peer (Wire.Invalidate { session = info.Session.id })))
     others;
+  record_outcomes t;
   Cache.invalidate t.cache;
   Space_id.Table.reset t.shipped;
   Long_pointer.Table.reset t.traveling;
+  (* Every participant has now recorded its outcomes into the shared
+     profile; run one control decision and install the derived hints so
+     the next session ships under the revised policy. *)
+  (match t.policy with
+  | None -> ()
+  | Some pol ->
+    let seconds = Clock.now (Transport.clock t.transport) -. t.session_t0 in
+    let d = Srpc_policy.Engine.session_end ~seconds pol in
+    List.iter
+      (fun (r : Srpc_policy.Controller.rule) ->
+        Hints.set t.hints ~ty:r.Srpc_policy.Controller.rule_ty
+          {
+            Hints.follow = r.Srpc_policy.Controller.follow;
+            prune_others = r.Srpc_policy.Controller.prune_others;
+          })
+      d.Srpc_policy.Controller.rules;
+    List.iter
+      (fun ty -> Hints.clear t.hints ~ty)
+      d.Srpc_policy.Controller.cleared);
   Session.close t.session;
   Transport.mark t.transport ~src:(endpoint t) (Trace.Session_end info.Session.id)
 
@@ -596,8 +768,8 @@ let extended_free t addr =
 (* --- construction --- *)
 
 let create ?(page_size = 4096) ?(heap_base = 0x10000) ?(heap_limit = 0x4000000)
-    ?(cache_limit = 0x24000000) ?hints ?(validate = false) ~id ~arch ~registry
-    ~transport ~session ~strategy () =
+    ?(cache_limit = 0x24000000) ?hints ?policy ?(validate = false) ~id ~arch
+    ~registry ~transport ~session ~strategy () =
   if heap_limit mod page_size <> 0 then
     invalid_arg "Node.create: heap_limit must be page-aligned";
   (* Reject a malformed registry before any datum is laid out against
@@ -623,6 +795,7 @@ let create ?(page_size = 4096) ?(heap_base = 0x10000) ?(heap_limit = 0x4000000)
       transport;
       session;
       hints;
+      policy;
       strategy;
       procs = Hashtbl.create 16;
       shipped = Space_id.Table.create 4;
@@ -630,6 +803,7 @@ let create ?(page_size = 4096) ?(heap_base = 0x10000) ?(heap_limit = 0x4000000)
       pending_allocs = [];
       pending_frees = [];
       prov_counter = 0;
+      session_t0 = 0.0;
     }
   in
   Mmu.set_handler mmu (handle_fault t);
@@ -642,6 +816,14 @@ let run_local t name args =
   match Hashtbl.find_opt t.procs name with
   | Some f -> f t args
   | None -> raise (Unknown_procedure name)
-let charge_touch t = Transport.charge_local_touches t.transport 1
+let charge_touch ?addr t =
+  Transport.charge_local_touches t.transport 1;
+  match addr with
+  | None -> ()
+  | Some a ->
+    if Cache.in_region t.cache a then (
+      match Cache.find_containing t.cache a with
+      | Some e -> e.Cache.touched <- true
+      | None -> ())
 let cached_entries t = Cache.entry_count t.cache
 let pp_alloc_table ppf t = Cache.pp_table ppf t.cache

@@ -36,7 +36,12 @@ exception Invalid_pointer of int
     a node and registers its dispatcher with the transport. Region sizes
     are configurable for tests ([page_size] must be a power of two).
     With [~validate:true] the registry is first checked by the
-    descriptor linter against this node's architecture.
+    descriptor linter against this node's architecture. Passing
+    [?policy] opts the node into adaptive transfer: the engine's
+    per-type budgets replace the strategy's static closure budget, the
+    runtime feeds it access-pattern observations, and at session end it
+    installs machine-derived closure-shape hints into [hints] (share
+    one engine and one hint table across the cluster's nodes).
     @raise Srpc_analysis.Desc_lint.Invalid_registry if validation finds
     error-severity defects. *)
 val create :
@@ -45,6 +50,7 @@ val create :
   ?heap_limit:int ->
   ?cache_limit:int ->
   ?hints:Hints.t ->
+  ?policy:Srpc_policy.Engine.t ->
   ?validate:bool ->
   id:Space_id.t ->
   arch:Arch.t ->
@@ -67,6 +73,9 @@ val strategy : t -> Strategy.t
     transitive closures (shared cluster-wide when built through
     {!Cluster}). *)
 val hints : t -> Hints.t
+
+(** The adaptive policy engine, when the node was created with one. *)
+val policy : t -> Srpc_policy.Engine.t option
 
 (** [set_strategy t s] reconfigures the transfer strategy (between
     sessions; changing it mid-session is undefined). *)
@@ -135,8 +144,10 @@ val swizzle : t -> Long_pointer.t option -> int
 val unswizzle : t -> ty:string -> int -> Long_pointer.t option
 
 (** [charge_touch t] accounts one application-level data access in the
-    cost model. *)
-val charge_touch : t -> unit
+    cost model. When [addr] names the accessed datum, its cache entry
+    (if any) is also marked touched, feeding the access-pattern
+    profile. *)
+val charge_touch : ?addr:int -> t -> unit
 
 (** Number of live entries in the data allocation table. *)
 val cached_entries : t -> int

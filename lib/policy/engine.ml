@@ -1,0 +1,31 @@
+type t = {
+  profile : Profile.t;
+  controller : Controller.t;
+  mutable sessions : int;
+}
+
+let create ?config ?(cost = Srpc_simnet.Cost_model.sparc_10mbps) () =
+  let controller = Controller.create ?config ~cost () in
+  let max_windows = max 1 (Controller.config controller).Controller.windows in
+  { profile = Profile.create ~max_windows (); controller; sessions = 0 }
+
+let profile t = t.profile
+let controller t = t.controller
+let budget_for t ~ty = Controller.budget_for t.controller ~ty
+
+let session_end ?seconds t =
+  Profile.end_window t.profile;
+  t.sessions <- t.sessions + 1;
+  let windows = (Controller.config t.controller).Controller.windows in
+  Controller.step ?seconds t.controller (Profile.summary t.profile ~windows)
+
+let sessions t = t.sessions
+
+let budgets t = Controller.budgets t.controller
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>adaptive policy after %d session(s):@," t.sessions;
+  List.iter
+    (fun (ty, b) -> Format.fprintf ppf "  %-16s budget %dB@," ty b)
+    (budgets t);
+  Format.fprintf ppf "@]"

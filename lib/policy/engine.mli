@@ -1,0 +1,36 @@
+(** The adaptive-policy engine: one {!Profile} plus one {!Controller},
+    shared by every node of a simulated cluster the way the hint table
+    is. The runtime feeds profile events as data moves and faults; the
+    ground node calls {!session_end} when a session closes, which rolls
+    the profile window and runs one controller step. The closure engine
+    consults {!budget_for} instead of the static strategy budget. *)
+
+type t
+
+(** [create ()] builds an engine. [cost] defaults to the paper-testbed
+    calibration ({!Srpc_simnet.Cost_model.sparc_10mbps}) and must match
+    the cluster's cost model for the waste/stall comparison to be
+    meaningful. *)
+val create :
+  ?config:Controller.config -> ?cost:Srpc_simnet.Cost_model.t -> unit -> t
+
+val profile : t -> Profile.t
+val controller : t -> Controller.t
+
+(** Current closure budget (bytes) for transfers seeded by a pointer to
+    [ty]. *)
+val budget_for : t -> ty:string -> int
+
+(** [session_end t] closes the profile window and runs one controller
+    step; the caller applies the returned hint rules to its hint table.
+    [seconds] — the session's measured (simulated) duration — switches
+    the controller to its hill-climbing mode (see {!Controller.step}). *)
+val session_end : ?seconds:float -> t -> Controller.decision
+
+(** Sessions observed so far (controller steps taken). *)
+val sessions : t -> int
+
+(** Per-type budgets currently in force. *)
+val budgets : t -> (string * int) list
+
+val pp : Format.formatter -> t -> unit

@@ -6,6 +6,9 @@ type snapshot = {
   writebacks : int;
   remote_allocs : int;
   remote_frees : int;
+  prefetched_bytes : int;
+  wasted_prefetch_bytes : int;
+  stall_ns : int;
 }
 
 type t = {
@@ -16,6 +19,9 @@ type t = {
   mutable writebacks : int;
   mutable remote_allocs : int;
   mutable remote_frees : int;
+  mutable prefetched_bytes : int;
+  mutable wasted_prefetch_bytes : int;
+  mutable stall_ns : int;
 }
 
 let create () =
@@ -27,6 +33,9 @@ let create () =
     writebacks = 0;
     remote_allocs = 0;
     remote_frees = 0;
+    prefetched_bytes = 0;
+    wasted_prefetch_bytes = 0;
+    stall_ns = 0;
   }
 
 let incr_messages t = t.messages <- t.messages + 1
@@ -36,6 +45,12 @@ let incr_callbacks t = t.callbacks <- t.callbacks + 1
 let add_writebacks t n = t.writebacks <- t.writebacks + n
 let add_remote_allocs t n = t.remote_allocs <- t.remote_allocs + n
 let add_remote_frees t n = t.remote_frees <- t.remote_frees + n
+let add_prefetched_bytes t n = t.prefetched_bytes <- t.prefetched_bytes + n
+
+let add_wasted_prefetch_bytes t n =
+  t.wasted_prefetch_bytes <- t.wasted_prefetch_bytes + n
+
+let add_stall_ns t n = t.stall_ns <- t.stall_ns + n
 
 let snapshot t : snapshot =
   {
@@ -46,6 +61,9 @@ let snapshot t : snapshot =
     writebacks = t.writebacks;
     remote_allocs = t.remote_allocs;
     remote_frees = t.remote_frees;
+    prefetched_bytes = t.prefetched_bytes;
+    wasted_prefetch_bytes = t.wasted_prefetch_bytes;
+    stall_ns = t.stall_ns;
   }
 
 let reset t =
@@ -55,7 +73,10 @@ let reset t =
   t.callbacks <- 0;
   t.writebacks <- 0;
   t.remote_allocs <- 0;
-  t.remote_frees <- 0
+  t.remote_frees <- 0;
+  t.prefetched_bytes <- 0;
+  t.wasted_prefetch_bytes <- 0;
+  t.stall_ns <- 0
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
   {
@@ -66,6 +87,9 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     writebacks = a.writebacks - b.writebacks;
     remote_allocs = a.remote_allocs - b.remote_allocs;
     remote_frees = a.remote_frees - b.remote_frees;
+    prefetched_bytes = a.prefetched_bytes - b.prefetched_bytes;
+    wasted_prefetch_bytes = a.wasted_prefetch_bytes - b.wasted_prefetch_bytes;
+    stall_ns = a.stall_ns - b.stall_ns;
   }
 
 let zero : snapshot =
@@ -77,11 +101,14 @@ let zero : snapshot =
     writebacks = 0;
     remote_allocs = 0;
     remote_frees = 0;
+    prefetched_bytes = 0;
+    wasted_prefetch_bytes = 0;
+    stall_ns = 0;
   }
 
 let pp_snapshot ppf (s : snapshot) =
   Format.fprintf ppf
     "@[<h>msgs=%d bytes=%d faults=%d callbacks=%d writebacks=%d allocs=%d \
-     frees=%d@]"
+     frees=%d prefetched=%dB wasted=%dB stall=%dns@]"
     s.messages s.bytes s.faults s.callbacks s.writebacks s.remote_allocs
-    s.remote_frees
+    s.remote_frees s.prefetched_bytes s.wasted_prefetch_bytes s.stall_ns

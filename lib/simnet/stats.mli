@@ -13,6 +13,15 @@ type snapshot = {
   writebacks : int;  (** dirty data items shipped by the coherency protocol *)
   remote_allocs : int;  (** batched remote allocation requests *)
   remote_frees : int;  (** batched remote release requests *)
+  prefetched_bytes : int;
+      (** in-memory bytes of data installed speculatively by the closure
+          engine (eager items the receiver never asked for) *)
+  wasted_prefetch_bytes : int;
+      (** the subset of [prefetched_bytes] never touched by the program
+          before its cache entry was invalidated *)
+  stall_ns : int;
+      (** simulated nanoseconds the program spent blocked on lazy fetch
+          round trips (fault-time callbacks) *)
 }
 
 val create : unit -> t
@@ -23,6 +32,9 @@ val incr_callbacks : t -> unit
 val add_writebacks : t -> int -> unit
 val add_remote_allocs : t -> int -> unit
 val add_remote_frees : t -> int -> unit
+val add_prefetched_bytes : t -> int -> unit
+val add_wasted_prefetch_bytes : t -> int -> unit
+val add_stall_ns : t -> int -> unit
 val snapshot : t -> snapshot
 val reset : t -> unit
 

@@ -1077,3 +1077,169 @@ let table1 ppf () =
         "@[<v>Table 1 — callee data allocation table after swizzling two \
          pointers A and B@,%a@]"
         Node.pp_alloc_table callee)
+
+(* --- srpc-adapt: the adaptive policy, run session after session ---
+
+   Same two-site setups as Fig. 4 and ablation A5, but the cluster keeps
+   one {!Srpc_policy.Engine} across repeated sessions: each session the
+   receiver's access pattern is profiled, and between sessions the
+   controller revises the per-type closure budgets and machine-derived
+   hints. The per-session run list is the convergence curve. *)
+
+type adaptive_curve = {
+  a_ratio : float;
+  a_sessions : run list;  (** one entry per session, in order *)
+  a_budgets : (string * int) list;  (** per-type budgets after the last session *)
+}
+
+let measure_session cluster ~ground ~callee f =
+  Node.begin_session ground;
+  let s0 = Cluster.snapshot cluster in
+  let t0 = Cluster.now cluster in
+  let visited = f () in
+  let t1 = Cluster.now cluster in
+  let s1 = Cluster.snapshot cluster in
+  let cache_pages = Cache.used_pages (Node.cache callee) in
+  Node.end_session ground;
+  let d = Stats.diff s1 s0 in
+  {
+    seconds = t1 -. t0;
+    callbacks = d.Stats.callbacks;
+    messages = d.Stats.messages;
+    bytes = d.Stats.bytes;
+    faults = d.Stats.faults;
+    visited;
+    cache_pages;
+  }
+
+let run_adaptive_tree_search ?(depth = 15) ?(sessions = 12) ?config ~ratio () =
+  let policy = Srpc_policy.Engine.create ?config () in
+  let cluster = Cluster.create ~policy () in
+  let strategy = Strategy.smart () in
+  let caller = Cluster.add_node cluster ~site:1 ~strategy () in
+  let callee = Cluster.add_node cluster ~site:2 ~strategy () in
+  Tree.register_types cluster;
+  let root = Tree.build caller ~depth in
+  Node.register callee search_proc (fun node args ->
+      match args with
+      | [ rootv; limitv; updatev ] ->
+        let root = Access.of_value rootv in
+        let limit = Value.to_int limitv in
+        let upd = Value.to_bool updatev in
+        let visit = if upd then Tree.visit_update else Tree.visit in
+        let visited, _sum = visit node root ~limit in
+        [ Value.int visited ]
+      | _ -> invalid_arg (search_proc ^ ": expected (root, limit, update)"));
+  let total = Tree.nodes_of_depth depth in
+  let limit = int_of_float (Float.round (ratio *. float_of_int total)) in
+  let one () =
+    measure_session cluster ~ground:caller ~callee (fun () ->
+        match
+          Node.call caller ~dst:(Node.id callee) search_proc
+            [ Access.to_value root; Value.int limit; Value.bool false ]
+        with
+        | [ v ] -> Value.to_int v
+        | _ -> failwith (search_proc ^ ": bad result arity"))
+  in
+  let runs = List.init sessions (fun _ -> one ()) in
+  { a_ratio = ratio; a_sessions = runs; a_budgets = Srpc_policy.Engine.budgets policy }
+
+type adaptive_fig4_row = {
+  af_ratio : float;
+  af_eager : run;
+  af_lazy : run;
+  af_smart : run;
+  af_adaptive : adaptive_curve;
+}
+
+let adaptive_fig4 ?(depth = 15) ?(ratios = default_ratios) ?(closure = 8192)
+    ?(sessions = 12) () =
+  let point ratio =
+    let go m = run_tree_search ~strategy:(strategy_of_method m) ~depth ~ratio () in
+    {
+      af_ratio = ratio;
+      af_eager = go Fully_eager;
+      af_lazy = go Fully_lazy;
+      af_smart = go (Proposed closure);
+      af_adaptive = run_adaptive_tree_search ~depth ~sessions ~ratio ();
+    }
+  in
+  List.map point ratios
+
+type adaptive_chain = {
+  ac_sessions : run list;
+  ac_hint : Hints.rule option;
+  ac_budgets : (string * int) list;
+}
+
+let run_adaptive_chain_walk ?(cells = 400) ?(sessions = 10) ?config () =
+  let policy = Srpc_policy.Engine.create ?config () in
+  let strategy =
+    { (Strategy.smart ()) with Strategy.grouping = Strategy.By_type }
+  in
+  let cluster = Cluster.create ~policy () in
+  let owner = Cluster.add_node cluster ~site:1 ~strategy () in
+  let walker = Cluster.add_node cluster ~site:2 ~strategy () in
+  Cluster.register_type cluster blob_ty
+    (Srpc_types.Type_desc.Struct
+       [ ("payload", Srpc_types.Type_desc.Array (Srpc_types.Type_desc.f64, 64)) ]);
+  Cluster.register_type cluster rcell_ty
+    (Srpc_types.Type_desc.Struct
+       [
+         ("next", Srpc_types.Type_desc.ptr rcell_ty);
+         ("blob", Srpc_types.Type_desc.ptr blob_ty);
+         ("tag", Srpc_types.Type_desc.i64);
+       ]);
+  let head = ref (Access.null ~ty:rcell_ty) in
+  for i = cells - 1 downto 0 do
+    let cell = Access.ptr ~ty:rcell_ty (Node.malloc owner ~ty:rcell_ty) in
+    let blob = Access.ptr ~ty:blob_ty (Node.malloc owner ~ty:blob_ty) in
+    Access.set_ptr owner cell ~field:"next" !head;
+    Access.set_ptr owner cell ~field:"blob" blob;
+    Access.set_int owner cell ~field:"tag" i;
+    head := cell
+  done;
+  Node.register walker chain_proc (fun node args ->
+      let rec go p acc =
+        if Access.is_null p then acc
+        else
+          go (Access.get_ptr node p ~field:"next")
+            (acc + Access.get_int node p ~field:"tag")
+      in
+      [ Value.int (go (Access.of_value (List.hd args)) 0) ]);
+  let one () =
+    measure_session cluster ~ground:owner ~callee:walker (fun () ->
+        match
+          Node.call owner ~dst:(Node.id walker) chain_proc
+            [ Access.to_value !head ]
+        with
+        | [ v ] ->
+          let sum = Value.to_int v in
+          assert (sum = cells * (cells - 1) / 2);
+          cells
+        | _ -> failwith (chain_proc ^ ": bad arity"))
+  in
+  let runs = List.init sessions (fun _ -> one ()) in
+  {
+    ac_sessions = runs;
+    ac_hint = Hints.find (Cluster.hints cluster) ~ty:rcell_ty;
+    ac_budgets = Srpc_policy.Engine.budgets policy;
+  }
+
+let pp_adaptive_fig4 ppf rows =
+  Format.fprintf ppf
+    "@[<v>Adaptive vs Fig. 4 statics (final session; simulated seconds)@,\
+     %6s %12s %12s %12s %12s %10s@," "ratio" "eager" "lazy" "smart" "adaptive"
+    "ad/best";
+  List.iter
+    (fun { af_ratio; af_eager; af_lazy; af_smart; af_adaptive } ->
+      let final = List.nth af_adaptive.a_sessions
+          (List.length af_adaptive.a_sessions - 1) in
+      let best =
+        List.fold_left min af_eager.seconds [ af_lazy.seconds; af_smart.seconds ]
+      in
+      Format.fprintf ppf "%6.2f %12.4f %12.4f %12.4f %12.4f %10.3f@," af_ratio
+        af_eager.seconds af_lazy.seconds af_smart.seconds final.seconds
+        (final.seconds /. best))
+    rows;
+  Format.fprintf ppf "@]"

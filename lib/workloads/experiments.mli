@@ -127,6 +127,10 @@ type hint_row = { hinted : bool; chain_walk : run }
     from the prefetch closure. *)
 val ablation_closure_hints : ?cells:int -> ?closure:int -> unit -> hint_row list
 
+(** One A5 chain walk on its own (the building block of
+    {!ablation_closure_hints}), for head-to-head comparisons. *)
+val run_chain_walk : hinted:bool -> cells:int -> closure:int -> run
+
 (** {1 Derived experiments} *)
 
 (** [fig4_wan ()] re-runs the Fig. 4 sweep with the caller-callee link
@@ -177,6 +181,68 @@ val manual_comparison :
   ?depth:int -> ?ratios:float list -> ?closure:int -> unit -> manual_row list
 
 val pp_manual : Format.formatter -> manual_row list -> unit
+
+(** {1 Adaptive policy (srpc-adapt)} *)
+
+type adaptive_curve = {
+  a_ratio : float;
+  a_sessions : run list;  (** one entry per session, in order *)
+  a_budgets : (string * int) list;
+      (** per-type budgets after the last session *)
+}
+
+(** [run_adaptive_tree_search ~ratio ()] is the Fig. 4 tree search run
+    [sessions] times over one cluster that shares a fresh
+    {!Srpc_policy.Engine}: every session is profiled and the controller
+    revises the per-type closure budgets in between, starting from the
+    default 8 192 B with no tuning. The per-session runs are the
+    convergence curve. *)
+val run_adaptive_tree_search :
+  ?depth:int ->
+  ?sessions:int ->
+  ?config:Srpc_policy.Controller.config ->
+  ratio:float ->
+  unit ->
+  adaptive_curve
+
+type adaptive_fig4_row = {
+  af_ratio : float;
+  af_eager : run;
+  af_lazy : run;
+  af_smart : run;
+  af_adaptive : adaptive_curve;
+}
+
+(** The Fig. 4 sweep with a fourth, adaptive competitor: at each ratio
+    the three statics run once and the adaptive policy runs [sessions]
+    sessions from cold. *)
+val adaptive_fig4 :
+  ?depth:int ->
+  ?ratios:float list ->
+  ?closure:int ->
+  ?sessions:int ->
+  unit ->
+  adaptive_fig4_row list
+
+type adaptive_chain = {
+  ac_sessions : run list;
+  ac_hint : Hints.rule option;
+      (** the machine-derived closure-shape hint for the cell type after
+          the last session (the A5 hint, learned instead of written) *)
+  ac_budgets : (string * int) list;
+}
+
+(** The A5 hot/cold chain walk (cells hot, payload blobs cold) under the
+    adaptive policy: the controller must learn to follow [next] and
+    prune [blob] from edge touch rates alone. *)
+val run_adaptive_chain_walk :
+  ?cells:int ->
+  ?sessions:int ->
+  ?config:Srpc_policy.Controller.config ->
+  unit ->
+  adaptive_chain
+
+val pp_adaptive_fig4 : Format.formatter -> adaptive_fig4_row list -> unit
 
 (** {1 Rendering} *)
 

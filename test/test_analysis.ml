@@ -79,6 +79,47 @@ let test_unregistered_pointee () =
   Registry.register reg "holder" (Struct [ ("p", ptr "ghost") ]);
   check_has reg "TD006"
 
+let test_hint_lint () =
+  let reg = Registry.create () in
+  Registry.register reg "cell" (Struct [ ("next", ptr "cell"); ("v", i64) ]);
+  (* a hint naming an absent field would raise mid-session: error *)
+  let diags = Desc_lint.check ~hints:[ ("cell", [ "nxet" ]) ] reg in
+  Alcotest.(check bool) "TD007 reported" true (has_rule "TD007" diags);
+  Alcotest.(check int) "absent field is an error" 1 (Diagnostic.count_errors diags);
+  (* following a pointer-free field prefetches nothing: warning only *)
+  let diags = Desc_lint.check ~hints:[ ("cell", [ "v" ]) ] reg in
+  Alcotest.(check bool) "TD007 warns" true (has_rule "TD007" diags);
+  Alcotest.(check int) "pointer-free field is not an error" 0
+    (Diagnostic.count_errors diags);
+  (* hint for a type the registry has never seen: error *)
+  let diags = Desc_lint.check ~hints:[ ("ghost", [ "next" ]) ] reg in
+  Alcotest.(check int) "unknown hinted type is an error" 1
+    (Diagnostic.count_errors diags);
+  (* a correct hint is clean *)
+  Alcotest.(check (list string)) "clean hint" []
+    (rule_ids (Desc_lint.check ~hints:[ ("cell", [ "next" ]) ] reg))
+
+let test_cluster_hint_validation () =
+  let open Srpc_core in
+  let cluster = Cluster.create () in
+  Cluster.register_type cluster "cell" (Struct [ ("next", ptr "cell"); ("v", i64) ]);
+  Cluster.set_closure_hint cluster ~ty:"cell"
+    { Hints.follow = [ "nxet" ]; prune_others = false };
+  (match Cluster.validate cluster with
+  | () -> Alcotest.fail "misspelled hint field not caught"
+  | exception Desc_lint.Invalid_registry ds ->
+    Alcotest.(check bool) "TD007 in findings" true (has_rule "TD007" ds));
+  (* the runtime raises descriptively too, instead of a bare Not_found *)
+  let node = Cluster.add_node cluster ~site:1 () in
+  match
+    Hints.pointer_fields (Cluster.hints cluster) (Cluster.registry cluster)
+      (Node.arch node) ~ty:"cell"
+  with
+  | _ -> Alcotest.fail "expected Unknown_field"
+  | exception Hints.Unknown_field { ty; field } ->
+    Alcotest.(check string) "offending type" "cell" ty;
+    Alcotest.(check string) "offending field" "nxet" field
+
 let test_clean_registry () =
   let reg = Registry.create () in
   Registry.register reg "tnode"
@@ -258,7 +299,7 @@ let test_catalogue_covers_emitted_rules () =
     (fun id ->
       Alcotest.(check bool) (id ^ " in catalogue") true
         (Diagnostic.find_rule id <> None))
-    [ "TD001"; "TD002"; "TD003"; "TD004"; "TD005"; "TD006";
+    [ "TD001"; "TD002"; "TD003"; "TD004"; "TD005"; "TD006"; "TD007";
       "SP001"; "SP002"; "SP003"; "SP004" ]
 
 let tc = Alcotest.test_case
@@ -275,6 +316,8 @@ let () =
           tc "duplicate fields" `Quick test_duplicate_fields;
           tc "layout divergence" `Quick test_layout_divergence;
           tc "unregistered pointee" `Quick test_unregistered_pointee;
+          tc "hint lint" `Quick test_hint_lint;
+          tc "cluster hint validation" `Quick test_cluster_hint_validation;
           tc "clean registry" `Quick test_clean_registry;
           tc "validate raises" `Quick test_validate_raises;
           tc "node startup validation" `Quick test_node_startup_validation;

@@ -518,8 +518,9 @@ let test_hints_unknown_field () =
   let reg = hints_reg () in
   let h = Hints.create () in
   Hints.set h ~ty:"rich" { Hints.follow = [ "nope" ]; prune_others = true };
-  Alcotest.check_raises "unknown field" Not_found (fun () ->
-      ignore (Hints.pointer_fields h reg Arch.sparc32 ~ty:"rich"))
+  Alcotest.check_raises "unknown field"
+    (Hints.Unknown_field { ty = "rich"; field = "nope" })
+    (fun () -> ignore (Hints.pointer_fields h reg Arch.sparc32 ~ty:"rich"))
 
 (* --- funref values --- *)
 

@@ -1,0 +1,203 @@
+(* Tests for the adaptive policy subsystem (srpc-adapt): profile
+   bookkeeping, controller decisions in isolation, and — the property
+   the subsystem exists for — end-to-end convergence of the closed loop
+   to within 10% of the best static configuration on the tree-search
+   and hot/cold-chain workloads. *)
+
+open Srpc_policy
+open Srpc_simnet
+
+(* --- profile --- *)
+
+let test_profile_windows () =
+  let p = Profile.create ~max_windows:2 () in
+  Profile.prefetched p ~ty:"a" ~bytes:100;
+  Profile.outcome p ~ty:"a" ~bytes:40 ~touched:false;
+  Profile.end_window p;
+  Alcotest.(check int) "one closed window" 1 (Profile.window_count p);
+  let s = Profile.summary p ~windows:2 in
+  (match List.assoc_opt "a" s.Profile.types with
+  | None -> Alcotest.fail "type missing from summary"
+  | Some ts ->
+    Alcotest.(check int) "prefetched" 100 ts.Profile.ts_prefetched_bytes;
+    Alcotest.(check int) "wasted" 40 ts.Profile.ts_wasted_bytes);
+  (* history is bounded and old windows roll off the summary *)
+  Profile.end_window p;
+  Profile.end_window p;
+  Profile.end_window p;
+  Alcotest.(check int) "bounded history" 2 (Profile.window_count p);
+  let s = Profile.summary p ~windows:2 in
+  Alcotest.(check bool) "rolled off" true
+    (List.assoc_opt "a" s.Profile.types = None)
+
+(* --- controller --- *)
+
+let cost = Cost_model.sparc_10mbps
+
+(* Build decision inputs through the real event API. *)
+let summary_of ~ty ?(prefetched = 0) ?(wasted = 0) ?(demand = 0)
+    ?(stall = 0.0) () =
+  let p = Profile.create () in
+  if prefetched > 0 then Profile.prefetched p ~ty ~bytes:prefetched;
+  if wasted > 0 then Profile.outcome p ~ty ~bytes:wasted ~touched:false;
+  for _ = 1 to demand do
+    Profile.demand_fetched p ~ty ~bytes:64
+  done;
+  if stall > 0.0 then Profile.stall p ~ty ~seconds:stall;
+  Profile.end_window p;
+  Profile.summary p ~windows:1
+
+let budget_of (d : Controller.decision) ty =
+  List.assoc_opt ty d.Controller.budgets
+
+let test_controller_slow_start () =
+  let c = Controller.create ~cost () in
+  (* stalls, zero waste: the budget doubles *)
+  let d =
+    Controller.step c (summary_of ~ty:"t" ~prefetched:1000 ~demand:4 ~stall:0.01 ())
+  in
+  Alcotest.(check (option int)) "doubled" (Some 16384) (budget_of d "t");
+  let d =
+    Controller.step c (summary_of ~ty:"t" ~prefetched:1000 ~demand:4 ~stall:0.01 ())
+  in
+  Alcotest.(check (option int)) "doubled again" (Some 32768) (budget_of d "t")
+
+let test_controller_decrease_and_floor () =
+  let c = Controller.create ~cost () in
+  let waste_heavy () =
+    Controller.step c (summary_of ~ty:"t" ~prefetched:100_000 ~wasted:100_000 ())
+  in
+  Alcotest.(check (option int)) "halved" (Some 4096) (budget_of (waste_heavy ()) "t");
+  for _ = 1 to 10 do
+    ignore (waste_heavy ())
+  done;
+  Alcotest.(check (option int)) "clamped at the floor"
+    (Some Controller.default_config.Controller.min_budget)
+    (budget_of (waste_heavy ()) "t")
+
+let test_controller_idle_holds () =
+  let c = Controller.create ~cost () in
+  Alcotest.(check int) "initial" 8192 (Controller.budget_for c ~ty:"t");
+  let d = Controller.step c (summary_of ~ty:"t" ()) in
+  Alcotest.(check (option int)) "held" (Some 8192) (budget_of d "t")
+
+let edge_window c outcome =
+  let p = Profile.create () in
+  for _ = 1 to 20 do
+    Profile.edge p ~ty:"cell" ~field:"next"
+      ~outcome:Profile.Prefetched_touched ~bytes:16;
+    Profile.edge p ~ty:"cell" ~field:"blob" ~outcome ~bytes:512
+  done;
+  Profile.end_window p;
+  Controller.step c (Profile.summary p ~windows:1)
+
+let test_controller_rules () =
+  let c = Controller.create ~cost () in
+  match (edge_window c Profile.Prefetched_wasted).Controller.rules with
+  | [ r ] ->
+    Alcotest.(check string) "type" "cell" r.Controller.rule_ty;
+    Alcotest.(check (list string)) "follow the hot edge" [ "next" ]
+      r.Controller.follow;
+    Alcotest.(check bool) "prune the cold rest" true r.Controller.prune_others
+  | rs -> Alcotest.fail (Printf.sprintf "expected 1 rule, got %d" (List.length rs))
+
+let test_controller_rule_heals () =
+  let c = Controller.create ~cost () in
+  ignore (edge_window c Profile.Prefetched_wasted);
+  (* the pruned field is now demanded every time: the prune must lift *)
+  match (edge_window c Profile.Demanded).Controller.rules with
+  | [ r ] ->
+    Alcotest.(check bool) "blob followed again" true
+      (List.mem "blob" r.Controller.follow)
+  | _ -> Alcotest.fail "expected a revised rule"
+
+(* --- end-to-end convergence --- *)
+
+open Srpc_core
+open Srpc_workloads
+
+let static_closures = [ 1024; 4096; 8192; 32768 ]
+
+let best_static_tree ~depth ~ratio =
+  let time s =
+    (Experiments.run_tree_search ~strategy:s ~depth ~ratio ()).Experiments.seconds
+  in
+  List.fold_left
+    (fun acc s -> min acc (time s))
+    infinity
+    (Strategy.fully_eager :: Strategy.fully_lazy
+    :: List.map (fun c -> Strategy.smart ~closure_size:c ()) static_closures)
+
+let check_tree_convergence ~depth ~sessions ratio =
+  let curve = Experiments.run_adaptive_tree_search ~depth ~sessions ~ratio () in
+  let final =
+    (List.nth curve.Experiments.a_sessions (sessions - 1)).Experiments.seconds
+  in
+  let best = best_static_tree ~depth ~ratio in
+  if not (final <= (1.10 *. best) +. 1e-9) then
+    Alcotest.failf
+      "ratio %.2f: adaptive final %.6fs not within 10%% of best static %.6fs"
+      ratio final best;
+  true
+
+let test_tree_convergence_prop =
+  QCheck.Test.make ~count:5 ~name:"adaptive within 10% of best static (tree)"
+    (QCheck.make (QCheck.Gen.oneofl [ 0.0; 0.25; 0.5; 0.75; 1.0 ]))
+    (fun ratio -> check_tree_convergence ~depth:10 ~sessions:12 ratio)
+
+let test_chain_convergence () =
+  let cells = 120 and sessions = 10 in
+  let r = Experiments.run_adaptive_chain_walk ~cells ~sessions () in
+  (* the controller must have learned the A5 hint by itself *)
+  (match r.Experiments.ac_hint with
+  | None -> Alcotest.fail "no closure-shape hint was derived"
+  | Some rule ->
+    Alcotest.(check (list string)) "follow next" [ "next" ] rule.Hints.follow;
+    Alcotest.(check bool) "prune the blobs" true rule.Hints.prune_others);
+  let best =
+    List.fold_left
+      (fun acc closure ->
+        min acc
+          (Experiments.run_chain_walk ~hinted:false ~cells ~closure)
+            .Experiments.seconds)
+      infinity static_closures
+  in
+  let final =
+    (List.nth r.Experiments.ac_sessions (sessions - 1)).Experiments.seconds
+  in
+  if not (final <= (1.10 *. best) +. 1e-9) then
+    Alcotest.failf "adaptive chain final %.6fs not within 10%% of best %.6fs"
+      final best
+
+let test_budgets_stay_bounded () =
+  let cfg = Controller.default_config in
+  let curve =
+    Experiments.run_adaptive_tree_search ~depth:8 ~sessions:15 ~ratio:1.0 ()
+  in
+  List.iter
+    (fun (_ty, b) ->
+      Alcotest.(check bool) "within bounds" true
+        (b >= cfg.Controller.min_budget && b <= cfg.Controller.max_budget))
+    curve.Experiments.a_budgets
+
+let tc = Alcotest.test_case
+
+let () =
+  Alcotest.run "policy"
+    [
+      ("profile", [ tc "windows" `Quick test_profile_windows ]);
+      ( "controller",
+        [
+          tc "slow start" `Quick test_controller_slow_start;
+          tc "decrease and floor" `Quick test_controller_decrease_and_floor;
+          tc "idle holds" `Quick test_controller_idle_holds;
+          tc "derives rules" `Quick test_controller_rules;
+          tc "rules heal" `Quick test_controller_rule_heals;
+        ] );
+      ( "convergence",
+        [
+          QCheck_alcotest.to_alcotest test_tree_convergence_prop;
+          tc "chain learns the hint" `Quick test_chain_convergence;
+          tc "budgets stay bounded" `Quick test_budgets_stay_bounded;
+        ] );
+    ]

@@ -66,6 +66,29 @@ let test_stats_diff () =
   Alcotest.(check int) "messages" 1 d.Stats.messages;
   Alcotest.(check int) "bytes" 10 d.Stats.bytes
 
+let test_stats_prefetch_counters () =
+  let s = Stats.create () in
+  Stats.add_prefetched_bytes s 4096;
+  Stats.add_wasted_prefetch_bytes s 1024;
+  Stats.add_stall_ns s 500;
+  Stats.add_stall_ns s 250;
+  let a = Stats.snapshot s in
+  Alcotest.(check int) "prefetched" 4096 a.Stats.prefetched_bytes;
+  Alcotest.(check int) "wasted" 1024 a.Stats.wasted_prefetch_bytes;
+  Alcotest.(check int) "stall" 750 a.Stats.stall_ns;
+  Stats.add_wasted_prefetch_bytes s 512;
+  let d = Stats.diff (Stats.snapshot s) a in
+  Alcotest.(check int) "diffed wasted" 512 d.Stats.wasted_prefetch_bytes;
+  Alcotest.(check int) "diffed stall" 0 d.Stats.stall_ns;
+  (* the new counters render in the snapshot printer *)
+  let rendered = Format.asprintf "%a" Stats.pp_snapshot a in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "pp mentions waste" true (contains rendered "wasted")
+
 let test_stats_reset () =
   let s = Stats.create () in
   Stats.incr_messages s;
@@ -273,6 +296,7 @@ let () =
         [
           tc "counters" `Quick test_stats_counts;
           tc "diff" `Quick test_stats_diff;
+          tc "prefetch counters" `Quick test_stats_prefetch_counters;
           tc "reset" `Quick test_stats_reset;
           tc "zero" `Quick test_stats_zero;
         ] );
