@@ -212,8 +212,91 @@ let run_adaptive () =
   Printf.printf "wrote %s\n" path;
   ignore (report_acceptance rows)
 
-(* Scaled-down adaptive acceptance gate, wired into `dune runtest` via the
-   bench-smoke alias: fails the build if the controller stops converging. *)
+(* --- faults (srpc-faults) --- *)
+
+let faults_json ~depth ~ratio ~sessions (ov : Experiments.faults_overhead)
+    (rows : Experiments.faults_summary list) =
+  let b = Buffer.create 4096 in
+  Printf.bprintf b
+    "{\n\
+    \  \"experiment\": \"faults\",\n\
+    \  \"depth\": %d,\n\
+    \  \"ratio\": %.2f,\n\
+    \  \"sessions_per_cell\": %d,\n\
+    \  \"overhead\": {\"plain_s\": %.6f, \"envelope_s\": %.6f, \
+     \"ratio\": %.4f, \"bound\": 1.05},\n\
+    \  \"cells\": [\n"
+    depth ratio sessions ov.Experiments.fo_plain.Experiments.seconds
+    ov.Experiments.fo_envelope.Experiments.seconds ov.Experiments.fo_ratio;
+  let n = List.length rows in
+  List.iteri
+    (fun i (f : Experiments.faults_summary) ->
+      Printf.bprintf b
+        "    {\"drop\": %.2f, \"strategy\": %S, \"sessions\": %d, \
+         \"completed\": %d, \"aborted\": %d, \"wrong\": %d,\n\
+        \     \"retries\": %d, \"timeouts\": %d, \"duplicates\": %d, \
+         \"mean_completed_s\": %.6f}%s\n"
+        f.Experiments.f_drop f.Experiments.f_strategy f.Experiments.f_sessions
+        f.Experiments.f_completed f.Experiments.f_aborted f.Experiments.f_wrong
+        f.Experiments.f_retries f.Experiments.f_timeouts
+        f.Experiments.f_duplicates f.Experiments.f_seconds
+        (if i = n - 1 then "" else ","))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+(* The acceptance gate over a faults run: the retry envelope must cost at
+   most 5% at zero fault rate, no completed session may return a wrong
+   result, every session must be accounted for, and under a 1% drop rate
+   most sessions still complete. *)
+let faults_failures (ov : Experiments.faults_overhead)
+    (rows : Experiments.faults_summary list) =
+  let failures = ref 0 in
+  let check cond msg =
+    if not cond then begin
+      incr failures;
+      Printf.printf "faults: FAIL %s\n" msg
+    end
+  in
+  check
+    (ov.Experiments.fo_ratio <= 1.05 +. 1e-9)
+    (Printf.sprintf "envelope overhead x%.4f exceeds 1.05"
+       ov.Experiments.fo_ratio);
+  List.iter
+    (fun (f : Experiments.faults_summary) ->
+      let cell = Printf.sprintf "drop %.2f %s" f.Experiments.f_drop f.Experiments.f_strategy in
+      check (f.Experiments.f_wrong = 0)
+        (Printf.sprintf "%s: %d wrong result(s)" cell f.Experiments.f_wrong);
+      check
+        (f.Experiments.f_completed + f.Experiments.f_aborted
+        = f.Experiments.f_sessions)
+        (Printf.sprintf "%s: %d session(s) unaccounted for" cell
+           (f.Experiments.f_sessions - f.Experiments.f_completed
+          - f.Experiments.f_aborted));
+      if f.Experiments.f_drop <= 0.011 then
+        check
+          (f.Experiments.f_completed * 5 >= f.Experiments.f_sessions * 4)
+          (Printf.sprintf "%s: only %d/%d sessions completed" cell
+             f.Experiments.f_completed f.Experiments.f_sessions))
+    rows;
+  !failures
+
+let run_faults () =
+  let depth = 11 and ratio = 0.6 and sessions = 8 in
+  let ov = Experiments.measure_faults_overhead ~depth ~ratio () in
+  let rows = Experiments.faults_sweep ~depth:9 ~ratio ~sessions () in
+  Format.printf "%a@." (fun ppf -> Experiments.pp_faults ppf) (ov, rows);
+  let json = faults_json ~depth ~ratio ~sessions ov rows in
+  let path = "BENCH_faults.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  ignore (faults_failures ov rows)
+
+(* Scaled-down adaptive + faults acceptance gate, wired into `dune runtest`
+   via the bench-smoke alias: fails the build if the controller stops
+   converging or the fault machinery regresses. *)
 let run_smoke () =
   let depth = 10
   and sessions = 12
@@ -222,8 +305,16 @@ let run_smoke () =
   let rows = Experiments.adaptive_fig4 ~depth ~ratios ~sessions ~closure () in
   print_string (adaptive_json ~depth ~sessions ~closure rows);
   let failures = report_acceptance rows in
-  if failures > 0 then begin
-    Printf.eprintf "bench-smoke: %d ratio(s) outside the 1.15x bound\n" failures;
+  let ov = Experiments.measure_faults_overhead ~depth:10 () in
+  let frows = Experiments.faults_sweep ~depth:7 ~sessions:4 () in
+  print_string (faults_json ~depth:10 ~ratio:0.5 ~sessions:4 ov frows);
+  let ffailures = faults_failures ov frows in
+  if failures > 0 || ffailures > 0 then begin
+    if failures > 0 then
+      Printf.eprintf "bench-smoke: %d ratio(s) outside the 1.15x bound\n"
+        failures;
+    if ffailures > 0 then
+      Printf.eprintf "bench-smoke: %d faults gate failure(s)\n" ffailures;
     exit 1
   end
 
@@ -334,7 +425,8 @@ let all_sections =
     ("fig7", ("Fig. 7 - update performance", run_fig7));
     ("ablations", ("Ablations A1-A6", run_ablations));
     ("adaptive", ("Adaptive policy vs Fig. 4 statics", run_adaptive));
-    ("smoke", ("Adaptive acceptance smoke (scaled down)", run_smoke));
+    ("faults", ("Faults: retry envelope overhead + chaos sweep", run_faults));
+    ("smoke", ("Adaptive + faults acceptance smoke (scaled down)", run_smoke));
     ("wan", ("Derived: Fig. 4 over a WAN link", run_wan));
     ("kv", ("Derived: remote B-tree key-value store", run_kv));
     ("scale", ("Derived: session width scaling", run_scale));

@@ -1,0 +1,80 @@
+(* Fault injection end to end: a mid-session partition kills the
+   session, the runtime aborts it atomically, and after the link heals
+   the same work succeeds on the same (still usable) cluster.
+
+   The scenario: the client caches and modifies a server-owned record,
+   then the network to the server is cut. The retry envelope resends
+   until its budget runs out, the ground thread runs the session abort —
+   the dirty cached copy is discarded, never written back — and
+   [Session_aborted] surfaces. The server's original value is intact.
+   After [Fault_plan.heal] the rerun commits the update.
+
+   Run with:  dune exec examples/chaos.exe *)
+
+open Srpc_core
+open Srpc_simnet
+
+let cell_ty = "record"
+
+let () =
+  let cluster = Cluster.create () in
+  let client = Cluster.add_node cluster ~site:1 () in
+  let server = Cluster.add_node cluster ~site:2 () in
+  Cluster.register_type cluster cell_ty
+    (Srpc_types.Type_desc.Struct [ ("balance", Srpc_types.Type_desc.i64) ]);
+
+  (* the server owns one record *)
+  let record = Access.ptr ~ty:cell_ty (Node.malloc server ~ty:cell_ty) in
+  Access.set_i64 server record ~field:"balance" 100L;
+  Node.register server "get_record" (fun _ _ -> [ Access.to_value record ]);
+
+  (* seeded fault injection; nothing fails until we say so *)
+  let plan = Fault_plan.create ~seed:1 () in
+  Cluster.install_faults cluster plan;
+
+  let cut_link = ref false in
+  let deposit amount =
+    Node.with_session client (fun () ->
+        match Node.call client ~dst:(Node.id server) "get_record" [] with
+        | [ v ] ->
+          let p = Access.of_value v in
+          let balance = Access.get_i64 client p ~field:"balance" in
+          Access.set_i64 client p ~field:"balance"
+            (Int64.add balance amount);
+          (* cut the client->server direction mid-session when armed:
+             the write-back at close cannot reach the origin *)
+          if !cut_link then begin
+            cut_link := false;
+            Fault_plan.partition plan ~src:"1.0" ~dst:"2.0"
+          end
+        | _ -> assert false)
+  in
+
+  (* first attempt: partitioned mid-session -> atomic abort *)
+  cut_link := true;
+  (match deposit 25L with
+  | () -> assert false
+  | exception Session.Session_aborted { session; reason } ->
+    Printf.printf "session %d aborted: %s\n" session reason);
+  assert (Access.get_i64 server record ~field:"balance" = 100L);
+  Printf.printf "server balance after abort: %Ld (unchanged)\n"
+    (Access.get_i64 server record ~field:"balance");
+
+  (* heal the link; the same cluster runs the same work to completion *)
+  Fault_plan.heal plan ~src:"1.0" ~dst:"2.0";
+  deposit 25L;
+  assert (Access.get_i64 server record ~field:"balance" = 125L);
+  Printf.printf "server balance after healed rerun: %Ld\n"
+    (Access.get_i64 server record ~field:"balance");
+
+  (* a crashed-and-revived peer works too *)
+  Transport.crash (Cluster.transport cluster) "2.0";
+  (match deposit 10L with
+  | () -> assert false
+  | exception Session.Session_aborted _ ->
+    print_endline "session aborted: server crashed");
+  Transport.revive (Cluster.transport cluster) "2.0";
+  deposit 10L;
+  assert (Access.get_i64 server record ~field:"balance" = 135L);
+  Printf.printf "server balance after revived rerun: %Ld\n"
+    (Access.get_i64 server record ~field:"balance")

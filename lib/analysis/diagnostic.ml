@@ -59,6 +59,10 @@ let rules =
       title = "wire traffic or protocol mark outside an open session" };
     { id = "SP004"; default_severity = Error;
       title = "session close: invalidation multicast not preceded by write-back" };
+    { id = "SP005"; default_severity = Error;
+      title = "aborted session must invalidate and must not write back" };
+    { id = "SP006"; default_severity = Error;
+      title = "frame from/to a crashed endpoint after its crash mark" };
   ]
 
 let find_rule id = List.find_opt (fun r -> String.equal r.id id) rules

@@ -12,6 +12,8 @@ type state = {
   mutable stack : (string * string) list;  (* outstanding (src, dst) *)
   mutable wb_seen : bool;  (* write-back phase started this session *)
   mutable inv_seen : bool;  (* invalidation multicast started *)
+  mutable aborted : bool;  (* the open session carries an abort mark *)
+  crashed : (string, unit) Hashtbl.t;  (* endpoints past their crash mark *)
   mutable out : Diagnostic.t list;
 }
 
@@ -30,6 +32,17 @@ let check_open st idx (e : Trace.event) =
   | None ->
     emit st idx "SP003" ("traffic outside an open session: " ^ pp_ev e);
     None
+
+(* SP006: a crashed endpoint neither sends nor receives — any frame
+   naming it between its crash and revive marks is a violation. *)
+let check_crashed st idx (e : Trace.event) =
+  let bad ep =
+    if Hashtbl.mem st.crashed ep then
+      emit st idx "SP006"
+        (Printf.sprintf "frame involves crashed endpoint %s: %s" ep (pp_ev e))
+  in
+  bad e.Trace.src;
+  if not (String.equal e.Trace.dst e.Trace.src) then bad e.Trace.dst
 
 let check_mark_session st idx id what =
   match st.session with
@@ -50,7 +63,8 @@ let step st idx (e : Trace.event) =
       st.holder <- e.Trace.src;
       st.stack <- [];
       st.wb_seen <- false;
-      st.inv_seen <- false)
+      st.inv_seen <- false;
+      st.aborted <- false)
   | Trace.Session_end id -> (
     check_mark_session st idx id "session end";
     match st.session with
@@ -63,9 +77,18 @@ let step st idx (e : Trace.event) =
             (Printf.sprintf "request %s -> %s never replied before session end"
                src dst))
         st.stack;
+      if st.aborted then begin
+        if st.wb_seen then
+          emit st idx "SP005"
+            (Printf.sprintf "aborted session #%d has a write-back mark" id);
+        if not st.inv_seen then
+          emit st idx "SP005"
+            (Printf.sprintf "aborted session #%d ended without invalidation" id)
+      end;
       st.session <- None;
       st.stack <- [])
   | Trace.Message Trace.Request -> (
+    check_crashed st idx e;
     match check_open st idx e with
     | None -> ()
     | Some _ ->
@@ -78,6 +101,7 @@ let step st idx (e : Trace.event) =
       st.stack <- (e.Trace.src, e.Trace.dst) :: st.stack;
       st.holder <- e.Trace.dst)
   | Trace.Message Trace.Reply -> (
+    check_crashed st idx e;
     match check_open st idx e with
     | None -> ()
     | Some _ -> (
@@ -103,21 +127,55 @@ let step st idx (e : Trace.event) =
       if st.inv_seen then
         emit st idx "SP004"
           "write-back phase after the invalidation multicast already started";
+      if st.aborted then
+        emit st idx "SP005" "write-back phase after the session was aborted";
       st.wb_seen <- true)
   | Trace.Invalidate id -> (
     check_mark_session st idx id "invalidation mark";
     match check_open st idx e with
     | None -> ()
     | Some _ ->
-      if not st.wb_seen then
+      if not st.wb_seen && not st.aborted then
         emit st idx "SP004"
           "invalidation multicast not preceded by the ground space's write-back";
       st.inv_seen <- true)
+  | Trace.Session_abort id -> (
+    check_mark_session st idx id "abort mark";
+    match check_open st idx e with
+    | None -> ()
+    | Some _ ->
+      if st.wb_seen then
+        emit st idx "SP005"
+          (Printf.sprintf "session #%d aborted after its write-back began" id);
+      st.aborted <- true)
+  | Trace.Dropped Trace.Request ->
+    (* a lost request never moved the thread of control *)
+    check_crashed st idx e;
+    ignore (check_open st idx e)
+  | Trace.Dropped Trace.Reply -> (
+    (* the callee finished but the sender never learned: the thread of
+       control is back at the requester, who will retry or give up *)
+    check_crashed st idx e;
+    match (check_open st idx e, st.stack) with
+    | Some _, (rq_src, rq_dst) :: rest
+      when String.equal e.Trace.src rq_dst && String.equal e.Trace.dst rq_src ->
+      st.stack <- rest;
+      st.holder <- rq_src
+    | _ -> ())
+  | Trace.Dup _ ->
+    (* the duplicate copy of an already-counted exchange; the receiver's
+       reply cache absorbs it *)
+    check_crashed st idx e;
+    ignore (check_open st idx e)
+  | Trace.Crash ep ->
+    (* crash marks may appear outside sessions (planned chaos) *)
+    Hashtbl.replace st.crashed ep ()
+  | Trace.Revive ep -> Hashtbl.remove st.crashed ep
 
 let check_events events =
   let st =
     { session = None; holder = ""; stack = []; wb_seen = false; inv_seen = false;
-      out = [] }
+      aborted = false; crashed = Hashtbl.create 4; out = [] }
   in
   List.iteri (fun idx e -> step st idx e) events;
   (* a trace may stop mid-session (e.g. a live inspection), but every

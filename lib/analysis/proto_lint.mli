@@ -10,7 +10,17 @@
     - [SP003] no wire traffic or protocol mark outside an open session,
       no overlapping or mismatched session begin/end marks
     - [SP004] at session close, the ground space's write-back phase
-      precedes the invalidation multicast *)
+      precedes the invalidation multicast
+    - [SP005] an aborted session ends with an invalidation mark and
+      carries no write-back mark — nothing of its modified data set was
+      committed
+    - [SP006] no frame is sent from or to an endpoint between its crash
+      mark and its revive mark
+
+    Fault-injected traces stay verifiable: [Dropped] request frames are
+    thread-neutral, a [Dropped] reply hands the thread of control back
+    to the requester (who retries), and [Dup] frames are the duplicate
+    copies the receiver's reply cache absorbs. *)
 
 open Srpc_simnet
 

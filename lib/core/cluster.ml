@@ -33,14 +33,14 @@ let registry t = t.registry
 let session t = t.session
 
 let add_node ?(proc = 0) ?(arch = Arch.sparc32) ?(strategy = Strategy.smart ())
-    ?page_size ?validate t ~site () =
+    ?page_size ?validate ?retry t ~site () =
   let id = Space_id.make ~site ~proc in
   if List.exists (fun n -> Space_id.equal (Node.id n) id) t.nodes then
     invalid_arg (Printf.sprintf "Cluster.add_node: %s exists" (Space_id.to_string id));
   let node =
-    Node.create ?page_size ?validate ?policy:t.policy ~hints:t.hints ~id ~arch
-      ~registry:t.registry ~transport:t.transport ~session:t.session ~strategy
-      ()
+    Node.create ?page_size ?validate ?retry ?policy:t.policy ~hints:t.hints ~id
+      ~arch ~registry:t.registry ~transport:t.transport ~session:t.session
+      ~strategy ()
   in
   t.nodes <- node :: t.nodes;
   node
@@ -65,3 +65,6 @@ let policy t = t.policy
 let set_closure_hint t ~ty rule = Hints.set t.hints ~ty rule
 let now t = Clock.now t.clock
 let snapshot t = Stats.snapshot t.stats
+let install_faults t plan = Transport.set_fault_plan t.transport (Some plan)
+let clear_faults t = Transport.set_fault_plan t.transport None
+let fault_plan t = Transport.fault_plan t.transport

@@ -29,6 +29,7 @@ val add_node :
   ?strategy:Strategy.t ->
   ?page_size:int ->
   ?validate:bool ->
+  ?retry:Node.retry ->
   t ->
   site:int ->
   unit ->
@@ -65,3 +66,15 @@ val now : t -> float
 
 (** [snapshot t] is the current statistics. *)
 val snapshot : t -> Stats.snapshot
+
+(** [install_faults t plan] turns fault injection on for the whole
+    cluster: every frame's fate is decided by [plan], nodes switch to
+    the sequence-numbered retry envelope, and session close becomes the
+    all-or-nothing staged write-back (see {!Srpc_simnet.Fault_plan}). *)
+val install_faults : t -> Fault_plan.t -> unit
+
+(** [clear_faults t] restores the perfectly reliable transport (and the
+    exact pre-fault-layer wire behavior). *)
+val clear_faults : t -> unit
+
+val fault_plan : t -> Fault_plan.t option

@@ -6,6 +6,14 @@ let src_log = Logs.Src.create "srpc.node" ~doc:"smart-RPC runtime"
 
 module Log = (val Logs.src_log src_log : Logs.LOG)
 
+(* Retry envelope parameters. Attempts are total tries (first send
+   included); backoff doubles per retry up to the cap, charged to the
+   simulated clock. *)
+type retry = { max_attempts : int; base_backoff : float; max_backoff : float }
+
+let default_retry =
+  { max_attempts = 8; base_backoff = 2.5e-4; max_backoff = 8.0e-3 }
+
 type t = {
   id : Space_id.t;
   space : Address_space.t;
@@ -32,6 +40,18 @@ type t = {
   mutable session_t0 : float;
       (** simulated clock at [begin_session], for the policy's measured
           session duration *)
+  retry : retry;
+  mutable seq : int;  (** outgoing retry-envelope sequence counter *)
+  replies : (string, int * string) Hashtbl.t;
+      (** per source endpoint, the last (seq, encoded reply) served — the
+          at-most-once cache that suppresses duplicate deliveries *)
+  staged : (int, Wire.item list) Hashtbl.t;
+      (** per session, write-back items delivered by [Wb_stage] and not
+          yet applied; [Wb_commit] applies and drops them *)
+  mutable state_session : int option;
+      (** the session whose cached state this node currently holds; a
+          frame from a newer session purges leftovers from one whose
+          invalidation or abort never reached us (crashed at the time) *)
 }
 
 and proc = t -> Value.t list -> Value.t list
@@ -40,6 +60,7 @@ and pending_alloc = { prov : Long_pointer.t; pa_entry : Cache.entry }
 exception Remote_error of string
 exception Unknown_procedure of string
 exception Invalid_pointer of int
+exception Peer_unreachable of string
 
 let id t = t.id
 let arch t = Address_space.arch t.space
@@ -275,19 +296,111 @@ let group_by_space key xs =
   Space_id.Table.fold (fun k r acc -> (k, List.rev !r) :: acc) tbl []
 
 let session_id t = (Session.current_exn t.session).Session.id
+let faulty t = Option.is_some (Transport.fault_plan t.transport)
+
+(* Marker prefix preserved across nesting levels so the ground thread can
+   tell a dead participant apart from an ordinary remote exception. *)
+let unreachable_prefix = "peer-unreachable: "
+
+let is_unreachable_msg msg =
+  String.length msg >= String.length unreachable_prefix
+  && String.equal (String.sub msg 0 (String.length unreachable_prefix))
+       unreachable_prefix
+
+(* Forget everything tied to the current (or a stale) session: cached
+   foreign data, shipped/traveling bookkeeping, staged write-backs and
+   unflushed batched operations. Used by session abort and by the lazy
+   cleanup when a node that missed an invalidation is contacted again. *)
+let hard_reset t =
+  Cache.invalidate t.cache;
+  Space_id.Table.reset t.shipped;
+  Long_pointer.Table.reset t.traveling;
+  Hashtbl.reset t.staged;
+  t.pending_allocs <- [];
+  t.pending_frees <- [];
+  t.state_session <- None
 
 let request t ~dst req =
-  let reply =
-    Transport.rpc t.transport ~src:(endpoint t) ~dst:(Space_id.to_string dst)
-      (Wire.encode_request ~reg:t.registry req)
-  in
-  Wire.decode_response ~reg:t.registry reply
+  let dst_ep = Space_id.to_string dst in
+  match Transport.fault_plan t.transport with
+  | None ->
+    let reply =
+      Transport.rpc t.transport ~src:(endpoint t) ~dst:dst_ep
+        (Wire.encode_request ~reg:t.registry req)
+    in
+    Wire.decode_response ~reg:t.registry reply
+  | Some _ ->
+    t.seq <- t.seq + 1;
+    let frame = Wire.encode_framed ~reg:t.registry ~seq:t.seq req in
+    let stats = Transport.stats t.transport in
+    let clock = Transport.clock t.transport in
+    let rec attempt n backoff =
+      match Transport.rpc t.transport ~src:(endpoint t) ~dst:dst_ep frame with
+      | reply -> Wire.decode_response ~reg:t.registry reply
+      | exception Transport.Peer_crashed ep -> raise (Peer_unreachable ep)
+      | exception Transport.Timeout _ ->
+        if n >= t.retry.max_attempts then raise (Peer_unreachable dst_ep)
+        else begin
+          Stats.incr_retries stats;
+          Clock.advance clock backoff;
+          attempt (n + 1) (Float.min (backoff *. 2.0) t.retry.max_backoff)
+        end
+    in
+    attempt 1 t.retry.base_backoff
 
 let expect_ack = function
   | Wire.Ack -> ()
   | Wire.Error msg -> raise (Remote_error msg)
   | Wire.Return _ | Wire.Fetched _ | Wire.Allocated _ ->
     failwith "protocol error: expected Ack"
+
+(* Crash-safe session abort (ground only): discard the modified data set
+   instead of writing it back, tell every reachable participant to drop
+   session state, close the session, and surface [Session_aborted]. The
+   trace carries the abort mark and the invalidation mark but no
+   write-back mark — the SP005 witness that nothing was committed. *)
+let abort_session t ~reason : 'a =
+  let info = Session.current_exn t.session in
+  let sid = info.Session.id in
+  Log.warn (fun m ->
+      m "%a: aborting session #%d (%s)" Space_id.pp t.id sid reason);
+  Transport.mark t.transport ~src:(endpoint t) (Trace.Session_abort sid);
+  Transport.mark t.transport ~src:(endpoint t) (Trace.Invalidate sid);
+  let others = Space_id.Set.remove t.id info.Session.participants in
+  Space_id.Set.iter
+    (fun peer ->
+      try expect_ack (request t ~dst:peer (Wire.Abort { session = sid }))
+      with Peer_unreachable _ ->
+        (* the dead peer purges its own leftovers on next contact *)
+        ())
+    others;
+  hard_reset t;
+  Session.close t.session;
+  Transport.mark t.transport ~src:(endpoint t) (Trace.Session_end sid);
+  raise (Session.Session_aborted { session = sid; reason })
+
+let peer_failure t exn : 'a =
+  match Session.current t.session with
+  | Some info when Space_id.equal info.Session.ground t.id ->
+    let reason =
+      match exn with
+      | Peer_unreachable ep -> unreachable_prefix ^ ep
+      | Remote_error msg -> msg
+      | e -> Printexc.to_string e
+    in
+    abort_session t ~reason
+  | Some _ | None -> raise exn
+
+(* Wrap a protocol step that may discover a dead participant. On the
+   ground thread that is a session abort; elsewhere the failure
+   propagates (and travels back to the ground as a marked remote
+   error). No-op without a fault plan. *)
+let ground_guard t f =
+  if not (faulty t) then f ()
+  else
+    try f () with
+    | Peer_unreachable _ as e -> peer_failure t e
+    | Remote_error msg as e when is_unreachable_msg msg -> peer_failure t e
 
 let flush_remote_ops t =
   if t.pending_allocs <> [] then begin
@@ -403,6 +516,7 @@ let eager_for t ~peer wvalues =
 let call t ~dst proc args =
   let info = Session.current_exn t.session in
   if Space_id.equal dst t.id then invalid_arg "Node.call: dst is self";
+  ground_guard t @@ fun () ->
   flush_remote_ops t;
   let writebacks = collect_writebacks t in
   let wargs = List.map (wire_of_value t) args in
@@ -481,6 +595,7 @@ let fetch_missing t missing =
     batches
 
 let handle_fault t (fault : Address_space.fault) =
+  ground_guard t @@ fun () ->
   Transport.charge_fault t.transport;
   let page = fault.page in
   if not (Cache.in_region t.cache (Address_space.page_base t.space page)) then
@@ -587,10 +702,21 @@ let check_session t session =
       (Printf.sprintf "session mismatch: frame for #%d, active #%d" session
          info.Session.id)
 
+(* A node that was unreachable when its session's invalidation or abort
+   went out still holds that session's cached state. The first frame of
+   a newer session purges it before any processing — the lazy half of
+   crash-safe reusability. *)
+let ensure_fresh t session =
+  (match t.state_session with
+  | Some s when s <> session -> hard_reset t
+  | Some _ | None -> ());
+  t.state_session <- Some session
+
 let handle t src req =
+  check_session t (Wire.request_session req);
+  ensure_fresh t (Wire.request_session req);
   match (req : Wire.request) with
-  | Wire.Call { proc; args; writebacks; eager; session } ->
-    check_session t session;
+  | Wire.Call { proc; args; writebacks; eager; session = _ } ->
     Session.join t.session t.id;
     List.iter (install_item t ~kind:`Writeback) writebacks;
     List.iter (install_item t ~kind:`Eager) eager;
@@ -606,26 +732,41 @@ let handle t src req =
     let wres = List.map (wire_of_value t) results in
     let eager = eager_for t ~peer:(Space_id.of_string src) wres in
     Wire.Return { results = wres; writebacks = wb; eager }
-  | Wire.Fetch { wanted; session } ->
-    check_session t session;
+  | Wire.Fetch { wanted; session = _ } ->
     Session.join t.session t.id;
     Wire.Fetched { items = serve_fetch t ~peer:(Space_id.of_string src) wanted }
-  | Wire.Write_back { items; session } ->
-    check_session t session;
+  | Wire.Write_back { items; session = _ } ->
     (* installing write-backs can swizzle foreign pointers into fresh
        cache slots here, so this space must be invalidated too *)
     Session.join t.session t.id;
     List.iter (install_item t ~kind:`Writeback) items;
     Wire.Ack
-  | Wire.Alloc_batch { reqs; session } ->
-    check_session t session;
+  | Wire.Wb_stage { items; session } ->
+    (* all-or-nothing close, phase one: hold the items without applying;
+       a crash before commit leaves the originals untouched *)
+    Session.join t.session t.id;
+    let prev = Option.value ~default:[] (Hashtbl.find_opt t.staged session) in
+    Hashtbl.replace t.staged session (prev @ items);
+    Wire.Ack
+  | Wire.Wb_commit { session } ->
+    Session.join t.session t.id;
+    (match Hashtbl.find_opt t.staged session with
+    | Some items ->
+      Hashtbl.remove t.staged session;
+      List.iter (install_item t ~kind:`Writeback) items
+    | None -> ());
+    Wire.Ack
+  | Wire.Abort { session = _ } ->
+    (* discard everything the session put here; nothing is applied *)
+    hard_reset t;
+    Wire.Ack
+  | Wire.Alloc_batch { reqs; session = _ } ->
     Session.join t.session t.id;
     let addrs =
       List.map (fun (prov, ty) -> (prov, Allocator.alloc t.heap ~size:(sizeof t ty))) reqs
     in
     Wire.Allocated { addrs }
-  | Wire.Free_batch { lps; session } ->
-    check_session t session;
+  | Wire.Free_batch { lps; session = _ } ->
     List.iter
       (fun (lp : Long_pointer.t) ->
         if not (Space_id.equal lp.origin t.id) then
@@ -633,60 +774,59 @@ let handle t src req =
         Allocator.free t.heap lp.addr)
       lps;
     Wire.Ack
-  | Wire.Invalidate { session } ->
-    check_session t session;
+  | Wire.Invalidate { session = _ } ->
     record_outcomes t;
     Cache.invalidate t.cache;
     Space_id.Table.reset t.shipped;
     Long_pointer.Table.reset t.traveling;
+    Hashtbl.reset t.staged;
+    t.state_session <- None;
     Wire.Ack
 
-let dispatch t src req_str =
-  match handle t src (Wire.decode_request ~reg:t.registry req_str) with
+let handle_encoded t src req =
+  match handle t src req with
   | resp -> Wire.encode_response ~reg:t.registry resp
+  | exception Peer_unreachable ep ->
+    Wire.encode_response ~reg:t.registry (Wire.Error (unreachable_prefix ^ ep))
+  | exception Remote_error msg when is_unreachable_msg msg ->
+    Wire.encode_response ~reg:t.registry (Wire.Error msg)
   | exception exn ->
     Wire.encode_response ~reg:t.registry (Wire.Error (Printexc.to_string exn))
+
+let dispatch t src req_str =
+  match Wire.decode_framed ~reg:t.registry req_str with
+  | exception exn ->
+    Wire.encode_response ~reg:t.registry (Wire.Error (Printexc.to_string exn))
+  | None, req -> handle_encoded t src req
+  | Some seq, req -> (
+    (* at-most-once: a re-sent or duplicated frame replays the cached
+       reply instead of executing again *)
+    match Hashtbl.find_opt t.replies src with
+    | Some (last, cached) when last = seq ->
+      Stats.incr_duplicates (Transport.stats t.transport);
+      cached
+    | Some _ | None ->
+      let encoded = handle_encoded t src req in
+      Hashtbl.replace t.replies src (seq, encoded);
+      encoded)
 
 (* --- sessions --- *)
 
 let begin_session t =
   let info = Session.begin_session t.session ~ground:t.id in
   t.session_t0 <- Clock.now (Transport.clock t.transport);
+  t.state_session <- Some info.Session.id;
   Transport.mark t.transport ~src:(endpoint t) (Trace.Session_begin info.Session.id)
 
-let end_session t =
-  let info = Session.current_exn t.session in
-  if not (Space_id.equal info.Session.ground t.id) then
-    invalid_arg "Node.end_session: only the ground thread may end the session";
-  flush_remote_ops t;
-  Transport.mark t.transport ~src:(endpoint t) (Trace.Write_back info.Session.id);
-  let items = collect_writebacks t in
-  (* Own traveling items are already applied to our originals. *)
-  let foreign =
-    List.filter
-      (fun (i : Wire.item) -> not (Space_id.equal i.lp.Long_pointer.origin t.id))
-      items
-  in
-  let batches =
-    group_by_space (fun (i : Wire.item) -> i.lp.Long_pointer.origin) foreign
-  in
-  List.iter
-    (fun (origin, items) ->
-      expect_ack
-        (request t ~dst:origin (Wire.Write_back { session = info.Session.id; items })))
-    batches;
-  (* snapshot participants only now: installing write-backs may have
-     enrolled origin spaces that must also drop fresh cache entries *)
-  Transport.mark t.transport ~src:(endpoint t) (Trace.Invalidate info.Session.id);
-  let others = Space_id.Set.remove t.id info.Session.participants in
-  Space_id.Set.iter
-    (fun peer ->
-      expect_ack (request t ~dst:peer (Wire.Invalidate { session = info.Session.id })))
-    others;
+(* Common close-out once the coherency traffic is done: invalidate the
+   ground's own cache, run the policy's control decision, close the
+   session and record the end mark. *)
+let close_tail t (info : Session.info) =
   record_outcomes t;
   Cache.invalidate t.cache;
   Space_id.Table.reset t.shipped;
   Long_pointer.Table.reset t.traveling;
+  t.state_session <- None;
   (* Every participant has now recorded its outcomes into the shared
      profile; run one control decision and install the derived hints so
      the next session ships under the revised policy. *)
@@ -709,12 +849,89 @@ let end_session t =
   Session.close t.session;
   Transport.mark t.transport ~src:(endpoint t) (Trace.Session_end info.Session.id)
 
+let writeback_batches t =
+  let items = collect_writebacks t in
+  (* Own traveling items are already applied to our originals. *)
+  let foreign =
+    List.filter
+      (fun (i : Wire.item) -> not (Space_id.equal i.lp.Long_pointer.origin t.id))
+      items
+  in
+  group_by_space (fun (i : Wire.item) -> i.lp.Long_pointer.origin) foreign
+
+(* The original reliable-transport close: write-backs applied on
+   delivery. Kept verbatim so runs without a fault plan stay
+   byte-identical. *)
+let end_session_plain t (info : Session.info) =
+  flush_remote_ops t;
+  Transport.mark t.transport ~src:(endpoint t) (Trace.Write_back info.Session.id);
+  let batches = writeback_batches t in
+  List.iter
+    (fun (origin, items) ->
+      expect_ack
+        (request t ~dst:origin (Wire.Write_back { session = info.Session.id; items })))
+    batches;
+  (* snapshot participants only now: installing write-backs may have
+     enrolled origin spaces that must also drop fresh cache entries *)
+  Transport.mark t.transport ~src:(endpoint t) (Trace.Invalidate info.Session.id);
+  let others = Space_id.Set.remove t.id info.Session.participants in
+  Space_id.Set.iter
+    (fun peer ->
+      expect_ack (request t ~dst:peer (Wire.Invalidate { session = info.Session.id })))
+    others;
+  close_tail t info
+
+(* The crash-safe close: the modified data set is first staged at every
+   origin, and applied only once the full set is delivered. A
+   participant dying before the commit point aborts the session with the
+   originals untouched everywhere; after the commit point each origin
+   applies its complete per-origin set or (if it died) none of it. *)
+let end_session_faulty t (info : Session.info) =
+  let sid = info.Session.id in
+  let batches =
+    ground_guard t @@ fun () ->
+    flush_remote_ops t;
+    let batches = writeback_batches t in
+    List.iter
+      (fun (origin, items) ->
+        expect_ack (request t ~dst:origin (Wire.Wb_stage { session = sid; items })))
+      batches;
+    batches
+  in
+  (* commit point: the complete modified data set is staged everywhere *)
+  Transport.mark t.transport ~src:(endpoint t) (Trace.Write_back sid);
+  List.iter
+    (fun (origin, _) ->
+      try expect_ack (request t ~dst:origin (Wire.Wb_commit { session = sid }))
+      with Peer_unreachable _ ->
+        (* the dead origin's staged set dies with it and is purged on
+           next contact; it never applies a partial set *)
+        ())
+    batches;
+  Transport.mark t.transport ~src:(endpoint t) (Trace.Invalidate sid);
+  let others = Space_id.Set.remove t.id info.Session.participants in
+  Space_id.Set.iter
+    (fun peer ->
+      try expect_ack (request t ~dst:peer (Wire.Invalidate { session = sid }))
+      with Peer_unreachable _ -> ())
+    others;
+  close_tail t info
+
+let end_session t =
+  let info = Session.current_exn t.session in
+  if not (Space_id.equal info.Session.ground t.id) then
+    invalid_arg "Node.end_session: only the ground thread may end the session";
+  if faulty t then end_session_faulty t info else end_session_plain t info
+
 let with_session t f =
   begin_session t;
   match f () with
   | v ->
     end_session t;
     v
+  | exception (Session.Session_aborted _ as exn) ->
+    (* the abort already closed the session and reset the nodes *)
+    raise exn
   | exception exn ->
     (try end_session t with _ -> ());
     raise exn
@@ -768,8 +985,11 @@ let extended_free t addr =
 (* --- construction --- *)
 
 let create ?(page_size = 4096) ?(heap_base = 0x10000) ?(heap_limit = 0x4000000)
-    ?(cache_limit = 0x24000000) ?hints ?policy ?(validate = false) ~id ~arch
-    ~registry ~transport ~session ~strategy () =
+    ?(cache_limit = 0x24000000) ?hints ?policy ?(validate = false)
+    ?(retry = default_retry) ~id ~arch ~registry ~transport ~session ~strategy
+    () =
+  if retry.max_attempts < 1 then
+    invalid_arg "Node.create: retry.max_attempts must be at least 1";
   if heap_limit mod page_size <> 0 then
     invalid_arg "Node.create: heap_limit must be page-aligned";
   (* Reject a malformed registry before any datum is laid out against
@@ -804,6 +1024,11 @@ let create ?(page_size = 4096) ?(heap_base = 0x10000) ?(heap_limit = 0x4000000)
       pending_frees = [];
       prov_counter = 0;
       session_t0 = 0.0;
+      retry;
+      seq = 0;
+      replies = Hashtbl.create 8;
+      staged = Hashtbl.create 4;
+      state_session = None;
     }
   in
   Mmu.set_handler mmu (handle_fault t);

@@ -26,11 +26,26 @@ type proc = t -> Value.t list -> Value.t list
 exception Remote_error of string
 exception Unknown_procedure of string
 
+(** Raised (on non-ground nodes) when a peer stayed unreachable through
+    the whole retry envelope or is crashed in the fault plan. On the
+    ground thread the runtime instead aborts the session and raises
+    {!Session.Session_aborted}. *)
+exception Peer_unreachable of string
+
 (** Raised when an address that is neither null, a live heap block base,
     nor a cache slot base is unswizzled or freed. *)
 exception Invalid_pointer of int
 
 (** {1 Construction} *)
+
+(** Retry/timeout/backoff envelope for the RPC path, active only while a
+    {!Srpc_simnet.Fault_plan} is installed on the transport. A request
+    is re-sent up to [max_attempts] total tries; between tries the
+    sender backs off exponentially from [base_backoff] (simulated
+    seconds), doubling up to [max_backoff]. *)
+type retry = { max_attempts : int; base_backoff : float; max_backoff : float }
+
+val default_retry : retry
 
 (** [create ~id ~arch ~registry ~transport ~session ~strategy ()] builds
     a node and registers its dispatcher with the transport. Region sizes
@@ -42,6 +57,8 @@ exception Invalid_pointer of int
     runtime feeds it access-pattern observations, and at session end it
     installs machine-derived closure-shape hints into [hints] (share
     one engine and one hint table across the cluster's nodes).
+    [?retry] tunes the fault-layer retry envelope (used only when a
+    fault plan is installed on the transport).
     @raise Srpc_analysis.Desc_lint.Invalid_registry if validation finds
     error-severity defects. *)
 val create :
@@ -52,6 +69,7 @@ val create :
   ?hints:Hints.t ->
   ?policy:Srpc_policy.Engine.t ->
   ?validate:bool ->
+  ?retry:retry ->
   id:Space_id.t ->
   arch:Arch.t ->
   registry:Registry.t ->
@@ -101,7 +119,11 @@ val begin_session : t -> unit
 (** [end_session t] writes the modified data set back to the origin
     spaces and multicasts the invalidation; every participant drops its
     cached data (paper, section 3.4). Must be called by the ground
-    node. *)
+    node. With a fault plan installed the write-back is all-or-nothing:
+    items are staged at every origin and applied only once the full set
+    is delivered; a participant dying before that commit point aborts
+    the session instead ({!Session.Session_aborted}), leaving every
+    original untouched. *)
 val end_session : t -> unit
 
 (** [with_session t f] brackets [f] with [begin_session]/[end_session].
@@ -114,7 +136,9 @@ val with_session : t -> (unit -> 'a) -> 'a
     until the results return. Nested calls and callbacks are calls
     issued from inside a procedure body.
     @raise Session.No_active_session outside a session
-    @raise Remote_error if the callee raised *)
+    @raise Remote_error if the callee raised
+    @raise Session.Session_aborted (ground thread, fault plan installed)
+    if a participant became unreachable and the session was aborted *)
 val call : t -> dst:Space_id.t -> string -> Value.t list -> Value.t list
 
 (** {1 Memory management} *)

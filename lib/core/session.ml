@@ -10,6 +10,7 @@ type t = { mutable counter : int; mutable current : info option }
 
 exception No_active_session
 exception Session_already_active
+exception Session_aborted of { session : int; reason : string }
 
 let create () = { counter = 0; current = None }
 

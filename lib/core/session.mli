@@ -20,6 +20,13 @@ type t
 exception No_active_session
 exception Session_already_active
 
+(** Raised at the ground thread when a participant became unreachable
+    mid-session and the runtime ran the session abort: the modified data
+    set was discarded (never written back), every participant's cache was
+    invalidated, and the session is closed. Both nodes remain usable —
+    the next session on the same cluster works. *)
+exception Session_aborted of { session : int; reason : string }
+
 val create : unit -> t
 
 (** [begin_session t ~ground] opens a session rooted at [ground].

@@ -25,6 +25,9 @@ type request =
   | Alloc_batch of { session : int; reqs : (int * string) list }
   | Free_batch of { session : int; lps : Long_pointer.t list }
   | Invalidate of { session : int }
+  | Abort of { session : int }
+  | Wb_stage of { session : int; items : item list }
+  | Wb_commit of { session : int }
 
 type response =
   | Return of { results : wvalue list; writebacks : item list; eager : item list }
@@ -93,9 +96,8 @@ let decode_lp ~reg dec =
   | None -> raise (Decode_error "unexpected null long pointer")
   | Some lp -> lp
 
-let encode_request ~reg r =
-  let enc = Enc.create () in
-  (match r with
+let encode_request_body ~reg enc r =
+  match r with
   | Call { session; proc; args; writebacks; eager } ->
     Enc.int enc 0;
     Enc.int enc session;
@@ -125,48 +127,108 @@ let encode_request ~reg r =
     Enc.list enc (encode_lp ~reg) lps
   | Invalidate { session } ->
     Enc.int enc 5;
-    Enc.int enc session);
+    Enc.int enc session
+  | Abort { session } ->
+    Enc.int enc 6;
+    Enc.int enc session
+  | Wb_stage { session; items } ->
+    Enc.int enc 7;
+    Enc.int enc session;
+    Enc.list enc (encode_item ~reg) items
+  | Wb_commit { session } ->
+    Enc.int enc 8;
+    Enc.int enc session
+
+let encode_request ~reg r =
+  let enc = Enc.create () in
+  encode_request_body ~reg enc r;
   Enc.to_string enc
+
+(* Retry-envelope framing: tag 15 prefixes a sequence number before the
+   ordinary request body. Tag 15 is far from the live request tags so an
+   un-enveloped decoder fails loudly rather than misparsing. *)
+let framed_tag = 15
+
+let encode_framed ~reg ~seq r =
+  let enc = Enc.create () in
+  Enc.int enc framed_tag;
+  Enc.int enc seq;
+  encode_request_body ~reg enc r;
+  Enc.to_string enc
+
+let decode_request_tagged ~reg dec tag =
+  match tag with
+  | 0 ->
+    let session = Dec.int dec in
+    let proc = Dec.string dec in
+    let args = Dec.list dec (decode_wvalue ~reg) in
+    let writebacks = Dec.list dec (decode_item ~reg) in
+    let eager = Dec.list dec (decode_item ~reg) in
+    Call { session; proc; args; writebacks; eager }
+  | 1 ->
+    let session = Dec.int dec in
+    let wanted = Dec.list dec (decode_lp ~reg) in
+    Fetch { session; wanted }
+  | 2 ->
+    let session = Dec.int dec in
+    let items = Dec.list dec (decode_item ~reg) in
+    Write_back { session; items }
+  | 3 ->
+    let session = Dec.int dec in
+    let reqs =
+      Dec.list dec (fun dec ->
+          let id = Dec.int dec in
+          let ty = Dec.string dec in
+          (id, ty))
+    in
+    Alloc_batch { session; reqs }
+  | 4 ->
+    let session = Dec.int dec in
+    let lps = Dec.list dec (decode_lp ~reg) in
+    Free_batch { session; lps }
+  | 5 ->
+    let session = Dec.int dec in
+    Invalidate { session }
+  | 6 ->
+    let session = Dec.int dec in
+    Abort { session }
+  | 7 ->
+    let session = Dec.int dec in
+    let items = Dec.list dec (decode_item ~reg) in
+    Wb_stage { session; items }
+  | 8 ->
+    let session = Dec.int dec in
+    Wb_commit { session }
+  | n -> raise (Decode_error (Printf.sprintf "bad request tag %d" n))
 
 let decode_request ~reg s =
   let dec = Dec.of_string s in
-  let r =
-    match Dec.int dec with
-    | 0 ->
-      let session = Dec.int dec in
-      let proc = Dec.string dec in
-      let args = Dec.list dec (decode_wvalue ~reg) in
-      let writebacks = Dec.list dec (decode_item ~reg) in
-      let eager = Dec.list dec (decode_item ~reg) in
-      Call { session; proc; args; writebacks; eager }
-    | 1 ->
-      let session = Dec.int dec in
-      let wanted = Dec.list dec (decode_lp ~reg) in
-      Fetch { session; wanted }
-    | 2 ->
-      let session = Dec.int dec in
-      let items = Dec.list dec (decode_item ~reg) in
-      Write_back { session; items }
-    | 3 ->
-      let session = Dec.int dec in
-      let reqs =
-        Dec.list dec (fun dec ->
-            let id = Dec.int dec in
-            let ty = Dec.string dec in
-            (id, ty))
-      in
-      Alloc_batch { session; reqs }
-    | 4 ->
-      let session = Dec.int dec in
-      let lps = Dec.list dec (decode_lp ~reg) in
-      Free_batch { session; lps }
-    | 5 ->
-      let session = Dec.int dec in
-      Invalidate { session }
-    | n -> raise (Decode_error (Printf.sprintf "bad request tag %d" n))
-  in
+  let r = decode_request_tagged ~reg dec (Dec.int dec) in
   Dec.check_end dec;
   r
+
+let decode_framed ~reg s =
+  let dec = Dec.of_string s in
+  let tag = Dec.int dec in
+  let seq, r =
+    if tag = framed_tag then
+      let seq = Dec.int dec in
+      (Some seq, decode_request_tagged ~reg dec (Dec.int dec))
+    else (None, decode_request_tagged ~reg dec tag)
+  in
+  Dec.check_end dec;
+  (seq, r)
+
+let request_session = function
+  | Call { session; _ }
+  | Fetch { session; _ }
+  | Write_back { session; _ }
+  | Alloc_batch { session; _ }
+  | Free_batch { session; _ }
+  | Invalidate { session }
+  | Abort { session }
+  | Wb_stage { session; _ }
+  | Wb_commit { session } -> session
 
 let encode_response ~reg r =
   let enc = Enc.create () in
@@ -232,6 +294,10 @@ let pp_request ppf = function
   | Free_batch { lps; session } ->
     Format.fprintf ppf "FreeBatch[%d] %d lps" session (List.length lps)
   | Invalidate { session } -> Format.fprintf ppf "Invalidate[%d]" session
+  | Abort { session } -> Format.fprintf ppf "Abort[%d]" session
+  | Wb_stage { items; session } ->
+    Format.fprintf ppf "WbStage[%d] %a" session pp_items items
+  | Wb_commit { session } -> Format.fprintf ppf "WbCommit[%d]" session
 
 let pp_response ppf = function
   | Return { results; writebacks; eager } ->

@@ -36,6 +36,15 @@ type request =
       (** batched [extended_free] *)
   | Invalidate of { session : int }
       (** end-of-session multicast: drop all cached data *)
+  | Abort of { session : int }
+      (** crash-recovery: discard everything the session touched; the
+          modified data set is never applied *)
+  | Wb_stage of { session : int; items : item list }
+      (** all-or-nothing close, phase one: buffer these write-back items
+          at the origin without applying them *)
+  | Wb_commit of { session : int }
+      (** all-or-nothing close, phase two: apply everything staged for
+          this session *)
 
 type response =
   | Return of { results : wvalue list; writebacks : item list; eager : item list }
@@ -46,6 +55,20 @@ type response =
 
 val encode_request : reg:Srpc_types.Registry.t -> request -> string
 val decode_request : reg:Srpc_types.Registry.t -> string -> request
+
+(** [encode_framed ~reg ~seq r] wraps [r] in the retry envelope: a
+    sequence number the receiver uses to suppress duplicate deliveries.
+    The encoding is distinguishable from a bare request, so enveloped
+    and plain frames can share a dispatcher. *)
+val encode_framed : reg:Srpc_types.Registry.t -> seq:int -> request -> string
+
+(** [decode_framed ~reg s] decodes either framing: [(Some seq, r)] for
+    an enveloped frame, [(None, r)] for a bare one. *)
+val decode_framed :
+  reg:Srpc_types.Registry.t -> string -> int option * request
+
+(** The session id carried by every request. *)
+val request_session : request -> int
 val encode_response : reg:Srpc_types.Registry.t -> response -> string
 val decode_response : reg:Srpc_types.Registry.t -> string -> response
 val pp_request : Format.formatter -> request -> unit

@@ -9,6 +9,9 @@ type snapshot = {
   prefetched_bytes : int;
   wasted_prefetch_bytes : int;
   stall_ns : int;
+  retries : int;
+  timeouts : int;
+  duplicates : int;
 }
 
 type t = {
@@ -22,6 +25,9 @@ type t = {
   mutable prefetched_bytes : int;
   mutable wasted_prefetch_bytes : int;
   mutable stall_ns : int;
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable duplicates : int;
 }
 
 let create () =
@@ -36,6 +42,9 @@ let create () =
     prefetched_bytes = 0;
     wasted_prefetch_bytes = 0;
     stall_ns = 0;
+    retries = 0;
+    timeouts = 0;
+    duplicates = 0;
   }
 
 let incr_messages t = t.messages <- t.messages + 1
@@ -51,6 +60,9 @@ let add_wasted_prefetch_bytes t n =
   t.wasted_prefetch_bytes <- t.wasted_prefetch_bytes + n
 
 let add_stall_ns t n = t.stall_ns <- t.stall_ns + n
+let incr_retries t = t.retries <- t.retries + 1
+let incr_timeouts t = t.timeouts <- t.timeouts + 1
+let incr_duplicates t = t.duplicates <- t.duplicates + 1
 
 let snapshot t : snapshot =
   {
@@ -64,6 +76,9 @@ let snapshot t : snapshot =
     prefetched_bytes = t.prefetched_bytes;
     wasted_prefetch_bytes = t.wasted_prefetch_bytes;
     stall_ns = t.stall_ns;
+    retries = t.retries;
+    timeouts = t.timeouts;
+    duplicates = t.duplicates;
   }
 
 let reset t =
@@ -76,7 +91,10 @@ let reset t =
   t.remote_frees <- 0;
   t.prefetched_bytes <- 0;
   t.wasted_prefetch_bytes <- 0;
-  t.stall_ns <- 0
+  t.stall_ns <- 0;
+  t.retries <- 0;
+  t.timeouts <- 0;
+  t.duplicates <- 0
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
   {
@@ -90,6 +108,9 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     prefetched_bytes = a.prefetched_bytes - b.prefetched_bytes;
     wasted_prefetch_bytes = a.wasted_prefetch_bytes - b.wasted_prefetch_bytes;
     stall_ns = a.stall_ns - b.stall_ns;
+    retries = a.retries - b.retries;
+    timeouts = a.timeouts - b.timeouts;
+    duplicates = a.duplicates - b.duplicates;
   }
 
 let zero : snapshot =
@@ -104,11 +125,16 @@ let zero : snapshot =
     prefetched_bytes = 0;
     wasted_prefetch_bytes = 0;
     stall_ns = 0;
+    retries = 0;
+    timeouts = 0;
+    duplicates = 0;
   }
 
 let pp_snapshot ppf (s : snapshot) =
   Format.fprintf ppf
     "@[<h>msgs=%d bytes=%d faults=%d callbacks=%d writebacks=%d allocs=%d \
-     frees=%d prefetched=%dB wasted=%dB stall=%dns@]"
+     frees=%d prefetched=%dB wasted=%dB stall=%dns retries=%d timeouts=%d \
+     dups=%d@]"
     s.messages s.bytes s.faults s.callbacks s.writebacks s.remote_allocs
     s.remote_frees s.prefetched_bytes s.wasted_prefetch_bytes s.stall_ns
+    s.retries s.timeouts s.duplicates

@@ -22,6 +22,11 @@ type snapshot = {
   stall_ns : int;
       (** simulated nanoseconds the program spent blocked on lazy fetch
           round trips (fault-time callbacks) *)
+  retries : int;
+      (** request re-sends by the retry envelope after a timeout *)
+  timeouts : int;  (** frames the fault plan lost (sender waited in vain) *)
+  duplicates : int;
+      (** duplicate requests suppressed by the receiver's reply cache *)
 }
 
 val create : unit -> t
@@ -35,6 +40,9 @@ val add_remote_frees : t -> int -> unit
 val add_prefetched_bytes : t -> int -> unit
 val add_wasted_prefetch_bytes : t -> int -> unit
 val add_stall_ns : t -> int -> unit
+val incr_retries : t -> unit
+val incr_timeouts : t -> unit
+val incr_duplicates : t -> unit
 val snapshot : t -> snapshot
 val reset : t -> unit
 

@@ -2,10 +2,15 @@ type direction = Request | Reply
 
 type kind =
   | Message of direction
+  | Dropped of direction
+  | Dup of direction
   | Session_begin of int
   | Session_end of int
   | Write_back of int
   | Invalidate of int
+  | Session_abort of int
+  | Crash of string
+  | Revive of string
 
 type event = {
   at : float;
@@ -26,6 +31,8 @@ let add t e =
 let record t ~at ~src ~dst ~dir ~bytes =
   add t { at; src; dst; kind = Message dir; bytes }
 
+let record_kind t ~at ~src ~dst ~kind ~bytes = add t { at; src; dst; kind; bytes }
+
 let mark t ~at ~src kind = add t { at; src; dst = src; kind; bytes = 0 }
 
 let events t = List.rev t.rev_events
@@ -45,17 +52,25 @@ let between t ~src ~dst =
 let pp_kind ppf = function
   | Message Request -> Format.pp_print_string ppf "request"
   | Message Reply -> Format.pp_print_string ppf "reply"
+  | Dropped Request -> Format.pp_print_string ppf "request (dropped)"
+  | Dropped Reply -> Format.pp_print_string ppf "reply (dropped)"
+  | Dup Request -> Format.pp_print_string ppf "request (duplicate)"
+  | Dup Reply -> Format.pp_print_string ppf "reply (duplicate)"
   | Session_begin id -> Format.fprintf ppf "session-begin #%d" id
   | Session_end id -> Format.fprintf ppf "session-end #%d" id
   | Write_back id -> Format.fprintf ppf "write-back #%d" id
   | Invalidate id -> Format.fprintf ppf "invalidate #%d" id
+  | Session_abort id -> Format.fprintf ppf "session-abort #%d" id
+  | Crash ep -> Format.fprintf ppf "crash %s" ep
+  | Revive ep -> Format.fprintf ppf "revive %s" ep
 
 let pp_event ppf e =
   match e.kind with
-  | Message _ ->
+  | Message _ | Dropped _ | Dup _ ->
     Format.fprintf ppf "%10.6f %s -> %s %a (%d bytes)" e.at e.src e.dst pp_kind
       e.kind e.bytes
-  | Session_begin _ | Session_end _ | Write_back _ | Invalidate _ ->
+  | Session_begin _ | Session_end _ | Write_back _ | Invalidate _
+  | Session_abort _ | Crash _ | Revive _ ->
     Format.fprintf ppf "%10.6f %s %a" e.at e.src pp_kind e.kind
 
 let pp ppf t =

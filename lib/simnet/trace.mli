@@ -13,12 +13,18 @@ type direction = Request | Reply
 
 type kind =
   | Message of direction  (** a wire frame *)
+  | Dropped of direction  (** a frame lost by the fault plan *)
+  | Dup of direction  (** the duplicate copy of a frame delivered twice *)
   | Session_begin of int  (** a ground thread opened session [id] *)
   | Session_end of int  (** session [id] closed *)
   | Write_back of int
       (** the ground space started the session-close write-back phase *)
   | Invalidate of int
       (** the ground space started the invalidation multicast *)
+  | Session_abort of int
+      (** the ground space aborted session [id]: modified data discarded *)
+  | Crash of string  (** endpoint [ep] died; no frames from/to it after *)
+  | Revive of string  (** endpoint [ep] came back *)
 
 type event = {
   at : float;  (** simulated time, seconds *)
@@ -35,6 +41,11 @@ val create : unit -> t
 (** [record t ~at ~src ~dst ~dir ~bytes] records a wire frame. *)
 val record :
   t -> at:float -> src:string -> dst:string -> dir:direction -> bytes:int -> unit
+
+(** [record_kind t ~at ~src ~dst ~kind ~bytes] records an arbitrary
+    event — used by the fault layer for dropped and duplicate frames. *)
+val record_kind :
+  t -> at:float -> src:string -> dst:string -> kind:kind -> bytes:int -> unit
 
 (** [mark t ~at ~src kind] records a zero-byte protocol mark. *)
 val mark : t -> at:float -> src:string -> kind -> unit

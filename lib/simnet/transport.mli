@@ -15,6 +15,15 @@ type endpoint = string
 
 exception Unknown_endpoint of endpoint
 
+(** A frame (or its reply) was lost by the installed {!Fault_plan} and
+    the sender gave up waiting. Only raised when a fault plan is
+    installed. *)
+exception Timeout of endpoint
+
+(** The named endpoint is crashed in the installed {!Fault_plan}; no
+    frame was sent. Only raised when a fault plan is installed. *)
+exception Peer_crashed of endpoint
+
 val create : clock:Clock.t -> stats:Stats.t -> cost:Cost_model.t -> t
 val clock : t -> Clock.t
 val stats : t -> Stats.t
@@ -34,10 +43,29 @@ val link_cost : t -> src:endpoint -> dst:endpoint -> Cost_model.t
     recorded with its simulated send time. [None] detaches. *)
 val set_trace : t -> Trace.t option -> unit
 
+(** [set_fault_plan t (Some plan)] turns fault injection on: every
+    frame's fate is decided by [plan], and {!rpc} may raise {!Timeout}
+    or {!Peer_crashed}. [None] (the default) restores the perfectly
+    reliable transport with behavior identical to a build without the
+    fault layer. *)
+val set_fault_plan : t -> Fault_plan.t option -> unit
+
+val fault_plan : t -> Fault_plan.t option
+
 (** [mark t ~src kind] records a protocol mark (session begin/end,
     write-back or invalidation phase) at the current simulated time, if a
     trace is attached. *)
 val mark : t -> src:endpoint -> Trace.kind -> unit
+
+(** [crash t ep] marks [ep] dead in the installed fault plan and records
+    the [Crash] trace mark (once). Raises [Invalid_argument] when no
+    fault plan is installed. *)
+val crash : t -> endpoint -> unit
+
+(** [revive t ep] brings a crashed endpoint back and records the
+    [Revive] trace mark. Raises [Invalid_argument] when no fault plan is
+    installed. *)
+val revive : t -> endpoint -> unit
 
 (** [register t ep dispatch] installs [dispatch] as [ep]'s request
     handler. A second registration for the same endpoint replaces the
@@ -51,13 +79,19 @@ val endpoints : t -> endpoint list
 (** [rpc t ~src ~dst request] delivers [request] to [dst]'s dispatcher and
     returns its reply, advancing the clock by the frame costs of both
     directions. The dispatcher receives [src] so it can call back.
-    @raise Unknown_endpoint if [dst] has no dispatcher. *)
+    @raise Unknown_endpoint if [dst] has no dispatcher.
+    @raise Timeout if the installed fault plan lost the request or reply.
+    @raise Peer_crashed if the fault plan marks [dst] (or [src]) dead. *)
 val rpc : t -> src:endpoint -> dst:endpoint -> string -> string
 
 (** [multicast t ~src ~dsts request] sends [request] to every destination
     in turn, discarding replies (used for the end-of-session invalidation
-    multicast). Destinations equal to [src] are skipped. *)
-val multicast : t -> src:endpoint -> dsts:endpoint list -> string -> unit
+    multicast). Destinations equal to [src] are skipped. Unreachable
+    destinations ([Unknown_endpoint], [Timeout], [Peer_crashed]) do not
+    stop the multicast; they are returned with the exception that
+    excluded them, in destination order. *)
+val multicast :
+  t -> src:endpoint -> dsts:endpoint list -> string -> (endpoint * exn) list
 
 (** [charge_fault t] advances the clock by the cost of servicing one page
     fault and counts it. *)

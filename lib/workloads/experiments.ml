@@ -29,9 +29,12 @@ let search_proc = "search_tree"
 (* Build the paper's two-site setup and run [calls] RPC invocations of a
    tree search inside one session, measuring the calls only. *)
 let run_tree_search ?(update = false) ?(repeats = 1)
-    ?(arches = (Arch.sparc32, Arch.sparc32)) ?link_cost ?page_size ~strategy
-    ~depth ~ratio () =
+    ?(arches = (Arch.sparc32, Arch.sparc32)) ?link_cost ?page_size ?fault_plan
+    ~strategy ~depth ~ratio () =
   let cluster = Cluster.create () in
+  (match fault_plan with
+  | None -> ()
+  | Some plan -> Cluster.install_faults cluster plan);
   let caller_arch, callee_arch = arches in
   let caller =
     Cluster.add_node cluster ~site:1 ~arch:caller_arch ~strategy ?page_size ()
@@ -1077,6 +1080,153 @@ let table1 ppf () =
         "@[<v>Table 1 — callee data allocation table after swizzling two \
          pointers A and B@,%a@]"
         Node.pp_alloc_table callee)
+
+(* --- srpc-faults: the protocol under injected faults --- *)
+
+type faults_overhead = {
+  fo_plain : run;  (** no fault plan: today's exact wire behavior *)
+  fo_envelope : run;  (** zero-fault plan: retry envelope active, no faults *)
+  fo_ratio : float;  (** envelope seconds / plain seconds *)
+}
+
+(* Retry-envelope overhead at zero fault rate: the same Fig. 4 point with
+   and without a (fault-free) plan installed. The only difference is the
+   sequence-number framing and the staged close, so the ratio is the
+   price of crash safety on the fault-free path. *)
+let measure_faults_overhead ?(depth = 13) ?(ratio = 0.5) ?(closure = 8192) () =
+  let strategy = strategy_of_method (Proposed closure) in
+  let fo_plain = run_tree_search ~strategy ~depth ~ratio () in
+  let plan = Fault_plan.create ~seed:1 () in
+  let fo_envelope = run_tree_search ~fault_plan:plan ~strategy ~depth ~ratio () in
+  {
+    fo_plain;
+    fo_envelope;
+    fo_ratio =
+      (if fo_plain.seconds > 0.0 then fo_envelope.seconds /. fo_plain.seconds
+       else 1.0);
+  }
+
+type faults_summary = {
+  f_drop : float;
+  f_strategy : string;
+  f_sessions : int;
+  f_completed : int;
+  f_aborted : int;
+  f_wrong : int;  (** completed sessions whose result differed *)
+  f_retries : int;
+  f_timeouts : int;
+  f_duplicates : int;
+  f_seconds : float;  (** mean simulated seconds per completed session *)
+}
+
+(* Seeded chaos sweep: one cluster per (drop, strategy) cell, [sessions]
+   tree searches under the injected drop rate. Every session must either
+   complete with the fault-free result or abort cleanly with the nodes
+   still usable — a wrong result or a stuck cluster is the bug this
+   harness exists to catch. *)
+let faults_cell ?(depth = 9) ?(ratio = 0.6) ?(sessions = 6) ~seed ~drop
+    ~strategy ~strategy_name () =
+  let cluster = Cluster.create () in
+  let caller = Cluster.add_node cluster ~site:1 ~strategy () in
+  let callee = Cluster.add_node cluster ~site:2 ~strategy () in
+  Tree.register_types cluster;
+  let root = Tree.build caller ~depth in
+  Node.register callee search_proc (fun node args ->
+      match args with
+      | [ rootv; limitv; updatev ] ->
+        let root = Access.of_value rootv in
+        let limit = Value.to_int limitv in
+        let upd = Value.to_bool updatev in
+        let visit = if upd then Tree.visit_update else Tree.visit in
+        let visited, _sum = visit node root ~limit in
+        [ Value.int visited ]
+      | _ -> invalid_arg (search_proc ^ ": expected (root, limit, update)"));
+  let total = Tree.nodes_of_depth depth in
+  let limit = int_of_float (Float.round (ratio *. float_of_int total)) in
+  let run_one () =
+    let t0 = Cluster.now cluster in
+    match
+      Node.with_session caller (fun () ->
+          match
+            Node.call caller ~dst:(Node.id callee) search_proc
+              [ Access.to_value root; Value.int limit; Value.bool false ]
+          with
+          | [ v ] -> Value.to_int v
+          | _ -> failwith (search_proc ^ ": bad result arity"))
+    with
+    | r -> `Done (r, Cluster.now cluster -. t0)
+    | exception Session.Session_aborted _ -> `Aborted
+  in
+  (* the fault-free reference result, before any plan is installed *)
+  let expected =
+    match run_one () with
+    | `Done (r, _) -> r
+    | `Aborted -> assert false
+  in
+  let plan = Fault_plan.create ~seed () in
+  Fault_plan.set_global plan (Fault_plan.profile ~drop ~duplicate:(drop /. 2.0) ());
+  Cluster.install_faults cluster plan;
+  let completed = ref 0 and aborted = ref 0 and wrong = ref 0 in
+  let secs = ref 0.0 in
+  let s0 = Cluster.snapshot cluster in
+  for _ = 1 to sessions do
+    match run_one () with
+    | `Done (r, dt) ->
+      incr completed;
+      secs := !secs +. dt;
+      if r <> expected then incr wrong
+    | `Aborted -> incr aborted
+  done;
+  let d = Stats.diff (Cluster.snapshot cluster) s0 in
+  {
+    f_drop = drop;
+    f_strategy = strategy_name;
+    f_sessions = sessions;
+    f_completed = !completed;
+    f_aborted = !aborted;
+    f_wrong = !wrong;
+    f_retries = d.Stats.retries;
+    f_timeouts = d.Stats.timeouts;
+    f_duplicates = d.Stats.duplicates;
+    f_seconds =
+      (if !completed > 0 then !secs /. float_of_int !completed else 0.0);
+  }
+
+let default_fault_drops = [ 0.0; 0.01; 0.1 ]
+
+let faults_sweep ?depth ?ratio ?sessions ?(seed = 42)
+    ?(drops = default_fault_drops) () =
+  let strategies =
+    [
+      ("smart", strategy_of_method (Proposed 8192));
+      ("lazy", strategy_of_method Fully_lazy);
+      ("eager", strategy_of_method Fully_eager);
+    ]
+  in
+  List.concat_map
+    (fun drop ->
+      List.map
+        (fun (strategy_name, strategy) ->
+          faults_cell ?depth ?ratio ?sessions ~seed ~drop ~strategy
+            ~strategy_name ())
+        strategies)
+    drops
+
+let pp_faults ppf (overhead, rows) =
+  Format.fprintf ppf
+    "@[<v>FAULTS — retry envelope and chaos sweep (tree workload)@,";
+  Format.fprintf ppf
+    "envelope overhead at zero faults: plain %.4fs, enveloped %.4fs (x%.3f)@,@,"
+    overhead.fo_plain.seconds overhead.fo_envelope.seconds overhead.fo_ratio;
+  Format.fprintf ppf "%8s %8s %10s %8s %8s %8s %8s %8s@," "drop" "strategy"
+    "sessions" "done" "aborted" "wrong" "retries" "dups";
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "%8.2f %8s %10d %8d %8d %8d %8d %8d@," f.f_drop
+        f.f_strategy f.f_sessions f.f_completed f.f_aborted f.f_wrong
+        f.f_retries f.f_duplicates)
+    rows;
+  Format.fprintf ppf "@]"
 
 (* --- srpc-adapt: the adaptive policy, run session after session ---
 

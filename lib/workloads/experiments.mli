@@ -34,13 +34,17 @@ val strategy_of_method : method_kind -> Strategy.t
     [repeats] issues that many identical calls inside one session
     (Fig. 6); [arches] selects caller/callee architectures;
     [link_cost] replaces the default cost model on the caller-callee
-    link (both directions) — e.g. a WAN. *)
+    link (both directions) — e.g. a WAN; [fault_plan] installs a
+    {!Srpc_simnet.Fault_plan} on the cluster's transport before the
+    session (the retry envelope is then active, and the session may
+    raise {!Srpc_core.Session.Session_aborted}). *)
 val run_tree_search :
   ?update:bool ->
   ?repeats:int ->
   ?arches:Arch.t * Arch.t ->
   ?link_cost:Srpc_simnet.Cost_model.t ->
   ?page_size:int ->
+  ?fault_plan:Srpc_simnet.Fault_plan.t ->
   strategy:Strategy.t ->
   depth:int ->
   ratio:float ->
@@ -181,6 +185,56 @@ val manual_comparison :
   ?depth:int -> ?ratios:float list -> ?closure:int -> unit -> manual_row list
 
 val pp_manual : Format.formatter -> manual_row list -> unit
+
+(** {1 Faults (srpc-faults)} *)
+
+(** The price of the retry envelope when nothing ever fails: the same
+    Fig. 4 point with no fault plan and with an all-zero plan installed
+    (sequence-number framing, duplicate-reply cache, staged all-or-
+    nothing close — but not a single injected fault). *)
+type faults_overhead = {
+  fo_plain : run;  (** no fault plan: today's exact wire behavior *)
+  fo_envelope : run;  (** zero-fault plan: retry envelope active, no faults *)
+  fo_ratio : float;  (** envelope seconds / plain seconds *)
+}
+
+val measure_faults_overhead :
+  ?depth:int -> ?ratio:float -> ?closure:int -> unit -> faults_overhead
+
+(** One (drop rate, strategy) cell of the chaos sweep. *)
+type faults_summary = {
+  f_drop : float;
+  f_strategy : string;
+  f_sessions : int;
+  f_completed : int;
+  f_aborted : int;
+  f_wrong : int;  (** completed sessions whose result differed *)
+  f_retries : int;
+  f_timeouts : int;
+  f_duplicates : int;
+  f_seconds : float;  (** mean simulated seconds per completed session *)
+}
+
+val default_fault_drops : float list
+
+(** [faults_sweep ()] runs the seeded chaos matrix: for every drop rate
+    (default 0, 1%, 10%) and every strategy (smart, lazy, eager) one
+    cluster runs [sessions] tree searches under injected frame drops and
+    duplicates. Every session must either complete with the fault-free
+    reference result or raise [Session_aborted] with the cluster still
+    usable — [f_wrong] counts the sessions that did neither and must be
+    zero. *)
+val faults_sweep :
+  ?depth:int ->
+  ?ratio:float ->
+  ?sessions:int ->
+  ?seed:int ->
+  ?drops:float list ->
+  unit ->
+  faults_summary list
+
+val pp_faults :
+  Format.formatter -> faults_overhead * faults_summary list -> unit
 
 (** {1 Adaptive policy (srpc-adapt)} *)
 

@@ -247,6 +247,88 @@ let test_invalidate_before_writeback () =
   in
   Alcotest.(check bool) "SP004" true (List.mem "SP004" (proto_ids events))
 
+let abort_phase ground peer id =
+  (* a well-formed session abort: invalidation, no write-back *)
+  [
+    mark ground (Trace.Session_abort id);
+    mark ground (Trace.Invalidate id);
+    req ground peer; rep peer ground;
+    mark ground (Trace.Session_end id);
+  ]
+
+let test_clean_abort_trace () =
+  let events =
+    [ mark "a" (Trace.Session_begin 1); req "a" "b"; rep "b" "a" ]
+    @ abort_phase "a" "b" 1
+  in
+  Alcotest.(check (list string)) "abort verifies" [] (proto_ids events)
+
+let test_abort_with_writeback () =
+  (* a write-back before the abort mark: the modified set escaped *)
+  let events =
+    [
+      mark "a" (Trace.Session_begin 1);
+      req "a" "b"; rep "b" "a";
+      mark "a" (Trace.Write_back 1);
+    ]
+    @ abort_phase "a" "b" 1
+  in
+  Alcotest.(check bool) "SP005" true (List.mem "SP005" (proto_ids events))
+
+let test_abort_without_invalidation () =
+  let events =
+    [
+      mark "a" (Trace.Session_begin 1);
+      req "a" "b"; rep "b" "a";
+      mark "a" (Trace.Session_abort 1);
+      mark "a" (Trace.Session_end 1);
+    ]
+  in
+  Alcotest.(check bool) "SP005" true (List.mem "SP005" (proto_ids events))
+
+let test_frame_after_crash () =
+  let events =
+    [
+      mark "a" (Trace.Session_begin 1);
+      mark "b" (Trace.Crash "b");
+      req "a" "b"; rep "b" "a";
+    ]
+    @ close_phase "a" "c" 1
+  in
+  Alcotest.(check bool) "SP006" true (List.mem "SP006" (proto_ids events))
+
+let test_crash_revive_clean () =
+  let events =
+    [
+      mark "a" (Trace.Session_begin 1);
+      mark "b" (Trace.Crash "b");
+      req "a" "c"; rep "c" "a";
+      mark "b" (Trace.Revive "b");
+      req "a" "b"; rep "b" "a";
+    ]
+    @ close_phase "a" "b" 1
+  in
+  Alcotest.(check (list string)) "revived traffic legal" [] (proto_ids events)
+
+let test_dropped_and_dup_frames_tolerated () =
+  (* a dropped request is thread-neutral; a dropped reply hands the
+     thread back to the requester, who retries; duplicates are noise *)
+  let dropped_req = ev ~bytes:4 "a" "b" (Trace.Dropped Trace.Request) in
+  let dropped_rep = ev ~bytes:4 "b" "a" (Trace.Dropped Trace.Reply) in
+  let dup_req = ev ~bytes:4 "a" "b" (Trace.Dup Trace.Request) in
+  let dup_rep = ev ~bytes:4 "b" "a" (Trace.Dup Trace.Reply) in
+  let events =
+    [
+      mark "a" (Trace.Session_begin 1);
+      dropped_req;                          (* lost: retried below *)
+      req "a" "b"; dup_req; dup_rep; rep "b" "a";
+      req "a" "b"; dropped_rep;             (* reply lost: retried *)
+      req "a" "b"; rep "b" "a";
+    ]
+    @ close_phase "a" "b" 1
+  in
+  Alcotest.(check (list string)) "faulty trace verifies" [] (proto_ids events)
+
 (* --- protocol verifier: a real runtime trace --- *)
 
 let test_runtime_trace_verifies () =
@@ -300,7 +382,7 @@ let test_catalogue_covers_emitted_rules () =
       Alcotest.(check bool) (id ^ " in catalogue") true
         (Diagnostic.find_rule id <> None))
     [ "TD001"; "TD002"; "TD003"; "TD004"; "TD005"; "TD006"; "TD007";
-      "SP001"; "SP002"; "SP003"; "SP004" ]
+      "SP001"; "SP002"; "SP003"; "SP004"; "SP005"; "SP006" ]
 
 let tc = Alcotest.test_case
 
@@ -331,6 +413,12 @@ let () =
           tc "unreplied request" `Quick test_unreplied_request;
           tc "traffic outside session" `Quick test_traffic_outside_session;
           tc "invalidate before write-back" `Quick test_invalidate_before_writeback;
+          tc "clean abort trace" `Quick test_clean_abort_trace;
+          tc "abort with write-back" `Quick test_abort_with_writeback;
+          tc "abort without invalidation" `Quick test_abort_without_invalidation;
+          tc "frame after crash" `Quick test_frame_after_crash;
+          tc "crash and revive clean" `Quick test_crash_revive_clean;
+          tc "dropped and dup frames tolerated" `Quick test_dropped_and_dup_frames_tolerated;
           tc "runtime trace verifies" `Quick test_runtime_trace_verifies;
         ] );
       ( "catalogue",

@@ -263,6 +263,243 @@ let test_workload_after_failures () =
       | [ v ] -> Alcotest.(check int) "still works" 63 (Value.to_int v)
       | _ -> Alcotest.fail "arity")
 
+(* --- injected faults: chaos, crash, abort (srpc-faults) --- *)
+
+open Srpc_analysis
+
+let search_proc = "chaos_search"
+
+(* A two-site tree-search cluster with a trace attached, ready for fault
+   injection. The caller (site 1, endpoint "1.0") owns the tree and is
+   ground; the callee (site 2, endpoint "2.0") searches it. *)
+let mk_chaos ?(strategy = Strategy.smart ()) ?(depth = 6) () =
+  let cluster = Cluster.create ~cost:Cost_model.zero () in
+  let a = Cluster.add_node cluster ~site:1 ~strategy () in
+  let b = Cluster.add_node cluster ~site:2 ~strategy () in
+  Tree.register_types cluster;
+  let root = Tree.build a ~depth in
+  Node.register b search_proc (fun node args ->
+      match args with
+      | [ rootv; limitv ] ->
+        let visited, _ =
+          Tree.visit node (Access.of_value rootv) ~limit:(Value.to_int limitv)
+        in
+        [ Value.int visited ]
+      | _ -> invalid_arg search_proc);
+  let trace = Trace.create () in
+  Transport.set_trace (Cluster.transport cluster) (Some trace);
+  (cluster, a, b, root, trace)
+
+let run_search a b root ~limit =
+  Node.with_session a (fun () ->
+      match
+        Node.call a ~dst:(Node.id b) search_proc
+          [ Access.to_value root; Value.int limit ]
+      with
+      | [ v ] -> Value.to_int v
+      | _ -> Alcotest.fail "bad arity")
+
+let check_lint_clean label trace =
+  let ds = Proto_lint.check trace in
+  if ds <> [] then
+    Alcotest.failf "%s: protocol violations:@.%a" label Diagnostic.pp_list ds
+
+(* The chaos matrix: drop rates x strategies x seeds. Every session must
+   either complete with the fault-free result or abort cleanly; the
+   whole trace must satisfy SP001-SP006; the cluster stays usable. *)
+let test_chaos_matrix () =
+  let drops = [ 0.0; 0.01; 0.1 ] in
+  let strategies =
+    [
+      ("smart", Strategy.smart ());
+      ("lazy", Strategy.fully_lazy);
+      ("eager", Strategy.fully_eager);
+    ]
+  in
+  List.iter
+    (fun drop ->
+      List.iter
+        (fun (sname, strategy) ->
+          List.iter
+            (fun seed ->
+              let label = Printf.sprintf "drop %.2f %s seed %d" drop sname seed in
+              let cluster, a, b, root, trace = mk_chaos ~strategy () in
+              let limit = 40 in
+              let expected = run_search a b root ~limit in
+              let plan = Fault_plan.create ~seed () in
+              Fault_plan.set_global plan
+                (Fault_plan.profile ~drop ~duplicate:(drop /. 2.0) ());
+              Cluster.install_faults cluster plan;
+              for _ = 1 to 3 do
+                match run_search a b root ~limit with
+                | r ->
+                  if r <> expected then
+                    Alcotest.failf "%s: wrong result %d (want %d)" label r
+                      expected
+                | exception Session.Session_aborted _ -> ()
+              done;
+              (* the cluster is still usable, faults on or off *)
+              Cluster.clear_faults cluster;
+              Alcotest.(check int)
+                (label ^ ": usable after chaos")
+                expected
+                (run_search a b root ~limit);
+              Alcotest.(check int)
+                (label ^ ": callee cache empty after close")
+                0
+                (Introspect.cache_stats b).Introspect.entries;
+              check_lint_clean label trace)
+            [ 1; 2 ])
+        strategies)
+    drops
+
+(* Crash the callee mid-session: the ground must abort, nothing of the
+   modified data set may reach the origin, and after revival the same
+   work succeeds. *)
+let test_crash_mid_session_aborts () =
+  let cluster, a, b, _, trace = mk_chaos () in
+  let plan = Fault_plan.create ~seed:3 () in
+  Cluster.install_faults cluster plan;
+  (* the callee owns a cell; the ground caches and modifies it *)
+  Cluster.register_type cluster node_ty
+    (Type_desc.Struct
+       [ ("next", Type_desc.ptr node_ty); ("data", Type_desc.i64) ]);
+  let cell = mk_cell b 42 in
+  Node.register b "get_cell" (fun _ _ -> [ Access.to_value cell ]);
+  (match
+     Node.with_session a (fun () ->
+         match Node.call a ~dst:(Node.id b) "get_cell" [] with
+         | [ v ] ->
+           let p = Access.of_value v in
+           (* dirty the ground's cached copy, then lose the callee *)
+           Access.set_i64 a p ~field:"data" 99L;
+           Transport.crash (Cluster.transport cluster) "2.0"
+         | _ -> Alcotest.fail "bad arity")
+   with
+  | () -> Alcotest.fail "expected Session_aborted"
+  | exception Session.Session_aborted { reason; _ } ->
+    Alcotest.(check bool) "reason names the peer" true
+      (String.length reason > 0));
+  (* both nodes reusable; the modified set was discarded at the origin *)
+  Transport.revive (Cluster.transport cluster) "2.0";
+  Alcotest.(check int) "abort discarded the write" 42
+    (Int64.to_int (Access.get_i64 b cell ~field:"data"));
+  Node.with_session a (fun () ->
+      match Node.call a ~dst:(Node.id b) "get_cell" [] with
+      | [ v ] -> Access.set_i64 a (Access.of_value v) ~field:"data" 99L
+      | _ -> Alcotest.fail "bad arity");
+  Alcotest.(check int) "committed close applies the write" 99
+    (Int64.to_int (Access.get_i64 b cell ~field:"data"));
+  check_lint_clean "crash-abort" trace
+
+(* All-or-nothing write-back over three nodes: if one origin is dead at
+   close, no origin receives anything. *)
+let test_writeback_all_or_nothing () =
+  let cluster = Cluster.create ~cost:Cost_model.zero () in
+  let g = Cluster.add_node cluster ~site:1 () in
+  let b = Cluster.add_node cluster ~site:2 () in
+  let c = Cluster.add_node cluster ~site:3 () in
+  Cluster.register_type cluster node_ty
+    (Type_desc.Struct
+       [ ("next", Type_desc.ptr node_ty); ("data", Type_desc.i64) ]);
+  let trace = Trace.create () in
+  Transport.set_trace (Cluster.transport cluster) (Some trace);
+  let plan = Fault_plan.create ~seed:5 () in
+  Cluster.install_faults cluster plan;
+  let cell_b = mk_cell b 10 and cell_c = mk_cell c 20 in
+  Node.register b "cell_b" (fun _ _ -> [ Access.to_value cell_b ]);
+  Node.register c "cell_c" (fun _ _ -> [ Access.to_value cell_c ]);
+  let dirty_both ~crash_c =
+    Node.with_session g (fun () ->
+        let fetch node proc =
+          match Node.call g ~dst:(Node.id node) proc [] with
+          | [ v ] -> Access.of_value v
+          | _ -> Alcotest.fail "bad arity"
+        in
+        let pb = fetch b "cell_b" and pc = fetch c "cell_c" in
+        Access.set_i64 g pb ~field:"data" 11L;
+        Access.set_i64 g pc ~field:"data" 21L;
+        if crash_c then Transport.crash (Cluster.transport cluster) "3.0")
+  in
+  (match dirty_both ~crash_c:true with
+  | () -> Alcotest.fail "expected Session_aborted"
+  | exception Session.Session_aborted _ -> ());
+  Alcotest.(check int) "b kept its value (atomic abort)" 10
+    (Int64.to_int (Access.get_i64 b cell_b ~field:"data"));
+  Alcotest.(check int) "c kept its value" 20
+    (Int64.to_int (Access.get_i64 c cell_c ~field:"data"));
+  Transport.revive (Cluster.transport cluster) "3.0";
+  dirty_both ~crash_c:false;
+  Alcotest.(check int) "b updated after clean close" 11
+    (Int64.to_int (Access.get_i64 b cell_b ~field:"data"));
+  Alcotest.(check int) "c updated after clean close" 21
+    (Int64.to_int (Access.get_i64 c cell_c ~field:"data"));
+  check_lint_clean "all-or-nothing" trace
+
+(* Duplicate delivery of every frame: the reply cache must make the
+   procedure run exactly once per logical call. *)
+let test_duplicate_suppression () =
+  let cluster = Cluster.create ~cost:Cost_model.zero () in
+  let a = Cluster.add_node cluster ~site:1 () in
+  let b = Cluster.add_node cluster ~site:2 () in
+  let plan = Fault_plan.create ~seed:11 () in
+  Fault_plan.set_global plan (Fault_plan.profile ~duplicate:1.0 ());
+  Cluster.install_faults cluster plan;
+  let hits = ref 0 in
+  Node.register b "bump" (fun _ _ -> incr hits; [ Value.int !hits ]);
+  let s0 = Cluster.snapshot cluster in
+  Node.with_session a (fun () ->
+      (match Node.call a ~dst:(Node.id b) "bump" [] with
+      | [ v ] -> Alcotest.(check int) "first call" 1 (Value.to_int v)
+      | _ -> Alcotest.fail "bad arity");
+      match Node.call a ~dst:(Node.id b) "bump" [] with
+      | [ v ] -> Alcotest.(check int) "second call" 2 (Value.to_int v)
+      | _ -> Alcotest.fail "bad arity");
+  Alcotest.(check int) "procedure ran once per call" 2 !hits;
+  let d = Stats.diff (Cluster.snapshot cluster) s0 in
+  Alcotest.(check bool) "duplicates absorbed" true (d.Stats.duplicates > 0)
+
+(* A forced single drop: the retry envelope resends and the call still
+   succeeds, with the retry counted. *)
+let test_retry_recovers_forced_drop () =
+  let cluster = Cluster.create ~cost:Cost_model.zero () in
+  let a = Cluster.add_node cluster ~site:1 () in
+  let b = Cluster.add_node cluster ~site:2 () in
+  let plan = Fault_plan.create ~seed:13 () in
+  Cluster.install_faults cluster plan;
+  Node.register b "ping" (fun _ _ -> [ Value.int 1 ]);
+  let s0 = Cluster.snapshot cluster in
+  Node.with_session a (fun () ->
+      Fault_plan.drop_next plan 1;
+      match Node.call a ~dst:(Node.id b) "ping" [] with
+      | [ v ] -> Alcotest.(check int) "succeeds after retry" 1 (Value.to_int v)
+      | _ -> Alcotest.fail "bad arity");
+  let d = Stats.diff (Cluster.snapshot cluster) s0 in
+  Alcotest.(check int) "one retry" 1 d.Stats.retries;
+  Alcotest.(check int) "one timeout" 1 d.Stats.timeouts
+
+(* A peer that never comes back: the retry budget runs out and the
+   ground aborts instead of hanging. *)
+let test_retry_exhaustion_aborts () =
+  let cluster = Cluster.create ~cost:Cost_model.zero () in
+  let a = Cluster.add_node cluster ~site:1 ~retry:{ Node.default_retry with Node.max_attempts = 3 } () in
+  let b = Cluster.add_node cluster ~site:2 () in
+  let plan = Fault_plan.create ~seed:17 () in
+  Cluster.install_faults cluster plan;
+  Node.register b "ping" (fun _ _ -> [ Value.int 1 ]);
+  Fault_plan.partition plan ~src:"1.0" ~dst:"2.0";
+  (match
+     Node.with_session a (fun () ->
+         ignore (Node.call a ~dst:(Node.id b) "ping" []))
+   with
+  | () -> Alcotest.fail "expected Session_aborted"
+  | exception Session.Session_aborted _ -> ());
+  Fault_plan.heal plan ~src:"1.0" ~dst:"2.0";
+  Node.with_session a (fun () ->
+      match Node.call a ~dst:(Node.id b) "ping" [] with
+      | [ v ] -> Alcotest.(check int) "healed and reusable" 1 (Value.to_int v)
+      | _ -> Alcotest.fail "bad arity")
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "failures"
@@ -294,6 +531,15 @@ let () =
         [
           tc "two processes on one site" `Quick test_two_processes_same_site;
           tc "duplicate node rejected" `Quick test_duplicate_node_rejected;
+        ] );
+      ( "faults",
+        [
+          tc "chaos matrix stays correct and lint-clean" `Quick test_chaos_matrix;
+          tc "crash mid-session aborts atomically" `Quick test_crash_mid_session_aborts;
+          tc "write-back is all-or-nothing" `Quick test_writeback_all_or_nothing;
+          tc "duplicate deliveries suppressed" `Quick test_duplicate_suppression;
+          tc "retry recovers a forced drop" `Quick test_retry_recovers_forced_drop;
+          tc "retry exhaustion aborts cleanly" `Quick test_retry_exhaustion_aborts;
         ] );
       ( "introspection",
         [

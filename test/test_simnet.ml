@@ -197,7 +197,8 @@ let test_transport_multicast_skips_src () =
   Transport.register t "a" (handler "a");
   Transport.register t "b" (handler "b");
   Transport.register t "c" (handler "c");
-  Transport.multicast t ~src:"a" ~dsts:[ "a"; "b"; "c" ] "inv";
+  let failed = Transport.multicast t ~src:"a" ~dsts:[ "a"; "b"; "c" ] "inv" in
+  Alcotest.(check int) "no failures" 0 (List.length failed);
   Alcotest.(check (list string)) "b and c only" [ "b"; "c" ] (List.sort compare !hits)
 
 let test_transport_charge_fault () =
@@ -281,6 +282,153 @@ let test_transport_endpoints_list () =
     "endpoints" [ "x"; "y" ]
     (List.sort compare (Transport.endpoints t))
 
+(* --- Fault plan + faulty transport --- *)
+
+let mk_faulty ?seed ?timeout () =
+  let t, clock, stats = mk_transport () in
+  let plan = Fault_plan.create ?seed ?timeout () in
+  Transport.set_fault_plan t (Some plan);
+  (t, plan, clock, stats)
+
+let test_fault_plan_deterministic () =
+  let fates plan =
+    List.init 64 (fun _ -> Fault_plan.frame_fate plan ~src:"a" ~dst:"b")
+  in
+  let mk () =
+    let p = Fault_plan.create ~seed:7 () in
+    Fault_plan.set_global p (Fault_plan.profile ~drop:0.3 ~duplicate:0.3 ());
+    p
+  in
+  Alcotest.(check bool) "same seed, same schedule" true (fates (mk ()) = fates (mk ()));
+  let other = Fault_plan.create ~seed:8 () in
+  Fault_plan.set_global other (Fault_plan.profile ~drop:0.3 ~duplicate:0.3 ());
+  Alcotest.(check bool) "different seed, different schedule" false
+    (fates (mk ()) = fates other)
+
+let test_fault_plan_validates () =
+  Alcotest.check_raises "drop > 1" (Invalid_argument "Fault_plan.profile: probabilities must be in [0, 1]")
+    (fun () -> ignore (Fault_plan.profile ~drop:1.5 ()))
+
+let test_fault_drop_raises_timeout () =
+  let t, plan, clock, stats = mk_faulty ~timeout:0.5 () in
+  let trace = Trace.create () in
+  Transport.set_trace t (Some trace);
+  Transport.register t "b" (fun _ _ -> "ok");
+  Fault_plan.drop_next plan 1;
+  (match Transport.rpc t ~src:"a" ~dst:"b" "req" with
+  | _ -> Alcotest.fail "expected Timeout"
+  | exception Transport.Timeout ep ->
+    Alcotest.(check string) "timed-out peer" "b" ep);
+  Alcotest.(check int) "timeouts counted" 1 (Stats.snapshot stats).Stats.timeouts;
+  Alcotest.check feq "sender waited out the timeout" 0.5 (Clock.now clock);
+  (match Trace.events trace with
+  | [ { Trace.kind = Trace.Dropped Trace.Request; src = "a"; dst = "b"; _ } ] -> ()
+  | _ -> Alcotest.fail "expected a single dropped-request event");
+  (* the next frame is delivered: the forced drop was consumed *)
+  Alcotest.(check string) "recovers" "ok" (Transport.rpc t ~src:"a" ~dst:"b" "req")
+
+let test_fault_duplicate_dispatches_twice () =
+  let t, plan, _, stats = mk_faulty () in
+  let trace = Trace.create () in
+  Transport.set_trace t (Some trace);
+  Fault_plan.set_global plan (Fault_plan.profile ~duplicate:1.0 ());
+  let hits = ref 0 in
+  Transport.register t "b" (fun _ _ -> incr hits; "ok");
+  Alcotest.(check string) "first copy's reply wins" "ok"
+    (Transport.rpc t ~src:"a" ~dst:"b" "req");
+  Alcotest.(check int) "handler ran twice" 2 !hits;
+  let dups =
+    List.length
+      (List.filter
+         (fun e -> match e.Trace.kind with Trace.Dup _ -> true | _ -> false)
+         (Trace.events trace))
+  in
+  Alcotest.(check bool) "duplicate frames traced" true (dups >= 1);
+  ignore stats
+
+let test_fault_partition_is_directional () =
+  let t, plan, _, _ = mk_faulty ~timeout:0.1 () in
+  let a_hits = ref 0 in
+  Transport.register t "a" (fun _ _ -> incr a_hits; "from-a");
+  Transport.register t "b" (fun _ _ -> "from-b");
+  Fault_plan.partition plan ~src:"a" ~dst:"b";
+  Alcotest.(check bool) "partitioned" true
+    (Fault_plan.is_partitioned plan ~src:"a" ~dst:"b");
+  Alcotest.(check bool) "reverse direction open" false
+    (Fault_plan.is_partitioned plan ~src:"b" ~dst:"a");
+  (match Transport.rpc t ~src:"a" ~dst:"b" "x" with
+  | _ -> Alcotest.fail "expected Timeout through the partition"
+  | exception Transport.Timeout _ -> ());
+  (* the reverse RPC delivers its request (b->a is open) but loses the
+     reply frame, which must cross the partitioned a->b direction *)
+  (match Transport.rpc t ~src:"b" ~dst:"a" "x" with
+  | _ -> Alcotest.fail "expected the reply to be lost"
+  | exception Transport.Timeout _ -> ());
+  Alcotest.(check int) "request got through one-way" 1 !a_hits;
+  Fault_plan.heal plan ~src:"a" ~dst:"b";
+  Alcotest.(check string) "healed" "from-b" (Transport.rpc t ~src:"a" ~dst:"b" "x")
+
+let test_fault_crash_and_revive () =
+  let t, _, _, _ = mk_faulty () in
+  let trace = Trace.create () in
+  Transport.set_trace t (Some trace);
+  let hits = ref 0 in
+  Transport.register t "b" (fun _ _ -> incr hits; "ok");
+  Transport.crash t "b";
+  (match Transport.rpc t ~src:"a" ~dst:"b" "req" with
+  | _ -> Alcotest.fail "expected Peer_crashed"
+  | exception Transport.Peer_crashed ep ->
+    Alcotest.(check string) "crashed peer" "b" ep);
+  Alcotest.(check int) "handler never ran" 0 !hits;
+  (* no frame may be recorded to a crashed endpoint (SP006) *)
+  let frames =
+    List.filter
+      (fun e ->
+        match e.Trace.kind with
+        | Trace.Message _ | Trace.Dropped _ | Trace.Dup _ -> true
+        | _ -> false)
+      (Trace.events trace)
+  in
+  Alcotest.(check int) "no frames while crashed" 0 (List.length frames);
+  (match Trace.events trace with
+  | { Trace.kind = Trace.Crash "b"; _ } :: _ -> ()
+  | _ -> Alcotest.fail "expected a crash mark first");
+  Transport.revive t "b";
+  Alcotest.(check string) "revived" "ok" (Transport.rpc t ~src:"a" ~dst:"b" "req");
+  let has_revive =
+    List.exists
+      (fun e -> e.Trace.kind = Trace.Revive "b")
+      (Trace.events trace)
+  in
+  Alcotest.(check bool) "revive mark traced" true has_revive
+
+let test_fault_latency_adds_up () =
+  let t, plan, clock, _ = mk_faulty () in
+  Transport.register t "b" (fun _ _ -> "ok");
+  Fault_plan.set_link plan ~src:"a" ~dst:"b" (Fault_plan.profile ~latency:2.0 ());
+  ignore (Transport.rpc t ~src:"a" ~dst:"b" "req");
+  (* only the request direction carries the extra latency *)
+  Alcotest.check feq "added latency" 2.0 (Clock.now clock)
+
+let test_fault_multicast_reports_failures () =
+  let t, _, _, _ = mk_faulty () in
+  Transport.register t "b" (fun _ _ -> "ok");
+  Transport.register t "c" (fun _ _ -> "ok");
+  Transport.crash t "c";
+  let failed = Transport.multicast t ~src:"a" ~dsts:[ "b"; "c"; "nowhere" ] "inv" in
+  let eps = List.map fst failed in
+  Alcotest.(check (list string)) "dead and unknown reported" [ "c"; "nowhere" ]
+    (List.sort compare eps);
+  Alcotest.(check bool) "live peer not reported" true
+    (not (List.mem "b" eps))
+
+let test_fault_no_plan_is_invalid_crash () =
+  let t, _, _ = mk_transport () in
+  Transport.register t "b" (fun _ _ -> "ok");
+  (match Transport.crash t "b" with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ())
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "simnet"
@@ -316,6 +464,15 @@ let () =
           tc "re-register replaces" `Quick test_transport_reregister_replaces;
           tc "unregister" `Quick test_transport_unregister;
           tc "multicast skips source" `Quick test_transport_multicast_skips_src;
+          tc "fault plan: deterministic" `Quick test_fault_plan_deterministic;
+          tc "fault plan: validates probabilities" `Quick test_fault_plan_validates;
+          tc "fault: drop raises Timeout" `Quick test_fault_drop_raises_timeout;
+          tc "fault: duplicate dispatches twice" `Quick test_fault_duplicate_dispatches_twice;
+          tc "fault: partition is directional" `Quick test_fault_partition_is_directional;
+          tc "fault: crash and revive" `Quick test_fault_crash_and_revive;
+          tc "fault: added latency" `Quick test_fault_latency_adds_up;
+          tc "fault: multicast reports failures" `Quick test_fault_multicast_reports_failures;
+          tc "fault: crash without plan rejected" `Quick test_fault_no_plan_is_invalid_crash;
           tc "charge fault" `Quick test_transport_charge_fault;
           tc "charge touches" `Quick test_transport_charge_touches;
           tc "charge cpu bytes" `Quick test_transport_charge_cpu_bytes;
