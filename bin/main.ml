@@ -390,6 +390,107 @@ let lint_cmd =
       const run $ verbose_arg $ types_flag $ trace_flag $ all_flag $ rules_flag
       $ arches_arg)
 
+let check_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 100 & info [ "seeds" ] ~docv:"N"
+           ~doc:"Number of generation seeds to run (0 .. N-1).")
+  in
+  let depth_arg =
+    Arg.(value & opt int 25 & info [ "depth" ] ~docv:"D"
+           ~doc:"Operations per generated script.")
+  in
+  let faults_arg =
+    Arg.(value & opt float 0.0 & info [ "faults" ] ~docv:"P"
+           ~doc:"Frame-drop probability for the fault schedule; when \
+                 positive, every odd seed runs with faults injected \
+                 (drop P, duplicate P/2).")
+  in
+  let replay_arg =
+    Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE"
+           ~doc:"Rerun one committed repro file byte-for-byte instead of \
+                 generating scripts.")
+  in
+  let out_arg =
+    Arg.(value & opt string "srpc-check-repro.sexp"
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Where to write the shrunk reproducer on failure.")
+  in
+  let dump_arg =
+    Arg.(value & opt (some int) None & info [ "dump" ] ~docv:"SEED"
+           ~doc:"Write the script generated for $(docv) (honouring --depth \
+                 and --faults) to --out and exit, without running it.")
+  in
+  let module C = Srpc_check in
+  let show_script ppf s = C.Script.pp ppf s in
+  let run verbose seeds depth faults replay dump out =
+    setup_logs verbose;
+    match (replay, dump) with
+    | _, Some seed ->
+      let script = C.Runner.script_for ~depth ~faults seed in
+      let oc = open_out out in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+          output_string oc (C.Sexp.to_string (C.Script.to_sexp ~seed script));
+          output_char oc '\n');
+      Format.printf "check: script for seed %d written to %s@." seed out
+    | Some file, None ->
+      let contents =
+        let ic = open_in_bin file in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+            really_input_string ic (in_channel_length ic))
+      in
+      let gen_seed, script =
+        try C.Script.of_sexp (C.Sexp.of_string contents)
+        with C.Sexp.Parse_error msg ->
+          Format.eprintf "check: cannot parse %s: %s@." file msg;
+          exit 2
+      in
+      (match C.Runner.replay script with
+      | Ok () ->
+        Format.printf "check: repro %s (seed %d) passes — all oracles agree@."
+          file gen_seed
+      | Error msg ->
+        Format.printf "check: repro %s (seed %d) still fails:@,  %s@." file
+          gen_seed msg;
+        exit 1)
+    | None, None -> (
+      if seeds <= 0 then begin
+        prerr_endline "check: --seeds must be positive";
+        exit 2
+      end;
+      match C.Runner.check ~seeds ~depth ~faults () with
+      | C.Runner.Ok stats ->
+        Format.printf
+          "check: %d runs ok (%d completed, %d clean aborts, %d with faults) — \
+           zero oracle or protocol violations@."
+          stats.C.Runner.runs stats.C.Runner.completed stats.C.Runner.aborted
+          stats.C.Runner.fault_runs
+      | C.Runner.Failed { seed; failure; shrunk; shrunk_failure; shrink_evals; _ }
+        ->
+        Format.printf "check: seed %d FAILED: %a@." seed C.Runner.pp_failure
+          failure;
+        Format.printf
+          "check: shrunk to %d op(s) in %d evaluations, still failing: %a@."
+          (List.length shrunk.C.Script.ops)
+          shrink_evals C.Runner.pp_failure shrunk_failure;
+        Format.printf "@[<v>%a@]@." show_script shrunk;
+        let oc = open_out out in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+            output_string oc (C.Sexp.to_string (C.Script.to_sexp ~seed shrunk));
+            output_char oc '\n');
+        Format.printf "check: reproducer written to %s (rerun with `srpc \
+                       check --replay %s`)@."
+          out out;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Deterministic model checking: run generated scripts against \
+             the sequential oracle and the protocol verifier, shrinking \
+             any failure to a minimal reproducer.")
+    Term.(
+      const run $ verbose_arg $ seeds_arg $ depth_arg $ faults_arg $ replay_arg
+      $ dump_arg $ out_arg)
+
 let () =
   let doc = "Smart Remote Procedure Calls (ICDCS 1994) reproduction driver" in
   let info = Cmd.info "srpc" ~version:"1.0.0" ~doc in
@@ -398,5 +499,5 @@ let () =
        (Cmd.group info
           [
             table1_cmd; fig4_cmd; fig6_cmd; fig7_cmd; ablations_cmd; kv_cmd;
-            wan_cmd; hints_cmd; run_cmd; inspect_cmd; lint_cmd;
+            wan_cmd; hints_cmd; run_cmd; inspect_cmd; lint_cmd; check_cmd;
           ]))

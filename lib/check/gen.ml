@@ -1,0 +1,72 @@
+(* Seeded script generation. All randomness flows through the
+   version-stable splitmix64 in Rng, so one seed means one script on
+   every OCaml release the CI matrix builds. *)
+
+let gen_values rng ~max_len =
+  List.init (Rng.int rng (max_len + 1)) (fun _ -> Rng.range rng (-100) 100)
+
+let gen_op rng ~fault =
+  let open Script in
+  let weighted =
+    [
+      (2, `Build); (3, `Sum); (2, `Visit); (3, `Update); (2, `Map); (2, `Nested);
+      (1, `Callback); (2, `Local_update); (2, `Append); (1, `Free);
+      (2, `New_session);
+    ]
+    @ (if fault then [ (1, `Crash) ] else [])
+  in
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 weighted in
+  let roll = Rng.int rng total in
+  let rec choose acc = function
+    | (w, tag) :: rest -> if roll < acc + w then tag else choose (acc + w) rest
+    | [] -> assert false
+  in
+  let idx () = Rng.int rng 64 in
+  match choose 0 weighted with
+  | `Build -> (
+    match Rng.int rng 3 with
+    | 0 -> Build_list (gen_values rng ~max_len:12)
+    | 1 -> Build_tree (Rng.range rng 1 5)
+    | _ -> Build_graph { nodes = Rng.range rng 1 16; gseed = Rng.int rng 1000 })
+  | `Sum -> Sum { worker = idx (); obj = idx () }
+  | `Visit -> Visit { worker = idx (); obj = idx (); limit = Rng.int rng 40 }
+  | `Update ->
+    Update
+      { worker = idx (); obj = idx (); idx = idx (); delta = Rng.range rng (-9) 9 }
+  | `Map ->
+    Map
+      {
+        worker = idx ();
+        obj = idx ();
+        mul = Rng.range rng (-3) 3;
+        add = Rng.range rng (-9) 9;
+      }
+  | `Nested -> Nested { w1 = idx (); w2 = idx (); obj = idx () }
+  | `Callback -> Callback { worker = idx (); obj = idx () }
+  | `Local_update ->
+    Local_update { obj = idx (); idx = idx (); delta = Rng.range rng (-9) 9 }
+  | `Append ->
+    Append { obj = idx (); home = Rng.int rng 4; values = gen_values rng ~max_len:6 }
+  | `Free -> Free { obj = idx () }
+  | `New_session -> New_session
+  | `Crash -> Crash { worker = idx () }
+
+let gen_build rng =
+  let open Script in
+  match Rng.int rng 3 with
+  | 0 -> Build_list (gen_values rng ~max_len:12)
+  | 1 -> Build_tree (Rng.range rng 1 5)
+  | _ -> Build_graph { nodes = Rng.range rng 1 16; gseed = Rng.int rng 1000 }
+
+let script ~seed ~depth ~fault =
+  let rng = Rng.create seed in
+  let workers = Rng.range rng 1 3 in
+  let arches = List.init workers (fun _ -> Rng.int rng 4) in
+  let strategy = Rng.int rng 8 in
+  let has_fault = fault <> None in
+  let n = max 1 depth in
+  let ops =
+    gen_build rng
+    :: List.init (n - 1) (fun _ -> gen_op rng ~fault:has_fault)
+  in
+  { Script.workers; arches; strategy; fault; ops }

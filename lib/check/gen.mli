@@ -1,0 +1,8 @@
+(** Seeded script generator. Deterministic: the same [seed], [depth] and
+    [fault] spec always produce the identical script, on every OCaml
+    version (see {!Rng}). *)
+
+(** [script ~seed ~depth ~fault] draws a script of [depth] ops (the
+    first is always a build so most runs do real work). When [fault] is
+    [Some _] the op mix also includes worker crashes. *)
+val script : seed:int -> depth:int -> fault:Script.fault option -> Script.t

@@ -1,0 +1,30 @@
+(** The real-cluster interpreter: runs a resolved plan on a simulated
+    {!Srpc_core.Cluster} — ground at site 1, one to three workers at
+    sites 2.. with their scripted architectures and transfer strategy —
+    recording every observation vector, the final observable state, and
+    the full wire/protocol trace. *)
+
+open Srpc_simnet
+
+type outcome = {
+  obs : int list list;
+      (** one vector per *completed* resolved op, in program order; a
+          strict prefix of the plan when the session aborted mid-run *)
+  final_a : (int * int list) list;
+      (** phase A: ground-local reads of every [p_verify_all] object
+          inside the final session (empty when the run aborted before
+          reaching it) *)
+  phase_a_done : bool;
+  final_b : (int * int list) list;
+      (** phase B: reads of the [p_verify_local] objects after the final
+          close committed (empty on abort) *)
+  aborted : string option;  (** [Session_aborted] reason, if any *)
+  reusable : bool;
+      (** after recovery (revive + clear faults), a fresh session could
+          ping every worker *)
+  trace : Trace.t;  (** feed to {!Srpc_analysis.Proto_lint.check} *)
+}
+
+(** [run plan] executes the plan. Aborts are absorbed into the outcome;
+    any other exception escapes (and is a harness finding). *)
+val run : Script.plan -> outcome

@@ -1,0 +1,119 @@
+(* The sequential oracle: plain in-memory semantics of a resolved plan,
+   no cluster, no faults. Observations and final states computed here
+   must equal what the real runtime computes, bit for bit. *)
+
+open Script
+
+type mobj =
+  | ML of int list ref
+  | MT of int array  (* preorder data values *)
+  | MG of { nodes : int; gseed : int }
+
+type result = {
+  m_obs : int list list;  (* one entry per resolved op *)
+  m_final : (int * int list) list;  (* p_verify_all order *)
+}
+
+let list_sum = List.fold_left ( + ) 0
+
+(* Graph payloads are read-only in resolved plans, so the observable is
+   fully determined by the pure edge relation. *)
+let graph_obs nodes gseed =
+  let adj = Srpc_workloads.Graph.edges ~nodes ~seed:gseed in
+  let seen = Array.make nodes false in
+  let rec go i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter (fun (_, j) -> go j) adj.(i)
+    end
+  in
+  go 0;
+  let count = ref 0 and sum = ref 0 in
+  Array.iteri (fun i s -> if s then begin incr count; sum := !sum + i end) seen;
+  [ !count; !sum ]
+
+let obj_sum = function
+  | ML l -> list_sum !l
+  | MT a -> Array.fold_left ( + ) 0 a
+  | MG { nodes; gseed } -> List.nth (graph_obs nodes gseed) 1
+
+(* Traversal-style observation: what one remote "sum" call returns. *)
+let obj_obs = function
+  | ML l -> [ list_sum !l ]
+  | MT a -> [ Array.length a; Array.fold_left ( + ) 0 a ]
+  | MG { nodes; gseed } -> graph_obs nodes gseed
+
+let final_obs = function
+  | ML l -> !l
+  | MT a -> Array.to_list a
+  | MG { nodes; gseed } -> graph_obs nodes gseed
+
+let run plan =
+  let objs : (int, mobj) Hashtbl.t = Hashtbl.create 16 in
+  let get id = Hashtbl.find objs id in
+  let step rop =
+    match rop with
+    | RBuild { id; shape } -> (
+      match shape with
+      | SList vs ->
+        Hashtbl.replace objs id (ML (ref vs));
+        [ List.length vs ]
+      | STree d ->
+        let n = (1 lsl d) - 1 in
+        Hashtbl.replace objs id (MT (Array.init n (fun i -> i)));
+        [ n ]
+      | SGraph { nodes; gseed } ->
+        Hashtbl.replace objs id (MG { nodes; gseed });
+        graph_obs nodes gseed)
+    | RSum { id; _ } | RNested { id; _ } -> obj_obs (get id)
+    | RVisit { id; limit; _ } -> (
+      match get id with
+      | MT a ->
+        let v = min limit (Array.length a) in
+        let sum = ref 0 in
+        for i = 0 to v - 1 do
+          sum := !sum + a.(i)
+        done;
+        [ v; !sum ]
+      | _ -> assert false)
+    | RUpdate { id; idx; delta; _ } | RLocalUpdate { id; idx; delta } -> (
+      match get id with
+      | ML l ->
+        l := List.mapi (fun i x -> if i = idx then x + delta else x) !l;
+        [ List.nth !l idx ]
+      | MT a ->
+        a.(idx) <- a.(idx) + delta;
+        [ a.(idx) ]
+      | MG _ -> assert false)
+    | RMapList { id; mul; add; _ } -> (
+      match get id with
+      | ML l ->
+        l := List.map (fun x -> (mul * x) + add) !l;
+        [ list_sum !l ]
+      | _ -> assert false)
+    | RMapTree { id; limit; _ } -> (
+      match get id with
+      | MT a ->
+        let v = min limit (Array.length a) in
+        let sum = ref 0 in
+        for i = 0 to v - 1 do
+          sum := !sum + a.(i);
+          a.(i) <- a.(i) + 1
+        done;
+        [ v; !sum ]
+      | _ -> assert false)
+    | RCallback { id; _ } -> [ obj_sum (get id) + 7 ]
+    | RAppend { id; values; _ } -> (
+      match get id with
+      | ML l ->
+        l := !l @ values;
+        [ List.length !l ]
+      | _ -> assert false)
+    | RFree { id } ->
+      Hashtbl.remove objs id;
+      []
+    | RSession | RCrash _ -> []
+  in
+  let m_obs = List.map step plan.p_rops in
+  let m_final = List.map (fun id -> (id, final_obs (get id))) plan.p_verify_all in
+  { m_obs; m_final }

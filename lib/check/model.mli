@@ -1,0 +1,14 @@
+(** The sequential oracle: executes a resolved plan with plain
+    in-memory semantics — no cluster, no wire, faults elided — and
+    records exactly the observations the real interpreter must
+    reproduce. *)
+
+type result = {
+  m_obs : int list list;
+      (** one observation vector per resolved op, in program order *)
+  m_final : (int * int list) list;
+      (** final observable state of every object in
+          [plan.p_verify_all], in that order *)
+}
+
+val run : Script.plan -> result

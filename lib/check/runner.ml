@@ -1,0 +1,178 @@
+open Srpc_analysis
+
+type failure =
+  | Obs_mismatch of { step : int; expected : int list; got : int list }
+  | Obs_missing of { expected : int; got : int }
+  | Final_mismatch of {
+      phase : string;
+      id : int;
+      expected : int list;
+      got : int list;
+    }
+  | Unexpected_abort of string
+  | Uncaught of string
+  | Protocol of string
+  | Not_reusable
+
+let pp_ints ppf vs =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Format.pp_print_int)
+    vs
+
+let pp_failure ppf = function
+  | Obs_mismatch { step; expected; got } ->
+    Format.fprintf ppf "op %d observed %a, model says %a" step pp_ints got
+      pp_ints expected
+  | Obs_missing { expected; got } ->
+    Format.fprintf ppf
+      "run completed but executed %d of %d resolved ops" got expected
+  | Final_mismatch { phase; id; expected; got } ->
+    Format.fprintf ppf "final state (phase %s) of object %d is %a, model says %a"
+      phase id pp_ints got pp_ints expected
+  | Unexpected_abort reason ->
+    Format.fprintf ppf "session aborted on a fault-free run: %s" reason
+  | Uncaught msg -> Format.fprintf ppf "uncaught exception: %s" msg
+  | Protocol msg -> Format.fprintf ppf "protocol trace violation:@,%s" msg
+  | Not_reusable ->
+    Format.fprintf ppf "nodes were not reusable after the run"
+
+(* Compare one interpreter outcome against the oracle. Completion must
+   match the model everywhere; an abort is acceptable only under a fault
+   schedule, and then every observation made before the abort must still
+   match (a wrong answer is never excused by a later abort). *)
+let judge plan (model : Model.result) (out : Interp.outcome) =
+  let rec obs_prefix i expected got =
+    match (expected, got) with
+    | _, [] -> None
+    | e :: es, g :: gs ->
+      if e <> g then Some (Obs_mismatch { step = i; expected = e; got = g })
+      else obs_prefix (i + 1) es gs
+    | [], _ :: _ ->
+      Some
+        (Obs_missing
+           { expected = List.length model.m_obs; got = List.length out.obs })
+  in
+  let compare_final phase expected got =
+    List.fold_left
+      (fun acc (id, got_vs) ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+          match List.assoc_opt id expected with
+          | Some exp_vs when exp_vs <> got_vs ->
+            Some
+              (Final_mismatch { phase; id; expected = exp_vs; got = got_vs })
+          | _ -> None))
+      None got
+  in
+  let checks =
+    [
+      (fun () -> obs_prefix 0 model.m_obs out.obs);
+      (fun () ->
+        if out.phase_a_done then compare_final "A" model.m_final out.final_a
+        else None);
+      (fun () ->
+        match out.aborted with
+        | Some reason when plan.Script.p_fault = None ->
+          Some (Unexpected_abort reason)
+        | _ -> None);
+      (fun () ->
+        if out.aborted = None && List.length out.obs <> List.length model.m_obs
+        then
+          Some
+            (Obs_missing
+               { expected = List.length model.m_obs; got = List.length out.obs })
+        else None);
+      (fun () ->
+        if out.aborted = None then compare_final "B" model.m_final out.final_b
+        else None);
+      (fun () -> if out.reusable then None else Some Not_reusable);
+      (fun () ->
+        match Proto_lint.check out.trace with
+        | [] -> None
+        | ds ->
+          Some (Protocol (Format.asprintf "%a" Diagnostic.pp_list ds)));
+    ]
+  in
+  List.fold_left
+    (fun acc check -> match acc with Some _ -> acc | None -> check ())
+    None checks
+
+let run_script script =
+  let plan = Script.resolve script in
+  let model = Model.run plan in
+  match Interp.run plan with
+  | out -> judge plan model out
+  | exception e -> Some (Uncaught (Printexc.to_string e))
+
+let fails script = run_script script <> None
+
+type stats = {
+  runs : int;
+  completed : int;
+  aborted : int;
+  fault_runs : int;
+}
+
+type report =
+  | Ok of stats
+  | Failed of {
+      seed : int;
+      script : Script.t;
+      failure : failure;
+      shrunk : Script.t;
+      shrunk_failure : failure;
+      shrink_evals : int;
+    }
+
+(* Outcome bookkeeping without re-judging: rerun the interp only for
+   counting is wasteful, so run_one returns both. *)
+let run_one script =
+  let plan = Script.resolve script in
+  let model = Model.run plan in
+  match Interp.run plan with
+  | out -> (judge plan model out, out.Interp.aborted <> None)
+  | exception e -> (Some (Uncaught (Printexc.to_string e)), false)
+
+let fault_for ~faults ~seed =
+  if faults > 0.0 && seed mod 2 = 1 then
+    Some { Script.fseed = seed; drop = faults; dup = faults /. 2.0 }
+  else None
+
+let script_for ~depth ~faults seed =
+  Gen.script ~seed ~depth ~fault:(fault_for ~faults ~seed)
+
+let check ?(progress = fun _ -> ()) ~seeds ~depth ~faults () =
+  let stats = ref { runs = 0; completed = 0; aborted = 0; fault_runs = 0 } in
+  let rec loop seed =
+    if seed >= seeds then Ok !stats
+    else begin
+      let script = script_for ~depth ~faults seed in
+      let failure, was_aborted = run_one script in
+      stats :=
+        {
+          runs = !stats.runs + 1;
+          completed = (!stats.completed + if was_aborted then 0 else 1);
+          aborted = (!stats.aborted + if was_aborted then 1 else 0);
+          fault_runs =
+            (!stats.fault_runs + if script.Script.fault <> None then 1 else 0);
+        };
+      progress seed;
+      match failure with
+      | None -> loop (seed + 1)
+      | Some failure ->
+        let shrunk, shrink_evals = Shrink.minimize ~still_fails:fails script in
+        let shrunk_failure =
+          match run_script shrunk with Some f -> f | None -> failure
+        in
+        Failed { seed; script; failure; shrunk; shrunk_failure; shrink_evals }
+    end
+  in
+  loop 0
+
+let replay script =
+  match run_script script with
+  | None -> Stdlib.Ok ()
+  | Some f -> Stdlib.Error (Format.asprintf "%a" pp_failure f)

@@ -1,0 +1,64 @@
+(** The check loop: generate → run against both oracles → shrink on
+    failure.
+
+    Two oracles judge every run: the sequential model ({!Model}) on
+    observations and final state, and the protocol verifier
+    ({!Srpc_analysis.Proto_lint}) on the recorded trace. A fault run may
+    also end in a clean [Session_aborted] — but the observations made
+    before the abort must still match the model, and both sides must be
+    reusable afterwards. *)
+
+type failure =
+  | Obs_mismatch of { step : int; expected : int list; got : int list }
+  | Obs_missing of { expected : int; got : int }
+  | Final_mismatch of {
+      phase : string;
+      id : int;
+      expected : int list;
+      got : int list;
+    }
+  | Unexpected_abort of string
+  | Uncaught of string
+  | Protocol of string
+  | Not_reusable
+
+val pp_failure : Format.formatter -> failure -> unit
+
+(** [run_script s] resolves, models and interprets [s]; [None] means the
+    run satisfied every oracle. *)
+val run_script : Script.t -> failure option
+
+(** [fails s] is the shrinking predicate: does [s] violate any oracle? *)
+val fails : Script.t -> bool
+
+type stats = {
+  runs : int;
+  completed : int;
+  aborted : int;  (** clean aborts on fault runs (not failures) *)
+  fault_runs : int;  (** runs carrying a fault schedule *)
+}
+
+type report =
+  | Ok of stats
+  | Failed of {
+      seed : int;
+      script : Script.t;
+      failure : failure;
+      shrunk : Script.t;  (** minimized reproducer *)
+      shrunk_failure : failure;
+      shrink_evals : int;
+    }
+
+(** [check ~seeds ~depth ~faults ()] runs seeds [0 .. seeds-1]; odd
+    seeds carry a fault schedule with drop probability [faults] (and
+    half that duplication) when [faults > 0]. Stops at the first
+    failing seed and shrinks it. [progress] is called after each run
+    with the seed just finished. *)
+val check :
+  ?progress:(int -> unit) -> seeds:int -> depth:int -> faults:float -> unit -> report
+
+(** The script seed [check] would run for this [seed]. *)
+val script_for : depth:int -> faults:float -> int -> Script.t
+
+(** [replay script] reruns one script and reports the failure, if any. *)
+val replay : Script.t -> (unit, string) Stdlib.result

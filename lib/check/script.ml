@@ -1,0 +1,376 @@
+type fault = { fseed : int; drop : float; dup : float }
+
+type op =
+  | Build_list of int list
+  | Build_tree of int
+  | Build_graph of { nodes : int; gseed : int }
+  | Sum of { worker : int; obj : int }
+  | Visit of { worker : int; obj : int; limit : int }
+  | Update of { worker : int; obj : int; idx : int; delta : int }
+  | Map of { worker : int; obj : int; mul : int; add : int }
+  | Nested of { w1 : int; w2 : int; obj : int }
+  | Callback of { worker : int; obj : int }
+  | Local_update of { obj : int; idx : int; delta : int }
+  | Append of { obj : int; home : int; values : int list }
+  | Free of { obj : int }
+  | New_session
+  | Crash of { worker : int }
+
+type t = {
+  workers : int;
+  arches : int list;
+  strategy : int;
+  fault : fault option;
+  ops : op list;
+}
+
+type shape =
+  | SList of int list
+  | STree of int
+  | SGraph of { nodes : int; gseed : int }
+
+type rop =
+  | RBuild of { id : int; shape : shape }
+  | RSum of { worker : int; id : int }
+  | RVisit of { worker : int; id : int; limit : int }
+  | RUpdate of { worker : int; id : int; idx : int; delta : int }
+  | RMapList of { worker : int; id : int; mul : int; add : int }
+  | RMapTree of { worker : int; id : int; limit : int }
+  | RNested of { w1 : int; w2 : int; id : int }
+  | RCallback of { worker : int; id : int }
+  | RLocalUpdate of { id : int; idx : int; delta : int }
+  | RAppend of { id : int; home : int; values : int list }
+  | RFree of { id : int }
+  | RSession
+  | RCrash of { worker : int }
+
+type kind = KList | KTree | KGraph
+
+type plan = {
+  p_workers : int;
+  p_arches : int list;
+  p_strategy : int;
+  p_fault : fault option;
+  p_rops : rop list;
+  p_kinds : (int * kind) list;
+  p_verify_all : int list;
+  p_verify_local : int list;
+}
+
+(* --- resolution --- *)
+
+let clamp lo hi v = max lo (min hi v)
+let max_list_len = 16
+let max_append_len = 8
+let max_tree_depth = 6
+let max_graph_nodes = 20
+let take n xs = List.filteri (fun i _ -> i < n) xs
+
+(* Live-object bookkeeping during resolution. [mixed]: contains
+   worker-homed cells, so its ground originals hold cache-slot addresses
+   that die at the session close. [touched]: shipped to some worker this
+   session, so workers may hold authoritative clean copies that a
+   ground-local write would silently diverge from. *)
+type ostate = {
+  id : int;
+  kind : kind;
+  mutable len : int;
+  mutable mixed : bool;
+  mutable touched : bool;
+}
+
+let resolve t =
+  let workers = clamp 1 3 t.workers in
+  let arches =
+    let given = List.map (fun a -> abs a mod 4) t.arches in
+    take workers (given @ [ 0; 0; 0 ])
+  in
+  let strategy = abs t.strategy mod 8 in
+  let fault =
+    Option.map
+      (fun f ->
+        { f with drop = clamp 0.0 0.05 f.drop; dup = clamp 0.0 0.05 f.dup })
+      t.fault
+  in
+  let live = ref [] (* reverse build order *) in
+  let kinds = ref [] in
+  let next_id = ref 0 in
+  let rops = ref [] in
+  let pending_frees = ref [] in
+  let emit r = rops := r :: !rops in
+  let wrk w = abs w mod workers in
+  let pick obj =
+    match !live with
+    | [] -> None
+    | xs ->
+      let xs = List.rev xs in
+      Some (List.nth xs (abs obj mod List.length xs))
+  in
+  let add kind len shape =
+    let id = !next_id in
+    incr next_id;
+    live := { id; kind; len; mixed = false; touched = false } :: !live;
+    kinds := (id, kind) :: !kinds;
+    emit (RBuild { id; shape })
+  in
+  let drop_obj o = live := List.filter (fun x -> x.id <> o.id) !live in
+  (* Session boundary: run the deferred frees, drop mixed objects (their
+     cache slots die with the invalidation multicast), forget per-session
+     ship state. *)
+  let boundary ~final =
+    List.iter (fun id -> emit (RFree { id })) (List.rev !pending_frees);
+    pending_frees := [];
+    if not final then begin
+      live := List.filter (fun o -> not o.mixed) !live;
+      List.iter (fun o -> o.touched <- false) !live;
+      emit RSession
+    end
+  in
+  let apply op =
+    match op with
+    | Build_list vs -> add KList (List.length (take max_list_len vs)) (SList (take max_list_len vs))
+    | Build_tree d ->
+      let d = clamp 1 max_tree_depth (abs d) in
+      let d = if d = 0 then 1 else d in
+      add KTree ((1 lsl d) - 1) (STree d)
+    | Build_graph { nodes; gseed } ->
+      let nodes = clamp 1 max_graph_nodes (abs nodes) in
+      add KGraph nodes (SGraph { nodes; gseed = abs gseed })
+    | Sum { worker; obj } -> (
+      match pick obj with
+      | None -> ()
+      | Some o ->
+        o.touched <- true;
+        emit (RSum { worker = wrk worker; id = o.id }))
+    | Visit { worker; obj; limit } -> (
+      match pick obj with
+      | None -> ()
+      | Some o ->
+        o.touched <- true;
+        let worker = wrk worker in
+        if o.kind = KTree then
+          emit (RVisit { worker; id = o.id; limit = clamp 0 64 (abs limit) })
+        else emit (RSum { worker; id = o.id }))
+    | Update { worker; obj; idx; delta } -> (
+      match pick obj with
+      | None -> ()
+      | Some o ->
+        o.touched <- true;
+        let worker = wrk worker in
+        if o.kind = KGraph || o.len = 0 then emit (RSum { worker; id = o.id })
+        else emit (RUpdate { worker; id = o.id; idx = abs idx mod o.len; delta }))
+    | Map { worker; obj; mul; add } -> (
+      match pick obj with
+      | None -> ()
+      | Some o ->
+        o.touched <- true;
+        let worker = wrk worker in
+        match o.kind with
+        | KList -> emit (RMapList { worker; id = o.id; mul; add })
+        | KTree -> emit (RMapTree { worker; id = o.id; limit = o.len })
+        | KGraph -> emit (RSum { worker; id = o.id }))
+    | Nested { w1; w2; obj } -> (
+      match pick obj with
+      | None -> ()
+      | Some o ->
+        o.touched <- true;
+        let w1 = wrk w1 and w2 = wrk w2 in
+        if w1 = w2 then emit (RSum { worker = w1; id = o.id })
+        else emit (RNested { w1; w2; id = o.id }))
+    | Callback { worker; obj } -> (
+      match pick obj with
+      | None -> ()
+      | Some o ->
+        o.touched <- true;
+        emit (RCallback { worker = wrk worker; id = o.id }))
+    | Local_update { obj; idx; delta } -> (
+      match pick obj with
+      | None -> ()
+      | Some o ->
+        if (not o.touched) && o.kind <> KGraph && o.len > 0 then
+          emit (RLocalUpdate { id = o.id; idx = abs idx mod o.len; delta }))
+    | Append { obj; home; values } -> (
+      match pick obj with
+      | None -> ()
+      | Some o ->
+        if (not o.touched) && o.kind = KList then begin
+          let values = take max_append_len values in
+          let home = abs home mod (workers + 1) in
+          if home > 0 then o.mixed <- true;
+          o.len <- o.len + List.length values;
+          emit (RAppend { id = o.id; home; values })
+        end)
+    | Free { obj } -> (
+      match pick obj with
+      | None -> ()
+      | Some o ->
+        drop_obj o;
+        (* Mixed objects cannot be walked after their session (their
+           cells live in cache slots); dropping them from the live set is
+           the whole release. Ground-pure objects free for real at the
+           boundary. *)
+        if (not o.mixed) && o.kind <> KGraph then
+          pending_frees := o.id :: !pending_frees)
+    | New_session -> boundary ~final:false
+    | Crash { worker } ->
+      if fault <> None then emit (RCrash { worker = wrk worker })
+  in
+  List.iter apply t.ops;
+  boundary ~final:true;
+  let final_live = List.rev !live in
+  {
+    p_workers = workers;
+    p_arches = arches;
+    p_strategy = strategy;
+    p_fault = fault;
+    p_rops = List.rev !rops;
+    p_kinds = List.rev !kinds;
+    p_verify_all = List.map (fun o -> o.id) final_live;
+    p_verify_local =
+      List.filter_map (fun o -> if o.mixed then None else Some o.id) final_live;
+  }
+
+(* --- codec --- *)
+
+let ints_to_sexp vs = Sexp.List (List.map Sexp.int vs)
+let ints_of_sexp = function
+  | Sexp.List items -> List.map Sexp.to_int items
+  | Sexp.Atom _ -> raise (Sexp.Parse_error "expected a list of integers")
+
+let op_to_sexp op =
+  let open Sexp in
+  let l name args = List (Atom name :: args) in
+  match op with
+  | Build_list vs -> l "build-list" [ ints_to_sexp vs ]
+  | Build_tree d -> l "build-tree" [ int d ]
+  | Build_graph { nodes; gseed } -> l "build-graph" [ int nodes; int gseed ]
+  | Sum { worker; obj } -> l "sum" [ int worker; int obj ]
+  | Visit { worker; obj; limit } -> l "visit" [ int worker; int obj; int limit ]
+  | Update { worker; obj; idx; delta } ->
+    l "update" [ int worker; int obj; int idx; int delta ]
+  | Map { worker; obj; mul; add } -> l "map" [ int worker; int obj; int mul; int add ]
+  | Nested { w1; w2; obj } -> l "nested" [ int w1; int w2; int obj ]
+  | Callback { worker; obj } -> l "callback" [ int worker; int obj ]
+  | Local_update { obj; idx; delta } -> l "local-update" [ int obj; int idx; int delta ]
+  | Append { obj; home; values } -> l "append" [ int obj; int home; ints_to_sexp values ]
+  | Free { obj } -> l "free" [ int obj ]
+  | New_session -> Atom "new-session"
+  | Crash { worker } -> l "crash" [ int worker ]
+
+let op_of_sexp s =
+  let open Sexp in
+  let bad () = raise (Parse_error ("unrecognized op: " ^ Sexp.to_string s)) in
+  match s with
+  | Atom "new-session" -> New_session
+  | List (Atom name :: args) -> (
+    match (name, args) with
+    | "build-list", [ vs ] -> Build_list (ints_of_sexp vs)
+    | "build-tree", [ d ] -> Build_tree (to_int d)
+    | "build-graph", [ n; g ] -> Build_graph { nodes = to_int n; gseed = to_int g }
+    | "sum", [ w; o ] -> Sum { worker = to_int w; obj = to_int o }
+    | "visit", [ w; o; lim ] ->
+      Visit { worker = to_int w; obj = to_int o; limit = to_int lim }
+    | "update", [ w; o; i; d ] ->
+      Update { worker = to_int w; obj = to_int o; idx = to_int i; delta = to_int d }
+    | "map", [ w; o; m; a ] ->
+      Map { worker = to_int w; obj = to_int o; mul = to_int m; add = to_int a }
+    | "nested", [ w1; w2; o ] ->
+      Nested { w1 = to_int w1; w2 = to_int w2; obj = to_int o }
+    | "callback", [ w; o ] -> Callback { worker = to_int w; obj = to_int o }
+    | "local-update", [ o; i; d ] ->
+      Local_update { obj = to_int o; idx = to_int i; delta = to_int d }
+    | "append", [ o; h; vs ] ->
+      Append { obj = to_int o; home = to_int h; values = ints_of_sexp vs }
+    | "free", [ o ] -> Free { obj = to_int o }
+    | "crash", [ w ] -> Crash { worker = to_int w }
+    | _ -> bad ())
+  | _ -> bad ()
+
+let to_sexp ~seed t =
+  let open Sexp in
+  let field name v = List [ Atom name; v ] in
+  let fault =
+    match t.fault with
+    | None -> Atom "none"
+    | Some f ->
+      List
+        [
+          field "seed" (int f.fseed); field "drop" (float f.drop);
+          field "dup" (float f.dup);
+        ]
+  in
+  List
+    [
+      Atom "srpc-check-repro";
+      field "version" (int 1);
+      field "seed" (int seed);
+      field "workers" (int t.workers);
+      field "arches" (ints_to_sexp t.arches);
+      field "strategy" (int t.strategy);
+      field "fault" fault;
+      field "ops" (List (List.map op_to_sexp t.ops));
+    ]
+
+let of_sexp s =
+  let open Sexp in
+  let fail m = raise (Parse_error m) in
+  match s with
+  | List (Atom "srpc-check-repro" :: fields) ->
+    let find name =
+      let rec go = function
+        | List [ Atom n; v ] :: _ when n = name -> v
+        | _ :: rest -> go rest
+        | [] -> fail ("missing field " ^ name)
+      in
+      go fields
+    in
+    (match to_int (find "version") with
+    | 1 -> ()
+    | v -> fail (Printf.sprintf "unsupported repro version %d" v));
+    let fault =
+      match find "fault" with
+      | Atom "none" -> None
+      | List fs ->
+        let ffind name =
+          let rec go = function
+            | List [ Atom n; v ] :: _ when n = name -> v
+            | _ :: rest -> go rest
+            | [] -> fail ("missing fault field " ^ name)
+          in
+          go fs
+        in
+        Some
+          {
+            fseed = to_int (ffind "seed");
+            drop = to_float (ffind "drop");
+            dup = to_float (ffind "dup");
+          }
+      | _ -> fail "malformed fault field"
+    in
+    let ops =
+      match find "ops" with
+      | List items -> List.map op_of_sexp items
+      | Atom _ -> fail "malformed ops field"
+    in
+    ( to_int (find "seed"),
+      {
+        workers = to_int (find "workers");
+        arches = ints_of_sexp (find "arches");
+        strategy = to_int (find "strategy");
+        fault;
+        ops;
+      } )
+  | _ -> fail "not an srpc-check-repro s-expression"
+
+let pp_op ppf op = Sexp.pp ppf (op_to_sexp op)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>workers=%d arches=%a strategy=%d%s@,%a@]" t.workers
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    t.arches t.strategy
+    (match t.fault with
+    | None -> ""
+    | Some f -> Format.asprintf " fault(seed=%d drop=%g dup=%g)" f.fseed f.drop f.dup)
+    (Format.pp_print_list pp_op) t.ops

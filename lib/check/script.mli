@@ -1,0 +1,127 @@
+(** Check scripts: the programs srpc-check generates, runs and shrinks.
+
+    A script is a *surface* program: any combination of constructors is
+    a valid script because every reference in it is resolved modulo the
+    live state (worker indices modulo the worker count, object indices
+    modulo the live-object count, sizes clamped). That makes shrinking
+    trivial — dropping any subsequence of ops still yields a runnable
+    script.
+
+    {!resolve} lowers a script to a {!plan} of resolved ops — the single
+    program text both the pure reference model ({!Model}) and the real
+    cluster interpreter ({!Interp}) execute, so the two can never
+    diverge on *what* the script means, only on what the runtime
+    computes.
+
+    Resolution also enforces the oracle-soundness rules of the paper's
+    coherency protocol, so every generated behavior is one the protocol
+    actually defines:
+
+    - A ground-space write to its own heap is invisible to workers that
+      cached the datum earlier in the session (present clean cache
+      entries are authoritative; nothing re-ships them), so local
+      mutations ([Local_update], [Append]) resolve to skips when the
+      object was already shipped remotely this session.
+    - [extended_free] followed by reallocation inside one session would
+      let a recycled address alias a stale cache entry, so frees are
+      deferred to the next session boundary (the op drops the object
+      from the live set immediately; the release runs just before the
+      close).
+    - A structure extended with worker-homed cells holds swizzled
+      cache-slot addresses in ground originals; those slots die with the
+      session's invalidation multicast, so "mixed" objects are verified
+      inside their final session and dropped at every boundary.
+    - [Crash] resolves to a skip unless a fault schedule is present (the
+      transport refuses {!Srpc_simnet.Transport.crash} without a plan). *)
+
+(** An optional fault schedule layered on {!Srpc_simnet.Fault_plan}. *)
+type fault = { fseed : int; drop : float; dup : float }
+
+type op =
+  | Build_list of int list  (** build a list at ground with these values *)
+  | Build_tree of int  (** complete tree of this depth (clamped 1–6) *)
+  | Build_graph of { nodes : int; gseed : int }
+  | Sum of { worker : int; obj : int }  (** remote traversal, read-only *)
+  | Visit of { worker : int; obj : int; limit : int }
+      (** bounded preorder visit (trees; others fall back to [Sum]) *)
+  | Update of { worker : int; obj : int; idx : int; delta : int }
+      (** remote in-place point mutation *)
+  | Map of { worker : int; obj : int; mul : int; add : int }
+      (** remote in-place rewrite of every value *)
+  | Nested of { w1 : int; w2 : int; obj : int }
+      (** ground calls [w1], which relays the traversal to [w2] *)
+  | Callback of { worker : int; obj : int }
+      (** worker traverses, then calls back into ground mid-procedure *)
+  | Local_update of { obj : int; idx : int; delta : int }
+      (** ground mutates its own original directly *)
+  | Append of { obj : int; home : int; values : int list }
+      (** extend a list via [extended_malloc]; [home] 0 is ground,
+          [k > 0] is worker [k-1] (remote-homed cells) *)
+  | Free of { obj : int }  (** release via [extended_free] (deferred) *)
+  | New_session  (** close the current session and open the next *)
+  | Crash of { worker : int }  (** kill a worker endpoint (fault runs) *)
+
+type t = {
+  workers : int;  (** clamped to 1–3 *)
+  arches : int list;  (** per-worker architecture index (mod 4) *)
+  strategy : int;  (** transfer-strategy index (mod 8) *)
+  fault : fault option;
+  ops : op list;
+}
+
+(** {1 Resolved plans} *)
+
+type shape =
+  | SList of int list
+  | STree of int  (** depth *)
+  | SGraph of { nodes : int; gseed : int }
+
+type rop =
+  | RBuild of { id : int; shape : shape }
+  | RSum of { worker : int; id : int }
+  | RVisit of { worker : int; id : int; limit : int }
+  | RUpdate of { worker : int; id : int; idx : int; delta : int }
+  | RMapList of { worker : int; id : int; mul : int; add : int }
+  | RMapTree of { worker : int; id : int; limit : int }
+  | RNested of { w1 : int; w2 : int; id : int }
+  | RCallback of { worker : int; id : int }
+  | RLocalUpdate of { id : int; idx : int; delta : int }
+  | RAppend of { id : int; home : int; values : int list }
+  | RFree of { id : int }
+  | RSession
+  | RCrash of { worker : int }
+
+type kind = KList | KTree | KGraph
+
+type plan = {
+  p_workers : int;
+  p_arches : int list;  (** length [p_workers], each in 0–3 *)
+  p_strategy : int;  (** in 0–7 *)
+  p_fault : fault option;
+  p_rops : rop list;
+  p_kinds : (int * kind) list;  (** object id -> kind, build order *)
+  p_verify_all : int list;
+      (** objects live at the end — read at ground inside the final
+          session (phase A) *)
+  p_verify_local : int list;
+      (** the non-mixed subset — read again after the final close
+          (phase B), when cache slots are gone *)
+}
+
+val resolve : t -> plan
+
+(** {1 Codec} *)
+
+(** Replay files are s-expressions: [(srpc-check-repro (version 1)
+    (seed N) (workers W) (arches (..)) (strategy S) (fault none |
+    ((seed N) (drop F) (dup F))) (ops (..)))]. [seed] records the
+    generator seed the script came from (informational). *)
+
+val to_sexp : seed:int -> t -> Sexp.t
+
+(** @raise Sexp.Parse_error on a malformed or wrong-version file.
+    Returns the recorded generator seed and the script. *)
+val of_sexp : Sexp.t -> int * t
+
+val pp : Format.formatter -> t -> unit
+val pp_op : Format.formatter -> op -> unit

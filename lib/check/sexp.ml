@@ -1,0 +1,84 @@
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Parse_error m)) fmt
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let rec skip_blank () =
+    if !pos < n then
+      match s.[!pos] with
+      | ' ' | '\t' | '\n' | '\r' ->
+        incr pos;
+        skip_blank ()
+      | ';' ->
+        while !pos < n && s.[!pos] <> '\n' do
+          incr pos
+        done;
+        skip_blank ()
+      | _ -> ()
+  in
+  let is_atom_char c =
+    match c with ' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' -> false | _ -> true
+  in
+  let rec parse () =
+    skip_blank ();
+    if !pos >= n then fail "unexpected end of input"
+    else if s.[!pos] = '(' then begin
+      incr pos;
+      let items = ref [] in
+      let rec loop () =
+        skip_blank ();
+        if !pos >= n then fail "unclosed parenthesis"
+        else if s.[!pos] = ')' then incr pos
+        else begin
+          items := parse () :: !items;
+          loop ()
+        end
+      in
+      loop ();
+      List (List.rev !items)
+    end
+    else if s.[!pos] = ')' then fail "unexpected ')' at offset %d" !pos
+    else begin
+      let start = !pos in
+      while !pos < n && is_atom_char s.[!pos] do
+        incr pos
+      done;
+      Atom (String.sub s start (!pos - start))
+    end
+  in
+  let v = parse () in
+  skip_blank ();
+  if !pos <> n then fail "trailing garbage at offset %d" !pos;
+  v
+
+let rec pp ppf = function
+  | Atom a -> Format.pp_print_string ppf a
+  | List items ->
+    Format.fprintf ppf "@[<hv 1>(%a)@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+      items
+
+let to_string t = Format.asprintf "%a" pp t
+
+let atom = function
+  | Atom a -> a
+  | List _ -> fail "expected an atom, found a list"
+
+let to_int t =
+  let a = atom t in
+  match int_of_string_opt a with
+  | Some v -> v
+  | None -> fail "expected an integer, found %S" a
+
+let to_float t =
+  let a = atom t in
+  match float_of_string_opt a with
+  | Some v -> v
+  | None -> fail "expected a float, found %S" a
+
+let int v = Atom (string_of_int v)
+let float v = Atom (Format.asprintf "%.17g" v)

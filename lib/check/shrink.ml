@@ -1,0 +1,132 @@
+(* Greedy ddmin-style shrinking: a candidate replaces the current script
+   whenever it still fails the predicate. Three passes iterated to a
+   fixpoint under an evaluation budget:
+   1. drop contiguous chunks of ops (halving chunk sizes down to 1);
+   2. simplify the surviving ops in place (shorter lists, smaller
+      structures, zeroed parameters);
+   3. simplify the scaffolding (drop the fault schedule, fewer workers,
+      the default strategy, uniform architectures). *)
+
+open Script
+
+let simpler_int v = if v = 0 then [] else [ 0; v / 2 ]
+
+let simpler_list vs =
+  match vs with
+  | [] -> []
+  | _ ->
+    let n = List.length vs in
+    [ []; List.filteri (fun i _ -> i < n / 2) vs ]
+
+let simpler_op op =
+  match op with
+  | Build_list vs -> List.map (fun vs -> Build_list vs) (simpler_list vs)
+  | Build_tree d -> List.filter_map (fun d -> if d >= 1 then Some (Build_tree d) else None) (simpler_int d)
+  | Build_graph { nodes; gseed } ->
+    List.filter_map
+      (fun n -> if n >= 1 then Some (Build_graph { nodes = n; gseed }) else None)
+      (simpler_int nodes)
+    @ List.map (fun g -> Build_graph { nodes; gseed = g }) (simpler_int gseed)
+  | Sum { worker; obj } ->
+    List.map (fun worker -> Sum { worker; obj }) (simpler_int worker)
+    @ List.map (fun obj -> Sum { worker; obj }) (simpler_int obj)
+  | Visit { worker; obj; limit } ->
+    List.map (fun limit -> Visit { worker; obj; limit }) (simpler_int limit)
+    @ List.map (fun obj -> Visit { worker; obj; limit }) (simpler_int obj)
+  | Update { worker; obj; idx; delta } ->
+    List.map (fun idx -> Update { worker; obj; idx; delta }) (simpler_int idx)
+    @ List.map (fun delta -> Update { worker; obj; idx; delta }) (simpler_int delta)
+    @ List.map (fun obj -> Update { worker; obj; idx; delta }) (simpler_int obj)
+  | Map { worker; obj; mul; add } ->
+    List.map (fun mul -> Map { worker; obj; mul; add }) (simpler_int mul)
+    @ List.map (fun add -> Map { worker; obj; mul; add }) (simpler_int add)
+  | Nested { w1; w2; obj } ->
+    [ Sum { worker = w1; obj }; Sum { worker = w2; obj } ]
+  | Callback { worker; obj } -> [ Sum { worker; obj } ]
+  | Local_update { obj; idx; delta } ->
+    List.map (fun idx -> Local_update { obj; idx; delta }) (simpler_int idx)
+    @ List.map (fun delta -> Local_update { obj; idx; delta }) (simpler_int delta)
+  | Append { obj; home; values } ->
+    List.map (fun values -> Append { obj; home; values }) (simpler_list values)
+    @ List.map (fun home -> Append { obj; home; values }) (simpler_int home)
+  | Free _ | New_session | Crash _ -> []
+
+let structural t =
+  List.concat
+    [
+      (match t.fault with Some _ -> [ { t with fault = None } ] | None -> []);
+      (if t.workers > 1 then [ { t with workers = 1; arches = [ 0 ] } ] else []);
+      (if t.strategy <> 0 then [ { t with strategy = 0 } ] else []);
+      (if List.exists (fun a -> a <> 0) t.arches then
+         [ { t with arches = List.map (fun _ -> 0) t.arches } ]
+       else []);
+    ]
+
+let minimize ?(max_evals = 500) ~still_fails script =
+  let evals = ref 0 in
+  let try_candidate current cand =
+    if !evals >= max_evals then None
+    else begin
+      incr evals;
+      if cand <> current && still_fails cand then Some cand else None
+    end
+  in
+  let rec drop_chunks t =
+    let ops = Array.of_list t.ops in
+    let n = Array.length ops in
+    let rec at_size size t =
+      if size < 1 then t
+      else begin
+        let ops = Array.of_list t.ops in
+        let n = Array.length ops in
+        let rec at_offset start t =
+          if start >= n then t
+          else
+            let cand_ops =
+              Array.to_list ops
+              |> List.filteri (fun i _ -> i < start || i >= start + size)
+            in
+            match try_candidate t { t with ops = cand_ops } with
+            | Some t' -> drop_chunks t'
+            | None -> at_offset (start + size) t
+        in
+        let t' = at_offset 0 t in
+        if t' == t then at_size (size / 2) t else t'
+      end
+    in
+    if n = 0 then t else at_size (n / 2) t
+  in
+  let simplify_ops t =
+    let rec per_index i t =
+      if i >= List.length t.ops then t
+      else begin
+        let op = List.nth t.ops i in
+        let rec try_alts = function
+          | [] -> per_index (i + 1) t
+          | alt :: rest -> (
+            let cand_ops = List.mapi (fun j o -> if j = i then alt else o) t.ops in
+            match try_candidate t { t with ops = cand_ops } with
+            | Some t' -> per_index i t'
+            | None -> try_alts rest)
+        in
+        try_alts (simpler_op op)
+      end
+    in
+    per_index 0 t
+  in
+  let simplify_structure t =
+    let rec go t = function
+      | [] -> t
+      | cand :: rest -> (
+        match try_candidate t cand with
+        | Some t' -> go t' (structural t')
+        | None -> go t rest)
+    in
+    go t (structural t)
+  in
+  let rec fixpoint t =
+    let t' = simplify_structure (simplify_ops (drop_chunks t)) in
+    if t' = t || !evals >= max_evals then t else fixpoint t'
+  in
+  let out = fixpoint script in
+  (out, !evals)

@@ -1,0 +1,12 @@
+(** Greedy shrinking of failing scripts to a minimal reproducer.
+
+    Because {!Script.resolve} makes every op sequence valid (references
+    resolve modulo the live state), any subsequence of a failing script
+    is still runnable — shrinking never has to repair references. *)
+
+(** [minimize ~still_fails script] returns a script that still satisfies
+    [still_fails] together with the number of predicate evaluations
+    spent. [still_fails script] must be [true] on entry. [max_evals]
+    (default 500) bounds the search. *)
+val minimize :
+  ?max_evals:int -> still_fails:(Script.t -> bool) -> Script.t -> Script.t * int

@@ -278,7 +278,16 @@ let serve_fetch t ~peer wanted =
     (fun (lp : Long_pointer.t) ->
       if not (Space_id.equal lp.origin t.id) then
         invalid_arg
-          (Format.asprintf "Fetch for foreign datum %a" Long_pointer.pp lp))
+          (Format.asprintf "Fetch for foreign datum %a" Long_pointer.pp lp);
+      (* a long pointer into our heap whose block has been released is a
+         stale reference: answer with a typed error instead of shipping
+         whatever bytes the allocator left behind *)
+      if in_heap t lp.Long_pointer.addr
+         && not (Allocator.is_allocated t.heap lp.Long_pointer.addr)
+      then
+        raise
+          (Remote_error
+             (Format.asprintf "dangling fetch: %a was freed" Long_pointer.pp lp)))
     wanted;
   ship_closure t ~peer ~forced_seeds:true ~seeds:wanted
 
@@ -446,6 +455,13 @@ let flush_remote_ops t =
 
 (* --- coherency protocol (paper, section 3.4) --- *)
 
+(* Test-only defect switch: when set, the first dirty cache entry of the
+   next flush is silently not written back (its page is still cleaned,
+   so the update is lost for good). Exists so srpc-check can prove it
+   detects and shrinks real coherency bugs; never set it in production
+   code. *)
+let chaos_lose_first_writeback = ref false
+
 let collect_writebacks t =
   let entries = Cache.dirty_entries t.cache in
   if t.strategy.Strategy.grain = Strategy.Twin_diff then begin
@@ -457,6 +473,11 @@ let collect_writebacks t =
     List.map
       (fun (e : Cache.entry) -> encode_item t ~lp:e.lp ~addr:e.local_addr)
       entries
+  in
+  let cached_items =
+    match cached_items with
+    | _ :: rest when !chaos_lose_first_writeback -> rest
+    | items -> items
   in
   (* Own data modified elsewhere this session keeps traveling,
      re-encoded from the (authoritative) original. *)

@@ -176,5 +176,11 @@ val charge_touch : ?addr:int -> t -> unit
 (** Number of live entries in the data allocation table. *)
 val cached_entries : t -> int
 
+(** Test-only defect switch used by the srpc-check mutation test: while
+    set, every write-back flush silently drops its first dirty cache
+    entry (the page is still cleaned, so the lost update is
+    unrecoverable). Leave it [false] outside tests. *)
+val chaos_lose_first_writeback : bool ref
+
 (** Render this node's data allocation table (paper, Table 1). *)
 val pp_alloc_table : Format.formatter -> t -> unit

@@ -41,9 +41,27 @@ let get_edge node p i =
   Access.ptr ~ty:type_name
     (Srpc_memory.Mem.load_word (Node.mmu node) ~addr:(out_slot_addr node p i))
 
+let edges ~nodes ~seed =
+  if nodes <= 0 then invalid_arg "Graph.edges: need at least one vertex";
+  let rand = prng seed in
+  Array.init nodes (fun _ -> [])
+  |> fun adj ->
+  for i = 0 to nodes - 1 do
+    (* edge 0 keeps the graph connected as a chain; the rest are random
+       (possibly cyclic, possibly null) *)
+    let slots = ref [] in
+    if i + 1 < nodes then slots := [ (0, i + 1) ];
+    for slot = 1 to out_degree - 1 do
+      let roll = rand (nodes + 1) in
+      if roll < nodes then slots := (slot, roll) :: !slots
+    done;
+    adj.(i) <- List.rev !slots
+  done;
+  adj
+
 let build node ~nodes ~seed =
   if nodes <= 0 then invalid_arg "Graph.build: need at least one vertex";
-  let rand = prng seed in
+  let adj = edges ~nodes ~seed in
   let vertices =
     Array.init nodes (fun i ->
         let p = Access.ptr ~ty:type_name (Node.malloc node ~ty:type_name) in
@@ -52,13 +70,7 @@ let build node ~nodes ~seed =
   in
   Array.iteri
     (fun i p ->
-      (* edge 0 keeps the graph connected as a chain; the rest are random
-         (possibly cyclic, possibly null) *)
-      if i + 1 < nodes then set_edge node p 0 vertices.(i + 1);
-      for slot = 1 to out_degree - 1 do
-        let roll = rand (nodes + 1) in
-        if roll < nodes then set_edge node p slot vertices.(roll)
-      done)
+      List.iter (fun (slot, dst) -> set_edge node p slot vertices.(dst)) adj.(i))
     vertices;
   vertices.(0)
 

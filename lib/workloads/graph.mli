@@ -10,6 +10,13 @@ val type_name : string
 val out_degree : int
 val register_types : Cluster.t -> unit
 
+(** [edges ~nodes ~seed] is the pure edge relation [build] materializes:
+    [edges.(i)] lists the [(out_slot, target_vertex)] pairs of vertex
+    [i], in slot order, drawn from the same PRNG stream as [build] —
+    the reference model the srpc-check oracle walks without touching a
+    node. *)
+val edges : nodes:int -> seed:int -> (int * int) list array
+
 (** [build node ~nodes ~seed] creates [nodes] vertices whose edges are
     chosen by a deterministic PRNG seeded with [seed] (self-loops and
     shared targets allowed); returns vertex 0. Every vertex is reachable

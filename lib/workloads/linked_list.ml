@@ -53,6 +53,16 @@ let map_in_place node head f =
   in
   go head
 
+let free node head =
+  let rec go p =
+    if not (Access.is_null p) then begin
+      let next = Access.get_ptr node p ~field:"next" in
+      Node.extended_free node p.Access.addr;
+      go next
+    end
+  in
+  go head
+
 let append node head ~home values =
   let tail =
     List.fold_right

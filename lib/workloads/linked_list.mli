@@ -33,3 +33,7 @@ val append : Node.t -> Access.ptr -> home:Srpc_memory.Space_id.t -> int list -> 
 
 (** [length node head] is the number of cells. *)
 val length : Node.t -> Access.ptr -> int
+
+(** [free node head] releases every cell with [extended_free] (reading
+    each [next] field before its cell is released). *)
+val free : Node.t -> Access.ptr -> unit

@@ -53,6 +53,34 @@ let visit_gen ~update node root ~limit =
 let visit = visit_gen ~update:false
 let visit_update = visit_gen ~update:true
 
+let data_list node root =
+  let vals = ref [] in
+  let rec go p =
+    if not (Access.is_null p) then begin
+      vals := Access.get_int node p ~field:"data" :: !vals;
+      go (Access.get_ptr node p ~field:"left");
+      go (Access.get_ptr node p ~field:"right")
+    end
+  in
+  go root;
+  List.rev !vals
+
+let nth_preorder node root k =
+  let count = ref (-1) in
+  let found = ref None in
+  let rec go p =
+    if (not (Access.is_null p)) && !found = None then begin
+      incr count;
+      if !count = k then found := Some p
+      else begin
+        go (Access.get_ptr node p ~field:"left");
+        go (Access.get_ptr node p ~field:"right")
+      end
+    end
+  in
+  go root;
+  match !found with Some p -> p | None -> raise Not_found
+
 let descend node root ~path =
   let rec go p level count sum =
     if Access.is_null p then (count, sum)

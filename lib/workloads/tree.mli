@@ -34,6 +34,14 @@ val visit : Node.t -> Access.ptr -> limit:int -> int * int
     the same access pattern as the not-updated case. *)
 val visit_update : Node.t -> Access.ptr -> limit:int -> int * int
 
+(** [data_list node root] reads every data field in depth-first preorder
+    — the observable final state the srpc-check oracle compares. *)
+val data_list : Node.t -> Access.ptr -> int list
+
+(** [nth_preorder node root k] is a pointer to the [k]-th node in
+    preorder. @raise Not_found when the tree is smaller. *)
+val nth_preorder : Node.t -> Access.ptr -> int -> Access.ptr
+
 (** [descend node root ~path] walks one root-to-leaf path, choosing left
     or right at level [l] by bit [l] of [path]; returns the number of
     nodes on the path and the sum of their data fields. *)

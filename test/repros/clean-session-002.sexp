@@ -1,0 +1,24 @@
+; srpc-check reproducer — rerun with: srpc check --replay test/repros/clean-session-002.sexp
+; Seed 6, depth 12, no faults: single worker, Twin_diff write-back
+; strategy. Pins the fault-free end-to-end path (build/visit/update/
+; write-back) against both oracles.
+(srpc-check-repro
+ (version 1)
+ (seed 6)
+ (workers 1)
+ (arches (1))
+ (strategy 6)
+ (fault none)
+ (ops
+  ((build-list (38 -38 13 -62 -51 80 -68 39 -10 -47))
+   (build-tree 3)
+   new-session
+   (nested 33 62 27)
+   (update 42 55 25 -4)
+   (free 48)
+   (nested 32 8 20)
+   (local-update 63 37 7)
+   new-session
+   new-session
+   (build-graph 1 824)
+   (local-update 63 31 7))))

@@ -1,0 +1,33 @@
+; srpc-check reproducer — rerun with: srpc check --replay test/repros/fault-session-001.sexp
+; Seed 17, depth 20, fault schedule (drop 0.01, dup 0.005). The injected
+; crash of a worker endpoint forces the clean-abort path: observations up
+; to the abort match the oracle and both sides come back reusable.
+; Committed as a regression pin for session abort under faults.
+(srpc-check-repro
+ (version 1)
+ (seed 17)
+ (workers 2)
+ (arches (1 0))
+ (strategy 3)
+ (fault ((seed 17) (drop 0.01) (dup 0.0050000000000000001)))
+ (ops
+  ((build-graph 16 473)
+   (callback 4 42)
+   (visit 32 32 10)
+   (callback 22 5)
+   (append 50 3 (-85))
+   (build-tree 2)
+   (map 19 27 -1 9)
+   (nested 57 40 1)
+   (visit 56 35 33)
+   (callback 31 40)
+   (append 6 3 (17 -1 69 -68 71))
+   (sum 11 55)
+   (crash 5)
+   (append 31 0 (-65 76 86 96 21 46))
+   (visit 54 50 32)
+   (build-graph 1 300)
+   (nested 57 26 5)
+   (update 29 15 31 -4)
+   (build-graph 13 460)
+   (local-update 51 41 0))))

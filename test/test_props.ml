@@ -21,7 +21,15 @@ open Srpc_simnet
 open Srpc_workloads
 module Q = QCheck
 
-let to_alcotest = QCheck_alcotest.to_alcotest
+(* Pinned PRNG so tier-1 is reproducible run-to-run; export SRPC_SEED=N
+   to explore another schedule. The effective value is printed when a
+   property fails. *)
+let seed =
+  match Sys.getenv_opt "SRPC_SEED" with
+  | Some s -> int_of_string s
+  | None -> 0xC0FFEE
+
+let to_alcotest t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) t
 
 (* --- XDR --- *)
 
@@ -710,8 +718,9 @@ let hints_preserve_semantics =
           | _ -> false))
 
 let () =
-  Alcotest.run "properties"
-    [
+  try
+    Alcotest.run ~and_exit:false "properties"
+      [
       ( "xdr",
         List.map to_alcotest
           [
@@ -749,4 +758,7 @@ let () =
         List.map to_alcotest
           [ wire_fuzz_decode_request; wire_fuzz_decode_response; idl_server_fuzz ] );
       ("hints", List.map to_alcotest [ hints_preserve_semantics ]);
-    ]
+      ]
+  with Alcotest.Test_error ->
+    Printf.eprintf "properties: effective QCheck seed was SRPC_SEED=%d\n%!" seed;
+    exit 1

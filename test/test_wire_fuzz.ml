@@ -1,0 +1,190 @@
+(* Deterministic wire-decode fuzzing.
+
+   The decoders sit on the trust boundary: every byte that crosses the
+   simulated network goes through them, and a fault plan can hand them
+   truncated or corrupted frames. Whatever arrives, they must either
+   return a value or raise one of the protocol's typed decode errors —
+   [Srpc_xdr.Xdr.Decode_error] or [Srpc_types.Registry.Unknown_type] —
+   never an assert failure, an [Invalid_argument] from a blind
+   [String.sub], or a loop.
+
+   The corpus covers every request and response variant, both bare and
+   retry-enveloped, then attacks each encoding three ways: truncation at
+   every prefix length, a single bit flip at every position, and seeded
+   multi-byte corruption (Srpc_check.Rng, so the byte stream is identical
+   on every compiler). *)
+
+open Srpc_types
+open Srpc_core
+module Rng = Srpc_check.Rng
+
+let reg = Registry.create ()
+
+let () =
+  Registry.register reg "fznode"
+    (Type_desc.Struct
+       [ ("next", Type_desc.ptr "fznode"); ("data", Type_desc.i64) ])
+
+let sid site = Srpc_memory.Space_id.make ~site ~proc:0
+let lp addr = Long_pointer.make ~origin:(sid 1) ~addr ~ty:"fznode"
+let item addr data = { Wire.lp = lp addr; data }
+
+let wvals : Wire.wvalue list =
+  [
+    Wire.WUnit;
+    Wire.WBool true;
+    Wire.WInt 0x1122334455667788L;
+    Wire.WFloat 3.25;
+    Wire.WStr "hello";
+    Wire.WPtr None;
+    Wire.WPtr (Some (lp 4096));
+    Wire.WFun { Value.home = sid 2; name = "visit" };
+  ]
+
+let requests : Wire.request list =
+  [
+    Wire.Call
+      {
+        session = 7;
+        proc = "walk";
+        args = wvals;
+        writebacks = [ item 4096 "\x00\x01\x02\x03\x04\x05\x06\x07" ];
+        eager = [ item 8192 "\xff\xfe\xfd\xfc" ];
+      };
+    Wire.Fetch { session = 7; wanted = [ lp 4096; lp 8192 ] };
+    Wire.Write_back { session = 7; items = [ item 4096 "payload" ] };
+    Wire.Alloc_batch { session = 7; reqs = [ (1, "fznode"); (2, "fznode") ] };
+    Wire.Free_batch { session = 7; lps = [ lp 4096 ] };
+    Wire.Invalidate { session = 7 };
+    Wire.Abort { session = 7 };
+    Wire.Wb_stage { session = 7; items = [ item 4096 "staged" ] };
+    Wire.Wb_commit { session = 7 };
+  ]
+
+let responses : Wire.response list =
+  [
+    Wire.Return
+      {
+        results = wvals;
+        writebacks = [ item 4096 "back" ];
+        eager = [ item 8192 "more" ];
+      };
+    Wire.Fetched { items = [ item 4096 "\x00\x00\x00\x2a" ] };
+    Wire.Allocated { addrs = [ (1, 4096); (2, 8192) ] };
+    Wire.Ack;
+    Wire.Error "remote exception text";
+  ]
+
+(* (label, encoded frame, decoder) — decoders are closed over [reg] and
+   thunked so every attack below treats them uniformly. *)
+let corpus : (string * string * (string -> unit)) list =
+  let dec_req s = ignore (Wire.decode_request ~reg s) in
+  let dec_framed s = ignore (Wire.decode_framed ~reg s) in
+  let dec_resp s = ignore (Wire.decode_response ~reg s) in
+  List.concat_map
+    (fun r ->
+      [
+        ("request", Wire.encode_request ~reg r, dec_req);
+        ("framed", Wire.encode_framed ~reg ~seq:42 r, dec_framed);
+      ])
+    requests
+  @ List.map (fun r -> ("response", Wire.encode_response ~reg r, dec_resp)) responses
+
+let survives decode s =
+  match decode s with
+  | () -> true
+  | exception Srpc_xdr.Xdr.Decode_error _ -> true
+  | exception Registry.Unknown_type _ -> true
+  | exception e ->
+      Printf.eprintf "untyped escape: %s\n%!" (Printexc.to_string e);
+      false
+
+let flip_bit s pos =
+  let b = Bytes.of_string s in
+  Bytes.set b (pos / 8)
+    (Char.chr (Char.code (Bytes.get b (pos / 8)) lxor (1 lsl (pos mod 8))));
+  Bytes.to_string b
+
+let test_truncations () =
+  List.iter
+    (fun (label, s, decode) ->
+      for len = 0 to String.length s - 1 do
+        if not (survives decode (String.sub s 0 len)) then
+          Alcotest.failf "%s: truncation to %d bytes escaped the typed errors"
+            label len
+      done)
+    corpus
+
+let test_bit_flips () =
+  List.iter
+    (fun (label, s, decode) ->
+      for pos = 0 to (8 * String.length s) - 1 do
+        if not (survives decode (flip_bit s pos)) then
+          Alcotest.failf "%s: bit flip at %d escaped the typed errors" label pos
+      done)
+    corpus
+
+let test_random_corruption () =
+  let rng = Rng.create 0xF00D in
+  List.iter
+    (fun (label, s, decode) ->
+      for round = 1 to 200 do
+        let b = Bytes.of_string s in
+        let hits = Rng.range rng 1 8 in
+        for _ = 1 to hits do
+          Bytes.set b (Rng.int rng (Bytes.length b)) (Char.chr (Rng.int rng 256))
+        done;
+        (* sometimes also chop the tail, compounding the corruption *)
+        let s' =
+          let s' = Bytes.to_string b in
+          if Rng.bool rng then String.sub s' 0 (Rng.int rng (String.length s'))
+          else s'
+        in
+        if not (survives decode s') then
+          Alcotest.failf "%s: random corruption (round %d) escaped the typed errors"
+            label round
+      done)
+    corpus
+
+let test_garbage_frames () =
+  let rng = Rng.create 0xBEEF in
+  for _ = 1 to 500 do
+    let len = Rng.int rng 64 in
+    let b = Bytes.init len (fun _ -> Char.chr (Rng.int rng 256)) in
+    let s = Bytes.to_string b in
+    List.iter
+      (fun (label, _, decode) ->
+        if not (survives decode s) then
+          Alcotest.failf "%s: garbage frame escaped the typed errors" label)
+      corpus
+  done
+
+let test_roundtrip_sanity () =
+  (* the corpus itself must decode: a fuzzer over frames that were never
+     valid proves nothing *)
+  List.iter
+    (fun r ->
+      let r' = Wire.decode_request ~reg (Wire.encode_request ~reg r) in
+      Alcotest.(check bool) "request roundtrip" true (r = r');
+      let seq, r'' = Wire.decode_framed ~reg (Wire.encode_framed ~reg ~seq:42 r) in
+      Alcotest.(check bool) "framed roundtrip" true (seq = Some 42 && r = r''))
+    requests;
+  List.iter
+    (fun r ->
+      let r' = Wire.decode_response ~reg (Wire.encode_response ~reg r) in
+      Alcotest.(check bool) "response roundtrip" true (r = r'))
+    responses
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "wire-fuzz"
+    [
+      ( "decode",
+        [
+          tc "corpus roundtrips" `Quick test_roundtrip_sanity;
+          tc "every truncation is typed" `Quick test_truncations;
+          tc "every bit flip is typed" `Quick test_bit_flips;
+          tc "seeded corruption is typed" `Quick test_random_corruption;
+          tc "pure garbage is typed" `Quick test_garbage_frames;
+        ] );
+    ]
