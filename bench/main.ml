@@ -294,6 +294,122 @@ let run_faults () =
   Printf.printf "wrote %s\n" path;
   ignore (faults_failures ov rows)
 
+(* --- delta coherency (srpc-delta) --- *)
+
+let delta_json (field : Experiments.delta_run list)
+    (rows : Experiments.delta_fig4_row list) =
+  let b = Buffer.create 2048 in
+  Printf.bprintf b
+    "{\n\
+    \  \"experiment\": \"delta_coherency\",\n\
+    \  \"wb_bytes_bound\": 0.5,\n\
+    \  \"field_update\": [\n";
+  let n = List.length field in
+  List.iteri
+    (fun i (r : Experiments.delta_run) ->
+      Printf.bprintf b
+        "    {\"delta\": %b, \"wb_bytes\": %d, \"saved\": %d, \
+         \"fallbacks\": %d, \"copies\": %d, \"cachers\": %d,\n\
+        \     \"inval_sent\": %d, \"inval_skipped\": %d, \"messages\": %d, \
+         \"bytes\": %d, \"check\": %b}%s\n"
+        (i > 0) r.Experiments.dl_wb_bytes r.Experiments.dl_saved
+        r.Experiments.dl_fallbacks r.Experiments.dl_copies
+        r.Experiments.dl_cachers r.Experiments.dl_inval_sent
+        r.Experiments.dl_inval_skipped r.Experiments.dl_run.Experiments.messages
+        r.Experiments.dl_run.Experiments.bytes r.Experiments.dl_check
+        (if i = n - 1 then "" else ","))
+    field;
+  Buffer.add_string b "  ],\n  \"fig4_update\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (r : Experiments.delta_fig4_row) ->
+      Printf.bprintf b
+        "    {\"method\": %S, \"off_wb_bytes\": %d, \"on_wb_bytes\": %d, \
+         \"saved\": %d, \"fallbacks\": %d}%s\n"
+        (Experiments.method_name r.Experiments.dm_method)
+        r.Experiments.dm_off.Experiments.dc_wb_bytes
+        r.Experiments.dm_on.Experiments.dc_wb_bytes
+        r.Experiments.dm_on.Experiments.dc_saved
+        r.Experiments.dm_on.Experiments.dc_fallbacks
+        (if i = n - 1 then "" else ","))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+(* The delta acceptance gates. On the single-field-update workload the
+   delta run must ship at most half the write-back bytes (it ships about
+   0.5%), invalidation must reach exactly the caching spaces, and with
+   the flag off the wire must look exactly like the pre-delta protocol:
+   no provenance notes, no delta counters, and the same traffic on every
+   run. *)
+let delta_failures (off : Experiments.delta_run)
+    (off2 : Experiments.delta_run) (on : Experiments.delta_run)
+    (rows : Experiments.delta_fig4_row list) =
+  let failures = ref 0 in
+  let check cond msg =
+    if not cond then begin
+      incr failures;
+      Printf.printf "delta: FAIL %s\n" msg
+    end
+  in
+  check off.Experiments.dl_check "flag-off home missed a poked value";
+  check on.Experiments.dl_check "flag-on home missed a poked value";
+  check
+    (2 * on.Experiments.dl_wb_bytes <= off.Experiments.dl_wb_bytes)
+    (Printf.sprintf "delta write-back bytes %d exceed half of full %d"
+       on.Experiments.dl_wb_bytes off.Experiments.dl_wb_bytes);
+  check
+    (on.Experiments.dl_inval_sent = on.Experiments.dl_cachers)
+    (Printf.sprintf "%d invalidation(s) for %d caching space(s)"
+       on.Experiments.dl_inval_sent on.Experiments.dl_cachers);
+  check
+    (on.Experiments.dl_cachers = 1 && on.Experiments.dl_inval_skipped = 2)
+    (Printf.sprintf "expected 1 casher and 2 spared idlers, got %d and %d"
+       on.Experiments.dl_cachers on.Experiments.dl_inval_skipped);
+  check
+    (off.Experiments.dl_copies = 0
+    && off.Experiments.dl_inval_sent = 0
+    && off.Experiments.dl_saved = 0
+    && off.Experiments.dl_fallbacks = 0
+    && off.Experiments.dl_inval_skipped = 0)
+    "flag off left delta fingerprints (notes or counters)";
+  check
+    (off.Experiments.dl_run.Experiments.messages
+     = off2.Experiments.dl_run.Experiments.messages
+    && off.Experiments.dl_run.Experiments.bytes
+       = off2.Experiments.dl_run.Experiments.bytes
+    && off.Experiments.dl_wb_bytes = off2.Experiments.dl_wb_bytes)
+    "flag-off runs are not byte-identical";
+  List.iter
+    (fun (r : Experiments.delta_fig4_row) ->
+      check
+        (r.Experiments.dm_on.Experiments.dc_wb_bytes
+        <= r.Experiments.dm_off.Experiments.dc_wb_bytes)
+        (Printf.sprintf "%s: delta on ships more write-back bytes (%d > %d)"
+           (Experiments.method_name r.Experiments.dm_method)
+           r.Experiments.dm_on.Experiments.dc_wb_bytes
+           r.Experiments.dm_off.Experiments.dc_wb_bytes))
+    rows;
+  !failures
+
+let delta_measure ?(depth = 12) () =
+  let off = Experiments.run_field_update ~delta:false () in
+  let off2 = Experiments.run_field_update ~delta:false () in
+  let on = Experiments.run_field_update ~delta:true () in
+  let rows = Experiments.delta_fig4 ~depth () in
+  (off, off2, on, rows)
+
+let run_delta () =
+  let off, off2, on, rows = delta_measure () in
+  Format.printf "%a@." (fun ppf () -> Experiments.pp_delta ppf [ off; on ] rows) ();
+  let json = delta_json [ off; on ] rows in
+  let path = "BENCH_delta.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  ignore (delta_failures off off2 on rows)
+
 (* Scaled-down adaptive + faults acceptance gate, wired into `dune runtest`
    via the bench-smoke alias: fails the build if the controller stops
    converging or the fault machinery regresses. *)
@@ -309,12 +425,17 @@ let run_smoke () =
   let frows = Experiments.faults_sweep ~depth:7 ~sessions:4 () in
   print_string (faults_json ~depth:10 ~ratio:0.5 ~sessions:4 ov frows);
   let ffailures = faults_failures ov frows in
-  if failures > 0 || ffailures > 0 then begin
+  let doff, doff2, don, drows = delta_measure ~depth:9 () in
+  print_string (delta_json [ doff; don ] drows);
+  let dfailures = delta_failures doff doff2 don drows in
+  if failures > 0 || ffailures > 0 || dfailures > 0 then begin
     if failures > 0 then
       Printf.eprintf "bench-smoke: %d ratio(s) outside the 1.15x bound\n"
         failures;
     if ffailures > 0 then
       Printf.eprintf "bench-smoke: %d faults gate failure(s)\n" ffailures;
+    if dfailures > 0 then
+      Printf.eprintf "bench-smoke: %d delta gate failure(s)\n" dfailures;
     exit 1
   end
 
@@ -426,7 +547,8 @@ let all_sections =
     ("ablations", ("Ablations A1-A6", run_ablations));
     ("adaptive", ("Adaptive policy vs Fig. 4 statics", run_adaptive));
     ("faults", ("Faults: retry envelope overhead + chaos sweep", run_faults));
-    ("smoke", ("Adaptive + faults acceptance smoke (scaled down)", run_smoke));
+    ("delta", ("Delta coherency: dirty ranges vs full write-backs", run_delta));
+    ("smoke", ("Adaptive + faults + delta acceptance smoke (scaled down)", run_smoke));
     ("wan", ("Derived: Fig. 4 over a WAN link", run_wan));
     ("kv", ("Derived: remote B-tree key-value store", run_kv));
     ("scale", ("Derived: session width scaling", run_scale));

@@ -63,6 +63,8 @@ let rules =
       title = "aborted session must invalidate and must not write back" };
     { id = "SP006"; default_severity = Error;
       title = "frame from/to a crashed endpoint after its crash mark" };
+    { id = "SP007"; default_severity = Error;
+      title = "targeted invalidation misses a space that received a copy this session" };
   ]
 
 let find_rule id = List.find_opt (fun r -> String.equal r.id id) rules

@@ -14,6 +14,11 @@ type state = {
   mutable inv_seen : bool;  (* invalidation multicast started *)
   mutable aborted : bool;  (* the open session carries an abort mark *)
   crashed : (string, unit) Hashtbl.t;  (* endpoints past their crash mark *)
+  mutable ground : string;  (* the open session's ground endpoint *)
+  copy_dsts : (string, unit) Hashtbl.t;
+      (* endpoints that received a data copy this session (Copy notes) *)
+  inval_dsts : (string, unit) Hashtbl.t;
+      (* endpoints the ground sent (or attempted) an invalidation to *)
   mutable out : Diagnostic.t list;
 }
 
@@ -61,10 +66,13 @@ let step st idx (e : Trace.event) =
     | None ->
       st.session <- Some id;
       st.holder <- e.Trace.src;
+      st.ground <- e.Trace.src;
       st.stack <- [];
       st.wb_seen <- false;
       st.inv_seen <- false;
-      st.aborted <- false)
+      st.aborted <- false;
+      Hashtbl.reset st.copy_dsts;
+      Hashtbl.reset st.inval_dsts)
   | Trace.Session_end id -> (
     check_mark_session st idx id "session end";
     match st.session with
@@ -84,6 +92,25 @@ let step st idx (e : Trace.event) =
         if not st.inv_seen then
           emit st idx "SP005"
             (Printf.sprintf "aborted session #%d ended without invalidation" id)
+      end;
+      (* SP007 applies only to sessions that recorded copy provenance
+         (delta-coherency senders emit Copy notes); an aborted session
+         invalidates by other means (the Abort frame) and is exempt. *)
+      if (not st.aborted) && Hashtbl.length st.copy_dsts > 0 then begin
+        let missed =
+          Hashtbl.fold
+            (fun dst () acc ->
+              if Hashtbl.mem st.inval_dsts dst then acc else dst :: acc)
+            st.copy_dsts []
+        in
+        List.iter
+          (fun dst ->
+            emit st idx "SP007"
+              (Printf.sprintf
+                 "session #%d ends without invalidating %s, which received a \
+                  data copy"
+                 id dst))
+          (List.sort String.compare missed)
       end;
       st.session <- None;
       st.stack <- [])
@@ -167,6 +194,25 @@ let step st idx (e : Trace.event) =
        reply cache absorbs it *)
     check_crashed st idx e;
     ignore (check_open st idx e)
+  | Trace.Copy id ->
+    (* provenance note: [dst] received a copy of some datum. The ground
+       endpoint invalidates itself locally at close, so it is never owed
+       a message. No crash check: the note witnesses bookkeeping at the
+       sender, not a frame on the wire. *)
+    check_mark_session st idx id "copy note";
+    (match check_open st idx e with
+    | None -> ()
+    | Some _ ->
+      if not (String.equal e.Trace.dst st.ground) then
+        Hashtbl.replace st.copy_dsts e.Trace.dst ())
+  | Trace.Inval_sent id ->
+    (* send-attempt semantics: the ground addressed an invalidation at
+       [dst]; under faults the frame itself may still be lost, which is
+       the retry envelope's problem, not a directory omission. *)
+    check_mark_session st idx id "invalidation-sent note";
+    (match check_open st idx e with
+    | None -> ()
+    | Some _ -> Hashtbl.replace st.inval_dsts e.Trace.dst ())
   | Trace.Crash ep ->
     (* crash marks may appear outside sessions (planned chaos) *)
     Hashtbl.replace st.crashed ep ()
@@ -175,7 +221,8 @@ let step st idx (e : Trace.event) =
 let check_events events =
   let st =
     { session = None; holder = ""; stack = []; wb_seen = false; inv_seen = false;
-      aborted = false; crashed = Hashtbl.create 4; out = [] }
+      aborted = false; crashed = Hashtbl.create 4; ground = "";
+      copy_dsts = Hashtbl.create 4; inval_dsts = Hashtbl.create 4; out = [] }
   in
   List.iteri (fun idx e -> step st idx e) events;
   (* a trace may stop mid-session (e.g. a live inspection), but every

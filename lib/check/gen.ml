@@ -11,7 +11,7 @@ let gen_op rng ~fault =
     [
       (2, `Build); (3, `Sum); (2, `Visit); (3, `Update); (2, `Map); (2, `Nested);
       (1, `Callback); (2, `Local_update); (2, `Append); (1, `Free);
-      (2, `New_session);
+      (2, `New_session); (2, `Poke);
     ]
     @ (if fault then [ (1, `Crash) ] else [])
   in
@@ -24,10 +24,11 @@ let gen_op rng ~fault =
   let idx () = Rng.int rng 64 in
   match choose 0 weighted with
   | `Build -> (
-    match Rng.int rng 3 with
+    match Rng.int rng 4 with
     | 0 -> Build_list (gen_values rng ~max_len:12)
     | 1 -> Build_tree (Rng.range rng 1 5)
-    | _ -> Build_graph { nodes = Rng.range rng 1 16; gseed = Rng.int rng 1000 })
+    | 2 -> Build_graph { nodes = Rng.range rng 1 16; gseed = Rng.int rng 1000 }
+    | _ -> Build_wide)
   | `Sum -> Sum { worker = idx (); obj = idx () }
   | `Visit -> Visit { worker = idx (); obj = idx (); limit = Rng.int rng 40 }
   | `Update ->
@@ -49,20 +50,26 @@ let gen_op rng ~fault =
     Append { obj = idx (); home = Rng.int rng 4; values = gen_values rng ~max_len:6 }
   | `Free -> Free { obj = idx () }
   | `New_session -> New_session
+  | `Poke ->
+    (* the delta write-back probe: one small field of a large struct *)
+    Poke
+      { worker = idx (); obj = idx (); idx = Rng.int rng 1024;
+        delta = Rng.range rng (-9) 9 }
   | `Crash -> Crash { worker = idx () }
 
 let gen_build rng =
   let open Script in
-  match Rng.int rng 3 with
+  match Rng.int rng 4 with
   | 0 -> Build_list (gen_values rng ~max_len:12)
   | 1 -> Build_tree (Rng.range rng 1 5)
-  | _ -> Build_graph { nodes = Rng.range rng 1 16; gseed = Rng.int rng 1000 }
+  | 2 -> Build_graph { nodes = Rng.range rng 1 16; gseed = Rng.int rng 1000 }
+  | _ -> Build_wide
 
 let script ~seed ~depth ~fault =
   let rng = Rng.create seed in
   let workers = Rng.range rng 1 3 in
   let arches = List.init workers (fun _ -> Rng.int rng 4) in
-  let strategy = Rng.int rng 8 in
+  let strategy = Rng.int rng 10 in
   let has_fault = fault <> None in
   let n = max 1 depth in
   let ops =

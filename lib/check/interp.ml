@@ -22,6 +22,8 @@ let strategy_table =
     { (Strategy.smart ()) with Strategy.order = Strategy.Depth_first };
     { (Strategy.smart ()) with Strategy.grain = Strategy.Twin_diff };
     { (Strategy.smart ()) with Strategy.grouping = Strategy.By_type };
+    Strategy.smart ~delta:true ();
+    { (Strategy.smart ~delta:true ()) with Strategy.grain = Strategy.Twin_diff };
   |]
 
 type outcome = {
@@ -120,7 +122,28 @@ let register_procs ~ground workers =
           proc rest
       | _ -> assert false);
   Node.register ground "ck_bonus" (fun _ _ -> [ Value.int 7 ]);
-  on_worker "ck_ping" (fun _ _ -> [ Value.int 1 ])
+  on_worker "ck_ping" (fun _ _ -> [ Value.int 1 ]);
+  (* the wide-struct family: elements are integers stored in doubles, so
+     every observation converts back exactly *)
+  on_worker "ck_mat_poke" (fun node args ->
+      match args with
+      | [ p; r; c; d ] ->
+        let ptr = Access.of_value p in
+        let row = Value.to_int r and col = Value.to_int c in
+        let v =
+          int_of_float (Matrix.get node ptr ~row ~col) + Value.to_int d
+        in
+        Matrix.set node ptr ~row ~col (float_of_int v);
+        [ Value.int v ]
+      | _ -> assert false);
+  on_worker "ck_mat_frob" (fun node args ->
+      [ Value.int (int_of_float (Matrix.frobenius node (Access.of_value (List.hd args)))) ]);
+  on_worker "ck_mat_row" (fun node args ->
+      match args with
+      | [ p; r ] ->
+        let row = Value.to_int r in
+        [ Value.int (int_of_float (Matrix.row_sum node (Access.of_value p) ~row)) ]
+      | _ -> assert false)
 
 let final_read ground kind ptr =
   match kind with
@@ -129,6 +152,10 @@ let final_read ground kind ptr =
   | KGraph ->
     let n, s = Graph.reachable_sum ground ptr in
     [ n; s ]
+  | KWide ->
+    let e = Script.wide_edge in
+    List.init (e * e) (fun i ->
+        int_of_float (Matrix.get ground ptr ~row:(i / e) ~col:(i mod e)))
 
 let run plan =
   let cluster = Cluster.create ~cost:Cost_model.zero () in
@@ -143,6 +170,7 @@ let run plan =
   Linked_list.register_types cluster;
   Tree.register_types cluster;
   Graph.register_types cluster;
+  Matrix.register_types cluster;
   register_procs ~ground workers;
   let trace = Trace.create () in
   Transport.set_trace (Cluster.transport cluster) (Some trace);
@@ -179,14 +207,20 @@ let run plan =
           let r = Graph.build ground ~nodes ~seed:gseed in
           Hashtbl.replace objs id (KGraph, ref r);
           let n, s = Graph.reachable_sum ground r in
-          [ n; s ])
+          [ n; s ]
+        | SWide ->
+          let r = Matrix.create ground ~tile_rows:1 ~tile_cols:1 in
+          Hashtbl.replace objs id (KWide, ref r);
+          let rows, cols = Matrix.dims ground r in
+          [ rows; cols ])
       | RSum { worker; id } -> (
         let kind, p = get id in
         let pv = Access.to_value !p in
         match kind with
         | KList -> call worker "ck_list_sum" [ pv ]
         | KTree -> call worker "ck_tree_visit" [ pv; Value.int max_int ]
-        | KGraph -> call worker "ck_graph_sum" [ pv ])
+        | KGraph -> call worker "ck_graph_sum" [ pv ]
+        | KWide -> call worker "ck_mat_frob" [ pv ])
       | RVisit { worker; id; limit } ->
         let _, p = get id in
         call worker "ck_tree_visit" [ Access.to_value !p; Value.int limit ]
@@ -196,7 +230,18 @@ let run plan =
         match kind with
         | KList -> call worker "ck_list_update" args
         | KTree -> call worker "ck_tree_update" args
-        | KGraph -> assert false)
+        | KGraph | KWide -> assert false)
+      | RPoke { worker; id; idx; delta } ->
+        let _, p = get id in
+        let e = Script.wide_edge in
+        call worker "ck_mat_poke"
+          [
+            Access.to_value !p; Value.int (idx / e); Value.int (idx mod e);
+            Value.int delta;
+          ]
+      | RWideRow { worker; id; row } ->
+        let _, p = get id in
+        call worker "ck_mat_row" [ Access.to_value !p; Value.int row ]
       | RMapList { worker; id; mul; add } ->
         let _, p = get id in
         call worker "ck_list_map"
@@ -213,14 +258,16 @@ let run plan =
         match kind with
         | KList -> relay "ck_list_sum" [ pv ]
         | KTree -> relay "ck_tree_visit" [ pv; Value.int max_int ]
-        | KGraph -> relay "ck_graph_sum" [ pv ])
+        | KGraph -> relay "ck_graph_sum" [ pv ]
+        | KWide -> relay "ck_mat_frob" [ pv ])
       | RCallback { worker; id } -> (
         let kind, p = get id in
         let pv = Access.to_value !p in
         match kind with
         | KList -> call worker "ck_list_bonus" [ pv ]
         | KTree -> call worker "ck_tree_bonus" [ pv ]
-        | KGraph -> call worker "ck_graph_bonus" [ pv ])
+        | KGraph -> call worker "ck_graph_bonus" [ pv ]
+        | KWide -> assert false)
       | RLocalUpdate { id; idx; delta } -> (
         let kind, p = get id in
         match kind with
@@ -233,6 +280,12 @@ let run plan =
           let cell = Tree.nth_preorder ground !p idx in
           let v = Access.get_int ground cell ~field:"data" + delta in
           Access.set_int ground cell ~field:"data" v;
+          [ v ]
+        | KWide ->
+          let e = Script.wide_edge in
+          let row = idx / e and col = idx mod e in
+          let v = int_of_float (Matrix.get ground !p ~row ~col) + delta in
+          Matrix.set ground !p ~row ~col (float_of_int v);
           [ v ]
         | KGraph -> assert false)
       | RAppend { id; home; values } ->
@@ -250,7 +303,7 @@ let run plan =
         | KTree ->
           Tree.free ground !p;
           []
-        | KGraph -> assert false)
+        | KGraph | KWide -> assert false)
       | RSession ->
         Node.end_session ground;
         Node.begin_session ground;

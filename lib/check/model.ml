@@ -8,6 +8,7 @@ type mobj =
   | ML of int list ref
   | MT of int array  (* preorder data values *)
   | MG of { nodes : int; gseed : int }
+  | MW of int array  (* wide-struct elements, row-major *)
 
 type result = {
   m_obs : int list list;  (* one entry per resolved op *)
@@ -32,21 +33,28 @@ let graph_obs nodes gseed =
   Array.iteri (fun i s -> if s then begin incr count; sum := !sum + i end) seen;
   [ !count; !sum ]
 
+(* The wide struct's whole-object read is the Frobenius-style sum of
+   squares (exact: elements are small integers stored in doubles). *)
+let wide_frob a = Array.fold_left (fun acc x -> acc + (x * x)) 0 a
+
 let obj_sum = function
   | ML l -> list_sum !l
   | MT a -> Array.fold_left ( + ) 0 a
   | MG { nodes; gseed } -> List.nth (graph_obs nodes gseed) 1
+  | MW a -> wide_frob a
 
 (* Traversal-style observation: what one remote "sum" call returns. *)
 let obj_obs = function
   | ML l -> [ list_sum !l ]
   | MT a -> [ Array.length a; Array.fold_left ( + ) 0 a ]
   | MG { nodes; gseed } -> graph_obs nodes gseed
+  | MW a -> [ wide_frob a ]
 
 let final_obs = function
   | ML l -> !l
   | MT a -> Array.to_list a
   | MG { nodes; gseed } -> graph_obs nodes gseed
+  | MW a -> Array.to_list a
 
 let run plan =
   let objs : (int, mobj) Hashtbl.t = Hashtbl.create 16 in
@@ -64,7 +72,10 @@ let run plan =
         [ n ]
       | SGraph { nodes; gseed } ->
         Hashtbl.replace objs id (MG { nodes; gseed });
-        graph_obs nodes gseed)
+        graph_obs nodes gseed
+      | SWide ->
+        Hashtbl.replace objs id (MW (Array.make (wide_edge * wide_edge) 0));
+        [ wide_edge; wide_edge ])
     | RSum { id; _ } | RNested { id; _ } -> obj_obs (get id)
     | RVisit { id; limit; _ } -> (
       match get id with
@@ -76,15 +87,26 @@ let run plan =
         done;
         [ v; !sum ]
       | _ -> assert false)
-    | RUpdate { id; idx; delta; _ } | RLocalUpdate { id; idx; delta } -> (
+    | RUpdate { id; idx; delta; _ }
+    | RLocalUpdate { id; idx; delta }
+    | RPoke { id; idx; delta; _ } -> (
       match get id with
       | ML l ->
         l := List.mapi (fun i x -> if i = idx then x + delta else x) !l;
         [ List.nth !l idx ]
-      | MT a ->
+      | MT a | MW a ->
         a.(idx) <- a.(idx) + delta;
         [ a.(idx) ]
       | MG _ -> assert false)
+    | RWideRow { id; row; _ } -> (
+      match get id with
+      | MW a ->
+        let sum = ref 0 in
+        for c = 0 to wide_edge - 1 do
+          sum := !sum + a.((row * wide_edge) + c)
+        done;
+        [ !sum ]
+      | _ -> assert false)
     | RMapList { id; mul; add; _ } -> (
       match get id with
       | ML l ->

@@ -15,6 +15,8 @@ type op =
   | Free of { obj : int }
   | New_session
   | Crash of { worker : int }
+  | Build_wide
+  | Poke of { worker : int; obj : int; idx : int; delta : int }
 
 type t = {
   workers : int;
@@ -28,6 +30,7 @@ type shape =
   | SList of int list
   | STree of int
   | SGraph of { nodes : int; gseed : int }
+  | SWide
 
 type rop =
   | RBuild of { id : int; shape : shape }
@@ -43,8 +46,15 @@ type rop =
   | RFree of { id : int }
   | RSession
   | RCrash of { worker : int }
+  | RPoke of { worker : int; id : int; idx : int; delta : int }
+  | RWideRow of { worker : int; id : int; row : int }
 
-type kind = KList | KTree | KGraph
+type kind = KList | KTree | KGraph | KWide
+
+(* One wide object is a single tile-backed matrix: wide_edge² 8-byte
+   elements — one datum far larger than a page, the delta-coherency
+   worst case for full write-backs. *)
+let wide_edge = 32
 
 type plan = {
   p_workers : int;
@@ -85,7 +95,7 @@ let resolve t =
     let given = List.map (fun a -> abs a mod 4) t.arches in
     take workers (given @ [ 0; 0; 0 ])
   in
-  let strategy = abs t.strategy mod 8 in
+  let strategy = abs t.strategy mod 10 in
   let fault =
     Option.map
       (fun f ->
@@ -148,9 +158,12 @@ let resolve t =
       | Some o ->
         o.touched <- true;
         let worker = wrk worker in
-        if o.kind = KTree then
+        (match o.kind with
+        | KTree ->
           emit (RVisit { worker; id = o.id; limit = clamp 0 64 (abs limit) })
-        else emit (RSum { worker; id = o.id }))
+        | KWide ->
+          emit (RWideRow { worker; id = o.id; row = abs limit mod wide_edge })
+        | KList | KGraph -> emit (RSum { worker; id = o.id })))
     | Update { worker; obj; idx; delta } -> (
       match pick obj with
       | None -> ()
@@ -158,6 +171,8 @@ let resolve t =
         o.touched <- true;
         let worker = wrk worker in
         if o.kind = KGraph || o.len = 0 then emit (RSum { worker; id = o.id })
+        else if o.kind = KWide then
+          emit (RPoke { worker; id = o.id; idx = abs idx mod o.len; delta })
         else emit (RUpdate { worker; id = o.id; idx = abs idx mod o.len; delta }))
     | Map { worker; obj; mul; add } -> (
       match pick obj with
@@ -168,7 +183,7 @@ let resolve t =
         match o.kind with
         | KList -> emit (RMapList { worker; id = o.id; mul; add })
         | KTree -> emit (RMapTree { worker; id = o.id; limit = o.len })
-        | KGraph -> emit (RSum { worker; id = o.id }))
+        | KGraph | KWide -> emit (RSum { worker; id = o.id }))
     | Nested { w1; w2; obj } -> (
       match pick obj with
       | None -> ()
@@ -182,13 +197,33 @@ let resolve t =
       | None -> ()
       | Some o ->
         o.touched <- true;
-        emit (RCallback { worker = wrk worker; id = o.id }))
+        if o.kind = KWide then emit (RSum { worker = wrk worker; id = o.id })
+        else emit (RCallback { worker = wrk worker; id = o.id }))
     | Local_update { obj; idx; delta } -> (
       match pick obj with
       | None -> ()
       | Some o ->
         if (not o.touched) && o.kind <> KGraph && o.len > 0 then
           emit (RLocalUpdate { id = o.id; idx = abs idx mod o.len; delta }))
+    | Build_wide -> add KWide (wide_edge * wide_edge) SWide
+    | Poke { worker; obj; idx; delta } -> (
+      (* the delta-coherency probe: write one small field of the most
+         recently built wide struct (falling back to whatever [obj]
+         picks when none is live) *)
+      let target =
+        match List.filter (fun o -> o.kind = KWide) !live with
+        | [] -> pick obj
+        | w :: _ -> Some w
+      in
+      match target with
+      | None -> ()
+      | Some o ->
+        o.touched <- true;
+        let worker = wrk worker in
+        if o.kind = KGraph || o.len = 0 then emit (RSum { worker; id = o.id })
+        else if o.kind = KWide then
+          emit (RPoke { worker; id = o.id; idx = abs idx mod o.len; delta })
+        else emit (RUpdate { worker; id = o.id; idx = abs idx mod o.len; delta }))
     | Append { obj; home; values } -> (
       match pick obj with
       | None -> ()
@@ -209,7 +244,7 @@ let resolve t =
            cells live in cache slots); dropping them from the live set is
            the whole release. Ground-pure objects free for real at the
            boundary. *)
-        if (not o.mixed) && o.kind <> KGraph then
+        if (not o.mixed) && o.kind <> KGraph && o.kind <> KWide then
           pending_frees := o.id :: !pending_frees)
     | New_session -> boundary ~final:false
     | Crash { worker } ->
@@ -256,12 +291,16 @@ let op_to_sexp op =
   | Free { obj } -> l "free" [ int obj ]
   | New_session -> Atom "new-session"
   | Crash { worker } -> l "crash" [ int worker ]
+  | Build_wide -> Atom "build-wide"
+  | Poke { worker; obj; idx; delta } ->
+    l "poke" [ int worker; int obj; int idx; int delta ]
 
 let op_of_sexp s =
   let open Sexp in
   let bad () = raise (Parse_error ("unrecognized op: " ^ Sexp.to_string s)) in
   match s with
   | Atom "new-session" -> New_session
+  | Atom "build-wide" -> Build_wide
   | List (Atom name :: args) -> (
     match (name, args) with
     | "build-list", [ vs ] -> Build_list (ints_of_sexp vs)
@@ -283,6 +322,8 @@ let op_of_sexp s =
       Append { obj = to_int o; home = to_int h; values = ints_of_sexp vs }
     | "free", [ o ] -> Free { obj = to_int o }
     | "crash", [ w ] -> Crash { worker = to_int w }
+    | "poke", [ w; o; i; d ] ->
+      Poke { worker = to_int w; obj = to_int o; idx = to_int i; delta = to_int d }
     | _ -> bad ())
   | _ -> bad ()
 

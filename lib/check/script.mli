@@ -60,14 +60,25 @@ type op =
   | Free of { obj : int }  (** release via [extended_free] (deferred) *)
   | New_session  (** close the current session and open the next *)
   | Crash of { worker : int }  (** kill a worker endpoint (fault runs) *)
+  | Build_wide
+      (** build one tile-backed wide struct ([wide_edge]² elements, one
+          datum larger than a page) at ground *)
+  | Poke of { worker : int; obj : int; idx : int; delta : int }
+      (** write one small field of a large struct: targets the most
+          recently built wide object (falls back to [Update] semantics
+          on [obj] when none is live) — the delta write-back probe *)
 
 type t = {
   workers : int;  (** clamped to 1–3 *)
   arches : int list;  (** per-worker architecture index (mod 4) *)
-  strategy : int;  (** transfer-strategy index (mod 8) *)
+  strategy : int;  (** transfer-strategy index (mod 10) *)
   fault : fault option;
   ops : op list;
 }
+
+(** Elements per wide-struct edge (32 — a 32×32 grid of 8-byte
+    elements, an 8 KiB datum). *)
+val wide_edge : int
 
 (** {1 Resolved plans} *)
 
@@ -75,6 +86,7 @@ type shape =
   | SList of int list
   | STree of int  (** depth *)
   | SGraph of { nodes : int; gseed : int }
+  | SWide  (** one [wide_edge]×[wide_edge] tile-backed matrix *)
 
 type rop =
   | RBuild of { id : int; shape : shape }
@@ -90,13 +102,17 @@ type rop =
   | RFree of { id : int }
   | RSession
   | RCrash of { worker : int }
+  | RPoke of { worker : int; id : int; idx : int; delta : int }
+      (** remote write of element [idx] of a wide struct *)
+  | RWideRow of { worker : int; id : int; row : int }
+      (** remote sum of one element row of a wide struct *)
 
-type kind = KList | KTree | KGraph
+type kind = KList | KTree | KGraph | KWide
 
 type plan = {
   p_workers : int;
   p_arches : int list;  (** length [p_workers], each in 0–3 *)
-  p_strategy : int;  (** in 0–7 *)
+  p_strategy : int;  (** in 0–9 *)
   p_fault : fault option;
   p_rops : rop list;
   p_kinds : (int * kind) list;  (** object id -> kind, build order *)

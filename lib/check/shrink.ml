@@ -49,7 +49,11 @@ let simpler_op op =
   | Append { obj; home; values } ->
     List.map (fun values -> Append { obj; home; values }) (simpler_list values)
     @ List.map (fun home -> Append { obj; home; values }) (simpler_int home)
-  | Free _ | New_session | Crash _ -> []
+  | Poke { worker; obj; idx; delta } ->
+    List.map (fun idx -> Poke { worker; obj; idx; delta }) (simpler_int idx)
+    @ List.map (fun delta -> Poke { worker; obj; idx; delta }) (simpler_int delta)
+    @ List.map (fun obj -> Poke { worker; obj; idx; delta }) (simpler_int obj)
+  | Free _ | New_session | Crash _ | Build_wide -> []
 
 let structural t =
   List.concat

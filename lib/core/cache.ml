@@ -9,6 +9,9 @@ type entry = {
   mutable dirty : bool;
   mutable prefetched : bool;
   mutable touched : bool;
+  mutable version : int;
+  mutable shadow : string option;
+  mutable shadow_version : int;
 }
 
 type cursor = { mutable page : int; mutable off : int }
@@ -172,6 +175,9 @@ let allocate t lp ~size =
       dirty = false;
       prefetched = false;
       touched = false;
+      version = 0;
+      shadow = None;
+      shadow_version = -1;
     }
   in
   Long_pointer.Table.add t.by_lp lp entry;
@@ -283,6 +289,49 @@ let clean_after_flush t =
   let pages = dirty_pages t in
   Hashtbl.reset t.dirty_pages;
   List.iter (fun page -> refresh_protection t ~page) pages
+
+let bump_version e = e.version <- e.version + 1
+
+let sync_shadow e image =
+  e.shadow <- Some image;
+  e.shadow_version <- e.version
+
+let shadow_base e =
+  if e.shadow_version = e.version then e.shadow else None
+
+let shadow_image e = e.shadow
+
+(* Merge changed bytes closer than this into one range: each range costs
+   8 bytes of framing plus padding, so tiny gaps are cheaper shipped. *)
+let diff_gap = 8
+
+let diff_ranges ~base ~now =
+  let n = String.length base in
+  if String.length now <> n then
+    invalid_arg "Cache.diff_ranges: length mismatch";
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if base.[!i] <> now.[!i] then begin
+      let start = !i in
+      let stop = ref (!i + 1) in
+      let last_diff = ref !i in
+      let j = ref (!i + 1) in
+      while !j < n && !j - !last_diff <= diff_gap do
+        if base.[!j] <> now.[!j] then begin
+          last_diff := !j;
+          stop := !j + 1
+        end;
+        incr j
+      done;
+      out := (start, !stop) :: !out;
+      i := !stop
+    end
+    else incr i
+  done;
+  List.rev_map
+    (fun (start, stop) -> (start, String.sub now start (stop - start)))
+    !out
 
 let rebind t e lp =
   Long_pointer.Table.remove t.by_lp e.lp;

@@ -30,6 +30,14 @@ type entry = {
       (** the data transfer was speculative (closure extra), not a
           demand fetch — the access-pattern profile's raw material *)
   mutable touched : bool;  (** the program accessed this datum *)
+  mutable version : int;
+      (** bumped on every install that rewrites the copy; the shadow is
+          usable for delta write-back only while [shadow_version] still
+          matches (stale snapshots force the full-item fallback) *)
+  mutable shadow : string option;
+      (** last canonical encoding known to agree byte-for-byte with the
+          home's record of our copy — the delta base image *)
+  mutable shadow_version : int;
 }
 
 type t
@@ -95,6 +103,34 @@ val dirty_entries : t -> entry list
 (** [clean_after_flush t] marks the whole modified data set clean,
     drops twins, and restores read-only protection. *)
 val clean_after_flush : t -> unit
+
+(** Delta-coherency snapshot plumbing (see docs/DELTA.md). *)
+
+(** [bump_version e] records that [e]'s copy was rewritten from the
+    wire; any existing shadow becomes stale unless re-synced. *)
+val bump_version : entry -> unit
+
+(** [sync_shadow e image] records [image] as the encoding both sides now
+    agree on (after installing directly from the home, or after shipping
+    a write-back to it). *)
+val sync_shadow : entry -> string -> unit
+
+(** [shadow_base e] is the delta base image, or [None] when the shadow
+    is missing or stale. *)
+val shadow_base : entry -> string option
+
+(** [shadow_image e] is the raw shadow bytes even when stale. Staleness
+    means the cache {e encoding} drifted from the shadow, but the bytes
+    themselves are still the last encoding agreed with the home — which
+    is exactly the base a home-originated refresh delta patches. *)
+val shadow_image : entry -> string option
+
+(** [diff_ranges ~base ~now] is the list of changed byte ranges
+    [(offset, bytes)] between two equal-length encodings, ascending and
+    non-overlapping; nearby changes (gap ≤ 8 bytes) merge into one range
+    to amortize per-range framing.
+    @raise Invalid_argument on a length mismatch. *)
+val diff_ranges : base:string -> now:string -> (int * string) list
 
 (** [rebind t e lp] changes [e]'s home (provisional → real). *)
 val rebind : t -> entry -> Long_pointer.t -> unit

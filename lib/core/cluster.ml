@@ -33,14 +33,14 @@ let registry t = t.registry
 let session t = t.session
 
 let add_node ?(proc = 0) ?(arch = Arch.sparc32) ?(strategy = Strategy.smart ())
-    ?page_size ?validate ?retry t ~site () =
+    ?page_size ?validate ?retry ?reply_cache_cap t ~site () =
   let id = Space_id.make ~site ~proc in
   if List.exists (fun n -> Space_id.equal (Node.id n) id) t.nodes then
     invalid_arg (Printf.sprintf "Cluster.add_node: %s exists" (Space_id.to_string id));
   let node =
-    Node.create ?page_size ?validate ?retry ?policy:t.policy ~hints:t.hints ~id
-      ~arch ~registry:t.registry ~transport:t.transport ~session:t.session
-      ~strategy ()
+    Node.create ?page_size ?validate ?retry ?reply_cache_cap ?policy:t.policy
+      ~hints:t.hints ~id ~arch ~registry:t.registry ~transport:t.transport
+      ~session:t.session ~strategy ()
   in
   t.nodes <- node :: t.nodes;
   node

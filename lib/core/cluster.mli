@@ -30,6 +30,7 @@ val add_node :
   ?page_size:int ->
   ?validate:bool ->
   ?retry:Node.retry ->
+  ?reply_cache_cap:int ->
   t ->
   site:int ->
   unit ->

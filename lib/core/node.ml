@@ -42,12 +42,24 @@ type t = {
           session duration *)
   retry : retry;
   mutable seq : int;  (** outgoing retry-envelope sequence counter *)
-  replies : (string, int * string) Hashtbl.t;
+  replies : (string, reply_slot) Hashtbl.t;
       (** per source endpoint, the last (seq, encoded reply) served — the
-          at-most-once cache that suppresses duplicate deliveries *)
-  staged : (int, Wire.item list) Hashtbl.t;
-      (** per session, write-back items delivered by [Wb_stage] and not
-          yet applied; [Wb_commit] applies and drops them *)
+          at-most-once cache that suppresses duplicate deliveries; LRU,
+          bounded by [reply_cap] *)
+  reply_cap : int;
+  mutable reply_tick : int;  (** LRU clock for [replies] *)
+  staged : (int, staged_wb list) Hashtbl.t;
+      (** per session, write-backs delivered by [Wb_stage] /
+          [Wb_stage_delta] and not yet applied; [Wb_commit] applies and
+          drops them, in delivery order *)
+  directory : (int, string Space_id.Table.t) Hashtbl.t;
+      (** copy directory (delta coherency): own-heap datum address →
+          per-peer encoding that peer's cached copy agrees with. It is
+          both the base image a peer's byte-range delta patches against
+          and the record of who holds copies of our data. Maintained
+          regardless of the strategy flag so mixed clusters stay
+          coherent; cleared at close, on [Invalidate] and on abort /
+          [hard_reset]. *)
   mutable state_session : int option;
       (** the session whose cached state this node currently holds; a
           frame from a newer session purges leftovers from one whose
@@ -56,6 +68,11 @@ type t = {
 
 and proc = t -> Value.t list -> Value.t list
 and pending_alloc = { prov : Long_pointer.t; pa_entry : Cache.entry }
+and reply_slot = { rs_seq : int; rs_reply : string; mutable rs_used : int }
+
+and staged_wb =
+  | S_full of Space_id.t * Wire.item
+  | S_delta of Space_id.t * Wire.delta
 
 exception Remote_error of string
 exception Unknown_procedure of string
@@ -126,12 +143,64 @@ let encode_item t ~(lp : Long_pointer.t) ~addr : Wire.item =
   let raw = Address_space.read_unchecked t.space ~addr ~len:(sizeof t lp.ty) in
   { lp; data = Object_codec.encode (encode_ctx t) ~ty:lp.ty raw }
 
+(* --- delta coherency: copy directory and shadow bookkeeping --- *)
+
+let delta_on t = t.strategy.Strategy.delta_coherency
+
+let dir_table t addr =
+  match Hashtbl.find_opt t.directory addr with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Space_id.Table.create 4 in
+    Hashtbl.add t.directory addr tbl;
+    tbl
+
+(* [peer]'s copy of our datum at [addr] is now byte-for-byte [image]. *)
+let dir_record t ~peer ~addr image =
+  Space_id.Table.replace (dir_table t addr) peer image
+
+let dir_base t ~peer ~addr =
+  match Hashtbl.find_opt t.directory addr with
+  | None -> None
+  | Some tbl -> Space_id.Table.find_opt tbl peer
+
+(* [dst] received data copies this session (items installed, or deltas
+   patched — either can swizzle foreign pointers into fresh cache
+   slots there). The shared session metadata stands in for provenance
+   piggybacked on the transfers; the ground's targeted invalidation
+   reads it at close. The trace note is SP007's witness and only
+   appears in delta mode, keeping flag-off traces untouched. *)
+let record_copy t ~dst n =
+  if n > 0 then
+    match Session.current t.session with
+    | None -> ()
+    | Some info ->
+      Session.record_casher t.session dst;
+      if delta_on t then
+        Transport.note t.transport ~src:(endpoint t)
+          ~dst:(Space_id.to_string dst) (Trace.Copy info.Session.id)
+
+(* Wire sizes of the two write-back encodings for one datum, mirroring
+   the XDR framing: a non-null long pointer is 20 bytes, opaques pad to
+   4, each list costs a 4-byte count and each range an 8-byte header. *)
+let padded4 n = (n + 3) land lnot 3
+let item_wire_size data_len = 20 + 4 + padded4 data_len
+
+let delta_wire_size ranges =
+  List.fold_left
+    (fun acc (_, bytes) -> acc + 8 + padded4 (String.length bytes))
+    (20 + 4 + 4) ranges
+
 (* Install a transferred datum. [kind] is its provenance: [`Writeback]
    items overwrite our copy and keep traveling with the thread of
    control; [`Eager] items are speculative closure extras; [`Demand]
    items answer an explicit fetch from this node. Provenance is what the
-   access-pattern profile keys its outcome accounting on. *)
-let install_item t ~kind (item : Wire.item) =
+   access-pattern profile keys its outcome accounting on. [src] is the
+   space the item arrived from, which the delta bookkeeping needs: a
+   write-back landing home updates the sender's directory base, and a
+   cache copy installed straight from its home space leaves both sides
+   agreeing on the encoding (shadow synced). *)
+let install_item t ~src ~kind (item : Wire.item) =
   let lp = item.Wire.lp in
   let dirty = kind = `Writeback in
   if Space_id.equal lp.origin t.id then begin
@@ -140,7 +209,12 @@ let install_item t ~kind (item : Wire.item) =
        so later control transfers refresh other participants' caches. *)
     let raw = Object_codec.decode (decode_ctx t) ~ty:lp.ty item.Wire.data in
     Address_space.write_unchecked t.space ~addr:lp.addr raw;
-    if dirty then Long_pointer.Table.replace t.traveling lp ()
+    if dirty then begin
+      Long_pointer.Table.replace t.traveling lp ();
+      (* the sender's copy now agrees with this encoding: it is the base
+         its next byte-range delta patches *)
+      dir_record t ~peer:src ~addr:lp.addr item.Wire.data
+    end
   end
   else begin
     let e =
@@ -153,7 +227,13 @@ let install_item t ~kind (item : Wire.item) =
       let raw = Object_codec.decode (decode_ctx t) ~ty:lp.ty item.Wire.data in
       Address_space.write_unchecked t.space ~addr:e.Cache.local_addr raw;
       if dirty then e.Cache.dirty <- true;
-      Cache.mark_present t.cache e
+      Cache.mark_present t.cache e;
+      (* A copy installed straight from its home is an encoding both
+         sides hold (usable as a delta base); via any other space the
+         home may not know it, so the shadow goes stale and the next
+         write-back falls back to the full item. *)
+      Cache.bump_version e;
+      if Space_id.equal src lp.origin then Cache.sync_shadow e item.Wire.data
     end;
     (* else: a clean copy we already hold; ours is authoritative *)
     if fresh then begin
@@ -176,6 +256,109 @@ let install_item t ~kind (item : Wire.item) =
         | `Writeback -> ())
     end
   end
+
+(* Apply a byte-range delta from [src] to one of our own data. The base
+   is the per-(datum, src) image in the copy directory — NOT our current
+   encoding: our own heap is unprotected, so we may have drifted since
+   shipping, and patching [src]'s ranges onto the image [src] holds
+   reconstructs exactly the full item [src] would have sent. The result
+   is therefore bit-identical to the full-write-back protocol. Senders
+   only emit a delta while their shadow is fresh, which implies the
+   directory holds the matching base; a miss here means a protocol bug
+   or a crash-purged directory, and must fail loudly. *)
+let patch_ranges (d : Wire.delta) base =
+  let buf = Bytes.of_string base in
+  List.iter
+    (fun (r : Wire.range) ->
+      (* range bounds were validated against [base_len] at decode *)
+      Bytes.blit_string r.Wire.bytes 0 buf r.Wire.off
+        (String.length r.Wire.bytes))
+    d.Wire.ranges;
+  Bytes.to_string buf
+
+(* A delta from [src] landing home: the base is the per-(datum, src)
+   image in the copy directory — NOT our current encoding: our own heap
+   is unprotected, so we may have drifted since shipping, and patching
+   [src]'s ranges onto the image [src] holds reconstructs exactly the
+   full item [src] would have sent. The result is therefore
+   bit-identical to the full-write-back protocol. Senders only emit a
+   delta while their shadow is fresh, which implies the directory holds
+   the matching base; a miss here means a protocol bug or a
+   crash-purged directory, and must fail loudly. *)
+let apply_home_delta t ~src (d : Wire.delta) =
+  let lp = d.Wire.dlp in
+  let base =
+    match dir_base t ~peer:src ~addr:lp.Long_pointer.addr with
+    | Some base -> base
+    | None ->
+      raise
+        (Remote_error
+           (Format.asprintf "delta without a shipped base for %a"
+              Long_pointer.pp lp))
+  in
+  if String.length base <> d.Wire.base_len then
+    raise
+      (Remote_error
+         (Format.asprintf "stale delta base for %a: %d bytes, frame says %d"
+            Long_pointer.pp lp (String.length base) d.Wire.base_len));
+  let patched = patch_ranges d base in
+  (* reconstructing the image is CPU-side byte crunching, not wire *)
+  Transport.charge_cpu_bytes t.transport d.Wire.base_len;
+  let raw =
+    Object_codec.decode (decode_ctx t) ~ty:lp.Long_pointer.ty patched
+  in
+  Address_space.write_unchecked t.space ~addr:lp.Long_pointer.addr raw;
+  Long_pointer.Table.replace t.traveling lp ();
+  dir_record t ~peer:src ~addr:lp.Long_pointer.addr patched
+
+(* A refresh delta: the home re-ships its own traveling datum to one of
+   our cached copies as byte ranges over the last encoding both sides
+   agreed on — our shadow bytes, which stay in lockstep with the home's
+   directory row for us even while the freshness flag says the cache
+   copy itself drifted (a third party may have overwritten it; the full
+   protocol would overwrite it too, so patching the shadow is
+   bit-identical). A missing entry or shadow can only mean we released
+   the copy and our free has not reached the home yet; the full
+   protocol would pointlessly resurrect the datum here, so the delta
+   refresh of a dropped copy is skipped instead. *)
+let apply_refresh_delta t (d : Wire.delta) =
+  let lp = d.Wire.dlp in
+  let entry = Cache.find_by_lp t.cache lp in
+  let base = Option.bind entry Cache.shadow_image in
+  match (entry, base) with
+  | Some e, Some base ->
+    if String.length base <> d.Wire.base_len then
+      raise
+        (Remote_error
+           (Format.asprintf
+              "refresh delta base for %a: %d bytes, frame says %d"
+              Long_pointer.pp lp (String.length base) d.Wire.base_len));
+    let patched = patch_ranges d base in
+    Transport.charge_cpu_bytes t.transport d.Wire.base_len;
+    let raw =
+      Object_codec.decode (decode_ctx t) ~ty:lp.Long_pointer.ty patched
+    in
+    Address_space.write_unchecked t.space ~addr:e.Cache.local_addr raw;
+    (* same provenance as a full traveling write-back: the refreshed
+       copy keeps traveling with the thread of control *)
+    e.Cache.dirty <- true;
+    Cache.mark_present t.cache e;
+    Cache.bump_version e;
+    Cache.sync_shadow e patched
+  | _ ->
+    Log.debug (fun m ->
+        m "%a: refresh delta for dropped copy %a skipped" Space_id.pp t.id
+          Long_pointer.pp lp)
+
+let apply_delta t ~src (d : Wire.delta) =
+  let lp = d.Wire.dlp in
+  if Space_id.equal lp.Long_pointer.origin t.id then apply_home_delta t ~src d
+  else if Space_id.equal lp.Long_pointer.origin src then
+    apply_refresh_delta t d
+  else
+    raise
+      (Remote_error
+         (Format.asprintf "delta for third-party datum %a" Long_pointer.pp lp))
 
 let shipped_set t peer =
   match Space_id.Table.find_opt t.shipped peer with
@@ -253,8 +436,12 @@ let ship_closure t ~peer ~forced_seeds ~seeds =
         total := !total + size;
         Hashtbl.replace total_by_ty lp.ty (used_by_ty lp.ty + size);
         let raw = raw () in
-        out := { Wire.lp; data = Object_codec.encode (encode_ctx t) ~ty:lp.ty raw } :: !out;
+        let data = Object_codec.encode (encode_ctx t) ~ty:lp.ty raw in
+        out := { Wire.lp; data } :: !out;
         Hashtbl.replace shipped lp.addr ();
+        (* closure provenance feeds the copy directory: [peer] will hold
+           exactly this encoding *)
+        dir_record t ~peer ~addr:lp.addr data;
         List.iter push (children raw lp.ty)
       end
       else if Option.is_none per_type_budget then budget_exceeded := true
@@ -325,6 +512,7 @@ let hard_reset t =
   Space_id.Table.reset t.shipped;
   Long_pointer.Table.reset t.traveling;
   Hashtbl.reset t.staged;
+  Hashtbl.reset t.directory;
   t.pending_allocs <- [];
   t.pending_frees <- [];
   t.state_session <- None
@@ -360,7 +548,7 @@ let request t ~dst req =
 let expect_ack = function
   | Wire.Ack -> ()
   | Wire.Error msg -> raise (Remote_error msg)
-  | Wire.Return _ | Wire.Fetched _ | Wire.Allocated _ ->
+  | Wire.Return _ | Wire.Fetched _ | Wire.Allocated _ | Wire.Return_d _ ->
     failwith "protocol error: expected Ack"
 
 (* Crash-safe session abort (ground only): discard the modified data set
@@ -439,7 +627,7 @@ let flush_remote_ops t =
               | None -> failwith "protocol error: allocation not answered")
             pas
         | Wire.Error msg -> raise (Remote_error msg)
-        | Wire.Return _ | Wire.Fetched _ | Wire.Ack ->
+        | Wire.Return _ | Wire.Fetched _ | Wire.Ack | Wire.Return_d _ ->
           failwith "protocol error: expected Allocated")
       batches
   end;
@@ -462,22 +650,25 @@ let flush_remote_ops t =
    code. *)
 let chaos_lose_first_writeback = ref false
 
-let collect_writebacks t =
+(* Drain the dirty entries, charging the twin-diff CPU cost and applying
+   the chaos defect switch — shared by the plain and delta collectors. *)
+let take_dirty_entries t =
   let entries = Cache.dirty_entries t.cache in
   if t.strategy.Strategy.grain = Strategy.Twin_diff then begin
     let psz = Address_space.page_size t.space in
     Transport.charge_cpu_bytes t.transport
       (List.length (Cache.dirty_pages t.cache) * psz)
   end;
+  match entries with
+  | _ :: rest when !chaos_lose_first_writeback -> rest
+  | entries -> entries
+
+let collect_writebacks t =
+  let stats = Transport.stats t.transport in
   let cached_items =
     List.map
       (fun (e : Cache.entry) -> encode_item t ~lp:e.lp ~addr:e.local_addr)
-      entries
-  in
-  let cached_items =
-    match cached_items with
-    | _ :: rest when !chaos_lose_first_writeback -> rest
-    | items -> items
+      (take_dirty_entries t)
   in
   (* Own data modified elsewhere this session keeps traveling,
      re-encoded from the (authoritative) original. *)
@@ -487,9 +678,160 @@ let collect_writebacks t =
       t.traveling []
   in
   let items = cached_items @ traveling_items in
-  Stats.add_writebacks (Transport.stats t.transport) (List.length items);
+  Stats.add_writebacks stats (List.length items);
+  List.iter
+    (fun (i : Wire.item) ->
+      Stats.add_writeback_bytes stats (item_wire_size (String.length i.data)))
+    items;
   Cache.clean_after_flush t.cache;
   items
+
+(* Encode one dirty entry for transfer to its home: [Some delta] when
+   the shadow is usable as a base and the ranges beat the full item,
+   [None] to fall back to the full item. The fallback cases — stale or
+   missing shadow, length change (a pointer flipped nullness), or a
+   delta that would not be smaller — are exactly the ones the stats
+   counter reports. *)
+let delta_for t (e : Cache.entry) (item : Wire.item) =
+  let stats = Transport.stats t.transport in
+  let data = item.Wire.data in
+  let full_size = item_wire_size (String.length data) in
+  match Cache.shadow_base e with
+  | Some base when String.length base = String.length data ->
+    (* the byte scan is CPU-side, like a twin diff *)
+    Transport.charge_cpu_bytes t.transport (String.length data);
+    let ranges = Cache.diff_ranges ~base ~now:data in
+    let dsize = delta_wire_size ranges in
+    if dsize < full_size then begin
+      Stats.add_delta_bytes_saved stats (full_size - dsize);
+      Stats.add_writeback_bytes stats dsize;
+      Some
+        {
+          Wire.dlp = e.Cache.lp;
+          base_len = String.length base;
+          ranges =
+            List.map (fun (off, bytes) -> { Wire.off; bytes }) ranges;
+        }
+    end
+    else begin
+      Stats.incr_full_fallbacks stats;
+      None
+    end
+  | Some _ | None ->
+    Stats.incr_full_fallbacks stats;
+    None
+
+(* Delta-mode modified data set for a control transfer to [dst]: entries
+   homed at [dst] ship as byte-range deltas when possible, everything
+   else (third-party data continuing to snowball, fallbacks, traveling
+   own data) ships as full items. *)
+let collect_writebacks_delta t ~dst =
+  let stats = Transport.stats t.transport in
+  let full = ref [] in
+  let deltas = ref [] in
+  List.iter
+    (fun (e : Cache.entry) ->
+      let item = encode_item t ~lp:e.Cache.lp ~addr:e.Cache.local_addr in
+      let ship_full () =
+        Stats.add_writeback_bytes stats
+          (item_wire_size (String.length item.Wire.data));
+        full := item :: !full
+      in
+      if Space_id.equal e.Cache.lp.Long_pointer.origin dst then begin
+        (match delta_for t e item with
+        | Some d -> deltas := d :: !deltas
+        | None -> ship_full ());
+        (* either way [dst] (the home) now holds this encoding *)
+        Cache.sync_shadow e item.Wire.data
+      end
+      else ship_full ())
+    (take_dirty_entries t);
+  Long_pointer.Table.iter
+    (fun lp () ->
+        let item = encode_item t ~lp ~addr:lp.Long_pointer.addr in
+        let data = item.Wire.data in
+        let full_size = item_wire_size (String.length data) in
+        (* We are this datum's home: the directory row for [dst] is the
+           copy [dst] holds, so the refresh can travel as byte ranges
+           over it instead of the full item. *)
+        let refresh =
+          match dir_base t ~peer:dst ~addr:lp.Long_pointer.addr with
+          | Some base when String.length base = String.length data ->
+            Transport.charge_cpu_bytes t.transport (String.length data);
+            let ranges = Cache.diff_ranges ~base ~now:data in
+            let dsize = delta_wire_size ranges in
+            if dsize < full_size then begin
+              Stats.add_delta_bytes_saved stats (full_size - dsize);
+              Stats.add_writeback_bytes stats dsize;
+              Some
+                {
+                  Wire.dlp = lp;
+                  base_len = String.length base;
+                  ranges =
+                    List.map (fun (off, bytes) -> { Wire.off; bytes }) ranges;
+                }
+            end
+            else begin
+              Stats.incr_full_fallbacks stats;
+              None
+            end
+          | Some _ ->
+            Stats.incr_full_fallbacks stats;
+            None
+          | None -> None
+        in
+        (* either way [dst] holds this encoding afterwards *)
+        dir_record t ~peer:dst ~addr:lp.Long_pointer.addr data;
+        match refresh with
+        | Some d -> deltas := d :: !deltas
+        | None ->
+          Stats.add_writeback_bytes stats full_size;
+          full := item :: !full)
+    t.traveling;
+  let full = List.rev !full in
+  let deltas = List.rev !deltas in
+  Stats.add_writebacks stats (List.length full + List.length deltas);
+  Cache.clean_after_flush t.cache;
+  (full, deltas)
+
+(* Delta-mode session close: the dirty foreign entries grouped by their
+   origin, each group encoded against that origin (deltas where the
+   shadow allows, full items otherwise). Traveling own data is already
+   applied to our originals and ships nowhere at close. *)
+let collect_close_batches_delta t =
+  let stats = Transport.stats t.transport in
+  let foreign =
+    List.filter
+      (fun (e : Cache.entry) ->
+        not (Space_id.equal e.Cache.lp.Long_pointer.origin t.id))
+      (take_dirty_entries t)
+  in
+  let n = ref 0 in
+  let batches =
+    group_by_space (fun (e : Cache.entry) -> e.Cache.lp.Long_pointer.origin)
+      foreign
+    |> List.map (fun (origin, entries) ->
+           let full = ref [] in
+           let deltas = ref [] in
+           List.iter
+             (fun (e : Cache.entry) ->
+               let item =
+                 encode_item t ~lp:e.Cache.lp ~addr:e.Cache.local_addr
+               in
+               (match delta_for t e item with
+               | Some d -> deltas := d :: !deltas
+               | None ->
+                 Stats.add_writeback_bytes stats
+                   (item_wire_size (String.length item.Wire.data));
+                 full := item :: !full);
+               incr n;
+               Cache.sync_shadow e item.Wire.data)
+             entries;
+           (origin, (List.rev !full, List.rev !deltas)))
+  in
+  Stats.add_writebacks stats !n;
+  Cache.clean_after_flush t.cache;
+  batches
 
 (* --- marshaling of argument values --- *)
 
@@ -534,14 +876,26 @@ let eager_for t ~peer wvalues =
 
 (* --- the RPC itself --- *)
 
-let call t ~dst proc args =
-  let info = Session.current_exn t.session in
-  if Space_id.equal dst t.id then invalid_arg "Node.call: dst is self";
-  ground_guard t @@ fun () ->
+(* Apply a batch of releases for our own heap (the [Free_batch] body,
+   also ridden by delta-coherency frames). *)
+let apply_frees t lps =
+  List.iter
+    (fun (lp : Long_pointer.t) ->
+      if not (Space_id.equal lp.origin t.id) then
+        invalid_arg "Free_batch: foreign datum";
+      (* a dead datum must stop traveling, and its directory row would
+         otherwise invite a refresh delta to a space that dropped it *)
+      Long_pointer.Table.remove t.traveling lp;
+      Hashtbl.remove t.directory lp.addr;
+      Allocator.free t.heap lp.addr)
+    lps
+
+let call_plain t (info : Session.info) ~dst proc args =
   flush_remote_ops t;
   let writebacks = collect_writebacks t in
   let wargs = List.map (wire_of_value t) args in
   let eager = eager_for t ~peer:dst wargs in
+  record_copy t ~dst (List.length writebacks + List.length eager);
   Log.debug (fun m ->
       m "%a -> %a: call %s (%d wb, %d eager)" Space_id.pp t.id Space_id.pp dst
         proc (List.length writebacks) (List.length eager));
@@ -550,12 +904,66 @@ let call t ~dst proc args =
       (Wire.Call { session = info.Session.id; proc; args = wargs; writebacks; eager })
   with
   | Wire.Return { results; writebacks; eager } ->
-    List.iter (install_item t ~kind:`Writeback) writebacks;
-    List.iter (install_item t ~kind:`Eager) eager;
+    List.iter (install_item t ~src:dst ~kind:`Writeback) writebacks;
+    List.iter (install_item t ~src:dst ~kind:`Eager) eager;
     List.map (value_of_wire t) results
   | Wire.Error msg -> raise (Remote_error msg)
-  | Wire.Fetched _ | Wire.Allocated _ | Wire.Ack ->
+  | Wire.Fetched _ | Wire.Allocated _ | Wire.Ack | Wire.Return_d _ ->
     failwith "protocol error: bad reply to Call"
+
+(* The delta-coherency control transfer: coherency traffic for [dst] is
+   batched into the call frame itself — write-back deltas and the
+   pending frees homed at [dst] ride along; frees for other spaces still
+   flush as their own batches. Pending allocations cannot coalesce:
+   their provisional pointers must be resolved by the [Alloc_batch]
+   round trip before any datum referencing them is encoded, so the
+   flush below still runs first. *)
+let call_delta t (info : Session.info) ~dst proc args =
+  let my_frees, other_frees =
+    List.partition
+      (fun (lp : Long_pointer.t) -> Space_id.equal lp.origin dst)
+      t.pending_frees
+  in
+  t.pending_frees <- other_frees;
+  flush_remote_ops t;
+  let writebacks, wb_deltas = collect_writebacks_delta t ~dst in
+  let wargs = List.map (wire_of_value t) args in
+  let eager = eager_for t ~peer:dst wargs in
+  record_copy t ~dst
+    (List.length writebacks + List.length wb_deltas + List.length eager);
+  Log.debug (fun m ->
+      m "%a -> %a: call-d %s (%d wb, %d deltas, %d eager, %d frees)"
+        Space_id.pp t.id Space_id.pp dst proc (List.length writebacks)
+        (List.length wb_deltas) (List.length eager) (List.length my_frees));
+  match
+    request t ~dst
+      (Wire.Call_d
+         {
+           session = info.Session.id;
+           proc;
+           args = wargs;
+           writebacks;
+           wb_deltas;
+           eager;
+           frees = my_frees;
+         })
+  with
+  | Wire.Return_d { results; writebacks; wb_deltas; eager; frees } ->
+    apply_frees t frees;
+    List.iter (install_item t ~src:dst ~kind:`Writeback) writebacks;
+    List.iter (apply_delta t ~src:dst) wb_deltas;
+    List.iter (install_item t ~src:dst ~kind:`Eager) eager;
+    List.map (value_of_wire t) results
+  | Wire.Error msg -> raise (Remote_error msg)
+  | Wire.Return _ | Wire.Fetched _ | Wire.Allocated _ | Wire.Ack ->
+    failwith "protocol error: bad reply to Call_d"
+
+let call t ~dst proc args =
+  let info = Session.current_exn t.session in
+  if Space_id.equal dst t.id then invalid_arg "Node.call: dst is self";
+  ground_guard t @@ fun () ->
+  if delta_on t then call_delta t info ~dst proc args
+  else call_plain t info ~dst proc args
 
 (* --- fault handling: the lazy path (paper, section 3.2) --- *)
 
@@ -580,7 +988,7 @@ let fetch_missing t missing =
               if List.exists (Long_pointer.equal item.Wire.lp) wanted then `Demand
               else `Eager
             in
-            install_item t ~kind item)
+            install_item t ~src:origin ~kind item)
           items;
         (* The clock advance across this synchronous round trip is
            exactly how long the faulting thread was stopped. *)
@@ -611,7 +1019,7 @@ let fetch_missing t missing =
                 ~seconds:share)
             entries)
       | Wire.Error msg -> raise (Remote_error msg)
-      | Wire.Return _ | Wire.Allocated _ | Wire.Ack ->
+      | Wire.Return _ | Wire.Allocated _ | Wire.Ack | Wire.Return_d _ ->
         failwith "protocol error: bad reply to Fetch")
     batches
 
@@ -733,14 +1141,27 @@ let ensure_fresh t session =
   | Some _ | None -> ());
   t.state_session <- Some session
 
+(* Drop every piece of cached session state — the [Invalidate] body,
+   shared with the invalidation ridden by a [Wb_delta] close frame. *)
+let apply_invalidate t =
+  record_outcomes t;
+  Cache.invalidate t.cache;
+  Space_id.Table.reset t.shipped;
+  Long_pointer.Table.reset t.traveling;
+  Hashtbl.reset t.staged;
+  Hashtbl.reset t.directory;
+  t.state_session <- None
+
 let handle t src req =
   check_session t (Wire.request_session req);
   ensure_fresh t (Wire.request_session req);
+  let peer () = Space_id.of_string src in
   match (req : Wire.request) with
   | Wire.Call { proc; args; writebacks; eager; session = _ } ->
     Session.join t.session t.id;
-    List.iter (install_item t ~kind:`Writeback) writebacks;
-    List.iter (install_item t ~kind:`Eager) eager;
+    let peer = peer () in
+    List.iter (install_item t ~src:peer ~kind:`Writeback) writebacks;
+    List.iter (install_item t ~src:peer ~kind:`Eager) eager;
     let body =
       match Hashtbl.find_opt t.procs proc with
       | Some f -> f
@@ -751,30 +1172,89 @@ let handle t src req =
     flush_remote_ops t;
     let wb = collect_writebacks t in
     let wres = List.map (wire_of_value t) results in
-    let eager = eager_for t ~peer:(Space_id.of_string src) wres in
+    let eager = eager_for t ~peer wres in
+    record_copy t ~dst:peer (List.length wb + List.length eager);
     Wire.Return { results = wres; writebacks = wb; eager }
+  | Wire.Call_d { proc; args; writebacks; wb_deltas; eager; frees; session = _ }
+    ->
+    Session.join t.session t.id;
+    let peer = peer () in
+    apply_frees t frees;
+    List.iter (install_item t ~src:peer ~kind:`Writeback) writebacks;
+    List.iter (apply_delta t ~src:peer) wb_deltas;
+    List.iter (install_item t ~src:peer ~kind:`Eager) eager;
+    let body =
+      match Hashtbl.find_opt t.procs proc with
+      | Some f -> f
+      | None -> raise (Unknown_procedure proc)
+    in
+    let vargs = List.map (value_of_wire t) args in
+    let results = body t vargs in
+    (* the transfer back to the caller gets the same delta treatment,
+       with the frees homed at the caller riding in the reply *)
+    let my_frees, other_frees =
+      List.partition
+        (fun (lp : Long_pointer.t) -> Space_id.equal lp.origin peer)
+        t.pending_frees
+    in
+    t.pending_frees <- other_frees;
+    flush_remote_ops t;
+    let wb, wb_deltas = collect_writebacks_delta t ~dst:peer in
+    let wres = List.map (wire_of_value t) results in
+    let eager = eager_for t ~peer wres in
+    record_copy t ~dst:peer
+      (List.length wb + List.length wb_deltas + List.length eager);
+    Wire.Return_d
+      { results = wres; writebacks = wb; wb_deltas; eager; frees = my_frees }
   | Wire.Fetch { wanted; session = _ } ->
     Session.join t.session t.id;
-    Wire.Fetched { items = serve_fetch t ~peer:(Space_id.of_string src) wanted }
+    let peer = peer () in
+    let items = serve_fetch t ~peer wanted in
+    record_copy t ~dst:peer (List.length items);
+    Wire.Fetched { items }
   | Wire.Write_back { items; session = _ } ->
     (* installing write-backs can swizzle foreign pointers into fresh
        cache slots here, so this space must be invalidated too *)
     Session.join t.session t.id;
-    List.iter (install_item t ~kind:`Writeback) items;
+    List.iter (install_item t ~src:(peer ()) ~kind:`Writeback) items;
+    Wire.Ack
+  | Wire.Wb_delta { full; deltas; frees; invalidate; session = _ } ->
+    (* delta-coherency close frame: apply the per-destination batch —
+       frees, full write-backs, byte-range deltas — then, if the
+       targeted invalidation rides along, drop all session state *)
+    Session.join t.session t.id;
+    let peer = peer () in
+    apply_frees t frees;
+    List.iter (install_item t ~src:peer ~kind:`Writeback) full;
+    List.iter (apply_delta t ~src:peer) deltas;
+    if invalidate then apply_invalidate t;
     Wire.Ack
   | Wire.Wb_stage { items; session } ->
     (* all-or-nothing close, phase one: hold the items without applying;
        a crash before commit leaves the originals untouched *)
     Session.join t.session t.id;
+    let peer = peer () in
     let prev = Option.value ~default:[] (Hashtbl.find_opt t.staged session) in
-    Hashtbl.replace t.staged session (prev @ items);
+    Hashtbl.replace t.staged session
+      (prev @ List.map (fun i -> S_full (peer, i)) items);
+    Wire.Ack
+  | Wire.Wb_stage_delta { deltas; session } ->
+    Session.join t.session t.id;
+    let peer = peer () in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt t.staged session) in
+    Hashtbl.replace t.staged session
+      (prev @ List.map (fun d -> S_delta (peer, d)) deltas);
     Wire.Ack
   | Wire.Wb_commit { session } ->
     Session.join t.session t.id;
     (match Hashtbl.find_opt t.staged session with
-    | Some items ->
+    | Some staged ->
       Hashtbl.remove t.staged session;
-      List.iter (install_item t ~kind:`Writeback) items
+      List.iter
+        (function
+          | S_full (peer, item) -> install_item t ~src:peer ~kind:`Writeback item
+          | S_delta (peer, d) -> apply_delta t ~src:peer d)
+        staged
     | None -> ());
     Wire.Ack
   | Wire.Abort { session = _ } ->
@@ -788,20 +1268,10 @@ let handle t src req =
     in
     Wire.Allocated { addrs }
   | Wire.Free_batch { lps; session = _ } ->
-    List.iter
-      (fun (lp : Long_pointer.t) ->
-        if not (Space_id.equal lp.origin t.id) then
-          invalid_arg "Free_batch: foreign datum";
-        Allocator.free t.heap lp.addr)
-      lps;
+    apply_frees t lps;
     Wire.Ack
   | Wire.Invalidate { session = _ } ->
-    record_outcomes t;
-    Cache.invalidate t.cache;
-    Space_id.Table.reset t.shipped;
-    Long_pointer.Table.reset t.traveling;
-    Hashtbl.reset t.staged;
-    t.state_session <- None;
+    apply_invalidate t;
     Wire.Ack
 
 let handle_encoded t src req =
@@ -822,13 +1292,35 @@ let dispatch t src req_str =
   | Some seq, req -> (
     (* at-most-once: a re-sent or duplicated frame replays the cached
        reply instead of executing again *)
+    t.reply_tick <- t.reply_tick + 1;
     match Hashtbl.find_opt t.replies src with
-    | Some (last, cached) when last = seq ->
+    | Some slot when slot.rs_seq = seq ->
       Stats.incr_duplicates (Transport.stats t.transport);
-      cached
+      slot.rs_used <- t.reply_tick;
+      slot.rs_reply
     | Some _ | None ->
       let encoded = handle_encoded t src req in
-      Hashtbl.replace t.replies src (seq, encoded);
+      Hashtbl.replace t.replies src
+        { rs_seq = seq; rs_reply = encoded; rs_used = t.reply_tick };
+      (* bounded: evict the least-recently-used source beyond the cap.
+         An evicted source loses duplicate suppression for its last
+         request only — it would have to stay silent through [cap]
+         other sources' requests and then re-send, which the retry
+         envelope's bounded backoff cannot do. The O(cap) scan is
+         amortized by how rarely the cap is hit. *)
+      if Hashtbl.length t.replies > t.reply_cap then begin
+        let victim =
+          Hashtbl.fold
+            (fun src slot acc ->
+              match acc with
+              | Some (_, best) when best <= slot.rs_used -> acc
+              | _ -> Some (src, slot.rs_used))
+            t.replies None
+        in
+        match victim with
+        | Some (vsrc, _) -> Hashtbl.remove t.replies vsrc
+        | None -> ()
+      end;
       encoded)
 
 (* --- sessions --- *)
@@ -847,6 +1339,7 @@ let close_tail t (info : Session.info) =
   Cache.invalidate t.cache;
   Space_id.Table.reset t.shipped;
   Long_pointer.Table.reset t.traveling;
+  Hashtbl.reset t.directory;
   t.state_session <- None;
   (* Every participant has now recorded its outcomes into the shared
      profile; run one control decision and install the derived hints so
@@ -938,11 +1431,116 @@ let end_session_faulty t (info : Session.info) =
     others;
   close_tail t info
 
+(* Targeted-invalidation bookkeeping shared by the delta closes:
+   [reached] is the set already invalidated by combined frames; the
+   remaining cachers get bare [Invalidate] unicasts, and whoever the
+   copy directory spared is counted. *)
+let targeted_invalidate t (info : Session.info) ~reached ~tolerate =
+  let sid = info.Session.id in
+  let remaining =
+    Space_id.Set.diff
+      (Space_id.Set.remove t.id info.Session.cachers)
+      reached
+  in
+  Space_id.Set.iter
+    (fun peer ->
+      Transport.note t.transport ~src:(endpoint t)
+        ~dst:(Space_id.to_string peer) (Trace.Inval_sent sid);
+      try expect_ack (request t ~dst:peer (Wire.Invalidate { session = sid }))
+      with Peer_unreachable _ when tolerate -> ())
+    remaining;
+  let invalidated = Space_id.Set.union reached remaining in
+  let spared =
+    Space_id.Set.diff
+      (Space_id.Set.remove t.id info.Session.participants)
+      invalidated
+  in
+  Stats.add_invalidations_skipped
+    (Transport.stats t.transport)
+    (Space_id.Set.cardinal spared)
+
+(* Delta close over a reliable transport: one combined frame per origin
+   carries its write-backs (full and delta), its pending frees and the
+   targeted invalidation; the remaining caching spaces get bare
+   invalidation unicasts; everyone else is spared entirely. *)
+let end_session_delta_plain t (info : Session.info) =
+  let sid = info.Session.id in
+  let frees = t.pending_frees in
+  t.pending_frees <- [];
+  flush_remote_ops t;
+  Transport.mark t.transport ~src:(endpoint t) (Trace.Write_back sid);
+  let batches = collect_close_batches_delta t in
+  let frees_by = group_by_space (fun (lp : Long_pointer.t) -> lp.origin) frees in
+  let origins =
+    List.sort_uniq Space_id.compare
+      (List.map fst batches @ List.map fst frees_by)
+  in
+  List.iter
+    (fun origin ->
+      let full, deltas =
+        Option.value ~default:([], []) (List.assoc_opt origin batches)
+      in
+      let frees = Option.value ~default:[] (List.assoc_opt origin frees_by) in
+      record_copy t ~dst:origin (List.length full + List.length deltas);
+      Transport.note t.transport ~src:(endpoint t)
+        ~dst:(Space_id.to_string origin) (Trace.Inval_sent sid);
+      expect_ack
+        (request t ~dst:origin
+           (Wire.Wb_delta { session = sid; full; deltas; frees; invalidate = true })))
+    origins;
+  Transport.mark t.transport ~src:(endpoint t) (Trace.Invalidate sid);
+  let reached =
+    List.fold_left
+      (fun s o -> Space_id.Set.add o s)
+      Space_id.Set.empty origins
+  in
+  targeted_invalidate t info ~reached ~tolerate:false;
+  close_tail t info
+
+(* Delta close under the fault envelope: same two-phase shape as the
+   plain faulty close — stage everything (full items and deltas), pass
+   the commit point, then invalidate — except that the invalidation is
+   targeted by the copy directory instead of multicast to every
+   participant. Frees and allocations flush as their own acked batches
+   before the commit point so an abort can still discard cleanly. *)
+let end_session_delta_faulty t (info : Session.info) =
+  let sid = info.Session.id in
+  let batches =
+    ground_guard t @@ fun () ->
+    flush_remote_ops t;
+    let batches = collect_close_batches_delta t in
+    List.iter
+      (fun (origin, (full, deltas)) ->
+        record_copy t ~dst:origin (List.length full + List.length deltas);
+        if full <> [] then
+          expect_ack
+            (request t ~dst:origin (Wire.Wb_stage { session = sid; items = full }));
+        if deltas <> [] then
+          expect_ack
+            (request t ~dst:origin (Wire.Wb_stage_delta { session = sid; deltas })))
+      batches;
+    batches
+  in
+  (* commit point: the complete modified data set is staged everywhere *)
+  Transport.mark t.transport ~src:(endpoint t) (Trace.Write_back sid);
+  List.iter
+    (fun (origin, _) ->
+      try expect_ack (request t ~dst:origin (Wire.Wb_commit { session = sid }))
+      with Peer_unreachable _ -> ())
+    batches;
+  Transport.mark t.transport ~src:(endpoint t) (Trace.Invalidate sid);
+  targeted_invalidate t info ~reached:Space_id.Set.empty ~tolerate:true;
+  close_tail t info
+
 let end_session t =
   let info = Session.current_exn t.session in
   if not (Space_id.equal info.Session.ground t.id) then
     invalid_arg "Node.end_session: only the ground thread may end the session";
-  if faulty t then end_session_faulty t info else end_session_plain t info
+  if delta_on t then
+    if faulty t then end_session_delta_faulty t info
+    else end_session_delta_plain t info
+  else if faulty t then end_session_faulty t info
+  else end_session_plain t info
 
 let with_session t f =
   begin_session t;
@@ -1000,17 +1598,29 @@ let extended_free t addr =
         t.pending_frees <- e.Cache.lp :: t.pending_frees;
         if not t.strategy.Strategy.batch_remote_ops then flush_remote_ops t
       end)
-  else if in_heap t addr then Allocator.free t.heap addr
+  else if in_heap t addr then begin
+    Long_pointer.Table.fold
+      (fun lp () acc ->
+        if lp.Long_pointer.addr = addr && Space_id.equal lp.origin t.id then
+          lp :: acc
+        else acc)
+      t.traveling []
+    |> List.iter (Long_pointer.Table.remove t.traveling);
+    Hashtbl.remove t.directory addr;
+    Allocator.free t.heap addr
+  end
   else raise (Invalid_pointer addr)
 
 (* --- construction --- *)
 
 let create ?(page_size = 4096) ?(heap_base = 0x10000) ?(heap_limit = 0x4000000)
     ?(cache_limit = 0x24000000) ?hints ?policy ?(validate = false)
-    ?(retry = default_retry) ~id ~arch ~registry ~transport ~session ~strategy
-    () =
+    ?(retry = default_retry) ?(reply_cache_cap = 64) ~id ~arch ~registry
+    ~transport ~session ~strategy () =
   if retry.max_attempts < 1 then
     invalid_arg "Node.create: retry.max_attempts must be at least 1";
+  if reply_cache_cap < 1 then
+    invalid_arg "Node.create: reply_cache_cap must be at least 1";
   if heap_limit mod page_size <> 0 then
     invalid_arg "Node.create: heap_limit must be page-aligned";
   (* Reject a malformed registry before any datum is laid out against
@@ -1048,7 +1658,10 @@ let create ?(page_size = 4096) ?(heap_base = 0x10000) ?(heap_limit = 0x4000000)
       retry;
       seq = 0;
       replies = Hashtbl.create 8;
+      reply_cap = reply_cache_cap;
+      reply_tick = 0;
       staged = Hashtbl.create 4;
+      directory = Hashtbl.create 32;
       state_session = None;
     }
   in
@@ -1072,4 +1685,13 @@ let charge_touch ?addr t =
       | Some e -> e.Cache.touched <- true
       | None -> ())
 let cached_entries t = Cache.entry_count t.cache
+let reply_cache_size t = Hashtbl.length t.replies
+
+let copy_directory t =
+  Hashtbl.fold
+    (fun addr tbl acc ->
+      (addr, Space_id.Table.fold (fun peer _ peers -> peer :: peers) tbl [])
+      :: acc)
+    t.directory []
+
 let pp_alloc_table ppf t = Cache.pp_table ppf t.cache

@@ -58,9 +58,13 @@ val default_retry : retry
     installs machine-derived closure-shape hints into [hints] (share
     one engine and one hint table across the cluster's nodes).
     [?retry] tunes the fault-layer retry envelope (used only when a
-    fault plan is installed on the transport).
+    fault plan is installed on the transport). [?reply_cache_cap]
+    bounds the per-source at-most-once reply cache (default 64
+    sources); the least-recently-consulted source is evicted when the
+    bound is exceeded.
     @raise Srpc_analysis.Desc_lint.Invalid_registry if validation finds
-    error-severity defects. *)
+    error-severity defects.
+    @raise Invalid_argument if [reply_cache_cap < 1]. *)
 val create :
   ?page_size:int ->
   ?heap_base:int ->
@@ -70,6 +74,7 @@ val create :
   ?policy:Srpc_policy.Engine.t ->
   ?validate:bool ->
   ?retry:retry ->
+  ?reply_cache_cap:int ->
   id:Space_id.t ->
   arch:Arch.t ->
   registry:Registry.t ->
@@ -175,6 +180,19 @@ val charge_touch : ?addr:int -> t -> unit
 
 (** Number of live entries in the data allocation table. *)
 val cached_entries : t -> int
+
+(** Number of sources currently held by the at-most-once reply cache
+    (bounded by [reply_cache_cap]; exposed for the eviction tests). *)
+val reply_cache_size : t -> int
+
+(** The copy directory: for each datum homed here that was shipped out
+    and not yet written back or invalidated, the spaces holding a copy.
+    Entries are [(home address, caching spaces)]; both lists are in
+    unspecified order. Maintained regardless of
+    {!Strategy.t.delta_coherency} (senders need base images even when
+    only the peer runs delta write-backs); cleared by session close,
+    invalidation and the session-abort reset. *)
+val copy_directory : t -> (int * Space_id.t list) list
 
 (** Test-only defect switch used by the srpc-check mutation test: while
     set, every write-back flush silently drops its first dirty cache

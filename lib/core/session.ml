@@ -4,6 +4,7 @@ type info = {
   id : int;
   ground : Space_id.t;
   mutable participants : Space_id.Set.t;
+  mutable cachers : Space_id.Set.t;
 }
 
 type t = { mutable counter : int; mutable current : info option }
@@ -20,7 +21,12 @@ let begin_session t ~ground =
   | None ->
     t.counter <- t.counter + 1;
     let info =
-      { id = t.counter; ground; participants = Space_id.Set.singleton ground }
+      {
+        id = t.counter;
+        ground;
+        participants = Space_id.Set.singleton ground;
+        cachers = Space_id.Set.empty;
+      }
     in
     t.current <- Some info;
     info
@@ -40,3 +46,7 @@ let is_active t = Option.is_some t.current
 let join t id =
   let info = current_exn t in
   info.participants <- Space_id.Set.add id info.participants
+
+let record_casher t id =
+  let info = current_exn t in
+  info.cachers <- Space_id.Set.add id info.cachers

@@ -13,6 +13,13 @@ type info = {
   id : int;
   ground : Space_id.t;
   mutable participants : Space_id.Set.t;
+  mutable cachers : Space_id.Set.t;
+      (** spaces that received a data copy (item or delta-patched) this
+          session — the union of every sender's shipping provenance,
+          standing in for metadata piggybacked on data transfers. The
+          ground's targeted session-end invalidation (delta coherency)
+          goes to exactly this set; spaces that cached nothing are
+          skipped. *)
 }
 
 type t
@@ -46,3 +53,7 @@ val is_active : t -> bool
 
 (** [join t id] records [id] as a participant of the active session. *)
 val join : t -> Space_id.t -> unit
+
+(** [record_casher t id] records that [id] received a copy of some datum
+    in the active session (see {!info.cachers}). *)
+val record_casher : t -> Space_id.t -> unit

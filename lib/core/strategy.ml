@@ -9,15 +9,17 @@ type t = {
   order : closure_order;
   grain : writeback_grain;
   batch_remote_ops : bool;
+  delta_coherency : bool;
 }
 
-let smart ?(closure_size = 8192) () =
+let smart ?(closure_size = 8192) ?(delta = false) () =
   {
     budget = Bytes closure_size;
     grouping = By_origin;
     order = Breadth_first;
     grain = Page_grain;
     batch_remote_ops = true;
+    delta_coherency = delta;
   }
 
 let fully_eager =
@@ -27,6 +29,7 @@ let fully_eager =
     order = Breadth_first;
     grain = Page_grain;
     batch_remote_ops = true;
+    delta_coherency = false;
   }
 
 let fully_lazy =
@@ -36,6 +39,7 @@ let fully_lazy =
     order = Breadth_first;
     grain = Page_grain;
     batch_remote_ops = true;
+    delta_coherency = false;
   }
 
 let pp ppf t =
@@ -51,9 +55,9 @@ let pp ppf t =
   in
   let order = function Breadth_first -> "bfs" | Depth_first -> "dfs" in
   let grain = function Page_grain -> "page" | Twin_diff -> "twin-diff" in
-  Format.fprintf ppf "{closure=%a;group=%s;order=%s;grain=%s;batch=%b}" budget
-    t.budget (grouping t.grouping) (order t.order) (grain t.grain)
-    t.batch_remote_ops
+  Format.fprintf ppf "{closure=%a;group=%s;order=%s;grain=%s;batch=%b;delta=%b}"
+    budget t.budget (grouping t.grouping) (order t.order) (grain t.grain)
+    t.batch_remote_ops t.delta_coherency
 
 let budget_allows t ~total ~extra =
   match t.budget with

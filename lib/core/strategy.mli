@@ -43,11 +43,18 @@ type t = {
       (** batch [extended_malloc]/[extended_free] requests until the next
           control transfer (paper section 3.5); [false] issues one
           message per primitive *)
+  delta_coherency : bool;
+      (** ship only changed byte ranges of a modified datum back to its
+          home ([Wb_delta]), maintain a per-home copy directory and send
+          session-end invalidation only to spaces that actually cached
+          data (see docs/DELTA.md); [false] reproduces the paper's
+          full-item write-back + cluster-wide invalidation multicast,
+          byte-identical on the wire to the pre-delta runtime *)
 }
 
 (** The proposed method; [closure_size] in bytes defaults to the paper's
-    8192. *)
-val smart : ?closure_size:int -> unit -> t
+    8192. [delta] turns on delta coherency (default off). *)
+val smart : ?closure_size:int -> ?delta:bool -> unit -> t
 
 (** Whole closure shipped with the pointer; no faults afterwards. *)
 val fully_eager : t

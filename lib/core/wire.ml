@@ -12,6 +12,10 @@ type wvalue =
 
 type item = { lp : Long_pointer.t; data : string }
 
+type range = { off : int; bytes : string }
+
+type delta = { dlp : Long_pointer.t; base_len : int; ranges : range list }
+
 type request =
   | Call of {
       session : int;
@@ -28,6 +32,23 @@ type request =
   | Abort of { session : int }
   | Wb_stage of { session : int; items : item list }
   | Wb_commit of { session : int }
+  | Wb_delta of {
+      session : int;
+      full : item list;
+      deltas : delta list;
+      frees : Long_pointer.t list;
+      invalidate : bool;
+    }
+  | Wb_stage_delta of { session : int; deltas : delta list }
+  | Call_d of {
+      session : int;
+      proc : string;
+      args : wvalue list;
+      writebacks : item list;
+      wb_deltas : delta list;
+      eager : item list;
+      frees : Long_pointer.t list;
+    }
 
 type response =
   | Return of { results : wvalue list; writebacks : item list; eager : item list }
@@ -35,6 +56,13 @@ type response =
   | Allocated of { addrs : (int * int) list }
   | Ack
   | Error of string
+  | Return_d of {
+      results : wvalue list;
+      writebacks : item list;
+      wb_deltas : delta list;
+      eager : item list;
+      frees : Long_pointer.t list;
+    }
 
 let encode_wvalue ~reg enc = function
   | WUnit -> Enc.int enc 0
@@ -96,6 +124,43 @@ let decode_lp ~reg dec =
   | None -> raise (Decode_error "unexpected null long pointer")
   | Some lp -> lp
 
+let encode_range enc { off; bytes } =
+  Enc.int enc off;
+  Enc.opaque enc bytes
+
+let encode_delta ~reg enc { dlp; base_len; ranges } =
+  Long_pointer.encode ~reg enc (Some dlp);
+  Enc.int enc base_len;
+  Enc.list enc encode_range ranges
+
+(* A delta patches the receiver's copy in place, so its ranges are
+   validated here at the trust boundary: ascending, non-empty,
+   non-overlapping and inside the base image. Anything else must be a
+   typed decode error, never an out-of-bounds blit. *)
+let decode_delta ~reg dec =
+  let dlp = decode_lp ~reg dec in
+  let base_len = Dec.int dec in
+  if base_len < 0 then raise (Decode_error "negative delta base length");
+  let ranges =
+    Dec.list dec (fun dec ->
+        let off = Dec.int dec in
+        let bytes = Dec.opaque dec in
+        { off; bytes })
+  in
+  let rec validate cursor = function
+    | [] -> ()
+    | { off; bytes } :: rest ->
+      let len = String.length bytes in
+      if len = 0 then raise (Decode_error "empty delta range");
+      if off < cursor then
+        raise (Decode_error "unordered or overlapping delta ranges");
+      if off + len > base_len then
+        raise (Decode_error "delta range out of bounds");
+      validate (off + len) rest
+  in
+  validate 0 ranges;
+  { dlp; base_len; ranges }
+
 let encode_request_body ~reg enc r =
   match r with
   | Call { session; proc; args; writebacks; eager } ->
@@ -138,6 +203,26 @@ let encode_request_body ~reg enc r =
   | Wb_commit { session } ->
     Enc.int enc 8;
     Enc.int enc session
+  | Wb_delta { session; full; deltas; frees; invalidate } ->
+    Enc.int enc 9;
+    Enc.int enc session;
+    Enc.list enc (encode_item ~reg) full;
+    Enc.list enc (encode_delta ~reg) deltas;
+    Enc.list enc (encode_lp ~reg) frees;
+    Enc.bool enc invalidate
+  | Wb_stage_delta { session; deltas } ->
+    Enc.int enc 10;
+    Enc.int enc session;
+    Enc.list enc (encode_delta ~reg) deltas
+  | Call_d { session; proc; args; writebacks; wb_deltas; eager; frees } ->
+    Enc.int enc 11;
+    Enc.int enc session;
+    Enc.string enc proc;
+    Enc.list enc (encode_wvalue ~reg) args;
+    Enc.list enc (encode_item ~reg) writebacks;
+    Enc.list enc (encode_delta ~reg) wb_deltas;
+    Enc.list enc (encode_item ~reg) eager;
+    Enc.list enc (encode_lp ~reg) frees
 
 let encode_request ~reg r =
   let enc = Enc.create () in
@@ -199,6 +284,26 @@ let decode_request_tagged ~reg dec tag =
   | 8 ->
     let session = Dec.int dec in
     Wb_commit { session }
+  | 9 ->
+    let session = Dec.int dec in
+    let full = Dec.list dec (decode_item ~reg) in
+    let deltas = Dec.list dec (decode_delta ~reg) in
+    let frees = Dec.list dec (decode_lp ~reg) in
+    let invalidate = Dec.bool dec in
+    Wb_delta { session; full; deltas; frees; invalidate }
+  | 10 ->
+    let session = Dec.int dec in
+    let deltas = Dec.list dec (decode_delta ~reg) in
+    Wb_stage_delta { session; deltas }
+  | 11 ->
+    let session = Dec.int dec in
+    let proc = Dec.string dec in
+    let args = Dec.list dec (decode_wvalue ~reg) in
+    let writebacks = Dec.list dec (decode_item ~reg) in
+    let wb_deltas = Dec.list dec (decode_delta ~reg) in
+    let eager = Dec.list dec (decode_item ~reg) in
+    let frees = Dec.list dec (decode_lp ~reg) in
+    Call_d { session; proc; args; writebacks; wb_deltas; eager; frees }
   | n -> raise (Decode_error (Printf.sprintf "bad request tag %d" n))
 
 let decode_request ~reg s =
@@ -228,7 +333,10 @@ let request_session = function
   | Invalidate { session }
   | Abort { session }
   | Wb_stage { session; _ }
-  | Wb_commit { session } -> session
+  | Wb_commit { session }
+  | Wb_delta { session; _ }
+  | Wb_stage_delta { session; _ }
+  | Call_d { session; _ } -> session
 
 let encode_response ~reg r =
   let enc = Enc.create () in
@@ -251,7 +359,14 @@ let encode_response ~reg r =
   | Ack -> Enc.int enc 3
   | Error msg ->
     Enc.int enc 4;
-    Enc.string enc msg);
+    Enc.string enc msg
+  | Return_d { results; writebacks; wb_deltas; eager; frees } ->
+    Enc.int enc 5;
+    Enc.list enc (encode_wvalue ~reg) results;
+    Enc.list enc (encode_item ~reg) writebacks;
+    Enc.list enc (encode_delta ~reg) wb_deltas;
+    Enc.list enc (encode_item ~reg) eager;
+    Enc.list enc (encode_lp ~reg) frees);
   Enc.to_string enc
 
 let decode_response ~reg s =
@@ -274,6 +389,13 @@ let decode_response ~reg s =
       Allocated { addrs }
     | 3 -> Ack
     | 4 -> Error (Dec.string dec)
+    | 5 ->
+      let results = Dec.list dec (decode_wvalue ~reg) in
+      let writebacks = Dec.list dec (decode_item ~reg) in
+      let wb_deltas = Dec.list dec (decode_delta ~reg) in
+      let eager = Dec.list dec (decode_item ~reg) in
+      let frees = Dec.list dec (decode_lp ~reg) in
+      Return_d { results; writebacks; wb_deltas; eager; frees }
     | n -> raise (Decode_error (Printf.sprintf "bad response tag %d" n))
   in
   Dec.check_end dec;
@@ -298,6 +420,17 @@ let pp_request ppf = function
   | Wb_stage { items; session } ->
     Format.fprintf ppf "WbStage[%d] %a" session pp_items items
   | Wb_commit { session } -> Format.fprintf ppf "WbCommit[%d]" session
+  | Wb_delta { full; deltas; frees; invalidate; session } ->
+    Format.fprintf ppf "WbDelta[%d] (%a, %d deltas, %d frees, inval %b)"
+      session pp_items full (List.length deltas) (List.length frees)
+      invalidate
+  | Wb_stage_delta { deltas; session } ->
+    Format.fprintf ppf "WbStageDelta[%d] %d deltas" session
+      (List.length deltas)
+  | Call_d { proc; args; writebacks; wb_deltas; eager; frees; session } ->
+    Format.fprintf ppf "CallD[%d] %s/%d (wb %a, %d deltas, eager %a, %d frees)"
+      session proc (List.length args) pp_items writebacks
+      (List.length wb_deltas) pp_items eager (List.length frees)
 
 let pp_response ppf = function
   | Return { results; writebacks; eager } ->
@@ -307,3 +440,7 @@ let pp_response ppf = function
   | Allocated { addrs } -> Format.fprintf ppf "Allocated %d" (List.length addrs)
   | Ack -> Format.pp_print_string ppf "Ack"
   | Error msg -> Format.fprintf ppf "Error %S" msg
+  | Return_d { results; writebacks; wb_deltas; eager; frees } ->
+    Format.fprintf ppf "ReturnD/%d (wb %a, %d deltas, eager %a, %d frees)"
+      (List.length results) pp_items writebacks (List.length wb_deltas)
+      pp_items eager (List.length frees)

@@ -17,6 +17,16 @@ type wvalue =
 
 type item = { lp : Long_pointer.t; data : string }
 
+type range = { off : int; bytes : string }
+(** one changed byte range of a datum's canonical encoding *)
+
+type delta = { dlp : Long_pointer.t; base_len : int; ranges : range list }
+(** delta-coherency write-back: patch [ranges] onto the [base_len]-byte
+    image the receiver holds for [dlp]. Decoding validates the ranges —
+    ascending, non-empty, non-overlapping, inside [base_len] — and
+    raises [Xdr.Decode_error] otherwise, so a corrupt frame can never
+    drive an out-of-bounds patch. *)
+
 type request =
   | Call of {
       session : int;
@@ -45,6 +55,35 @@ type request =
   | Wb_commit of { session : int }
       (** all-or-nothing close, phase two: apply everything staged for
           this session *)
+  | Wb_delta of {
+      session : int;
+      full : item list;
+      deltas : delta list;
+      frees : Long_pointer.t list;
+      invalidate : bool;
+    }
+      (** delta-coherency close frame, batched per destination: full
+          write-back items (delta fallback), byte-range deltas, pending
+          frees homed at the receiver, and — when [invalidate] — the
+          targeted invalidation, all coalesced into one message *)
+  | Wb_stage_delta of { session : int; deltas : delta list }
+      (** delta twin of [Wb_stage]: buffer deltas at the origin without
+          patching them; applied by [Wb_commit] *)
+  | Call_d of {
+      session : int;
+      proc : string;
+      args : wvalue list;
+      writebacks : item list;
+      wb_deltas : delta list;
+      eager : item list;
+      frees : Long_pointer.t list;
+    }
+      (** delta twin of [Call]: callee-homed modified data travels as
+          byte-range deltas and pending frees homed at the callee ride
+          in the same frame. Pending allocations can NOT ride along:
+          provisional pointers must never appear on the wire, so the
+          [Alloc_batch] round-trip still precedes the call (see
+          docs/DELTA.md). *)
 
 type response =
   | Return of { results : wvalue list; writebacks : item list; eager : item list }
@@ -52,6 +91,15 @@ type response =
   | Allocated of { addrs : (int * int) list }  (** provisional id, real address *)
   | Ack
   | Error of string  (** remote exception, re-raised at the caller *)
+  | Return_d of {
+      results : wvalue list;
+      writebacks : item list;
+      wb_deltas : delta list;
+      eager : item list;
+      frees : Long_pointer.t list;
+    }
+      (** reply to [Call_d]: the callee's control transfer back, with
+          the same delta treatment and coalesced frees *)
 
 val encode_request : reg:Srpc_types.Registry.t -> request -> string
 val decode_request : reg:Srpc_types.Registry.t -> string -> request

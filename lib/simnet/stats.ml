@@ -12,6 +12,10 @@ type snapshot = {
   retries : int;
   timeouts : int;
   duplicates : int;
+  writeback_bytes : int;
+  delta_bytes_saved : int;
+  full_fallbacks : int;
+  invalidations_skipped : int;
 }
 
 type t = {
@@ -28,6 +32,10 @@ type t = {
   mutable retries : int;
   mutable timeouts : int;
   mutable duplicates : int;
+  mutable writeback_bytes : int;
+  mutable delta_bytes_saved : int;
+  mutable full_fallbacks : int;
+  mutable invalidations_skipped : int;
 }
 
 let create () =
@@ -45,6 +53,10 @@ let create () =
     retries = 0;
     timeouts = 0;
     duplicates = 0;
+    writeback_bytes = 0;
+    delta_bytes_saved = 0;
+    full_fallbacks = 0;
+    invalidations_skipped = 0;
   }
 
 let incr_messages t = t.messages <- t.messages + 1
@@ -63,6 +75,12 @@ let add_stall_ns t n = t.stall_ns <- t.stall_ns + n
 let incr_retries t = t.retries <- t.retries + 1
 let incr_timeouts t = t.timeouts <- t.timeouts + 1
 let incr_duplicates t = t.duplicates <- t.duplicates + 1
+let add_writeback_bytes t n = t.writeback_bytes <- t.writeback_bytes + n
+let add_delta_bytes_saved t n = t.delta_bytes_saved <- t.delta_bytes_saved + n
+let incr_full_fallbacks t = t.full_fallbacks <- t.full_fallbacks + 1
+
+let add_invalidations_skipped t n =
+  t.invalidations_skipped <- t.invalidations_skipped + n
 
 let snapshot t : snapshot =
   {
@@ -79,6 +97,10 @@ let snapshot t : snapshot =
     retries = t.retries;
     timeouts = t.timeouts;
     duplicates = t.duplicates;
+    writeback_bytes = t.writeback_bytes;
+    delta_bytes_saved = t.delta_bytes_saved;
+    full_fallbacks = t.full_fallbacks;
+    invalidations_skipped = t.invalidations_skipped;
   }
 
 let reset t =
@@ -94,7 +116,11 @@ let reset t =
   t.stall_ns <- 0;
   t.retries <- 0;
   t.timeouts <- 0;
-  t.duplicates <- 0
+  t.duplicates <- 0;
+  t.writeback_bytes <- 0;
+  t.delta_bytes_saved <- 0;
+  t.full_fallbacks <- 0;
+  t.invalidations_skipped <- 0
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
   {
@@ -111,6 +137,10 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     retries = a.retries - b.retries;
     timeouts = a.timeouts - b.timeouts;
     duplicates = a.duplicates - b.duplicates;
+    writeback_bytes = a.writeback_bytes - b.writeback_bytes;
+    delta_bytes_saved = a.delta_bytes_saved - b.delta_bytes_saved;
+    full_fallbacks = a.full_fallbacks - b.full_fallbacks;
+    invalidations_skipped = a.invalidations_skipped - b.invalidations_skipped;
   }
 
 let zero : snapshot =
@@ -128,13 +158,18 @@ let zero : snapshot =
     retries = 0;
     timeouts = 0;
     duplicates = 0;
+    writeback_bytes = 0;
+    delta_bytes_saved = 0;
+    full_fallbacks = 0;
+    invalidations_skipped = 0;
   }
 
 let pp_snapshot ppf (s : snapshot) =
   Format.fprintf ppf
     "@[<h>msgs=%d bytes=%d faults=%d callbacks=%d writebacks=%d allocs=%d \
      frees=%d prefetched=%dB wasted=%dB stall=%dns retries=%d timeouts=%d \
-     dups=%d@]"
+     dups=%d wb=%dB saved=%dB fallbacks=%d inval-skipped=%d@]"
     s.messages s.bytes s.faults s.callbacks s.writebacks s.remote_allocs
     s.remote_frees s.prefetched_bytes s.wasted_prefetch_bytes s.stall_ns
-    s.retries s.timeouts s.duplicates
+    s.retries s.timeouts s.duplicates s.writeback_bytes s.delta_bytes_saved
+    s.full_fallbacks s.invalidations_skipped

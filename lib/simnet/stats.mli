@@ -27,6 +27,18 @@ type snapshot = {
   timeouts : int;  (** frames the fault plan lost (sender waited in vain) *)
   duplicates : int;
       (** duplicate requests suppressed by the receiver's reply cache *)
+  writeback_bytes : int;
+      (** wire bytes of modified-data-set payload (full items and
+          deltas), the delta-coherency win's denominator *)
+  delta_bytes_saved : int;
+      (** wire bytes the delta encoding avoided versus shipping the
+          full item for the same entries *)
+  full_fallbacks : int;
+      (** delta-eligible entries shipped full anyway: stale or missing
+          shadow, or the delta would not have been smaller *)
+  invalidations_skipped : int;
+      (** session participants spared an invalidation message because
+          the copy directory showed they cached nothing *)
 }
 
 val create : unit -> t
@@ -43,6 +55,10 @@ val add_stall_ns : t -> int -> unit
 val incr_retries : t -> unit
 val incr_timeouts : t -> unit
 val incr_duplicates : t -> unit
+val add_writeback_bytes : t -> int -> unit
+val add_delta_bytes_saved : t -> int -> unit
+val incr_full_fallbacks : t -> unit
+val add_invalidations_skipped : t -> int -> unit
 val snapshot : t -> snapshot
 val reset : t -> unit
 

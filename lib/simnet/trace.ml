@@ -11,6 +11,8 @@ type kind =
   | Session_abort of int
   | Crash of string
   | Revive of string
+  | Copy of int
+  | Inval_sent of int
 
 type event = {
   at : float;
@@ -63,12 +65,16 @@ let pp_kind ppf = function
   | Session_abort id -> Format.fprintf ppf "session-abort #%d" id
   | Crash ep -> Format.fprintf ppf "crash %s" ep
   | Revive ep -> Format.fprintf ppf "revive %s" ep
+  | Copy id -> Format.fprintf ppf "copy #%d" id
+  | Inval_sent id -> Format.fprintf ppf "inval-sent #%d" id
 
 let pp_event ppf e =
   match e.kind with
   | Message _ | Dropped _ | Dup _ ->
     Format.fprintf ppf "%10.6f %s -> %s %a (%d bytes)" e.at e.src e.dst pp_kind
       e.kind e.bytes
+  | Copy _ | Inval_sent _ ->
+    Format.fprintf ppf "%10.6f %s -> %s %a" e.at e.src e.dst pp_kind e.kind
   | Session_begin _ | Session_end _ | Write_back _ | Invalidate _
   | Session_abort _ | Crash _ | Revive _ ->
     Format.fprintf ppf "%10.6f %s %a" e.at e.src pp_kind e.kind

@@ -25,6 +25,13 @@ type kind =
       (** the ground space aborted session [id]: modified data discarded *)
   | Crash of string  (** endpoint [ep] died; no frames from/to it after *)
   | Revive of string  (** endpoint [ep] came back *)
+  | Copy of int
+      (** delta-coherency note: [src] shipped cached copies of its data
+          to [dst] during session [id] — the provenance the targeted
+          invalidation must cover (rule SP007) *)
+  | Inval_sent of int
+      (** delta-coherency note: [src] sent (or attempted) a targeted
+          invalidation to [dst] at the close of session [id] *)
 
 type event = {
   at : float;  (** simulated time, seconds *)

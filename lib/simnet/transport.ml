@@ -49,6 +49,14 @@ let mark t ~src kind =
   | Some trace -> Trace.mark trace ~at:(Clock.now t.clock) ~src kind
   | None -> ()
 
+(* Protocol notes are bookkeeping witnesses, not traffic: they name a
+   destination but move no bytes, so no stats and no clock time. *)
+let note t ~src ~dst kind =
+  match t.trace with
+  | Some trace ->
+    Trace.record_kind trace ~at:(Clock.now t.clock) ~src ~dst ~kind ~bytes:0
+  | None -> ()
+
 let crash t ep =
   match t.faults with
   | None -> invalid_arg "Transport.crash: no fault plan installed"

@@ -57,6 +57,13 @@ val fault_plan : t -> Fault_plan.t option
     trace is attached. *)
 val mark : t -> src:endpoint -> Trace.kind -> unit
 
+(** [note t ~src ~dst kind] records a zero-byte protocol note naming a
+    destination ([Trace.Copy] / [Trace.Inval_sent] provenance for the
+    delta-coherency verifier), if a trace is attached. No stats are
+    counted and no simulated time passes: notes are witnesses of
+    bookkeeping, not traffic. *)
+val note : t -> src:endpoint -> dst:endpoint -> Trace.kind -> unit
+
 (** [crash t ep] marks [ep] dead in the installed fault plan and records
     the [Crash] trace mark (once). Raises [Invalid_argument] when no
     fault plan is installed. *)

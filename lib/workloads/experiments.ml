@@ -1393,3 +1393,221 @@ let pp_adaptive_fig4 ppf rows =
         (final.seconds /. best))
     rows;
   Format.fprintf ppf "@]"
+
+(* --- delta coherency: dirty-range write-backs vs full items --- *)
+
+type delta_run = {
+  dl_run : run;
+  dl_wb_bytes : int;
+  dl_saved : int;
+  dl_fallbacks : int;
+  dl_copies : int;
+  dl_cachers : int;
+  dl_inval_sent : int;
+  dl_inval_skipped : int;
+  dl_check : bool;
+}
+
+let poke_proc = "poke_field"
+
+(* Update-heavy single-field workload: the ground owns one large flat
+   struct (a 32x32 matrix tile, 8 KiB); a worker overwrites one element
+   per call, so each reply's modified data set is the whole tile when
+   shipped full versus a few dozen bytes as a dirty-range delta. Two
+   further spaces join the session without ever caching ground data,
+   separating the close's invalidation multicast (every participant)
+   from the targeted unicast (the one caching space). *)
+let run_field_update ?(delta = false) ?(pokes = 24) ?(idle_peers = 2) () =
+  let strategy = Strategy.smart ~closure_size:16384 ~delta () in
+  let cluster = Cluster.create () in
+  let trace = Trace.create () in
+  Transport.set_trace (Cluster.transport cluster) (Some trace);
+  let ground = Cluster.add_node cluster ~site:1 ~strategy () in
+  let worker = Cluster.add_node cluster ~site:2 ~strategy () in
+  let idlers =
+    List.init idle_peers (fun i ->
+        Cluster.add_node cluster ~site:(3 + i) ~strategy ())
+  in
+  Matrix.register_types cluster;
+  Node.register worker poke_proc (fun node args ->
+      match args with
+      | [ gridv; rowv; colv; v ] ->
+        Matrix.set node (Access.of_value gridv) ~row:(Value.to_int rowv)
+          ~col:(Value.to_int colv) (Value.to_float v);
+        []
+      | _ -> invalid_arg (poke_proc ^ ": expected (grid, row, col, v)"));
+  List.iter (fun n -> Node.register n "ping" (fun _ _ -> [])) idlers;
+  let grid = Matrix.create ground ~tile_rows:1 ~tile_cols:1 in
+  let edge = Matrix.tile_edge in
+  let cell i = (i mod edge, i * 7 mod edge) in
+  Node.begin_session ground;
+  let s0 = Cluster.snapshot cluster in
+  let t0 = Cluster.now cluster in
+  List.iter
+    (fun n -> ignore (Node.call ground ~dst:(Node.id n) "ping" []))
+    idlers;
+  for i = 1 to pokes do
+    let row, col = cell i in
+    ignore
+      (Node.call ground ~dst:(Node.id worker) poke_proc
+         [
+           Access.to_value grid; Value.int row; Value.int col;
+           Value.float (float_of_int i);
+         ])
+  done;
+  let cache_pages = Cache.used_pages (Node.cache worker) in
+  Node.end_session ground;
+  (* snapshot after the close so the write-back and invalidation phase
+     is attributed to the run *)
+  let t1 = Cluster.now cluster in
+  let s1 = Cluster.snapshot cluster in
+  let d = Stats.diff s1 s0 in
+  (* the home must observe exactly the last poke landing on each cell *)
+  let expected = Hashtbl.create 64 in
+  for i = 1 to pokes do
+    Hashtbl.replace expected (cell i) (float_of_int i)
+  done;
+  let check =
+    Hashtbl.fold
+      (fun (row, col) v ok -> ok && Matrix.get ground grid ~row ~col = v)
+      expected true
+  in
+  let home = Space_id.to_string (Node.id ground) in
+  let copy_dsts = Hashtbl.create 4 in
+  let copies = ref 0 and inval_sent = ref 0 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.kind with
+      | Trace.Copy _ ->
+        incr copies;
+        if e.Trace.dst <> home then Hashtbl.replace copy_dsts e.Trace.dst ()
+      | Trace.Inval_sent _ -> incr inval_sent
+      | _ -> ())
+    (Trace.events trace);
+  {
+    dl_run =
+      {
+        seconds = t1 -. t0;
+        callbacks = d.Stats.callbacks;
+        messages = d.Stats.messages;
+        bytes = d.Stats.bytes;
+        faults = d.Stats.faults;
+        visited = pokes;
+        cache_pages;
+      };
+    dl_wb_bytes = d.Stats.writeback_bytes;
+    dl_saved = d.Stats.delta_bytes_saved;
+    dl_fallbacks = d.Stats.full_fallbacks;
+    dl_copies = !copies;
+    dl_cachers = Hashtbl.length copy_dsts;
+    dl_inval_sent = !inval_sent;
+    dl_inval_skipped = d.Stats.invalidations_skipped;
+    dl_check = check;
+  }
+
+(* --- delta on/off across the Fig. 4 strategies --- *)
+
+type delta_cell = {
+  dc_run : run;
+  dc_wb_bytes : int;
+  dc_saved : int;
+  dc_fallbacks : int;
+}
+
+type delta_fig4_row = {
+  dm_method : method_kind;
+  dm_off : delta_cell;
+  dm_on : delta_cell;
+}
+
+(* The Fig. 4 tree search in its updating variant (every visited node's
+   data field is overwritten), measured through the session close so the
+   coherency traffic counts. Tree nodes are small, so this bounds the
+   delta win from below; [run_field_update] bounds it from above. *)
+let run_update_search ~strategy ~depth ~ratio =
+  let cluster = Cluster.create () in
+  let caller = Cluster.add_node cluster ~site:1 ~strategy () in
+  let callee = Cluster.add_node cluster ~site:2 ~strategy () in
+  Tree.register_types cluster;
+  let root = Tree.build caller ~depth in
+  Node.register callee search_proc (fun node args ->
+      match args with
+      | [ rootv; limitv ] ->
+        let visited, _ =
+          Tree.visit_update node (Access.of_value rootv)
+            ~limit:(Value.to_int limitv)
+        in
+        [ Value.int visited ]
+      | _ -> invalid_arg (search_proc ^ ": expected (root, limit)"));
+  let total = Tree.nodes_of_depth depth in
+  let limit = int_of_float (Float.round (ratio *. float_of_int total)) in
+  Node.begin_session caller;
+  let s0 = Cluster.snapshot cluster in
+  let t0 = Cluster.now cluster in
+  let visited =
+    match
+      Node.call caller ~dst:(Node.id callee) search_proc
+        [ Access.to_value root; Value.int limit ]
+    with
+    | [ v ] -> Value.to_int v
+    | _ -> failwith (search_proc ^ ": bad arity")
+  in
+  let cache_pages = Cache.used_pages (Node.cache callee) in
+  Node.end_session caller;
+  let t1 = Cluster.now cluster in
+  let s1 = Cluster.snapshot cluster in
+  let d = Stats.diff s1 s0 in
+  {
+    dc_run =
+      {
+        seconds = t1 -. t0;
+        callbacks = d.Stats.callbacks;
+        messages = d.Stats.messages;
+        bytes = d.Stats.bytes;
+        faults = d.Stats.faults;
+        visited;
+        cache_pages;
+      };
+    dc_wb_bytes = d.Stats.writeback_bytes;
+    dc_saved = d.Stats.delta_bytes_saved;
+    dc_fallbacks = d.Stats.full_fallbacks;
+  }
+
+let delta_fig4 ?(depth = 12) ?(ratio = 0.5) ?(closure = 8192) () =
+  List.map
+    (fun m ->
+      let base = strategy_of_method m in
+      {
+        dm_method = m;
+        dm_off = run_update_search ~strategy:base ~depth ~ratio;
+        dm_on =
+          run_update_search
+            ~strategy:{ base with Strategy.delta_coherency = true }
+            ~depth ~ratio;
+      })
+    [ Fully_eager; Fully_lazy; Proposed closure ]
+
+let pp_delta ppf (field : delta_run list) (rows : delta_fig4_row list) =
+  Format.fprintf ppf
+    "@[<v>DELTA — single-field updates on an 8 KiB struct (24 pokes)@,";
+  Format.fprintf ppf "%8s %12s %10s %10s %8s %8s %8s %8s@," "mode" "wb-bytes"
+    "saved" "fallback" "copies" "inval" "spared" "check";
+  List.iteri
+    (fun i r ->
+      Format.fprintf ppf "%8s %12d %10d %10d %8d %8d %8d %8s@,"
+        (if i = 0 then "off" else "on")
+        r.dl_wb_bytes r.dl_saved r.dl_fallbacks r.dl_copies r.dl_inval_sent
+        r.dl_inval_skipped
+        (if r.dl_check then "ok" else "FAIL"))
+    field;
+  Format.fprintf ppf
+    "@,Fig. 4 strategies, updating search, delta off/on (write-back wire \
+     bytes)@,";
+  Format.fprintf ppf "%16s %12s %12s %10s %10s@," "method" "off-bytes"
+    "on-bytes" "saved" "fallback";
+  List.iter
+    (fun { dm_method; dm_off; dm_on } ->
+      Format.fprintf ppf "%16s %12d %12d %10d %10d@," (method_name dm_method)
+        dm_off.dc_wb_bytes dm_on.dc_wb_bytes dm_on.dc_saved dm_on.dc_fallbacks)
+    rows;
+  Format.fprintf ppf "@]"

@@ -312,3 +312,54 @@ val pp_hint_rows : Format.formatter -> hint_row list -> unit
 (** Table 1: run the paper's two-pointer example and render the callee's
     data allocation table. *)
 val table1 : Format.formatter -> unit -> unit
+
+(** {1 Delta coherency (srpc-delta)} *)
+
+type delta_run = {
+  dl_run : run;
+  dl_wb_bytes : int;
+      (** wire bytes of modified-data-set payload, full items and deltas *)
+  dl_saved : int;  (** bytes the delta encoding avoided *)
+  dl_fallbacks : int;  (** delta-eligible entries shipped full anyway *)
+  dl_copies : int;  (** [Trace.Copy] provenance notes recorded *)
+  dl_cachers : int;
+      (** distinct non-home spaces that received data copies — the
+          targeted invalidation's expected fan-out *)
+  dl_inval_sent : int;  (** [Trace.Inval_sent] notes at the close *)
+  dl_inval_skipped : int;
+      (** participants spared an invalidation by the copy directory *)
+  dl_check : bool;
+      (** the home observed every poked value after the close *)
+}
+
+(** [run_field_update ()] is the update-heavy workload the delta layer
+    exists for: a worker overwrites one 8-byte field of the ground's
+    8 KiB flat struct per call, [pokes] times, with [idle_peers] extra
+    spaces joining the session but caching nothing. With [delta] off
+    every reply ships the whole struct; with it on, a dirty-range
+    delta. Measured through the session close. *)
+val run_field_update :
+  ?delta:bool -> ?pokes:int -> ?idle_peers:int -> unit -> delta_run
+
+type delta_cell = {
+  dc_run : run;
+  dc_wb_bytes : int;
+  dc_saved : int;
+  dc_fallbacks : int;
+}
+
+type delta_fig4_row = {
+  dm_method : method_kind;
+  dm_off : delta_cell;
+  dm_on : delta_cell;
+}
+
+(** The Fig. 4 strategies (fully eager, fully lazy, proposed) on the
+    updating tree search, each with delta coherency off and on. Tree
+    nodes are small, so this is the delta win's lower bound — the
+    interesting number is that "on" never ships {e more} write-back
+    bytes than "off". *)
+val delta_fig4 :
+  ?depth:int -> ?ratio:float -> ?closure:int -> unit -> delta_fig4_row list
+
+val pp_delta : Format.formatter -> delta_run list -> delta_fig4_row list -> unit

@@ -374,6 +374,92 @@ let test_runtime_trace_verifies () =
   Alcotest.(check int) "callback applied" 6
     (Access.get_int a head ~field:"value")
 
+(* SP007: every space that received a data copy (Copy note) must be
+   named by an invalidation (Inval_sent note) before the session ends. *)
+let note src dst kind = ev src dst kind
+
+let test_targeted_invalidation_misses_casher () =
+  (* b and c both cached data; only b is invalidated — the seeded defect *)
+  let events =
+    [
+      mark "a" (Trace.Session_begin 1);
+      req "a" "b"; note "a" "b" (Trace.Copy 1); rep "b" "a";
+      req "a" "c"; note "a" "c" (Trace.Copy 1); rep "c" "a";
+      mark "a" (Trace.Write_back 1);
+      mark "a" (Trace.Invalidate 1);
+      note "a" "b" (Trace.Inval_sent 1);
+      req "a" "b"; rep "b" "a";
+      mark "a" (Trace.Session_end 1);
+    ]
+  in
+  Alcotest.(check bool) "SP007" true (List.mem "SP007" (proto_ids events))
+
+let test_targeted_invalidation_clean () =
+  (* every casher invalidated: clean; the ground itself never needs a
+     message; and a session with no Copy notes is exempt entirely *)
+  let covered =
+    [
+      mark "a" (Trace.Session_begin 1);
+      req "a" "b"; note "a" "b" (Trace.Copy 1); rep "b" "a";
+      note "b" "a" (Trace.Copy 1);  (* a copy landing at ground: exempt *)
+      mark "a" (Trace.Write_back 1);
+      mark "a" (Trace.Invalidate 1);
+      note "a" "b" (Trace.Inval_sent 1);
+      req "a" "b"; rep "b" "a";
+      mark "a" (Trace.Session_end 1);
+    ]
+  in
+  Alcotest.(check (list string)) "covered set is clean" []
+    (proto_ids covered);
+  let no_copies =
+    [ mark "a" (Trace.Session_begin 1); req "a" "b"; rep "b" "a" ]
+    @ close_phase "a" "b" 1
+  in
+  Alcotest.(check (list string)) "no Copy notes: rule does not apply" []
+    (proto_ids no_copies)
+
+let test_targeted_invalidation_abort_exempt () =
+  (* an aborted session invalidates through the Abort frame; missing
+     Inval_sent notes must not produce SP007 on top of the abort *)
+  let events =
+    [
+      mark "a" (Trace.Session_begin 1);
+      req "a" "b"; note "a" "b" (Trace.Copy 1); rep "b" "a";
+      mark "a" (Trace.Session_abort 1);
+      mark "a" (Trace.Invalidate 1);
+      req "a" "b"; rep "b" "a";
+      mark "a" (Trace.Session_end 1);
+    ]
+  in
+  Alcotest.(check bool) "no SP007 on abort" false
+    (List.mem "SP007" (proto_ids events))
+
+let test_copy_state_resets_between_sessions () =
+  (* a casher from session 1 (fully invalidated) owes nothing in
+     session 2 *)
+  let events =
+    [ mark "a" (Trace.Session_begin 1);
+      req "a" "b"; note "a" "b" (Trace.Copy 1); rep "b" "a" ]
+    @ [
+        mark "a" (Trace.Write_back 1);
+        mark "a" (Trace.Invalidate 1);
+        note "a" "b" (Trace.Inval_sent 1);
+        req "a" "b"; rep "b" "a";
+        mark "a" (Trace.Session_end 1);
+      ]
+    @ [ mark "a" (Trace.Session_begin 2); req "a" "c";
+        note "a" "c" (Trace.Copy 2); rep "c" "a" ]
+    @ [
+        mark "a" (Trace.Write_back 2);
+        mark "a" (Trace.Invalidate 2);
+        note "a" "c" (Trace.Inval_sent 2);
+        req "a" "c"; rep "c" "a";
+        mark "a" (Trace.Session_end 2);
+      ]
+  in
+  Alcotest.(check (list string)) "per-session state resets" []
+    (proto_ids events)
+
 (* --- catalogue hygiene --- *)
 
 let test_catalogue_covers_emitted_rules () =
@@ -382,7 +468,7 @@ let test_catalogue_covers_emitted_rules () =
       Alcotest.(check bool) (id ^ " in catalogue") true
         (Diagnostic.find_rule id <> None))
     [ "TD001"; "TD002"; "TD003"; "TD004"; "TD005"; "TD006"; "TD007";
-      "SP001"; "SP002"; "SP003"; "SP004"; "SP005"; "SP006" ]
+      "SP001"; "SP002"; "SP003"; "SP004"; "SP005"; "SP006"; "SP007" ]
 
 let tc = Alcotest.test_case
 
@@ -420,6 +506,14 @@ let () =
           tc "crash and revive clean" `Quick test_crash_revive_clean;
           tc "dropped and dup frames tolerated" `Quick test_dropped_and_dup_frames_tolerated;
           tc "runtime trace verifies" `Quick test_runtime_trace_verifies;
+          tc "targeted invalidation misses a casher" `Quick
+            test_targeted_invalidation_misses_casher;
+          tc "targeted invalidation clean" `Quick
+            test_targeted_invalidation_clean;
+          tc "abort exempts SP007" `Quick
+            test_targeted_invalidation_abort_exempt;
+          tc "copy state resets between sessions" `Quick
+            test_copy_state_resets_between_sessions;
         ] );
       ( "catalogue",
         [ tc "ids are stable" `Quick test_catalogue_covers_emitted_rules ] );

@@ -544,6 +544,39 @@ let test_duplicate_suppression () =
   let d = Stats.diff (Cluster.snapshot cluster) s0 in
   Alcotest.(check bool) "duplicates absorbed" true (d.Stats.duplicates > 0)
 
+(* The at-most-once reply cache is bounded per source: with more
+   distinct callers than [reply_cache_cap], the least-recently-consulted
+   source is evicted, and duplicate suppression still works for the
+   sources the cache retains. *)
+let test_reply_cache_bounded () =
+  let cluster = Cluster.create ~cost:Cost_model.zero () in
+  let victim = Cluster.add_node cluster ~site:1 ~reply_cache_cap:2 () in
+  let callers =
+    List.init 4 (fun i -> Cluster.add_node cluster ~site:(i + 2) ())
+  in
+  let plan = Fault_plan.create ~seed:23 () in
+  Cluster.install_faults cluster plan;
+  Node.register victim "ping" (fun _ _ -> [ Value.int 1 ]);
+  List.iter
+    (fun c ->
+      Node.with_session c (fun () ->
+          match Node.call c ~dst:(Node.id victim) "ping" [] with
+          | [ v ] -> Alcotest.(check int) "ping" 1 (Value.to_int v)
+          | _ -> Alcotest.fail "bad arity"))
+    callers;
+  Alcotest.(check int) "reply cache bounded at its cap" 2
+    (Node.reply_cache_size victim);
+  (* the most recently heard source must still be protected *)
+  Fault_plan.set_global plan (Fault_plan.profile ~duplicate:1.0 ());
+  let hits = ref 0 in
+  Node.register victim "bump" (fun _ _ -> incr hits; [ Value.int !hits ]);
+  let last = List.nth callers 3 in
+  Node.with_session last (fun () ->
+      ignore (Node.call last ~dst:(Node.id victim) "bump" []);
+      ignore (Node.call last ~dst:(Node.id victim) "bump" []));
+  Alcotest.(check int) "ran once per call under full duplication" 2 !hits;
+  Alcotest.(check int) "cap still holds" 2 (Node.reply_cache_size victim)
+
 (* A forced single drop: the retry envelope resends and the call still
    succeeds, with the retry counted. *)
 let test_retry_recovers_forced_drop () =
@@ -633,6 +666,7 @@ let () =
           tc "crash mid-session aborts atomically" `Quick test_crash_mid_session_aborts;
           tc "write-back is all-or-nothing" `Quick test_writeback_all_or_nothing;
           tc "duplicate deliveries suppressed" `Quick test_duplicate_suppression;
+          tc "reply cache is bounded (LRU)" `Quick test_reply_cache_bounded;
           tc "retry recovers a forced drop" `Quick test_retry_recovers_forced_drop;
           tc "retry exhaustion aborts cleanly" `Quick test_retry_exhaustion_aborts;
         ] );

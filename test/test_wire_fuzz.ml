@@ -59,6 +59,45 @@ let requests : Wire.request list =
     Wire.Abort { session = 7 };
     Wire.Wb_stage { session = 7; items = [ item 4096 "staged" ] };
     Wire.Wb_commit { session = 7 };
+    Wire.Wb_delta
+      {
+        session = 7;
+        full = [ item 4096 "whole payload" ];
+        deltas =
+          [
+            {
+              Wire.dlp = lp 8192;
+              base_len = 32;
+              ranges =
+                [
+                  { Wire.off = 0; bytes = "\x01\x02" };
+                  { Wire.off = 8; bytes = "\x03\x04\x05" };
+                  { Wire.off = 24; bytes = "\xff" };
+                ];
+            };
+          ];
+        frees = [ lp 12288 ];
+        invalidate = true;
+      };
+    Wire.Wb_stage_delta
+      {
+        session = 7;
+        deltas =
+          [ { Wire.dlp = lp 4096; base_len = 16;
+              ranges = [ { Wire.off = 4; bytes = "abcd" } ] } ];
+      };
+    Wire.Call_d
+      {
+        session = 7;
+        proc = "walk";
+        args = wvals;
+        writebacks = [ item 4096 "\x00\x01\x02\x03\x04\x05\x06\x07" ];
+        wb_deltas =
+          [ { Wire.dlp = lp 8192; base_len = 8;
+              ranges = [ { Wire.off = 0; bytes = "\x2a" } ] } ];
+        eager = [ item 8192 "\xff\xfe\xfd\xfc" ];
+        frees = [ lp 12288 ];
+      };
   ]
 
 let responses : Wire.response list =
@@ -73,6 +112,18 @@ let responses : Wire.response list =
     Wire.Allocated { addrs = [ (1, 4096); (2, 8192) ] };
     Wire.Ack;
     Wire.Error "remote exception text";
+    Wire.Return_d
+      {
+        results = wvals;
+        writebacks = [ item 4096 "back" ];
+        wb_deltas =
+          [ { Wire.dlp = lp 8192; base_len = 24;
+              ranges =
+                [ { Wire.off = 0; bytes = "xy" };
+                  { Wire.off = 16; bytes = "zw" } ] } ];
+        eager = [ item 8192 "more" ];
+        frees = [ lp 12288 ];
+      };
   ]
 
 (* (label, encoded frame, decoder) — decoders are closed over [reg] and
@@ -159,6 +210,56 @@ let test_garbage_frames () =
       corpus
   done
 
+(* Delta frames carry byte ranges the receiver patches straight into a
+   base image, so the decoder must reject any geometry that a blit
+   would run off with — before a single byte is applied. The encoder is
+   deliberately blind (it writes whatever the caller built), which lets
+   these tests ship each malformed geometry through a real encode. *)
+let test_malformed_delta_ranges () =
+  let delta ~base_len ranges =
+    { Wire.dlp = lp 8192; base_len;
+      ranges = List.map (fun (off, bytes) -> { Wire.off; bytes }) ranges }
+  in
+  let cases =
+    [
+      ("out of bounds", delta ~base_len:8 [ (4, "abcdef") ]);
+      ("range past the end", delta ~base_len:8 [ (9, "a") ]);
+      ("overlapping", delta ~base_len:16 [ (0, "abcd"); (2, "ef") ]);
+      ("unordered", delta ~base_len:16 [ (8, "ab"); (0, "cd") ]);
+      ("empty range", delta ~base_len:16 [ (4, "") ]);
+      ("negative offset", delta ~base_len:16 [ (-1, "ab") ]);
+      ("negative base_len", delta ~base_len:(-4) []);
+    ]
+  in
+  List.iter
+    (fun (label, d) ->
+      let reqs =
+        [
+          Wire.Wb_delta
+            { session = 1; full = []; deltas = [ d ]; frees = [];
+              invalidate = false };
+          Wire.Wb_stage_delta { session = 1; deltas = [ d ] };
+          Wire.Call_d
+            { session = 1; proc = "p"; args = []; writebacks = [];
+              wb_deltas = [ d ]; eager = []; frees = [] };
+        ]
+      in
+      List.iter
+        (fun r ->
+          match Wire.decode_request ~reg (Wire.encode_request ~reg r) with
+          | _ -> Alcotest.failf "%s: malformed delta range decoded" label
+          | exception Srpc_xdr.Xdr.Decode_error _ -> ())
+        reqs;
+      let resp =
+        Wire.Return_d
+          { results = []; writebacks = []; wb_deltas = [ d ]; eager = [];
+            frees = [] }
+      in
+      match Wire.decode_response ~reg (Wire.encode_response ~reg resp) with
+      | _ -> Alcotest.failf "%s: malformed delta range decoded (response)" label
+      | exception Srpc_xdr.Xdr.Decode_error _ -> ())
+    cases
+
 let test_roundtrip_sanity () =
   (* the corpus itself must decode: a fuzzer over frames that were never
      valid proves nothing *)
@@ -182,6 +283,8 @@ let () =
       ( "decode",
         [
           tc "corpus roundtrips" `Quick test_roundtrip_sanity;
+          tc "malformed delta ranges are rejected" `Quick
+            test_malformed_delta_ranges;
           tc "every truncation is typed" `Quick test_truncations;
           tc "every bit flip is typed" `Quick test_bit_flips;
           tc "seeded corruption is typed" `Quick test_random_corruption;
