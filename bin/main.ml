@@ -346,9 +346,25 @@ let lint_cmd =
            ~doc:"Record a representative session and verify the trace \
                  against the protocol invariants.")
   in
+  let races_flag =
+    Arg.(value & flag & info [ "races" ]
+           ~doc:"Replay the representative session through the \
+                 happens-before race checker.")
+  in
+  let footprints_flag =
+    Arg.(value & flag & info [ "footprints" ]
+           ~doc:"Compute per-session static footprints for a sample \
+                 generated check script and report which session pairs \
+                 could safely overlap.")
+  in
   let all_flag = Arg.(value & flag & info [ "all" ] ~doc:"Run every engine.") in
   let rules_flag =
     Arg.(value & flag & info [ "rules" ] ~doc:"Print the rule catalogue and exit.")
+  in
+  let markdown_flag =
+    Arg.(value & flag & info [ "markdown" ]
+           ~doc:"With --rules, render the catalogue as the markdown table \
+                 embedded in docs/RULES.md.")
   in
   let arches_arg =
     Arg.(
@@ -358,14 +374,21 @@ let lint_cmd =
           ~doc:"Architectures the registry must agree on (the TD005 \
                 divergence rule needs at least two).")
   in
-  let run verbose types trace all rules arches =
+  let run verbose types trace races footprints all rules markdown arches =
     setup_logs verbose;
-    if rules then Srpc_analysis.Diagnostic.pp_rules Format.std_formatter ()
+    if rules then
+      (if markdown then Srpc_analysis.Diagnostic.pp_rules_markdown
+       else Srpc_analysis.Diagnostic.pp_rules)
+        Format.std_formatter ()
     else begin
       let types = types || all in
       let trace = trace || all in
-      if not (types || trace) then begin
-        prerr_endline "lint: nothing to do (pass --types, --trace or --all)";
+      let races = races || all in
+      let footprints = footprints || all in
+      if not (types || trace || races || footprints) then begin
+        prerr_endline
+          "lint: nothing to do (pass --types, --trace, --races, --footprints \
+           or --all)";
         exit 2
       end;
       let errors = ref 0 in
@@ -379,16 +402,54 @@ let lint_cmd =
           !errors
           + report_diags "protocol trace"
               (Srpc_analysis.Proto_lint.check (traced_session ()));
+      if races then
+        errors :=
+          !errors
+          + report_diags "race check (representative session)"
+              (Srpc_analysis.Race_lint.check (traced_session ()));
+      if footprints then begin
+        (* serial sessions of one script interfering is expected — the
+           report says which pairs PR 7's admission could overlap, so
+           it never contributes to the error exit *)
+        let module C = Srpc_check in
+        let module F = Srpc_analysis.Footprint in
+        let plan = C.Script.resolve (C.Runner.script_for ~depth:12 ~faults:0.0 0) in
+        let fps = C.Plan_footprint.sessions plan in
+        Format.printf "session footprints (generated check script, seed 0):@.";
+        List.iter (fun fp -> Format.printf "%a@." F.pp fp) fps;
+        Format.printf "pairwise interference:@.";
+        List.iteri
+          (fun i a ->
+            List.iteri
+              (fun j b ->
+                if j > i then
+                  match F.interferes a b with
+                  | [] ->
+                      Format.printf "  %s x %s: disjoint — could overlap@."
+                        a.F.label b.F.label
+                  | ds ->
+                      Format.printf "  %s x %s: must stay serial (%s)@."
+                        a.F.label b.F.label
+                        (String.concat ", "
+                           (List.sort_uniq String.compare
+                              (List.map
+                                 (fun d ->
+                                   d.Srpc_analysis.Diagnostic.rule_id)
+                                 ds))))
+              fps)
+          fps
+      end;
       if !errors > 0 then exit 1
     end
   in
   Cmd.v
     (Cmd.info "lint"
-       ~doc:"Static type-descriptor analysis and session-protocol trace \
-             verification (non-zero exit on error findings).")
+       ~doc:"Static analysis (type descriptors, session footprints) and \
+             trace verification (protocol invariants, happens-before \
+             races); non-zero exit on error findings.")
     Term.(
-      const run $ verbose_arg $ types_flag $ trace_flag $ all_flag $ rules_flag
-      $ arches_arg)
+      const run $ verbose_arg $ types_flag $ trace_flag $ races_flag
+      $ footprints_flag $ all_flag $ rules_flag $ markdown_flag $ arches_arg)
 
 let check_cmd =
   let seeds_arg =

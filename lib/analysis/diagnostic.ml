@@ -1,8 +1,15 @@
 type severity = Info | Warning | Error
 
-type t = { severity : severity; rule_id : string; path : string; message : string }
+type t = {
+  severity : severity;
+  rule_id : string;
+  space : string;
+  path : string;
+  message : string;
+}
 
-let make ~severity ~rule_id ~path message = { severity; rule_id; path; message }
+let make ?(space = "") ~severity ~rule_id ~path message =
+  { severity; rule_id; space; path; message }
 
 let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
 let is_error d = d.severity = Error
@@ -10,11 +17,16 @@ let is_error d = d.severity = Error
 let count_errors ds = List.length (List.filter is_error ds)
 
 let compare a b =
-  (* errors first, then by rule id, then by path — a stable report order *)
-  match Int.compare (severity_rank b.severity) (severity_rank a.severity) with
+  (* (space, rule id, location) — the stable report order shared by the
+     printers and the committed repros; severity only tie-breaks
+     duplicates at the same locus *)
+  match String.compare a.space b.space with
   | 0 -> (
     match String.compare a.rule_id b.rule_id with
-    | 0 -> String.compare a.path b.path
+    | 0 -> (
+      match String.compare a.path b.path with
+      | 0 -> Int.compare (severity_rank b.severity) (severity_rank a.severity)
+      | c -> c)
     | c -> c)
   | c -> c
 
@@ -25,8 +37,12 @@ let pp_severity ppf s =
     (match s with Info -> "info" | Warning -> "warning" | Error -> "error")
 
 let pp ppf d =
-  Format.fprintf ppf "%a[%s] %s: %s" pp_severity d.severity d.rule_id d.path
-    d.message
+  if String.equal d.space "" then
+    Format.fprintf ppf "%a[%s] %s: %s" pp_severity d.severity d.rule_id d.path
+      d.message
+  else
+    Format.fprintf ppf "%a[%s] %s %s: %s" pp_severity d.severity d.rule_id
+      d.space d.path d.message
 
 let pp_list ppf ds =
   Format.pp_print_list ~pp_sep:Format.pp_print_newline pp ppf ds
@@ -65,6 +81,22 @@ let rules =
       title = "frame from/to a crashed endpoint after its crash mark" };
     { id = "SP007"; default_severity = Error;
       title = "targeted invalidation misses a space that received a copy this session" };
+    { id = "CC001"; default_severity = Error;
+      title = "session footprints interfere: both sessions may write the same region" };
+    { id = "CC002"; default_severity = Error;
+      title = "session footprints interfere: one session may write what the other reads" };
+    { id = "CC003"; default_severity = Warning;
+      title = "footprint widened to the whole reachable subgraph through a recursive field" };
+    { id = "CC004"; default_severity = Warning;
+      title = "footprint escapes through a callback/funref: effects not analyzable" };
+    { id = "CC005"; default_severity = Error;
+      title = "session frees a datum inside another session's footprint" };
+    { id = "CC101"; default_severity = Error;
+      title = "unordered write-write: two spaces wrote a datum without happens-before" };
+    { id = "CC102"; default_severity = Error;
+      title = "stale access: a cached copy outlived its invalidation, or a write never reached home" };
+    { id = "CC103"; default_severity = Error;
+      title = "access to a freed datum's region" };
   ]
 
 let find_rule id = List.find_opt (fun r -> String.equal r.id id) rules
@@ -75,4 +107,13 @@ let pp_rules ppf () =
       Format.fprintf ppf "%s  %-7s  %s@." r.id
         (Format.asprintf "%a" pp_severity r.default_severity)
         r.title)
+    rules
+
+let pp_rules_markdown ppf () =
+  Format.fprintf ppf "| Rule | Severity | Description |@.";
+  Format.fprintf ppf "|------|----------|-------------|@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "| %s | %a | %s |@." r.id pp_severity
+        r.default_severity r.title)
     rules

@@ -1,25 +1,33 @@
-(** Structured findings shared by the descriptor linter and the
-    session-protocol verifier, plus the stable rule catalogue.
+(** Structured findings shared by the analysis engines, plus the stable
+    rule catalogue.
 
     Rule ids are stable across releases: [TD0xx] rules come from
     {!Desc_lint} (type descriptors), [SP0xx] rules from {!Proto_lint}
-    (session protocol). See [docs/ANALYSIS.md] for the full catalogue
-    with examples. *)
+    (session protocol), [CC0xx] from {!Footprint} (static session
+    interference) and [CC1xx] from {!Race_lint} (dynamic happens-before
+    races). See [docs/ANALYSIS.md] and [docs/RACES.md] for the full
+    catalogue with examples. *)
 
 type severity = Info | Warning | Error
 
 type t = {
   severity : severity;
   rule_id : string;  (** stable catalogue id, e.g. ["TD001"] *)
+  space : string;
+      (** the address space the finding is about, [""] when the finding
+          is not tied to one (descriptor rules) *)
   path : string;  (** locus: ["type.field"] or ["event[12]"] *)
   message : string;
 }
 
-val make : severity:severity -> rule_id:string -> path:string -> string -> t
+val make :
+  ?space:string -> severity:severity -> rule_id:string -> path:string -> string -> t
+
 val is_error : t -> bool
 val count_errors : t list -> int
 
-(** Orders errors before warnings before infos, then by rule id and path. *)
+(** Orders by (space, rule id, location) — deterministic across runs and
+    OCaml versions; severity only tie-breaks identical loci. *)
 val compare : t -> t -> int
 
 val sort : t list -> t list
@@ -36,3 +44,8 @@ val find_rule : string -> rule option
 
 (** Render the whole catalogue, one rule per line. *)
 val pp_rules : Format.formatter -> unit -> unit
+
+(** Render the catalogue as a GitHub-flavored markdown table — the
+    single source for the table in [docs/RULES.md] (see the runtest
+    drift check). *)
+val pp_rules_markdown : Format.formatter -> unit -> unit

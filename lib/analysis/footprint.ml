@@ -1,0 +1,245 @@
+(* Static session-interference analysis.
+
+   Everything here is may-analysis over names: a region is an abstract
+   (datum root, dotted field path) pair, not an address range, because
+   the whole point is to judge candidate sessions before any of their
+   data exists. Precision is bought with paths and sold back with the
+   "*" wildcard whenever the pointer graph stops being a finite tree —
+   a recursive type, a script object whose extent the plan does not
+   bound, a callback that can touch anything. *)
+
+open Srpc_types
+
+type mode = Read | Write | Free
+
+type region = { root : string; path : string; mode : mode }
+
+type t = {
+  label : string;
+  regions : region list;
+  escapes : bool;
+  homes : string list;
+  diags : Diagnostic.t list;
+}
+
+let mode_rank = function Read -> 0 | Write -> 1 | Free -> 2
+
+let compare_region a b =
+  let c = String.compare a.root b.root in
+  if c <> 0 then c
+  else
+    let c = String.compare a.path b.path in
+    if c <> 0 then c else compare (mode_rank a.mode) (mode_rank b.mode)
+
+let dedup_sort regions = List.sort_uniq compare_region regions
+
+let session ~label ?(escapes = false) ?(homes = []) regions =
+  {
+    label;
+    regions = dedup_sort regions;
+    escapes;
+    homes = List.sort_uniq String.compare homes;
+    diags = [];
+  }
+
+(* --- paths ---------------------------------------------------------- *)
+
+(* A path is dotted segments from the root datum: "" is the root itself,
+   "left.key" a field two hops down, and a path whose last segment is
+   "*" covers the root's whole subgraph below the stem. *)
+
+let is_wild path =
+  path = "*"
+  || String.length path >= 2
+     && String.sub path (String.length path - 2) 2 = ".*"
+
+let stem path =
+  if path = "*" then ""
+  else if is_wild path then String.sub path 0 (String.length path - 2)
+  else path
+
+let join_path prefix seg = if prefix = "" then seg else prefix ^ "." ^ seg
+
+(* [under a b]: is [b] equal to or strictly below stem [a]? *)
+let under a b =
+  a = "" || a = b
+  || String.length b > String.length a
+     && String.sub b 0 (String.length a + 1) = a ^ "."
+
+let regions_overlap p q =
+  p.root = q.root
+  &&
+  if is_wild p.path && is_wild q.path then
+    under (stem p.path) (stem q.path) || under (stem q.path) (stem p.path)
+  else if is_wild p.path then under (stem p.path) q.path
+  else if is_wild q.path then under (stem q.path) p.path
+  else p.path = q.path
+
+(* --- type-graph walk ------------------------------------------------ *)
+
+(* Pointer leaves of a structural descriptor: (dotted path, pointee).
+   Array elements share one abstract region — index distinctions are
+   below this analysis's resolution — so an array of pointers is a
+   single "field[]" leaf. *)
+let rec pointer_leaves reg ~prefix desc acc =
+  match (desc : Type_desc.t) with
+  | Prim _ -> acc
+  | Pointer pointee -> (prefix, pointee) :: acc
+  | Array (elt, _) ->
+      pointer_leaves reg ~prefix:(prefix ^ "[]") (Registry.resolve reg elt) acc
+  | Struct fields ->
+      List.fold_left
+        (fun acc (fname, fty) ->
+          pointer_leaves reg ~prefix:(join_path prefix fname)
+            (Registry.resolve reg fty) acc)
+        acc fields
+  | Named _ -> assert false (* resolve never returns Named *)
+
+(* The walk never recurses into a type already on the current chain:
+   that edge closes a cycle, so the region below it widens to the whole
+   subgraph and CC003 records the precision loss. Depth is additionally
+   capped as a backstop — a deep non-recursive DAG of distinct types
+   widens the same way rather than enumerating exponentially. *)
+let max_depth = 32
+
+let of_type reg ?(hints = []) ?label ~ty ~mode () =
+  let root = ty in
+  let label = Option.value label ~default:ty in
+  let regions = ref [] and diags = ref [] in
+  let emit path = regions := { root; path; mode } :: !regions in
+  let widen ~path ~pointee ~via =
+    emit (join_path path "*");
+    diags :=
+      Diagnostic.make ~severity:Warning ~rule_id:"CC003"
+        ~path:(root ^ if via = "" then "" else "." ^ via)
+        (Printf.sprintf
+           "footprint through recursive type %s is unbounded; widened to \
+            the whole reachable subgraph"
+           pointee)
+      :: !diags
+  in
+  (* the field a leaf hangs off: first dotted segment, array marker
+     stripped, so hint "kids" covers leaf "kids[]" *)
+  let leaf_field (path, _) =
+    let seg =
+      match String.index_opt path '.' with
+      | Some i -> String.sub path 0 i
+      | None -> path
+    in
+    if String.length seg >= 2 && String.sub seg (String.length seg - 2) 2 = "[]"
+    then String.sub seg 0 (String.length seg - 2)
+    else seg
+  in
+  let followed ty_name leaves =
+    match List.assoc_opt ty_name hints with
+    | None -> leaves
+    | Some follow ->
+        (* the hint declares the closure shape: only the listed pointer
+           fields are part of the traversal, in the declared order *)
+        List.concat_map
+          (fun f -> List.filter (fun leaf -> leaf_field leaf = f) leaves)
+          follow
+  in
+  let rec go ~chain ~path ty_name =
+    emit path;
+    let leaves =
+      pointer_leaves reg ~prefix:""
+        (Registry.resolve reg (Type_desc.Named ty_name))
+        []
+      |> List.rev |> followed ty_name
+    in
+    List.iter
+      (fun (fpath, pointee) ->
+        let p = join_path path fpath in
+        if List.mem pointee chain then widen ~path:p ~pointee ~via:fpath
+        else if List.length chain >= max_depth then
+          widen ~path:p ~pointee ~via:fpath
+        else go ~chain:(pointee :: chain) ~path:p pointee)
+      leaves
+  in
+  go ~chain:[ ty ] ~path:"" ty;
+  {
+    label;
+    regions = dedup_sort !regions;
+    escapes = false;
+    homes = [];
+    diags = Diagnostic.sort !diags;
+  }
+
+(* --- interference --------------------------------------------------- *)
+
+let interferes a b =
+  let out = ref [] and seen = Hashtbl.create 16 in
+  let pair = Printf.sprintf "%s x %s" a.label b.label in
+  let emit ~severity ~rule ~locus message =
+    let key = rule ^ "|" ^ locus in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      out :=
+        Diagnostic.make ~severity ~rule_id:rule
+          ~path:(Printf.sprintf "%s (%s)" locus pair)
+          message
+        :: !out
+    end
+  in
+  if a.escapes || b.escapes then
+    emit ~severity:Warning ~rule:"CC004" ~locus:"callback"
+      (Printf.sprintf
+         "footprint of %s escapes through a callback/funref; interference \
+          with %s cannot be bounded statically"
+         (if a.escapes then a.label else b.label)
+         (if a.escapes then b.label else a.label));
+  List.iter
+    (fun ra ->
+      List.iter
+        (fun rb ->
+          if regions_overlap ra rb then
+            match (ra.mode, rb.mode) with
+            | Free, _ | _, Free ->
+                let freer, victim =
+                  if ra.mode = Free then (a.label, b.label)
+                  else (b.label, a.label)
+                in
+                emit ~severity:Error ~rule:"CC005" ~locus:ra.root
+                  (Printf.sprintf
+                     "%s frees %s while it is inside %s's footprint" freer
+                     ra.root victim)
+            | Write, Write ->
+                emit ~severity:Error ~rule:"CC001" ~locus:ra.root
+                  (Printf.sprintf
+                     "write-write overlap on %s between %s and %s" ra.root
+                     a.label b.label)
+            | Write, Read | Read, Write ->
+                let writer, reader =
+                  if ra.mode = Write then (a.label, b.label)
+                  else (b.label, a.label)
+                in
+                emit ~severity:Error ~rule:"CC002" ~locus:ra.root
+                  (Printf.sprintf "%s writes %s while %s reads it" writer
+                     ra.root reader)
+            | Read, Read -> ())
+        b.regions)
+    a.regions;
+  Diagnostic.sort !out
+
+(* --- printing ------------------------------------------------------- *)
+
+let pp_mode ppf m =
+  Format.pp_print_string ppf
+    (match m with Read -> "r" | Write -> "w" | Free -> "f")
+
+let pp_region ppf r =
+  Format.fprintf ppf "%a %s%s" pp_mode r.mode r.root
+    (if r.path = "" then "" else "." ^ r.path)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v2>%s%s:%a%a@]" t.label
+    (if t.escapes then " (escapes via callback)" else "")
+    (fun ppf -> function
+      | [] -> ()
+      | homes ->
+          Format.fprintf ppf "@,homes: %s" (String.concat " " homes))
+    t.homes
+    (fun ppf rs ->
+      List.iter (fun r -> Format.fprintf ppf "@,%a" pp_region r) rs)
+    t.regions

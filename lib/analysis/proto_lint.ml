@@ -9,7 +9,8 @@ open Srpc_simnet
 type state = {
   mutable session : int option;  (* open session id *)
   mutable holder : string;  (* endpoint currently holding the thread *)
-  mutable stack : (string * string) list;  (* outstanding (src, dst) *)
+  mutable stack : (string * string * string) list;
+      (* outstanding (src, dst, request label) *)
   mutable wb_seen : bool;  (* write-back phase started this session *)
   mutable inv_seen : bool;  (* invalidation multicast started *)
   mutable aborted : bool;  (* the open session carries an abort mark *)
@@ -22,12 +23,51 @@ type state = {
   mutable out : Diagnostic.t list;
 }
 
-let emit st idx rule_id message =
+let emit ?(space = "") st idx rule_id message =
   st.out <-
-    Diagnostic.make ~severity:Error ~rule_id
+    Diagnostic.make ~space ~severity:Error ~rule_id
       ~path:(Printf.sprintf "event[%d]" idx)
       message
     :: st.out
+
+(* The reply opcode each request opcode must be answered with, when
+   frame labels are present ("" = an unlabeled trace, checked only for
+   the reply's existence). [Error] replies pair with anything. *)
+let expected_reply = function
+  | "call" -> Some "return"
+  | "call-d" -> Some "return-d"
+  | "fetch" -> Some "fetched"
+  | "alloc-batch" -> Some "allocated"
+  | "write-back" | "free-batch" | "invalidate" | "abort" | "wb-stage"
+  | "wb-commit" | "wb-delta" | "wb-delta+inv" | "wb-stage-delta" ->
+    Some "ack"
+  | _ -> None
+
+let check_pairing st idx ~rq_lbl ~rep_lbl =
+  if not (String.equal rep_lbl "error") then
+    match expected_reply rq_lbl with
+    | Some want when not (String.equal rep_lbl "") && not (String.equal rep_lbl want) ->
+      emit st idx "SP002"
+        (Printf.sprintf "%s request answered by %s, expected %s" rq_lbl
+           rep_lbl want)
+    | Some _ | None -> ()
+
+(* Frame-level close ordering (the delta-era SP004): a [Wb_delta] frame
+   carrying the targeted invalidation belongs to the invalidation phase
+   and must not precede the write-back mark; staged frames belong to
+   phase one and must precede the commit point; a commit frame must
+   follow it. *)
+let check_close_order st idx ~space lbl =
+  match lbl with
+  | "wb-delta+inv" when not st.wb_seen ->
+    emit ~space st idx "SP004"
+      "invalidate-carrying delta frame before the write-back phase started"
+  | ("wb-stage" | "wb-stage-delta") when st.wb_seen ->
+    emit ~space st idx "SP004"
+      (lbl ^ " frame after the commit point: staged data can no longer be atomic")
+  | "wb-commit" when not st.wb_seen ->
+    emit ~space st idx "SP004" "commit frame before the commit-point write-back mark"
+  | _ -> ()
 
 let pp_ev e = Format.asprintf "%a" Trace.pp_event e
 
@@ -35,7 +75,7 @@ let check_open st idx (e : Trace.event) =
   match st.session with
   | Some id -> Some id
   | None ->
-    emit st idx "SP003" ("traffic outside an open session: " ^ pp_ev e);
+    emit ~space:e.Trace.src st idx "SP003" ("traffic outside an open session: " ^ pp_ev e);
     None
 
 (* SP006: a crashed endpoint neither sends nor receives — any frame
@@ -43,7 +83,7 @@ let check_open st idx (e : Trace.event) =
 let check_crashed st idx (e : Trace.event) =
   let bad ep =
     if Hashtbl.mem st.crashed ep then
-      emit st idx "SP006"
+      emit ~space:ep st idx "SP006"
         (Printf.sprintf "frame involves crashed endpoint %s: %s" ep (pp_ev e))
   in
   bad e.Trace.src;
@@ -80,17 +120,17 @@ let step st idx (e : Trace.event) =
       emit st idx "SP003" (Printf.sprintf "session #%d ends but none is open" id)
     | Some _ ->
       List.iter
-        (fun (src, dst) ->
-          emit st idx "SP002"
+        (fun (src, dst, _) ->
+          emit ~space:src st idx "SP002"
             (Printf.sprintf "request %s -> %s never replied before session end"
                src dst))
         st.stack;
       if st.aborted then begin
         if st.wb_seen then
-          emit st idx "SP005"
+          emit ~space:st.ground st idx "SP005"
             (Printf.sprintf "aborted session #%d has a write-back mark" id);
         if not st.inv_seen then
-          emit st idx "SP005"
+          emit ~space:st.ground st idx "SP005"
             (Printf.sprintf "aborted session #%d ended without invalidation" id)
       end;
       (* SP007 applies only to sessions that recorded copy provenance
@@ -105,7 +145,7 @@ let step st idx (e : Trace.event) =
         in
         List.iter
           (fun dst ->
-            emit st idx "SP007"
+            emit ~space:st.ground st idx "SP007"
               (Printf.sprintf
                  "session #%d ends without invalidating %s, which received a \
                   data copy"
@@ -120,12 +160,13 @@ let step st idx (e : Trace.event) =
     | None -> ()
     | Some _ ->
       if not (String.equal e.Trace.src st.holder) then
-        emit st idx "SP001"
+        emit ~space:e.Trace.src st idx "SP001"
           (Printf.sprintf
              "overlapping threads: request from %s while the thread of \
               control is at %s"
              e.Trace.src st.holder);
-      st.stack <- (e.Trace.src, e.Trace.dst) :: st.stack;
+      check_close_order st idx ~space:e.Trace.src e.Trace.label;
+      st.stack <- (e.Trace.src, e.Trace.dst, e.Trace.label) :: st.stack;
       st.holder <- e.Trace.dst)
   | Trace.Message Trace.Reply -> (
     check_crashed st idx e;
@@ -134,15 +175,16 @@ let step st idx (e : Trace.event) =
     | Some _ -> (
       match st.stack with
       | [] ->
-        emit st idx "SP001" ("reply with no outstanding request: " ^ pp_ev e)
-      | (rq_src, rq_dst) :: rest ->
+        emit ~space:e.Trace.src st idx "SP001" ("reply with no outstanding request: " ^ pp_ev e)
+      | (rq_src, rq_dst, rq_lbl) :: rest ->
         if String.equal e.Trace.src rq_dst && String.equal e.Trace.dst rq_src
         then begin
+          check_pairing st idx ~rq_lbl ~rep_lbl:e.Trace.label;
           st.stack <- rest;
           st.holder <- rq_src
         end
         else
-          emit st idx "SP001"
+          emit ~space:e.Trace.src st idx "SP001"
             (Printf.sprintf
                "reply %s -> %s does not match the innermost request %s -> %s"
                e.Trace.src e.Trace.dst rq_src rq_dst)))
@@ -152,10 +194,11 @@ let step st idx (e : Trace.event) =
     | None -> ()
     | Some _ ->
       if st.inv_seen then
-        emit st idx "SP004"
+        emit ~space:st.ground st idx "SP004"
           "write-back phase after the invalidation multicast already started";
       if st.aborted then
-        emit st idx "SP005" "write-back phase after the session was aborted";
+        emit ~space:st.ground st idx "SP005"
+          "write-back phase after the session was aborted";
       st.wb_seen <- true)
   | Trace.Invalidate id -> (
     check_mark_session st idx id "invalidation mark";
@@ -163,7 +206,7 @@ let step st idx (e : Trace.event) =
     | None -> ()
     | Some _ ->
       if not st.wb_seen && not st.aborted then
-        emit st idx "SP004"
+        emit ~space:st.ground st idx "SP004"
           "invalidation multicast not preceded by the ground space's write-back";
       st.inv_seen <- true)
   | Trace.Session_abort id -> (
@@ -172,7 +215,7 @@ let step st idx (e : Trace.event) =
     | None -> ()
     | Some _ ->
       if st.wb_seen then
-        emit st idx "SP005"
+        emit ~space:st.ground st idx "SP005"
           (Printf.sprintf "session #%d aborted after its write-back began" id);
       st.aborted <- true)
   | Trace.Dropped Trace.Request ->
@@ -184,7 +227,7 @@ let step st idx (e : Trace.event) =
        control is back at the requester, who will retry or give up *)
     check_crashed st idx e;
     match (check_open st idx e, st.stack) with
-    | Some _, (rq_src, rq_dst) :: rest
+    | Some _, (rq_src, rq_dst, _) :: rest
       when String.equal e.Trace.src rq_dst && String.equal e.Trace.dst rq_src ->
       st.stack <- rest;
       st.holder <- rq_src
@@ -217,6 +260,10 @@ let step st idx (e : Trace.event) =
     (* crash marks may appear outside sessions (planned chaos) *)
     Hashtbl.replace st.crashed ep ()
   | Trace.Revive ep -> Hashtbl.remove st.crashed ep
+  | Trace.Access _ ->
+    (* datum-granular witnesses belong to Race_lint, not the protocol
+       state machine *)
+    ()
 
 let check_events events =
   let st =
@@ -231,8 +278,9 @@ let check_events events =
      of a reply, not any recorded frame *)
   let n = List.length events in
   List.iter
-    (fun (src, dst) ->
-      emit st n "SP002" (Printf.sprintf "request %s -> %s never replied" src dst))
+    (fun (src, dst, _) ->
+      emit ~space:src st n "SP002"
+        (Printf.sprintf "request %s -> %s never replied" src dst))
     st.stack;
   Diagnostic.sort (List.rev st.out)
 

@@ -1,0 +1,262 @@
+open Srpc_simnet
+
+(* Vector clocks, one per space, keyed by space name. A clock maps
+   space -> count of that space's local steps known to have
+   happened-before this point. *)
+module Sm = Map.Make (String)
+
+type clock = int Sm.t
+
+let clock_get c k = Option.value ~default:0 (Sm.find_opt k c)
+let clock_tick c k = Sm.add k (clock_get c k + 1) c
+
+let clock_join a b =
+  Sm.union (fun _ x y -> Some (max x y)) a b
+
+(* [a] happened-before (or equals) [b]? *)
+let clock_leq a b = Sm.for_all (fun k v -> v <= clock_get b k) a
+
+(* The home space of a datum named "HOME/ADDR". *)
+let datum_home datum =
+  match String.index_opt datum '/' with
+  | Some i -> String.sub datum 0 i
+  | None -> datum
+
+type last_write = { writer : string; at_clock : clock; widx : int }
+
+type pending = { pw_writer : string; pw_session : int; pw_idx : int }
+
+type state = {
+  vcs : (string, clock) Hashtbl.t;
+  (* per-datum last write, for CC101 *)
+  writes : (string, last_write) Hashtbl.t;
+  (* per-space: datum -> session the current cached copy was installed
+     in, for CC102(a); cleared wholesale by Acc_drop / crash / revive *)
+  copies : (string, (string, int) Hashtbl.t) Hashtbl.t;
+  (* per-datum unapplied foreign write, for CC102(b) *)
+  pendings : (string, pending) Hashtbl.t;
+  (* data freed and not yet reallocated, for CC103 *)
+  freed : (string, int) Hashtbl.t;  (* datum -> free event index *)
+  (* session lifecycle *)
+  mutable session : int option;
+  mutable aborted : bool;
+  closed : (int, unit) Hashtbl.t;  (* sessions seen closing (end/abort) *)
+  session_crashes : (string, unit) Hashtbl.t;
+      (* spaces that crashed while the current session was open — their
+         lost updates are abort semantics, not races *)
+  (* one report per (rule, space, datum): a stale copy read in a loop
+     is one defect, not fifty *)
+  reported : (string, unit) Hashtbl.t;
+  mutable out : Diagnostic.t list;
+}
+
+let vc st space =
+  match Hashtbl.find_opt st.vcs space with
+  | Some c -> c
+  | None -> Sm.empty
+
+let set_vc st space c = Hashtbl.replace st.vcs space c
+
+let copies_of st space =
+  match Hashtbl.find_opt st.copies space with
+  | Some m -> m
+  | None ->
+    let m = Hashtbl.create 16 in
+    Hashtbl.add st.copies space m;
+    m
+
+let emit st idx ~space ~rule ~key message =
+  let k = rule ^ "|" ^ space ^ "|" ^ key in
+  if not (Hashtbl.mem st.reported k) then begin
+    Hashtbl.add st.reported k ();
+    st.out <-
+      Diagnostic.make ~space ~severity:Error ~rule_id:rule
+        ~path:(Printf.sprintf "event[%d]" idx)
+        message
+      :: st.out
+  end
+
+(* --- happens-before edges --- *)
+
+let frame_edge st ~src ~dst =
+  (* a delivered frame: the sender's step, then the receiver learns
+     everything the sender knew *)
+  let c = clock_tick (vc st src) src in
+  set_vc st src c;
+  set_vc st dst (clock_join (vc st dst) c)
+
+let drop_edge st ~src =
+  (* the send happened; nobody learned about it *)
+  set_vc st src (clock_tick (vc st src) src)
+
+(* --- the access alphabet --- *)
+
+let is_write = function
+  | Trace.Acc_write | Trace.Acc_apply -> true
+  | Trace.Acc_read | Trace.Acc_serve | Trace.Acc_install | Trace.Acc_free
+  | Trace.Acc_alloc | Trace.Acc_drop ->
+    false
+
+let touches_payload = function
+  | Trace.Acc_read | Trace.Acc_write | Trace.Acc_serve | Trace.Acc_install ->
+    true
+  | Trace.Acc_apply | Trace.Acc_free | Trace.Acc_alloc | Trace.Acc_drop ->
+    false
+
+let check_freed st idx ~space ~datum akind =
+  match Hashtbl.find_opt st.freed datum with
+  | Some fidx when touches_payload akind ->
+    emit st idx ~space ~rule:"CC103" ~key:datum
+      (Printf.sprintf "%s %s %s, freed at event[%d] and never reallocated"
+         (Trace.access_name akind) space datum fidx)
+  | Some _ | None -> ()
+
+let check_write_order st idx ~space ~datum =
+  (* CC101: the previous write to this datum (from another space) must
+     happen-before this one along delivered frames *)
+  (match Hashtbl.find_opt st.writes datum with
+  | Some w
+    when (not (String.equal w.writer space))
+         && not (clock_leq w.at_clock (vc st space)) ->
+    emit st idx ~space ~rule:"CC101" ~key:datum
+      (Printf.sprintf
+         "%s wrote %s concurrently with %s's write at event[%d]: no \
+          happens-before path connects them"
+         space datum w.writer w.widx)
+  | Some _ | None -> ());
+  (* the write is a local step of its own, so a later snapshot compare
+     can tell "after the write" from "after the last frame" *)
+  let c = clock_tick (vc st space) space in
+  set_vc st space c;
+  Hashtbl.replace st.writes datum { writer = space; at_clock = c; widx = idx }
+
+let check_stale_copy st idx ~space ~datum ~session akind =
+  (* CC102(a): the copy being touched was installed during a session
+     that already closed — its invalidation never landed here *)
+  match akind with
+  | Trace.Acc_read | Trace.Acc_write -> (
+    match Hashtbl.find_opt (copies_of st space) datum with
+    | Some inst
+      when inst <> session && Hashtbl.mem st.closed inst ->
+      emit st idx ~space ~rule:"CC102" ~key:datum
+        (Printf.sprintf
+           "%s %s a copy of %s installed in closed session #%d during \
+            session #%d: the invalidation never reached this space"
+           space
+           (if akind = Trace.Acc_write then "writes" else "reads")
+           datum inst session)
+    | Some _ | None -> ())
+  | _ -> ()
+
+let track_pending st idx ~space ~datum ~session akind =
+  let home = datum_home datum in
+  match akind with
+  | Trace.Acc_write when not (String.equal home space) ->
+    Hashtbl.replace st.pendings datum
+      { pw_writer = space; pw_session = session; pw_idx = idx }
+  | Trace.Acc_apply | Trace.Acc_free when String.equal home space ->
+    Hashtbl.remove st.pendings datum
+  | _ -> ()
+
+let access st idx ~src ~session ~datum akind =
+  if String.equal datum "*" then begin
+    (* a cache purge: every copy this space held is gone *)
+    match akind with
+    | Trace.Acc_drop -> Hashtbl.remove st.copies src
+    | _ -> ()
+  end
+  else begin
+    check_freed st idx ~space:src ~datum akind;
+    (match akind with
+    | Trace.Acc_free -> Hashtbl.replace st.freed datum idx
+    | Trace.Acc_alloc ->
+      Hashtbl.remove st.freed datum;
+      Hashtbl.remove st.writes datum;
+      Hashtbl.remove st.pendings datum
+    | Trace.Acc_install ->
+      Hashtbl.replace (copies_of st src) datum session
+    | _ -> ());
+    check_stale_copy st idx ~space:src ~datum ~session akind;
+    if is_write akind then check_write_order st idx ~space:src ~datum;
+    track_pending st idx ~space:src ~datum ~session akind
+  end
+
+(* --- session lifecycle --- *)
+
+let session_close st idx id ~committed =
+  Hashtbl.replace st.closed id ();
+  if committed then
+    (* CC102(b): a committed close guarantees the modified data set
+       reached every home; any write still pending was silently lost *)
+    Hashtbl.iter
+      (fun datum p ->
+        if
+          p.pw_session = id
+          && not (Hashtbl.mem st.session_crashes (datum_home datum))
+        then
+          emit st idx ~space:p.pw_writer ~rule:"CC102" ~key:datum
+            (Printf.sprintf
+               "session #%d committed but %s's write to %s at event[%d] \
+                never reached its home"
+               id p.pw_writer datum p.pw_idx))
+      st.pendings;
+  (* either way the session's pendings are settled: committed ones were
+     just judged, aborted ones are discarded by design *)
+  let drop =
+    Hashtbl.fold
+      (fun datum p acc -> if p.pw_session = id then datum :: acc else acc)
+      st.pendings []
+  in
+  List.iter (Hashtbl.remove st.pendings) drop;
+  st.session <- None;
+  st.aborted <- false
+
+let step st idx (e : Trace.event) =
+  match e.Trace.kind with
+  | Trace.Message _ -> frame_edge st ~src:e.Trace.src ~dst:e.Trace.dst
+  | Trace.Dup _ ->
+    (* the duplicate still carries the sender's knowledge; the receiver's
+       reply cache suppresses re-execution but the join is sound *)
+    frame_edge st ~src:e.Trace.src ~dst:e.Trace.dst
+  | Trace.Dropped _ -> drop_edge st ~src:e.Trace.src
+  | Trace.Session_begin id ->
+    st.session <- Some id;
+    st.aborted <- false;
+    Hashtbl.reset st.session_crashes
+  | Trace.Session_abort id ->
+    ignore id;
+    st.aborted <- true
+  | Trace.Session_end id -> session_close st idx id ~committed:(not st.aborted)
+  | Trace.Crash ep ->
+    (* the space's memory is gone with it *)
+    Hashtbl.remove st.copies ep;
+    Hashtbl.replace st.session_crashes ep ()
+  | Trace.Revive ep ->
+    (* it restarts empty-handed *)
+    Hashtbl.remove st.copies ep
+  | Trace.Access { session; datum; akind } ->
+    access st idx ~src:e.Trace.src ~session ~datum akind
+  | Trace.Write_back _ | Trace.Invalidate _ | Trace.Copy _
+  | Trace.Inval_sent _ ->
+    ()
+
+let check_events events =
+  let st =
+    {
+      vcs = Hashtbl.create 8;
+      writes = Hashtbl.create 64;
+      copies = Hashtbl.create 8;
+      pendings = Hashtbl.create 16;
+      freed = Hashtbl.create 16;
+      session = None;
+      aborted = false;
+      closed = Hashtbl.create 16;
+      session_crashes = Hashtbl.create 4;
+      reported = Hashtbl.create 16;
+      out = [];
+    }
+  in
+  List.iteri (fun idx e -> step st idx e) events;
+  Diagnostic.sort (List.rev st.out)
+
+let check trace = check_events (Trace.events trace)

@@ -1,0 +1,74 @@
+(* Lowering a resolved check-script plan to per-session footprints.
+
+   This lives here rather than in [Srpc_analysis] because the dependency
+   arrow points the other way: the analysis library knows nothing about
+   scripts (or the core runtime), it only consumes plain regions. The
+   lowering is object-granular — a script op touches "obj#N" as a whole
+   ("*" path), because plan resolution clamps indices modulo live state
+   and any element of the object may be the one addressed. *)
+
+open Srpc_analysis
+
+(* Space naming matches the check cluster's layout: ground is site 1,
+   workers are sites 2..; every endpoint is proc 0 of its site. *)
+let ground_space = "1.0"
+let worker_space w = Printf.sprintf "%d.0" (w + 2)
+let obj_root id = Printf.sprintf "obj#%d" id
+
+let sessions (p : Script.plan) =
+  let obj_homes : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  let homes_of id =
+    Option.value (Hashtbl.find_opt obj_homes id) ~default:[ ground_space ]
+  in
+  let out = ref [] in
+  let idx = ref 0 in
+  let regions = ref [] and escapes = ref false and homes = ref [] in
+  let touch id mode =
+    regions := { Footprint.root = obj_root id; path = "*"; mode } :: !regions;
+    homes := homes_of id @ !homes
+  in
+  let close () =
+    out :=
+      Footprint.session
+        ~label:(Printf.sprintf "session[%d]" !idx)
+        ~escapes:!escapes ~homes:!homes (List.rev !regions)
+      :: !out;
+    incr idx;
+    regions := [];
+    escapes := false;
+    homes := []
+  in
+  let step (rop : Script.rop) =
+    match rop with
+    | RBuild { id; _ } ->
+        Hashtbl.replace obj_homes id [ ground_space ];
+        touch id Footprint.Write
+    | RSum { id; _ } | RVisit { id; _ } | RWideRow { id; _ } | RNested { id; _ }
+      ->
+        touch id Footprint.Read
+    | RUpdate { id; _ } | RMapList { id; _ } | RMapTree { id; _ }
+    | RPoke { id; _ } ->
+        touch id Footprint.Read;
+        touch id Footprint.Write
+    | RLocalUpdate { id; _ } -> touch id Footprint.Write
+    | RAppend { id; home; _ } ->
+        if home > 0 then
+          Hashtbl.replace obj_homes id
+            (List.sort_uniq String.compare
+               (worker_space (home - 1) :: homes_of id));
+        touch id Footprint.Write
+    | RFree { id } -> touch id Footprint.Free
+    | RCallback { id; _ } ->
+        touch id Footprint.Read;
+        escapes := true
+    | RSession -> close ()
+    | RCrash _ -> ()
+  in
+  List.iter step p.Script.p_rops;
+  (* phase A: the interpreter re-reads every live object at ground
+     inside the final session before closing it *)
+  List.iter (fun id -> touch id Footprint.Read) p.Script.p_verify_all;
+  close ();
+  (* the interpreter's trailing recover-and-probe session only pings —
+     an empty footprint, so it is not reported here *)
+  List.rev !out

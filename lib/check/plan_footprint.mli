@@ -1,0 +1,16 @@
+(** Per-session static footprints of a resolved check-script plan.
+
+    [sessions plan] returns one {!Srpc_analysis.Footprint.t} per
+    session the plan opens, in order. Regions are object-granular
+    (root ["obj#N"], path ["*"]): plan resolution clamps every index
+    modulo live state, so any element of an object may be the one
+    addressed. [homes] lists the spaces owning the session's data —
+    ground plus any worker homes added by remote-homed appends so far.
+    Callback ops mark the session's footprint as escaping (→ CC004
+    under {!Srpc_analysis.Footprint.interferes}).
+
+    Phase-A verification reads are charged to the final session (the
+    interpreter performs them before the last close); the trailing
+    recover-and-probe session touches no data and is omitted. *)
+
+val sessions : Script.plan -> Srpc_analysis.Footprint.t list

@@ -12,6 +12,7 @@ type failure =
   | Unexpected_abort of string
   | Uncaught of string
   | Protocol of string
+  | Race of string
   | Not_reusable
 
 let pp_ints ppf vs =
@@ -35,6 +36,7 @@ let pp_failure ppf = function
     Format.fprintf ppf "session aborted on a fault-free run: %s" reason
   | Uncaught msg -> Format.fprintf ppf "uncaught exception: %s" msg
   | Protocol msg -> Format.fprintf ppf "protocol trace violation:@,%s" msg
+  | Race msg -> Format.fprintf ppf "happens-before race:@,%s" msg
   | Not_reusable ->
     Format.fprintf ppf "nodes were not reusable after the run"
 
@@ -69,6 +71,13 @@ let judge plan (model : Model.result) (out : Interp.outcome) =
   in
   let checks =
     [
+      (* the race checker judges first: a coherency defect usually also
+         desynchronizes the model, and "stale read" names the disease
+         where "observed 3, model says 4" only names a symptom *)
+      (fun () ->
+        match Race_lint.check out.trace with
+        | [] -> None
+        | ds -> Some (Race (Format.asprintf "%a" Diagnostic.pp_list ds)));
       (fun () -> obs_prefix 0 model.m_obs out.obs);
       (fun () ->
         if out.phase_a_done then compare_final "A" model.m_final out.final_a

@@ -1,9 +1,10 @@
 (** The check loop: generate → run against both oracles → shrink on
     failure.
 
-    Two oracles judge every run: the sequential model ({!Model}) on
-    observations and final state, and the protocol verifier
-    ({!Srpc_analysis.Proto_lint}) on the recorded trace. A fault run may
+    Three oracles judge every run: the happens-before race checker
+    ({!Srpc_analysis.Race_lint}) on the recorded trace, the sequential
+    model ({!Model}) on observations and final state, and the protocol
+    verifier ({!Srpc_analysis.Proto_lint}) on the trace. A fault run may
     also end in a clean [Session_aborted] — but the observations made
     before the abort must still match the model, and both sides must be
     reusable afterwards. *)
@@ -20,6 +21,7 @@ type failure =
   | Unexpected_abort of string
   | Uncaught of string
   | Protocol of string
+  | Race of string  (** {!Srpc_analysis.Race_lint} flagged the trace *)
   | Not_reusable
 
 val pp_failure : Format.formatter -> failure -> unit

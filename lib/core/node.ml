@@ -98,6 +98,33 @@ let sizeof t ty = Layout.sizeof_name t.registry (arch t) ty
 
 let in_heap t addr = addr >= Allocator.base t.heap && addr < Allocator.limit t.heap
 
+(* --- datum-granular access marks (race-checker witnesses) --- *)
+
+(* A datum is named by its home and heap address: "B/66560". The marks
+   are only witnesses for [Srpc_analysis.Race_lint]; they move no bytes,
+   charge no time, and are skipped entirely when no trace is attached or
+   no session is open (setup-time touches cannot race). *)
+let datum_name (lp : Long_pointer.t) =
+  Printf.sprintf "%s/%d"
+    (Space_id.to_string lp.Long_pointer.origin)
+    lp.Long_pointer.addr
+
+let datum_of_addr t addr = Printf.sprintf "%s/%d" (Space_id.to_string t.id) addr
+
+let note_access t ~datum akind =
+  if Transport.traced t.transport then
+    match Session.current t.session with
+    | None -> ()
+    | Some info ->
+      Transport.mark t.transport ~src:(endpoint t)
+        (Trace.Access { session = info.Session.id; datum; akind })
+
+(* Provisional pointers are renamed when the allocation batch resolves,
+   so marks under the provisional name would never pair up with the
+   home-side marks under the real one; they are elided instead. *)
+let note_datum t (lp : Long_pointer.t) akind =
+  if lp.Long_pointer.addr > 0 then note_access t ~datum:(datum_name lp) akind
+
 (* --- pointer swizzling (paper, section 3.2) --- *)
 
 let swizzle t = function
@@ -168,17 +195,17 @@ let dir_base t ~peer ~addr =
    patched — either can swizzle foreign pointers into fresh cache
    slots there). The shared session metadata stands in for provenance
    piggybacked on the transfers; the ground's targeted invalidation
-   reads it at close. The trace note is SP007's witness and only
-   appears in delta mode, keeping flag-off traces untouched. *)
+   reads it at close. The trace note is the witness SP007 orders
+   against the close-time invalidations — emitted in every mode now
+   that the plain closes record their sends too. *)
 let record_copy t ~dst n =
   if n > 0 then
     match Session.current t.session with
     | None -> ()
     | Some info ->
       Session.record_casher t.session dst;
-      if delta_on t then
-        Transport.note t.transport ~src:(endpoint t)
-          ~dst:(Space_id.to_string dst) (Trace.Copy info.Session.id)
+      Transport.note t.transport ~src:(endpoint t)
+        ~dst:(Space_id.to_string dst) (Trace.Copy info.Session.id)
 
 (* Wire sizes of the two write-back encodings for one datum, mirroring
    the XDR framing: a non-null long pointer is 20 bytes, opaques pad to
@@ -210,6 +237,7 @@ let install_item t ~src ~kind (item : Wire.item) =
     let raw = Object_codec.decode (decode_ctx t) ~ty:lp.ty item.Wire.data in
     Address_space.write_unchecked t.space ~addr:lp.addr raw;
     if dirty then begin
+      note_datum t lp Trace.Acc_apply;
       Long_pointer.Table.replace t.traveling lp ();
       (* the sender's copy now agrees with this encoding: it is the base
          its next byte-range delta patches *)
@@ -224,6 +252,7 @@ let install_item t ~src ~kind (item : Wire.item) =
     in
     let fresh = not e.Cache.present in
     if dirty || fresh then begin
+      note_datum t lp Trace.Acc_install;
       let raw = Object_codec.decode (decode_ctx t) ~ty:lp.ty item.Wire.data in
       Address_space.write_unchecked t.space ~addr:e.Cache.local_addr raw;
       if dirty then e.Cache.dirty <- true;
@@ -308,6 +337,7 @@ let apply_home_delta t ~src (d : Wire.delta) =
     Object_codec.decode (decode_ctx t) ~ty:lp.Long_pointer.ty patched
   in
   Address_space.write_unchecked t.space ~addr:lp.Long_pointer.addr raw;
+  note_datum t lp Trace.Acc_apply;
   Long_pointer.Table.replace t.traveling lp ();
   dir_record t ~peer:src ~addr:lp.Long_pointer.addr patched
 
@@ -339,6 +369,7 @@ let apply_refresh_delta t (d : Wire.delta) =
       Object_codec.decode (decode_ctx t) ~ty:lp.Long_pointer.ty patched
     in
     Address_space.write_unchecked t.space ~addr:e.Cache.local_addr raw;
+    note_datum t lp Trace.Acc_install;
     (* same provenance as a full traveling write-back: the refreshed
        copy keeps traveling with the thread of control *)
     e.Cache.dirty <- true;
@@ -439,6 +470,7 @@ let ship_closure t ~peer ~forced_seeds ~seeds =
         let data = Object_codec.encode (encode_ctx t) ~ty:lp.ty raw in
         out := { Wire.lp; data } :: !out;
         Hashtbl.replace shipped lp.addr ();
+        note_datum t lp Trace.Acc_serve;
         (* closure provenance feeds the copy directory: [peer] will hold
            exactly this encoding *)
         dir_record t ~peer ~addr:lp.addr data;
@@ -508,6 +540,7 @@ let is_unreachable_msg msg =
    unflushed batched operations. Used by session abort and by the lazy
    cleanup when a node that missed an invalidation is contacted again. *)
 let hard_reset t =
+  note_access t ~datum:"*" Trace.Acc_drop;
   Cache.invalidate t.cache;
   Space_id.Table.reset t.shipped;
   Long_pointer.Table.reset t.traveling;
@@ -649,6 +682,14 @@ let flush_remote_ops t =
    detects and shrinks real coherency bugs; never set it in production
    code. *)
 let chaos_lose_first_writeback = ref false
+
+(* Test-only defect switch: when set, an incoming [Invalidate] updates
+   the session bookkeeping (so the lazy purge never kicks in) but leaves
+   every cached copy, shipped set and directory row in place — the
+   observable effect of an invalidation racing ahead of the state it was
+   supposed to clear. Exists so srpc-check can prove the happens-before
+   checker catches stale reads; never set it in production code. *)
+let chaos_reorder_invalidate = ref false
 
 (* Drain the dirty entries, charging the twin-diff CPU cost and applying
    the chaos defect switch — shared by the plain and delta collectors. *)
@@ -885,6 +926,7 @@ let apply_frees t lps =
         invalid_arg "Free_batch: foreign datum";
       (* a dead datum must stop traveling, and its directory row would
          otherwise invite a refresh delta to a space that dropped it *)
+      note_datum t lp Trace.Acc_free;
       Long_pointer.Table.remove t.traveling lp;
       Hashtbl.remove t.directory lp.addr;
       Allocator.free t.heap lp.addr)
@@ -1144,13 +1186,21 @@ let ensure_fresh t session =
 (* Drop every piece of cached session state — the [Invalidate] body,
    shared with the invalidation ridden by a [Wb_delta] close frame. *)
 let apply_invalidate t =
-  record_outcomes t;
-  Cache.invalidate t.cache;
-  Space_id.Table.reset t.shipped;
-  Long_pointer.Table.reset t.traveling;
-  Hashtbl.reset t.staged;
-  Hashtbl.reset t.directory;
-  t.state_session <- None
+  if !chaos_reorder_invalidate then
+    (* the defect: acknowledge the invalidation and advance the session
+       bookkeeping without dropping anything — stale copies survive into
+       the next session and the self-healing purge is disarmed *)
+    t.state_session <- None
+  else begin
+    record_outcomes t;
+    note_access t ~datum:"*" Trace.Acc_drop;
+    Cache.invalidate t.cache;
+    Space_id.Table.reset t.shipped;
+    Long_pointer.Table.reset t.traveling;
+    Hashtbl.reset t.staged;
+    Hashtbl.reset t.directory;
+    t.state_session <- None
+  end
 
 let handle t src req =
   check_session t (Wire.request_session req);
@@ -1264,7 +1314,12 @@ let handle t src req =
   | Wire.Alloc_batch { reqs; session = _ } ->
     Session.join t.session t.id;
     let addrs =
-      List.map (fun (prov, ty) -> (prov, Allocator.alloc t.heap ~size:(sizeof t ty))) reqs
+      List.map
+        (fun (prov, ty) ->
+          let real = Allocator.alloc t.heap ~size:(sizeof t ty) in
+          note_access t ~datum:(datum_of_addr t real) Trace.Acc_alloc;
+          (prov, real))
+        reqs
     in
     Wire.Allocated { addrs }
   | Wire.Free_batch { lps; session = _ } ->
@@ -1336,6 +1391,7 @@ let begin_session t =
    session and record the end mark. *)
 let close_tail t (info : Session.info) =
   record_outcomes t;
+  note_access t ~datum:"*" Trace.Acc_drop;
   Cache.invalidate t.cache;
   Space_id.Table.reset t.shipped;
   Long_pointer.Table.reset t.traveling;
@@ -1391,6 +1447,8 @@ let end_session_plain t (info : Session.info) =
   let others = Space_id.Set.remove t.id info.Session.participants in
   Space_id.Set.iter
     (fun peer ->
+      Transport.note t.transport ~src:(endpoint t)
+        ~dst:(Space_id.to_string peer) (Trace.Inval_sent info.Session.id);
       expect_ack (request t ~dst:peer (Wire.Invalidate { session = info.Session.id })))
     others;
   close_tail t info
@@ -1426,6 +1484,8 @@ let end_session_faulty t (info : Session.info) =
   let others = Space_id.Set.remove t.id info.Session.participants in
   Space_id.Set.iter
     (fun peer ->
+      Transport.note t.transport ~src:(endpoint t)
+        ~dst:(Space_id.to_string peer) (Trace.Inval_sent sid);
       try expect_ack (request t ~dst:peer (Wire.Invalidate { session = sid }))
       with Peer_unreachable _ -> ())
     others;
@@ -1557,13 +1617,18 @@ let with_session t f =
 
 (* --- memory management --- *)
 
-let malloc t ~ty = Allocator.alloc t.heap ~size:(sizeof t ty)
+let malloc t ~ty =
+  let addr = Allocator.alloc t.heap ~size:(sizeof t ty) in
+  note_access t ~datum:(datum_of_addr t addr) Trace.Acc_alloc;
+  addr
 
 let malloc_n t ~ty n =
   let size =
     Layout.sizeof t.registry (arch t) (Type_desc.Array (Type_desc.Named ty, n))
   in
-  Allocator.alloc t.heap ~size
+  let addr = Allocator.alloc t.heap ~size in
+  note_access t ~datum:(datum_of_addr t addr) Trace.Acc_alloc;
+  addr
 
 let extended_malloc t ~home ~ty =
   if Space_id.equal home t.id then malloc t ~ty
@@ -1607,6 +1672,7 @@ let extended_free t addr =
       t.traveling []
     |> List.iter (Long_pointer.Table.remove t.traveling);
     Hashtbl.remove t.directory addr;
+    note_access t ~datum:(datum_of_addr t addr) Trace.Acc_free;
     Allocator.free t.heap addr
   end
   else raise (Invalid_pointer addr)
@@ -1667,6 +1733,18 @@ let create ?(page_size = 4096) ?(heap_base = 0x10000) ?(heap_limit = 0x4000000)
   in
   Mmu.set_handler mmu (handle_fault t);
   Transport.register transport (endpoint t) (dispatch t);
+  (* Frame labels give the offline linters the opcode of every recorded
+     frame without their own decoder. Registries are identical across a
+     cluster (frames could not decode otherwise), so the last node's is
+     as good as any. Only consulted while a trace is attached. *)
+  Transport.set_frame_labeler transport
+    (Some
+       (fun ~dir frame ->
+         match dir with
+         | Trace.Request ->
+           Wire.request_label (snd (Wire.decode_framed ~reg:registry frame))
+         | Trace.Reply ->
+           Wire.response_label (Wire.decode_response ~reg:registry frame)));
   t
 
 let register t name body = Hashtbl.replace t.procs name body
@@ -1675,15 +1753,28 @@ let run_local t name args =
   match Hashtbl.find_opt t.procs name with
   | Some f -> f t args
   | None -> raise (Unknown_procedure name)
-let charge_touch ?addr t =
+let traced t = Transport.traced t.transport
+
+let charge_touch ?addr ?(write = false) t =
   Transport.charge_local_touches t.transport 1;
   match addr with
   | None -> ()
   | Some a ->
     if Cache.in_region t.cache a then (
       match Cache.find_containing t.cache a with
-      | Some e -> e.Cache.touched <- true
+      | Some e ->
+        e.Cache.touched <- true;
+        note_datum t e.Cache.lp
+          (if write then Trace.Acc_write else Trace.Acc_read)
       | None -> ())
+    else if in_heap t a && Transport.traced t.transport then
+      (* interior addresses need the O(live) scan; only pay it when a
+         trace is actually collecting witnesses *)
+      match Allocator.find_containing t.heap a with
+      | Some (base, _) ->
+        note_access t ~datum:(datum_of_addr t base)
+          (if write then Trace.Acc_write else Trace.Acc_read)
+      | None -> ()
 let cached_entries t = Cache.entry_count t.cache
 let reply_cache_size t = Hashtbl.length t.replies
 

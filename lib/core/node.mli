@@ -175,8 +175,16 @@ val unswizzle : t -> ty:string -> int -> Long_pointer.t option
 (** [charge_touch t] accounts one application-level data access in the
     cost model. When [addr] names the accessed datum, its cache entry
     (if any) is also marked touched, feeding the access-pattern
-    profile. *)
-val charge_touch : ?addr:int -> t -> unit
+    profile; with a trace attached the touch is also recorded as a
+    datum-granular [Trace.Access] witness — a read by default, a write
+    when [~write:true]. *)
+val charge_touch : ?addr:int -> ?write:bool -> t -> unit
+
+(** Whether the node's transport currently has a trace attached. The
+    access layer uses this to decide when witness bookkeeping (like the
+    store-comparison that demotes no-op writes to reads) is worth
+    paying for. *)
+val traced : t -> bool
 
 (** Number of live entries in the data allocation table. *)
 val cached_entries : t -> int
@@ -199,6 +207,14 @@ val copy_directory : t -> (int * Space_id.t list) list
     entry (the page is still cleaned, so the lost update is
     unrecoverable). Leave it [false] outside tests. *)
 val chaos_lose_first_writeback : bool ref
+
+(** Test-only defect switch used by the srpc-check mutation test: while
+    set, an incoming [Invalidate] is acknowledged and the session
+    bookkeeping advances, but no cached state is dropped — stale copies
+    survive into the next session exactly as if the invalidation had
+    been reordered past the accesses it was meant to fence. Leave it
+    [false] outside tests. *)
+val chaos_reorder_invalidate : bool ref
 
 (** Render this node's data allocation table (paper, Table 1). *)
 val pp_alloc_table : Format.formatter -> t -> unit

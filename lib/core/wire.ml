@@ -338,6 +338,28 @@ let request_session = function
   | Wb_stage_delta { session; _ }
   | Call_d { session; _ } -> session
 
+let request_label = function
+  | Call _ -> "call"
+  | Fetch _ -> "fetch"
+  | Write_back _ -> "write-back"
+  | Alloc_batch _ -> "alloc-batch"
+  | Free_batch _ -> "free-batch"
+  | Invalidate _ -> "invalidate"
+  | Abort _ -> "abort"
+  | Wb_stage _ -> "wb-stage"
+  | Wb_commit _ -> "wb-commit"
+  | Wb_delta { invalidate; _ } -> if invalidate then "wb-delta+inv" else "wb-delta"
+  | Wb_stage_delta _ -> "wb-stage-delta"
+  | Call_d _ -> "call-d"
+
+let response_label = function
+  | Return _ -> "return"
+  | Fetched _ -> "fetched"
+  | Allocated _ -> "allocated"
+  | Ack -> "ack"
+  | Error _ -> "error"
+  | Return_d _ -> "return-d"
+
 let encode_response ~reg r =
   let enc = Enc.create () in
   (match r with

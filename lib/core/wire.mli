@@ -117,6 +117,13 @@ val decode_framed :
 
 (** The session id carried by every request. *)
 val request_session : request -> int
+
+(** Stable frame-opcode names for trace labels — [Wb_delta] frames
+    carrying the targeted invalidation render as ["wb-delta+inv"] so the
+    protocol linter can order them against the close marks. *)
+val request_label : request -> string
+
+val response_label : response -> string
 val encode_response : reg:Srpc_types.Registry.t -> response -> string
 val decode_response : reg:Srpc_types.Registry.t -> string -> response
 val pp_request : Format.formatter -> request -> unit

@@ -71,6 +71,18 @@ let free t addr =
 
 let block_size t addr = Hashtbl.find_opt t.live addr
 let is_allocated t addr = Hashtbl.mem t.live addr
+
+let find_containing t addr =
+  match Hashtbl.find_opt t.live addr with
+  | Some size -> Some (addr, size)
+  | None ->
+    Hashtbl.fold
+      (fun base size acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> if addr >= base && addr < base + size then Some (base, size)
+                  else None)
+      t.live None
 let allocated_bytes t = t.allocated_bytes
 let free_bytes t = List.fold_left (fun acc (_, s) -> acc + s) 0 t.free_list
 let live_blocks t = Hashtbl.length t.live

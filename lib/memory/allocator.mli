@@ -34,6 +34,12 @@ val free : t -> int -> unit
 val block_size : t -> int -> int option
 
 val is_allocated : t -> int -> bool
+
+(** [find_containing t addr] is the [(base, size)] of the live block
+    whose region contains [addr] — exact-base lookups are O(1), interior
+    addresses fall back to a scan of the live table. *)
+val find_containing : t -> int -> (int * int) option
+
 val allocated_bytes : t -> int
 val free_bytes : t -> int
 val live_blocks : t -> int

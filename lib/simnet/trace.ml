@@ -1,5 +1,15 @@
 type direction = Request | Reply
 
+type access =
+  | Acc_read
+  | Acc_write
+  | Acc_serve
+  | Acc_apply
+  | Acc_install
+  | Acc_free
+  | Acc_alloc
+  | Acc_drop
+
 type kind =
   | Message of direction
   | Dropped of direction
@@ -13,6 +23,7 @@ type kind =
   | Revive of string
   | Copy of int
   | Inval_sent of int
+  | Access of { session : int; datum : string; akind : access }
 
 type event = {
   at : float;
@@ -20,6 +31,7 @@ type event = {
   dst : string;
   kind : kind;
   bytes : int;
+  label : string;
 }
 
 type t = { mutable rev_events : event list; mutable count : int }
@@ -30,12 +42,13 @@ let add t e =
   t.rev_events <- e :: t.rev_events;
   t.count <- t.count + 1
 
-let record t ~at ~src ~dst ~dir ~bytes =
-  add t { at; src; dst; kind = Message dir; bytes }
+let record ?(label = "") t ~at ~src ~dst ~dir ~bytes =
+  add t { at; src; dst; kind = Message dir; bytes; label }
 
-let record_kind t ~at ~src ~dst ~kind ~bytes = add t { at; src; dst; kind; bytes }
+let record_kind ?(label = "") t ~at ~src ~dst ~kind ~bytes =
+  add t { at; src; dst; kind; bytes; label }
 
-let mark t ~at ~src kind = add t { at; src; dst = src; kind; bytes = 0 }
+let mark t ~at ~src kind = add t { at; src; dst = src; kind; bytes = 0; label = "" }
 
 let events t = List.rev t.rev_events
 let length t = t.count
@@ -50,6 +63,16 @@ let between t ~src ~dst =
        (fun e ->
          e.kind = Message Request && String.equal e.src src && String.equal e.dst dst)
        t.rev_events)
+
+let access_name = function
+  | Acc_read -> "read"
+  | Acc_write -> "write"
+  | Acc_serve -> "serve"
+  | Acc_apply -> "apply"
+  | Acc_install -> "install"
+  | Acc_free -> "free"
+  | Acc_alloc -> "alloc"
+  | Acc_drop -> "drop"
 
 let pp_kind ppf = function
   | Message Request -> Format.pp_print_string ppf "request"
@@ -67,16 +90,22 @@ let pp_kind ppf = function
   | Revive ep -> Format.fprintf ppf "revive %s" ep
   | Copy id -> Format.fprintf ppf "copy #%d" id
   | Inval_sent id -> Format.fprintf ppf "inval-sent #%d" id
+  | Access { session; datum; akind } ->
+    Format.fprintf ppf "access #%d %s %s" session (access_name akind) datum
 
 let pp_event ppf e =
   match e.kind with
   | Message _ | Dropped _ | Dup _ ->
-    Format.fprintf ppf "%10.6f %s -> %s %a (%d bytes)" e.at e.src e.dst pp_kind
-      e.kind e.bytes
+    if String.equal e.label "" then
+      Format.fprintf ppf "%10.6f %s -> %s %a (%d bytes)" e.at e.src e.dst
+        pp_kind e.kind e.bytes
+    else
+      Format.fprintf ppf "%10.6f %s -> %s %a[%s] (%d bytes)" e.at e.src e.dst
+        pp_kind e.kind e.label e.bytes
   | Copy _ | Inval_sent _ ->
     Format.fprintf ppf "%10.6f %s -> %s %a" e.at e.src e.dst pp_kind e.kind
   | Session_begin _ | Session_end _ | Write_back _ | Invalidate _
-  | Session_abort _ | Crash _ | Revive _ ->
+  | Session_abort _ | Crash _ | Revive _ | Access _ ->
     Format.fprintf ppf "%10.6f %s %a" e.at e.src pp_kind e.kind
 
 let pp ppf t =

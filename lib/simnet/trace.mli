@@ -5,11 +5,27 @@
     asserting message sequences in tests, and rendering timelines.
 
     Beyond raw frames the runtime also records protocol {e marks} —
-    session begin/end and the session-close write-back / invalidation
-    phases — so a trace is a complete witness of the session coherency
-    protocol that [Srpc_analysis.Proto_lint] can verify offline. *)
+    session begin/end, the session-close write-back / invalidation
+    phases, and datum-granular {!kind.Access} marks — so a trace is a
+    complete witness of the session coherency protocol that
+    [Srpc_analysis.Proto_lint] and [Srpc_analysis.Race_lint] can verify
+    offline. *)
 
 type direction = Request | Reply
+
+(** What a space did to a datum — the dynamic access alphabet consumed
+    by the happens-before checker (rules CC101–CC103). *)
+type access =
+  | Acc_read  (** a cached (or home) read through an accessor *)
+  | Acc_write  (** a cached (or home) write through an accessor *)
+  | Acc_serve  (** the home shipped the datum to a peer (fetch/closure) *)
+  | Acc_apply  (** the home applied a write-back (full or delta) *)
+  | Acc_install  (** a peer installed a shipped copy in its cache *)
+  | Acc_free  (** the home released the datum's region *)
+  | Acc_alloc  (** the home carved a fresh datum out of its heap *)
+  | Acc_drop
+      (** the space discarded all session state (cache purge);
+          [datum] is ["*"] *)
 
 type kind =
   | Message of direction  (** a wire frame *)
@@ -26,12 +42,15 @@ type kind =
   | Crash of string  (** endpoint [ep] died; no frames from/to it after *)
   | Revive of string  (** endpoint [ep] came back *)
   | Copy of int
-      (** delta-coherency note: [src] shipped cached copies of its data
-          to [dst] during session [id] — the provenance the targeted
-          invalidation must cover (rule SP007) *)
+      (** provenance note: [src] shipped cached copies of its data to
+          [dst] during session [id] — what the close-time invalidation
+          must cover (rule SP007) *)
   | Inval_sent of int
-      (** delta-coherency note: [src] sent (or attempted) a targeted
-          invalidation to [dst] at the close of session [id] *)
+      (** provenance note: [src] sent (or attempted) an invalidation to
+          [dst] at the close of session [id] *)
+  | Access of { session : int; datum : string; akind : access }
+      (** [src] performed [akind] on [datum] (rendered ["HOME/ADDR"])
+          during session [session] — the race checker's raw material *)
 
 type event = {
   at : float;  (** simulated time, seconds *)
@@ -39,6 +58,9 @@ type event = {
   dst : string;  (** for marks, [dst = src] *)
   kind : kind;
   bytes : int;  (** 0 for marks *)
+  label : string;
+      (** frame opcode (e.g. ["call-d"], ["wb-delta"]) when the
+          transport has a frame labeler installed; [""] otherwise *)
 }
 
 type t
@@ -47,12 +69,26 @@ val create : unit -> t
 
 (** [record t ~at ~src ~dst ~dir ~bytes] records a wire frame. *)
 val record :
-  t -> at:float -> src:string -> dst:string -> dir:direction -> bytes:int -> unit
+  ?label:string ->
+  t ->
+  at:float ->
+  src:string ->
+  dst:string ->
+  dir:direction ->
+  bytes:int ->
+  unit
 
 (** [record_kind t ~at ~src ~dst ~kind ~bytes] records an arbitrary
     event — used by the fault layer for dropped and duplicate frames. *)
 val record_kind :
-  t -> at:float -> src:string -> dst:string -> kind:kind -> bytes:int -> unit
+  ?label:string ->
+  t ->
+  at:float ->
+  src:string ->
+  dst:string ->
+  kind:kind ->
+  bytes:int ->
+  unit
 
 (** [mark t ~at ~src kind] records a zero-byte protocol mark. *)
 val mark : t -> at:float -> src:string -> kind -> unit
@@ -66,6 +102,7 @@ val clear : t -> unit
 (** [between t ~src ~dst] counts request frames from [src] to [dst]. *)
 val between : t -> src:string -> dst:string -> int
 
+val access_name : access -> string
 val pp_kind : Format.formatter -> kind -> unit
 val pp_event : Format.formatter -> event -> unit
 

@@ -12,6 +12,7 @@ type t = {
   link_costs : (endpoint * endpoint, Cost_model.t) Hashtbl.t;
   mutable trace : Trace.t option;
   mutable faults : Fault_plan.t option;
+  mutable labeler : (dir:Trace.direction -> string -> string) option;
 }
 
 let src_log = Logs.Src.create "srpc.transport" ~doc:"simulated transport"
@@ -27,6 +28,7 @@ let create ~clock ~stats ~cost =
     link_costs = Hashtbl.create 4;
     trace = None;
     faults = None;
+    labeler = None;
   }
 
 let clock t = t.clock
@@ -41,6 +43,8 @@ let link_cost t ~src ~dst =
   | None -> t.cost
 
 let set_trace t trace = t.trace <- trace
+let traced t = Option.is_some t.trace
+let set_frame_labeler t labeler = t.labeler <- labeler
 let set_fault_plan t plan = t.faults <- plan
 let fault_plan t = t.faults
 
@@ -86,7 +90,14 @@ let record_frame t ~src ~dst ~kind frame =
   Stats.add_bytes t.stats bytes;
   (match t.trace with
   | Some trace ->
-    Trace.record_kind trace ~at:(Clock.now t.clock) ~src ~dst ~kind ~bytes
+    let label =
+      match (t.labeler, kind) with
+      | Some f, (Trace.Message dir | Trace.Dropped dir | Trace.Dup dir) ->
+        (try f ~dir frame with _ -> "")
+      | _ -> ""
+    in
+    Trace.record_kind ~label trace ~at:(Clock.now t.clock) ~src ~dst ~kind
+      ~bytes
   | None -> ());
   Clock.advance t.clock (Cost_model.frame_cost (link_cost t ~src ~dst) ~bytes)
 

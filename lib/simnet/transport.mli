@@ -43,6 +43,18 @@ val link_cost : t -> src:endpoint -> dst:endpoint -> Cost_model.t
     recorded with its simulated send time. [None] detaches. *)
 val set_trace : t -> Trace.t option -> unit
 
+(** [traced t] is true when an event recorder is attached — the runtime
+    uses it to skip building witness-only marks nobody will read. *)
+val traced : t -> bool
+
+(** [set_frame_labeler t (Some f)] installs a frame labeler: when a
+    trace is attached, every recorded frame event carries
+    [f ~dir frame] as its [label] (the decoded opcode). Exceptions from
+    [f] degrade to the empty label. The labeler is never consulted
+    without a trace. *)
+val set_frame_labeler :
+  t -> (dir:Trace.direction -> string -> string) option -> unit
+
 (** [set_fault_plan t (Some plan)] turns fault injection on: every
     frame's fate is decided by [plan], and {!rpc} may raise {!Timeout}
     or {!Peer_crashed}. [None] (the default) restores the perfectly

@@ -1,0 +1,16 @@
+; srpc-check reproducer — rerun with: srpc check --replay test/repros/race-lost-writeback-003.sexp
+; Minimal lost-update scenario (shrunk from seed 0 under the seeded
+; Node.chaos_lose_first_writeback defect, 2 ops): a worker updates a
+; ground-homed tree node, and the update must travel home with the
+; reply. With the defect planted the harness flags it as a CC102
+; happens-before race ("write never reached its home"); committed
+; clean, it pins that exact data path through all three oracles,
+; Race_lint included.
+(srpc-check-repro
+ (version 1)
+ (seed 0)
+ (workers 1)
+ (arches (0))
+ (strategy 0)
+ (fault none)
+ (ops ((build-tree 1) (update 41 0 0 -1))))

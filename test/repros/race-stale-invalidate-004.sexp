@@ -1,0 +1,17 @@
+; srpc-check reproducer — rerun with: srpc check --replay test/repros/race-stale-invalidate-004.sexp
+; Minimal stale-copy scenario (shrunk from seed 1 under the seeded
+; Node.chaos_reorder_invalidate defect, 4 ops): a worker caches
+; ground-homed list cells in one session, the session closes, and the
+; next session touches the same data. With the defect planted the
+; close-time invalidation is acknowledged but not applied, so the
+; second session reads a stale copy — flagged as a CC102 race
+; ("invalidation never reached this space"). Committed clean, it pins
+; the invalidate-then-reuse path through all three oracles.
+(srpc-check-repro
+ (version 1)
+ (seed 1)
+ (workers 1)
+ (arches (0))
+ (strategy 0)
+ (fault none)
+ (ops ((build-list (21)) (map 53 37 0 0) new-session (update 45 0 0 0))))

@@ -160,7 +160,8 @@ let test_node_startup_validation () =
 
 open Srpc_simnet
 
-let ev ?(at = 0.0) ?(bytes = 0) src dst kind = { Trace.at; src; dst; kind; bytes }
+let ev ?(at = 0.0) ?(bytes = 0) ?(label = "") src dst kind =
+  { Trace.at; src; dst; kind; bytes; label }
 let req src dst = ev ~bytes:4 src dst (Trace.Message Trace.Request)
 let rep src dst = ev ~bytes:4 src dst (Trace.Message Trace.Reply)
 let mark src kind = ev src src kind
@@ -367,9 +368,12 @@ let test_runtime_trace_verifies () =
     (has (function Trace.Invalidate _ -> true | _ -> false));
   Alcotest.(check bool) "session end mark" true
     (has (function Trace.Session_end _ -> true | _ -> false));
-  (* ...and the whole trace satisfies every invariant *)
+  (* ...and the whole trace satisfies every invariant, including the
+     happens-before race rules *)
   Alcotest.(check (list string)) "runtime trace clean" []
     (rule_ids (Proto_lint.check trace));
+  Alcotest.(check (list string)) "runtime trace race-free" []
+    (rule_ids (Race_lint.check trace));
   (* the callback value really arrived (the scenario is not vacuous) *)
   Alcotest.(check int) "callback applied" 6
     (Access.get_int a head ~field:"value")
@@ -460,6 +464,294 @@ let test_copy_state_resets_between_sessions () =
   Alcotest.(check (list string)) "per-session state resets" []
     (proto_ids events)
 
+(* --- protocol verifier: delta-era labeled frames --- *)
+
+let lreq label src dst = ev ~bytes:4 ~label src dst (Trace.Message Trace.Request)
+let lrep label src dst = ev ~bytes:4 ~label src dst (Trace.Message Trace.Reply)
+
+let test_delta_call_mispaired () =
+  (* a delta-carrying call answered by a plain return: the piggybacked
+     refresh never arrived — the seeded SP002 pairing defect *)
+  let events =
+    [
+      mark "a" (Trace.Session_begin 1);
+      lreq "call-d" "a" "b";
+      lrep "return" "b" "a";
+    ]
+  in
+  Alcotest.(check bool) "SP002" true (List.mem "SP002" (proto_ids events));
+  let clean =
+    [
+      mark "a" (Trace.Session_begin 1);
+      lreq "call-d" "a" "b";
+      lrep "return-d" "b" "a";
+    ]
+    @ close_phase "a" "b" 1
+  in
+  Alcotest.(check (list string)) "call-d/return-d pairs" []
+    (proto_ids clean)
+
+let test_delta_inv_frame_before_writeback () =
+  (* an invalidate-carrying delta frame belongs to the invalidation
+     phase; sending one before the write-back mark breaks close
+     ordering *)
+  let events =
+    [
+      mark "a" (Trace.Session_begin 1);
+      lreq "wb-delta+inv" "a" "b";
+      lrep "ack" "b" "a";
+    ]
+  in
+  Alcotest.(check bool) "SP004" true (List.mem "SP004" (proto_ids events))
+
+let test_staged_delta_after_commit () =
+  (* staged frames must precede the commit point; one after it can no
+     longer be made atomic *)
+  let events =
+    [
+      mark "a" (Trace.Session_begin 1);
+      mark "a" (Trace.Write_back 1);
+      lreq "wb-stage-delta" "a" "b";
+      lrep "ack" "b" "a";
+    ]
+  in
+  Alcotest.(check bool) "SP004" true (List.mem "SP004" (proto_ids events));
+  (* the well-ordered staged close is clean *)
+  let clean =
+    [
+      mark "a" (Trace.Session_begin 1);
+      lreq "wb-stage" "a" "b";
+      lrep "ack" "b" "a";
+      lreq "wb-stage-delta" "a" "b";
+      lrep "ack" "b" "a";
+      mark "a" (Trace.Write_back 1);
+      lreq "wb-commit" "a" "b";
+      lrep "ack" "b" "a";
+      mark "a" (Trace.Invalidate 1);
+      lreq "invalidate" "a" "b";
+      lrep "ack" "b" "a";
+      mark "a" (Trace.Session_end 1);
+    ]
+  in
+  Alcotest.(check (list string)) "staged close verifies" [] (proto_ids clean)
+
+(* --- happens-before race checker: synthetic traces --- *)
+
+let acc ?(session = 1) src datum akind =
+  mark src (Trace.Access { session; datum; akind })
+
+let race_ids events = rule_ids (Race_lint.check_events events)
+
+let test_cc101_unordered_writes () =
+  (* two spaces write the same datum with no frame between them *)
+  let events =
+    [
+      mark "a" (Trace.Session_begin 1);
+      acc "b" "a/64" Trace.Acc_write;
+      acc "c" "a/64" Trace.Acc_write;
+    ]
+  in
+  Alcotest.(check bool) "CC101" true (List.mem "CC101" (race_ids events));
+  (* the same two writes ordered by delivered frames, write-back
+     travelling home before the apply: clean *)
+  let ordered =
+    [
+      mark "a" (Trace.Session_begin 1);
+      acc "b" "a/64" Trace.Acc_write;
+      req "b" "c";
+      acc "c" "a/64" Trace.Acc_write;
+      req "c" "a";
+      acc "a" "a/64" Trace.Acc_apply;
+      mark "a" (Trace.Session_end 1);
+    ]
+  in
+  Alcotest.(check (list string)) "frame-ordered writes clean" []
+    (race_ids ordered);
+  (* a dropped frame creates no order: the race is back *)
+  let dropped =
+    [
+      mark "a" (Trace.Session_begin 1);
+      acc "b" "a/64" Trace.Acc_write;
+      ev ~bytes:4 "b" "c" (Trace.Dropped Trace.Request);
+      acc "c" "a/64" Trace.Acc_write;
+    ]
+  in
+  Alcotest.(check bool) "CC101 through a dropped frame" true
+    (List.mem "CC101" (race_ids dropped))
+
+let test_cc102_stale_copy () =
+  (* a copy installed in session 1 survives the close (its invalidation
+     never landed) and is read again in session 2 *)
+  let stale =
+    [
+      mark "a" (Trace.Session_begin 1);
+      acc "b" "a/64" Trace.Acc_install;
+      acc "b" "a/64" Trace.Acc_read;
+      mark "a" (Trace.Session_end 1);
+      mark "a" (Trace.Session_begin 2);
+      acc ~session:2 "b" "a/64" Trace.Acc_read;
+      acc ~session:2 "b" "a/64" Trace.Acc_read;
+    ]
+  in
+  let cc102 = List.filter (String.equal "CC102") (race_ids stale) in
+  Alcotest.(check int) "one CC102 (deduplicated per datum)" 1
+    (List.length cc102);
+  (* the purge mark at close clears the copy: clean *)
+  let purged =
+    [
+      mark "a" (Trace.Session_begin 1);
+      acc "b" "a/64" Trace.Acc_install;
+      acc "b" "a/64" Trace.Acc_read;
+      acc "b" "*" Trace.Acc_drop;
+      mark "a" (Trace.Session_end 1);
+      mark "a" (Trace.Session_begin 2);
+      acc ~session:2 "b" "a/64" Trace.Acc_install;
+      acc ~session:2 "b" "a/64" Trace.Acc_read;
+    ]
+  in
+  Alcotest.(check (list string)) "purged copy clean" [] (race_ids purged)
+
+let test_cc102_lost_writeback () =
+  (* a foreign write never applied at its home before the committed
+     close: the update was silently lost *)
+  let lost =
+    [
+      mark "a" (Trace.Session_begin 1);
+      acc "b" "a/64" Trace.Acc_write;
+      mark "a" (Trace.Session_end 1);
+    ]
+  in
+  Alcotest.(check bool) "CC102" true (List.mem "CC102" (race_ids lost));
+  (* an aborted session discards modified data by design *)
+  let aborted =
+    [
+      mark "a" (Trace.Session_begin 1);
+      acc "b" "a/64" Trace.Acc_write;
+      mark "a" (Trace.Session_abort 1);
+      mark "a" (Trace.Session_end 1);
+    ]
+  in
+  Alcotest.(check (list string)) "aborted session exempt" []
+    (race_ids aborted);
+  (* the home crashing mid-session is abort semantics, not a race *)
+  let crashed =
+    [
+      mark "a" (Trace.Session_begin 1);
+      acc "b" "a/64" Trace.Acc_write;
+      mark "a" (Trace.Crash "a");
+      mark "a" (Trace.Session_end 1);
+    ]
+  in
+  Alcotest.(check (list string)) "crashed home exempt" []
+    (race_ids crashed)
+
+let test_cc103_use_after_free () =
+  let events =
+    [
+      mark "a" (Trace.Session_begin 1);
+      acc "a" "a/64" Trace.Acc_free;
+      acc "b" "a/64" Trace.Acc_read;
+    ]
+  in
+  Alcotest.(check bool) "CC103" true (List.mem "CC103" (race_ids events));
+  (* reallocation recycles the region legitimately *)
+  let recycled =
+    [
+      mark "a" (Trace.Session_begin 1);
+      acc "a" "a/64" Trace.Acc_free;
+      acc "a" "a/64" Trace.Acc_alloc;
+      acc "b" "a/64" Trace.Acc_read;
+    ]
+  in
+  Alcotest.(check (list string)) "realloc clean" [] (race_ids recycled)
+
+(* --- static footprints --- *)
+
+let fp_paths fp =
+  List.map (fun r -> r.Footprint.path) fp.Footprint.regions
+
+let test_footprint_recursive_widens () =
+  let reg = Registry.create () in
+  Registry.register reg "cell" (Struct [ ("next", ptr "cell"); ("v", i64) ]);
+  let fp = Footprint.of_type reg ~ty:"cell" ~mode:Footprint.Read () in
+  Alcotest.(check (list string)) "root + widened tail" [ ""; "next.*" ]
+    (fp_paths fp);
+  Alcotest.(check bool) "CC003 recorded" true
+    (has_rule "CC003" fp.Footprint.diags);
+  Alcotest.(check int) "widening is a warning, not an error" 0
+    (Diagnostic.count_errors fp.Footprint.diags)
+
+let test_footprint_finite_graph () =
+  let reg = Registry.create () in
+  Registry.register reg "leaf" (Struct [ ("v", i64) ]);
+  Registry.register reg "pair"
+    (Struct [ ("a", ptr "leaf"); ("b", ptr "leaf") ]);
+  let fp = Footprint.of_type reg ~ty:"pair" ~mode:Footprint.Write () in
+  Alcotest.(check (list string)) "finite regions, no widening"
+    [ ""; "a"; "b" ] (fp_paths fp);
+  Alcotest.(check (list string)) "no diagnostics" []
+    (rule_ids fp.Footprint.diags)
+
+let test_footprint_hint_bounds () =
+  let reg = Registry.create () in
+  Registry.register reg "blob" (Struct [ ("payload", Array (f64, 8)) ]);
+  Registry.register reg "rcell"
+    (Struct
+       [ ("next", ptr "rcell"); ("blob", ptr "blob"); ("tag", i64) ]);
+  let unhinted = Footprint.of_type reg ~ty:"rcell" ~mode:Footprint.Read () in
+  Alcotest.(check (list string)) "unhinted follows every pointer"
+    [ ""; "blob"; "next.*" ] (fp_paths unhinted);
+  let hinted =
+    Footprint.of_type reg
+      ~hints:[ ("rcell", [ "next" ]) ]
+      ~ty:"rcell" ~mode:Footprint.Read ()
+  in
+  Alcotest.(check (list string)) "hint prunes the blob edge"
+    [ ""; "next.*" ] (fp_paths hinted)
+
+let test_regions_overlap () =
+  let r ?(root = "obj#0") ?(mode = Footprint.Read) path =
+    { Footprint.root; path; mode }
+  in
+  let check_o name expect a b =
+    Alcotest.(check bool) name expect (Footprint.regions_overlap a b);
+    Alcotest.(check bool) (name ^ " (sym)") expect
+      (Footprint.regions_overlap b a)
+  in
+  check_o "wildcard covers a field" true (r "*") (r "next");
+  check_o "different roots never overlap" false (r "*")
+    (r ~root:"obj#1" "*");
+  check_o "subtree covers descendants" true (r "a.*") (r "a.b");
+  check_o "subtree vs sibling prefix" false (r "a.*") (r "ab");
+  check_o "distinct fields are disjoint" false (r "a") (r "b");
+  check_o "equal paths overlap" true (r "a.b") (r "a.b")
+
+let test_footprint_interference () =
+  let open Footprint in
+  let s ?escapes label regions = session ~label ?escapes regions in
+  let region root path mode = { root; path; mode } in
+  let w1 = s "w1" [ region "obj#0" "*" Write ] in
+  let w2 = s "w2" [ region "obj#0" "next" Write ] in
+  let rd = s "rd" [ region "obj#0" "next" Read ] in
+  let other = s "other" [ region "obj#1" "*" Write ] in
+  let fr = s "fr" [ region "obj#0" "*" Free ] in
+  let esc = s ~escapes:true "esc" [] in
+  Alcotest.(check bool) "CC001 write-write" true
+    (has_rule "CC001" (interferes w1 w2));
+  Alcotest.(check bool) "CC002 write-read" true
+    (has_rule "CC002" (interferes w1 rd));
+  Alcotest.(check (list string)) "disjoint roots are clean" []
+    (rule_ids (interferes w1 other));
+  Alcotest.(check bool) "CC005 free inside a footprint" true
+    (has_rule "CC005" (interferes fr rd));
+  let cc4 = interferes esc other in
+  Alcotest.(check bool) "CC004 escape" true (has_rule "CC004" cc4);
+  Alcotest.(check int) "escape is a warning, not an error" 0
+    (Diagnostic.count_errors cc4);
+  (* reads never conflict with reads *)
+  Alcotest.(check (list string)) "read-read clean" []
+    (rule_ids (interferes rd rd))
+
 (* --- catalogue hygiene --- *)
 
 let test_catalogue_covers_emitted_rules () =
@@ -468,7 +760,9 @@ let test_catalogue_covers_emitted_rules () =
       Alcotest.(check bool) (id ^ " in catalogue") true
         (Diagnostic.find_rule id <> None))
     [ "TD001"; "TD002"; "TD003"; "TD004"; "TD005"; "TD006"; "TD007";
-      "SP001"; "SP002"; "SP003"; "SP004"; "SP005"; "SP006"; "SP007" ]
+      "SP001"; "SP002"; "SP003"; "SP004"; "SP005"; "SP006"; "SP007";
+      "CC001"; "CC002"; "CC003"; "CC004"; "CC005";
+      "CC101"; "CC102"; "CC103" ]
 
 let tc = Alcotest.test_case
 
@@ -514,6 +808,26 @@ let () =
             test_targeted_invalidation_abort_exempt;
           tc "copy state resets between sessions" `Quick
             test_copy_state_resets_between_sessions;
+          tc "delta call mispaired" `Quick test_delta_call_mispaired;
+          tc "delta invalidation frame before write-back" `Quick
+            test_delta_inv_frame_before_writeback;
+          tc "staged delta after commit point" `Quick
+            test_staged_delta_after_commit;
+        ] );
+      ( "race-lint",
+        [
+          tc "CC101 unordered writes" `Quick test_cc101_unordered_writes;
+          tc "CC102 stale copy" `Quick test_cc102_stale_copy;
+          tc "CC102 lost write-back" `Quick test_cc102_lost_writeback;
+          tc "CC103 use after free" `Quick test_cc103_use_after_free;
+        ] );
+      ( "footprint",
+        [
+          tc "recursive type widens" `Quick test_footprint_recursive_widens;
+          tc "finite graph stays finite" `Quick test_footprint_finite_graph;
+          tc "hints bound the walk" `Quick test_footprint_hint_bounds;
+          tc "region overlap" `Quick test_regions_overlap;
+          tc "interference rules" `Quick test_footprint_interference;
         ] );
       ( "catalogue",
         [ tc "ids are stable" `Quick test_catalogue_covers_emitted_rules ] );

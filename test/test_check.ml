@@ -65,24 +65,36 @@ let test_bounded_check_clean () =
   | Runner.Failed { seed; failure; _ } ->
       Alcotest.failf "seed %d: %a" seed Runner.pp_failure failure
 
-let test_mutation_detected_and_shrunk () =
-  (* plant the defect: the first write-back item of every collection is
-     silently dropped — a classic lost-update coherency bug *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* Plant a coherency defect behind [flag], prove the harness detects it,
+   that the race oracle (not just a divergent observation) names it as a
+   CC102 coherency race, and that it shrinks to a small script which
+   passes again once the defect is disabled. *)
+let run_mutation ~name flag =
   let report =
     Fun.protect
-      ~finally:(fun () -> Node.chaos_lose_first_writeback := false)
+      ~finally:(fun () -> flag := false)
       (fun () ->
-        Node.chaos_lose_first_writeback := true;
+        flag := true;
         Runner.check ~seeds:60 ~depth:12 ~faults:0.0 ())
   in
   match report with
-  | Runner.Ok _ -> Alcotest.fail "seeded write-back defect went undetected"
-  | Runner.Failed { shrunk; _ } ->
+  | Runner.Ok _ -> Alcotest.failf "seeded %s defect went undetected" name
+  | Runner.Failed { shrunk; shrunk_failure; _ } ->
       Alcotest.(check bool)
         (Format.asprintf "shrunk repro has %d ops (<= 10)"
            (List.length shrunk.Script.ops))
         true
         (List.length shrunk.Script.ops <= 10);
+      (match shrunk_failure with
+      | Runner.Race msg when contains msg "CC102" -> ()
+      | f ->
+          Alcotest.failf "%s: expected a CC102 race verdict, got: %a" name
+            Runner.pp_failure f);
       (* with the defect disabled the minimized script passes again,
          pinning the failure on the mutation rather than the harness *)
       (match Runner.run_script shrunk with
@@ -90,6 +102,142 @@ let test_mutation_detected_and_shrunk () =
       | Some f ->
           Alcotest.failf "shrunk script still fails without the defect: %a"
             Runner.pp_failure f)
+
+(* --- static footprints of script plans --- *)
+
+let test_plan_footprints () =
+  let open Srpc_analysis in
+  let script =
+    {
+      Script.workers = 1;
+      arches = [ 0 ];
+      strategy = 0;
+      fault = None;
+      ops =
+        [
+          Script.Build_list [ 1; 2; 3 ];
+          Script.Update { worker = 0; obj = 0; idx = 0; delta = 1 };
+          Script.New_session;
+          Script.Sum { worker = 0; obj = 0 };
+          Script.Callback { worker = 0; obj = 0 };
+        ];
+    }
+  in
+  let fps = Plan_footprint.sessions (Script.resolve script) in
+  Alcotest.(check int) "two sessions" 2 (List.length fps);
+  let s0 = List.nth fps 0 and s1 = List.nth fps 1 in
+  let has_mode fp m =
+    List.exists (fun r -> r.Footprint.mode = m) fp.Footprint.regions
+  in
+  Alcotest.(check bool) "session 0 may write" true
+    (has_mode s0 Footprint.Write);
+  Alcotest.(check bool) "session 1 is read-only" false
+    (has_mode s1 Footprint.Write);
+  Alcotest.(check bool) "callback marks the escape" true
+    s1.Footprint.escapes;
+  let ids =
+    List.map (fun d -> d.Diagnostic.rule_id) (Footprint.interferes s0 s1)
+  in
+  Alcotest.(check bool) "writer x reader: CC002" true (List.mem "CC002" ids);
+  Alcotest.(check bool) "escape: CC004" true (List.mem "CC004" ids);
+  Alcotest.(check bool) "no write-write conflict" false (List.mem "CC001" ids)
+
+let test_plan_footprint_homes () =
+  let script =
+    {
+      Script.workers = 2;
+      arches = [ 0; 1 ];
+      strategy = 0;
+      fault = None;
+      ops =
+        [
+          Script.Build_list [ 1; 2 ];
+          Script.Append { obj = 0; home = 2; values = [ 5 ] };
+        ];
+    }
+  in
+  match Plan_footprint.sessions (Script.resolve script) with
+  | [ fp ] ->
+      Alcotest.(check (list string))
+        "ground plus the appending worker's home" [ "1.0"; "3.0" ]
+        fp.Srpc_analysis.Footprint.homes
+  | fps -> Alcotest.failf "expected one session, got %d" (List.length fps)
+
+(* The subset property tying the static engine to the dynamic one: on
+   every seed, each session's *dynamic* behavior must stay inside its
+   *static* may-footprint — a session the analysis calls read-only
+   never writes, one without frees never frees, and every datum it
+   touches lives at a home the analysis predicted. Sessions whose
+   footprint escapes through a callback are exempt (that is what CC004
+   means), as is the trailing recovery session (it touches no data). *)
+let test_footprint_subset_property () =
+  let open Srpc_analysis in
+  let datum_home d =
+    match String.index_opt d '/' with
+    | Some i -> String.sub d 0 i
+    | None -> d
+  in
+  for seed = 0 to 199 do
+    let plan = Script.resolve (gen_for seed) in
+    let fps = Array.of_list (Plan_footprint.sessions plan) in
+    let out = Interp.run plan in
+    let events = Srpc_simnet.Trace.events out.Interp.trace in
+    let order = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        match e.Srpc_simnet.Trace.kind with
+        | Srpc_simnet.Trace.Session_begin id ->
+            if not (Hashtbl.mem order id) then
+              Hashtbl.add order id (Hashtbl.length order)
+        | _ -> ())
+      events;
+    let may k m =
+      List.exists (fun r -> r.Footprint.mode = m) fps.(k).Footprint.regions
+    in
+    List.iteri
+      (fun idx e ->
+        match e.Srpc_simnet.Trace.kind with
+        | Srpc_simnet.Trace.Access { session; datum; akind }
+          when datum <> "*" -> (
+            match Hashtbl.find_opt order session with
+            | Some k when k < Array.length fps && not fps.(k).Footprint.escapes
+              ->
+                (match akind with
+                | Srpc_simnet.Trace.Acc_write | Srpc_simnet.Trace.Acc_apply ->
+                    if not (may k Footprint.Write) then
+                      Alcotest.failf
+                        "seed %d event[%d]: %s writes %s in session %d, \
+                         which the static footprint calls read-only"
+                        seed idx e.Srpc_simnet.Trace.src datum k
+                | Srpc_simnet.Trace.Acc_free ->
+                    if not (may k Footprint.Free) then
+                      Alcotest.failf
+                        "seed %d event[%d]: free of %s in session %d \
+                         absent from the static footprint"
+                        seed idx datum k
+                | _ -> ());
+                let homes = fps.(k).Footprint.homes in
+                if homes <> [] && not (List.mem (datum_home datum) homes)
+                then
+                  Alcotest.failf
+                    "seed %d event[%d]: datum %s homed outside the static \
+                     prediction %s of session %d"
+                    seed idx datum (String.concat "," homes) k
+            | _ -> ())
+        | _ -> ())
+      events
+  done
+
+let test_mutation_detected_and_shrunk () =
+  (* the first write-back item of every collection is silently dropped —
+     a classic lost-update coherency bug, caught as CC102(b) *)
+  run_mutation ~name:"write-back" Node.chaos_lose_first_writeback
+
+let test_reorder_mutation_detected () =
+  (* invalidations are acknowledged without purging, and the session
+     bookkeeping advances so the self-healing purge is disarmed — stale
+     copies survive into the next session, caught as CC102(a) *)
+  run_mutation ~name:"invalidate-reorder" Node.chaos_reorder_invalidate
 
 let () =
   let tc = Alcotest.test_case in
@@ -104,9 +252,18 @@ let () =
           tc "runs are deterministic" `Quick test_run_deterministic;
           tc "bounded check run is clean" `Quick test_bounded_check_clean;
         ] );
+      ( "footprint",
+        [
+          tc "plan sessions and interference" `Quick test_plan_footprints;
+          tc "append tracks worker homes" `Quick test_plan_footprint_homes;
+          tc "dynamic behavior stays inside the static footprint" `Quick
+            test_footprint_subset_property;
+        ] );
       ( "mutation",
         [
           tc "write-back defect detected and shrunk" `Quick
             test_mutation_detected_and_shrunk;
+          tc "invalidate-reorder defect detected and shrunk" `Quick
+            test_reorder_mutation_detected;
         ] );
     ]
