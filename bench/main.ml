@@ -409,6 +409,84 @@ let run_delta () =
   Printf.printf "wrote %s\n" path;
   ignore (delta_failures off off2 on rows)
 
+(* --- traffic (srpc-traffic: concurrent-session admission) --- *)
+
+(* The speedup gate: >= 8 admission-disjoint clients must beat the
+   serialized replay of the same session population by >= 2x on
+   committed-session throughput, with zero Race_lint / Proto_lint
+   errors over the full trace. Contended rows (queue and abort-retry)
+   are reported for the record; they gate only on linter cleanliness
+   and full commitment, not on speedup. *)
+let traffic_speedup_gate = 2.0
+
+let traffic_measure () =
+  let module T = Srpc_traffic.Traffic in
+  let disjoint seed = { T.default with T.seed } in
+  let hot policy =
+    { T.default with T.contention = T.Hot; policy; sessions_per_client = 3 }
+  in
+  List.map
+    (fun cfg -> (cfg.T.seed, cfg, T.compare_runs cfg))
+    [
+      disjoint 0;
+      disjoint 1;
+      hot Srpc_core.Strategy.Queue_conflicts;
+      hot Srpc_core.Strategy.Abort_retry;
+    ]
+
+let traffic_failures rows =
+  let module T = Srpc_traffic.Traffic in
+  let failures = ref 0 in
+  List.iter
+    (fun (seed, (cfg : T.config), (cmp : T.comparison)) ->
+      let c = cmp.T.concurrent in
+      let fail fmt =
+        incr failures;
+        Printf.printf fmt
+      in
+      let label =
+        match cfg.T.contention with
+        | T.Disjoint -> Printf.sprintf "disjoint seed %d" seed
+        | T.Hot -> (
+          match cfg.T.policy with
+          | Srpc_core.Strategy.Queue_conflicts -> "hot/queue"
+          | Srpc_core.Strategy.Abort_retry -> "hot/abort-retry")
+      in
+      Printf.printf
+        "traffic %-16s %2d/%2d committed  x%.2f serialized  races %d  \
+         proto %d\n"
+        label c.T.r_committed c.T.r_sessions cmp.T.speedup c.T.r_race_errors
+        c.T.r_proto_errors;
+      if c.T.r_committed <> c.T.r_sessions then
+        fail "traffic %s: %d/%d sessions committed\n" label c.T.r_committed
+          c.T.r_sessions;
+      if c.T.r_race_errors > 0 then
+        fail "traffic %s: %d Race_lint error(s)\n" label c.T.r_race_errors;
+      if c.T.r_proto_errors > 0 then
+        fail "traffic %s: %d Proto_lint error(s)\n" label c.T.r_proto_errors;
+      if cfg.T.contention = T.Disjoint && cmp.T.speedup < traffic_speedup_gate
+      then
+        fail "traffic %s: speedup x%.2f below the x%.1f gate\n" label
+          cmp.T.speedup traffic_speedup_gate)
+    rows;
+  !failures
+
+let traffic_json rows =
+  let module T = Srpc_traffic.Traffic in
+  Srpc_traffic.Traffic_json.report ~clients:T.default.T.clients
+    ~servers:T.default.T.servers ~rate:T.default.T.rate
+    ~sessions:T.default.T.sessions_per_client rows
+
+let run_traffic () =
+  let rows = traffic_measure () in
+  let json = traffic_json rows in
+  let path = "BENCH_traffic.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  ignore (traffic_failures rows)
+
 (* Scaled-down adaptive + faults acceptance gate, wired into `dune runtest`
    via the bench-smoke alias: fails the build if the controller stops
    converging or the fault machinery regresses. *)
@@ -427,7 +505,14 @@ let run_smoke () =
   let doff, doff2, don, drows = delta_measure ~depth:9 () in
   print_string (delta_json [ doff; don ] drows);
   let dfailures = delta_failures doff doff2 don drows in
-  if failures > 0 || ffailures > 0 || dfailures > 0 then begin
+  let trows = traffic_measure () in
+  let json = traffic_json trows in
+  print_string json;
+  let oc = open_out "BENCH_traffic.json" in
+  output_string oc json;
+  close_out oc;
+  let tfailures = traffic_failures trows in
+  if failures > 0 || ffailures > 0 || dfailures > 0 || tfailures > 0 then begin
     if failures > 0 then
       Printf.eprintf "bench-smoke: %d ratio(s) outside the 1.15x bound\n"
         failures;
@@ -435,6 +520,8 @@ let run_smoke () =
       Printf.eprintf "bench-smoke: %d faults gate failure(s)\n" ffailures;
     if dfailures > 0 then
       Printf.eprintf "bench-smoke: %d delta gate failure(s)\n" dfailures;
+    if tfailures > 0 then
+      Printf.eprintf "bench-smoke: %d traffic gate failure(s)\n" tfailures;
     exit 1
   end
 
@@ -547,6 +634,7 @@ let all_sections =
     ("adaptive", ("Adaptive policy vs Fig. 4 statics", run_adaptive));
     ("faults", ("Faults: retry envelope overhead + chaos sweep", run_faults));
     ("delta", ("Delta coherency: dirty ranges vs full write-backs", run_delta));
+    ("traffic", ("Concurrent-session traffic vs serialized baseline", run_traffic));
     ("smoke", ("Adaptive + faults + delta acceptance smoke (scaled down)", run_smoke));
     ("wan", ("Derived: Fig. 4 over a WAN link", run_wan));
     ("kv", ("Derived: remote B-tree key-value store", run_kv));

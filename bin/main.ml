@@ -552,6 +552,137 @@ let check_cmd =
       const run $ verbose_arg $ seeds_arg $ depth_arg $ faults_arg $ replay_arg
       $ dump_arg $ out_arg)
 
+let traffic_cmd =
+  let module T = Srpc_traffic.Traffic in
+  let module C = Srpc_check in
+  let clients_arg =
+    Arg.(value & opt int 8 & info [ "clients" ] ~docv:"N"
+           ~doc:"Concurrent client (session ground) nodes.")
+  in
+  let servers_arg =
+    Arg.(value & opt int 4 & info [ "servers" ] ~docv:"N"
+           ~doc:"Shared server nodes (2-8).")
+  in
+  let rate_arg =
+    Arg.(value & opt float 400.0 & info [ "rate" ] ~docv:"R"
+           ~doc:"Poisson session arrivals per virtual second, per client.")
+  in
+  let mix_conv =
+    let kind_of_string = function
+      | "list" -> Ok C.Script.KList
+      | "tree" -> Ok C.Script.KTree
+      | "graph" -> Ok C.Script.KGraph
+      | "wide" -> Ok C.Script.KWide
+      | k -> Error (`Msg (Printf.sprintf "unknown workload kind %S" k))
+    in
+    let parse s =
+      List.fold_left
+        (fun acc k ->
+          Result.bind acc (fun ks ->
+              Result.map (fun k -> k :: ks) (kind_of_string k)))
+        (Ok [])
+        (String.split_on_char ',' s)
+      |> Result.map List.rev
+    in
+    let print ppf ks =
+      Format.pp_print_string ppf
+        (String.concat ","
+           (List.map
+              (function
+                | C.Script.KList -> "list"
+                | C.Script.KTree -> "tree"
+                | C.Script.KGraph -> "graph"
+                | C.Script.KWide -> "wide")
+              ks))
+    in
+    Arg.conv (parse, print)
+  in
+  let mix_arg =
+    Arg.(value & opt mix_conv [ C.Script.KList; C.Script.KTree ]
+         & info [ "mix" ] ~docv:"KINDS"
+             ~doc:"Comma-separated workload kinds cycled across sessions \
+                   (list, tree, graph, wide).")
+  in
+  let sessions_arg =
+    Arg.(value & opt int 4 & info [ "sessions" ] ~docv:"N"
+           ~doc:"Sessions per client.")
+  in
+  let seeds_arg =
+    Arg.(value & opt ints_conv [ 0 ] & info [ "seeds" ] ~docv:"S,S,..."
+           ~doc:"Seeds to run; one result row per seed.")
+  in
+  let hot_arg =
+    Arg.(value & flag & info [ "hot" ]
+           ~doc:"Point every session at one shared datum root (full \
+                 contention) instead of per-client disjoint roots.")
+  in
+  let abort_retry_arg =
+    Arg.(value & flag & info [ "abort-retry" ]
+           ~doc:"Resolve admission conflicts by abort + backoff retry \
+                 instead of FIFO queueing.")
+  in
+  let out_arg =
+    Arg.(value & opt string "BENCH_traffic.json"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON report.")
+  in
+  let run verbose clients servers rate mix sessions seeds hot abort_retry out =
+    setup_logs verbose;
+    let cfg seed =
+      {
+        T.default with
+        T.clients;
+        servers;
+        rate;
+        mix;
+        sessions_per_client = sessions;
+        seed;
+        policy =
+          (if abort_retry then Srpc_core.Strategy.Abort_retry
+           else Srpc_core.Strategy.Queue_conflicts);
+        contention = (if hot then T.Hot else T.Disjoint);
+      }
+    in
+    let rows =
+      List.map (fun seed -> (seed, cfg seed, T.compare_runs (cfg seed))) seeds
+    in
+    List.iter
+      (fun (seed, _, (cmp : T.comparison)) ->
+        let c = cmp.T.concurrent in
+        Format.printf
+          "seed %d: %d/%d committed  tput %.1f/s (serialized %.1f/s, \
+           x%.2f)  p50 %.4fs p95 %.4fs p99 %.4fs@."
+          seed c.T.r_committed c.T.r_sessions c.T.r_throughput
+          cmp.T.serialized.T.r_throughput cmp.T.speedup c.T.r_p50 c.T.r_p95
+          c.T.r_p99;
+        Format.printf
+          "        admitted %d queued %d denied %d retried %d \
+           validation-failed %d races %d proto %d@."
+          c.T.r_admitted c.T.r_queued c.T.r_denied c.T.r_retried
+          c.T.r_validation_failed c.T.r_race_errors c.T.r_proto_errors)
+      rows;
+    let oc = open_out out in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        output_string oc
+          (Srpc_traffic.Traffic_json.report ~clients ~servers ~rate
+             ~sessions rows));
+    Format.printf "traffic: wrote %s@." out;
+    if
+      List.exists
+        (fun (_, _, (cmp : T.comparison)) ->
+          cmp.T.concurrent.T.r_race_errors > 0
+          || cmp.T.concurrent.T.r_proto_errors > 0)
+        rows
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:"Open-loop concurrent-session traffic: Poisson arrivals over N \
+             clients vs the serialized baseline, with admission counters \
+             and latency percentiles written as JSON.")
+    Term.(
+      const run $ verbose_arg $ clients_arg $ servers_arg $ rate_arg $ mix_arg
+      $ sessions_arg $ seeds_arg $ hot_arg $ abort_retry_arg $ out_arg)
+
 let () =
   let doc = "Smart Remote Procedure Calls (ICDCS 1994) reproduction driver" in
   let info = Cmd.info "srpc" ~version:"1.0.0" ~doc in
@@ -561,4 +692,5 @@ let () =
           [
             table1_cmd; fig4_cmd; fig6_cmd; fig7_cmd; ablations_cmd; kv_cmd;
             wan_cmd; hints_cmd; run_cmd; inspect_cmd; lint_cmd; check_cmd;
+            traffic_cmd;
           ]))

@@ -81,6 +81,8 @@ let rules =
       title = "frame from/to a crashed endpoint after its crash mark" };
     { id = "SP007"; default_severity = Error;
       title = "targeted invalidation misses a space that received a copy this session" };
+    { id = "SP008"; default_severity = Error;
+      title = "concurrently open sessions wrote the same datum root without a queue/abort between them" };
     { id = "CC001"; default_severity = Error;
       title = "session footprints interfere: both sessions may write the same region" };
     { id = "CC002"; default_severity = Error;

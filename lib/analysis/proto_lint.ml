@@ -264,8 +264,15 @@ let step st idx (e : Trace.event) =
     (* datum-granular witnesses belong to Race_lint, not the protocol
        state machine *)
     ()
+  | Trace.Session_admit id | Trace.Session_queued id ->
+    (* admission marks only appear in concurrent traces, which are
+       verified by the multiplexed machine below; reaching one here
+       means the trace mixed modes *)
+    emit st idx "SP003"
+      (Printf.sprintf
+         "admission mark for session #%d in a single-session trace" id)
 
-let check_events events =
+let check_events_single events =
   let st =
     { session = None; holder = ""; stack = []; wb_seen = false; inv_seen = false;
       aborted = false; crashed = Hashtbl.create 4; ground = "";
@@ -283,5 +290,330 @@ let check_events events =
         (Printf.sprintf "request %s -> %s never replied" src dst))
     st.stack;
   Diagnostic.sort (List.rev st.out)
+
+(* --- the multiplexed machine for concurrent-session traces ---
+
+   When the admission controller is active, several sessions may be
+   legitimately open at once; each one is preceded by a [Session_admit]
+   mark. The single-session checks above (SP001/SP002/SP004/SP005/SP007)
+   still hold *per session*, so the machine keyed on session ids runs a
+   private substate for each. Frames do not carry session ids in the
+   trace, so requests are attributed to the unique open session whose
+   thread of control rests at the sender — sound here because the
+   simulated interleaving is op-atomic (frames of different sessions
+   never interleave inside one nested call chain).
+
+   SP008 is the concurrent-era safety rule: two sessions that are open
+   at the same time must never both write the same datum root. A
+   correct admission controller prevents this by queueing or
+   aborting-for-retry the conflicting session ([Session_queued]) until
+   the holder closes, so a violation witnesses a mis-admission. *)
+
+type sess = {
+  x_id : int;
+  mutable x_holder : string;
+  mutable x_stack : (string * string * string) list;
+  mutable x_wb_seen : bool;
+  mutable x_inv_seen : bool;
+  mutable x_aborted : bool;
+  x_ground : string;
+  x_copy_dsts : (string, unit) Hashtbl.t;
+  x_inval_dsts : (string, unit) Hashtbl.t;
+  x_writes : (string, unit) Hashtbl.t;  (* datum roots written so far *)
+}
+
+type mstate = {
+  opened : (int, sess) Hashtbl.t;
+  m_admitted : (int, unit) Hashtbl.t;  (* ids carrying a Session_admit mark *)
+  m_crashed : (string, unit) Hashtbl.t;
+  mutable m_out : Diagnostic.t list;
+}
+
+let memit ?(space = "") m idx rule_id message =
+  m.m_out <-
+    Diagnostic.make ~space ~severity:Error ~rule_id
+      ~path:(Printf.sprintf "event[%d]" idx)
+      message
+    :: m.m_out
+
+let mcheck_pairing m idx ~rq_lbl ~rep_lbl =
+  if not (String.equal rep_lbl "error") then
+    match expected_reply rq_lbl with
+    | Some want
+      when not (String.equal rep_lbl "") && not (String.equal rep_lbl want) ->
+      memit m idx "SP002"
+        (Printf.sprintf "%s request answered by %s, expected %s" rq_lbl rep_lbl
+           want)
+    | Some _ | None -> ()
+
+let mcheck_close_order m idx ~space s lbl =
+  match lbl with
+  | "wb-delta+inv" when not s.x_wb_seen ->
+    memit ~space m idx "SP004"
+      "invalidate-carrying delta frame before the write-back phase started"
+  | ("wb-stage" | "wb-stage-delta") when s.x_wb_seen ->
+    memit ~space m idx "SP004"
+      (lbl ^ " frame after the commit point: staged data can no longer be atomic")
+  | "wb-commit" when not s.x_wb_seen ->
+    memit ~space m idx "SP004"
+      "commit frame before the commit-point write-back mark"
+  | _ -> ()
+
+let mcheck_crashed m idx (e : Trace.event) =
+  let bad ep =
+    if Hashtbl.mem m.m_crashed ep then
+      memit ~space:ep m idx "SP006"
+        (Printf.sprintf "frame involves crashed endpoint %s: %s" ep (pp_ev e))
+  in
+  bad e.Trace.src;
+  if not (String.equal e.Trace.dst e.Trace.src) then bad e.Trace.dst
+
+(* The open session whose thread of control rests at [ep], if unique. *)
+let holder_session m ep =
+  Hashtbl.fold
+    (fun _ s acc ->
+      if String.equal s.x_holder ep then s :: acc else acc)
+    m.opened []
+  |> function
+  | [ s ] -> Some s
+  | _ -> None
+
+let find_sess m idx id what =
+  match Hashtbl.find_opt m.opened id with
+  | Some s -> Some s
+  | None ->
+    memit m idx "SP003"
+      (Printf.sprintf "%s names session #%d, which is not open" what id);
+    None
+
+let close_sess m idx id (s : sess) =
+  List.iter
+    (fun (src, dst, _) ->
+      memit ~space:src m idx "SP002"
+        (Printf.sprintf "request %s -> %s never replied before session end" src
+           dst))
+    s.x_stack;
+  if s.x_aborted then begin
+    if s.x_wb_seen then
+      memit ~space:s.x_ground m idx "SP005"
+        (Printf.sprintf "aborted session #%d has a write-back mark" id);
+    if not s.x_inv_seen then
+      memit ~space:s.x_ground m idx "SP005"
+        (Printf.sprintf "aborted session #%d ended without invalidation" id)
+  end;
+  if (not s.x_aborted) && Hashtbl.length s.x_copy_dsts > 0 then begin
+    let missed =
+      Hashtbl.fold
+        (fun dst () acc ->
+          if Hashtbl.mem s.x_inval_dsts dst then acc else dst :: acc)
+        s.x_copy_dsts []
+    in
+    List.iter
+      (fun dst ->
+        memit ~space:s.x_ground m idx "SP007"
+          (Printf.sprintf
+             "session #%d ends without invalidating %s, which received a data \
+              copy"
+             id dst))
+      (List.sort String.compare missed)
+  end;
+  Hashtbl.remove m.opened id
+
+let step_multi m idx (e : Trace.event) =
+  match e.Trace.kind with
+  | Trace.Session_admit id -> Hashtbl.replace m.m_admitted id ()
+  | Trace.Session_queued _ ->
+    (* a deferral: the session is not open, nothing to track — its later
+       admission carries its own Session_admit mark *)
+    ()
+  | Trace.Session_begin id ->
+    if Hashtbl.mem m.opened id then
+      memit m idx "SP003"
+        (Printf.sprintf "session #%d begins but is already open" id)
+    else begin
+      (if (not (Hashtbl.mem m.m_admitted id)) && Hashtbl.length m.opened > 0
+       then
+         let open_id = Hashtbl.fold (fun k _ _ -> Some k) m.opened None in
+         match open_id with
+         | Some open_id ->
+           memit m idx "SP003"
+             (Printf.sprintf
+                "session #%d begins while #%d is still open (no admission \
+                 mark)"
+                id open_id)
+         | None -> ());
+      Hashtbl.replace m.opened id
+        {
+          x_id = id;
+          x_holder = e.Trace.src;
+          x_stack = [];
+          x_wb_seen = false;
+          x_inv_seen = false;
+          x_aborted = false;
+          x_ground = e.Trace.src;
+          x_copy_dsts = Hashtbl.create 4;
+          x_inval_dsts = Hashtbl.create 4;
+          x_writes = Hashtbl.create 8;
+        }
+    end
+  | Trace.Session_end id -> (
+    match find_sess m idx id "session end" with
+    | None -> ()
+    | Some s -> close_sess m idx id s)
+  | Trace.Message Trace.Request -> (
+    mcheck_crashed m idx e;
+    match holder_session m e.Trace.src with
+    | Some s ->
+      mcheck_close_order m idx ~space:e.Trace.src s e.Trace.label;
+      s.x_stack <- (e.Trace.src, e.Trace.dst, e.Trace.label) :: s.x_stack;
+      s.x_holder <- e.Trace.dst
+    | None ->
+      if Hashtbl.length m.opened = 0 then
+        memit ~space:e.Trace.src m idx "SP003"
+          ("traffic outside an open session: " ^ pp_ev e)
+      else
+        memit ~space:e.Trace.src m idx "SP001"
+          (Printf.sprintf
+             "request from %s, which holds no open session's thread of control"
+             e.Trace.src))
+  | Trace.Message Trace.Reply -> (
+    mcheck_crashed m idx e;
+    match holder_session m e.Trace.src with
+    | None ->
+      if Hashtbl.length m.opened = 0 then
+        memit ~space:e.Trace.src m idx "SP003"
+          ("traffic outside an open session: " ^ pp_ev e)
+      else
+        memit ~space:e.Trace.src m idx "SP001"
+          ("reply with no outstanding request: " ^ pp_ev e)
+    | Some s -> (
+      match s.x_stack with
+      | [] ->
+        memit ~space:e.Trace.src m idx "SP001"
+          ("reply with no outstanding request: " ^ pp_ev e)
+      | (rq_src, rq_dst, rq_lbl) :: rest ->
+        if String.equal e.Trace.src rq_dst && String.equal e.Trace.dst rq_src
+        then begin
+          mcheck_pairing m idx ~rq_lbl ~rep_lbl:e.Trace.label;
+          s.x_stack <- rest;
+          s.x_holder <- rq_src
+        end
+        else
+          memit ~space:e.Trace.src m idx "SP001"
+            (Printf.sprintf
+               "reply %s -> %s does not match the innermost request %s -> %s"
+               e.Trace.src e.Trace.dst rq_src rq_dst)))
+  | Trace.Write_back id -> (
+    match find_sess m idx id "write-back mark" with
+    | None -> ()
+    | Some s ->
+      if s.x_inv_seen then
+        memit ~space:s.x_ground m idx "SP004"
+          "write-back phase after the invalidation multicast already started";
+      if s.x_aborted then
+        memit ~space:s.x_ground m idx "SP005"
+          "write-back phase after the session was aborted";
+      s.x_wb_seen <- true)
+  | Trace.Invalidate id -> (
+    match find_sess m idx id "invalidation mark" with
+    | None -> ()
+    | Some s ->
+      if (not s.x_wb_seen) && not s.x_aborted then
+        memit ~space:s.x_ground m idx "SP004"
+          "invalidation multicast not preceded by the ground space's write-back";
+      s.x_inv_seen <- true)
+  | Trace.Session_abort id -> (
+    match find_sess m idx id "abort mark" with
+    | None -> ()
+    | Some s ->
+      if s.x_wb_seen then
+        memit ~space:s.x_ground m idx "SP005"
+          (Printf.sprintf "session #%d aborted after its write-back began" id);
+      s.x_aborted <- true)
+  | Trace.Dropped Trace.Request -> mcheck_crashed m idx e
+  | Trace.Dropped Trace.Reply -> (
+    mcheck_crashed m idx e;
+    match holder_session m e.Trace.src with
+    | Some s -> (
+      match s.x_stack with
+      | (rq_src, rq_dst, _) :: rest
+        when String.equal e.Trace.src rq_dst && String.equal e.Trace.dst rq_src
+        ->
+        s.x_stack <- rest;
+        s.x_holder <- rq_src
+      | _ -> ())
+    | None -> ())
+  | Trace.Dup _ -> mcheck_crashed m idx e
+  | Trace.Copy id -> (
+    match find_sess m idx id "copy note" with
+    | None -> ()
+    | Some s ->
+      if not (String.equal e.Trace.dst s.x_ground) then
+        Hashtbl.replace s.x_copy_dsts e.Trace.dst ())
+  | Trace.Inval_sent id -> (
+    match find_sess m idx id "invalidation-sent note" with
+    | None -> ()
+    | Some s -> Hashtbl.replace s.x_inval_dsts e.Trace.dst ())
+  | Trace.Crash ep -> Hashtbl.replace m.m_crashed ep ()
+  | Trace.Revive ep -> Hashtbl.remove m.m_crashed ep
+  | Trace.Access { session; datum; akind = Trace.Acc_write } -> (
+    (* SP008: a write names its session, so overlap detection is exact.
+       Aborted sessions discard their writes and are exempt. *)
+    match Hashtbl.find_opt m.opened session with
+    | None -> ()
+    | Some s ->
+      Hashtbl.replace s.x_writes datum ();
+      if not s.x_aborted then
+        Hashtbl.iter
+          (fun other_id other ->
+            if
+              other_id <> session
+              && (not other.x_aborted)
+              && Hashtbl.mem other.x_writes datum
+            then
+              memit ~space:e.Trace.src m idx "SP008"
+                (Printf.sprintf
+                   "sessions #%d and #%d are concurrently open and both \
+                    wrote %s (conflicting admission: no queue/abort \
+                    separates them)"
+                   other_id session datum))
+          m.opened)
+  | Trace.Access _ -> ()
+
+let check_events_multi events =
+  let m =
+    {
+      opened = Hashtbl.create 8;
+      m_admitted = Hashtbl.create 8;
+      m_crashed = Hashtbl.create 4;
+      m_out = [];
+    }
+  in
+  List.iteri (fun idx e -> step_multi m idx e) events;
+  let n = List.length events in
+  Hashtbl.iter
+    (fun _ s ->
+      List.iter
+        (fun (src, dst, _) ->
+          memit ~space:src m n "SP002"
+            (Printf.sprintf "request %s -> %s never replied" src dst))
+        s.x_stack)
+    m.opened;
+  Diagnostic.sort (List.rev m.m_out)
+
+(* Traces that carry admission marks were produced under the concurrent
+   admission controller and are verified by the multiplexed machine;
+   everything else takes the historical single-session machine, whose
+   diagnostics (messages and order) are unchanged. *)
+let check_events events =
+  let concurrent =
+    List.exists
+      (fun (e : Trace.event) ->
+        match e.Trace.kind with
+        | Trace.Session_admit _ | Trace.Session_queued _ -> true
+        | _ -> false)
+      events
+  in
+  if concurrent then check_events_multi events else check_events_single events
 
 let check trace = check_events (Trace.events trace)

@@ -16,11 +16,25 @@
       committed
     - [SP006] no frame is sent from or to an endpoint between its crash
       mark and its revive mark
+    - [SP007] a session's close-time invalidation covers every space
+      that received a data copy during the session
+    - [SP008] two sessions concurrently open must never both write the
+      same datum root — the admission controller must have queued or
+      abort-retried one of them ([Session_queued]) until the other
+      closed
 
     Fault-injected traces stay verifiable: [Dropped] request frames are
     thread-neutral, a [Dropped] reply hands the thread of control back
     to the requester (who retries), and [Dup] frames are the duplicate
-    copies the receiver's reply cache absorbs. *)
+    copies the receiver's reply cache absorbs.
+
+    Traces carrying {!Srpc_simnet.Trace.kind.Session_admit} marks were
+    produced under the concurrent admission controller: several sessions
+    may be legitimately open at once, and the verifier multiplexes one
+    protocol state machine per open session id (requests are attributed
+    to the unique session whose thread of control rests at the sender).
+    All other traces take the historical single-session machine
+    unchanged. *)
 
 open Srpc_simnet
 

@@ -175,6 +175,10 @@ let access st idx ~src ~session ~datum akind =
       Hashtbl.remove st.pendings datum
     | Trace.Acc_install ->
       Hashtbl.replace (copies_of st src) datum session
+    | Trace.Acc_drop ->
+      (* session-scoped purge (concurrent admission): the invalidation
+         names each dropped copy instead of wiping the whole cache *)
+      Hashtbl.remove (copies_of st src) datum
     | _ -> ());
     check_stale_copy st idx ~space:src ~datum ~session akind;
     if is_write akind then check_write_order st idx ~space:src ~datum;
@@ -237,7 +241,7 @@ let step st idx (e : Trace.event) =
   | Trace.Access { session; datum; akind } ->
     access st idx ~src:e.Trace.src ~session ~datum akind
   | Trace.Write_back _ | Trace.Invalidate _ | Trace.Copy _
-  | Trace.Inval_sent _ ->
+  | Trace.Inval_sent _ | Trace.Session_admit _ | Trace.Session_queued _ ->
     ()
 
 let check_events events =

@@ -65,6 +65,99 @@ let gen_build rng =
   | 2 -> Build_graph { nodes = Rng.range rng 1 16; gseed = Rng.int rng 1000 }
   | _ -> Build_wide
 
+(* Op mix for the concurrent-mode harnesses (weave, traffic). Excludes
+   [New_session] (the harness owns session boundaries), [Crash] (the
+   concurrent harnesses run without crash plans — message drop/dup
+   faults only) and [Callback] (ck_bonus is registered on the checker's
+   hardcoded ground; the harnesses run several grounds). *)
+let gen_op_restricted rng =
+  let open Script in
+  let weighted =
+    [
+      (2, `Build); (3, `Sum); (2, `Visit); (3, `Update); (2, `Map); (2, `Nested);
+      (2, `Local_update); (2, `Append); (1, `Free); (2, `Poke);
+    ]
+  in
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 weighted in
+  let roll = Rng.int rng total in
+  let rec choose acc = function
+    | (w, tag) :: rest -> if roll < acc + w then tag else choose (acc + w) rest
+    | [] -> assert false
+  in
+  let idx () = Rng.int rng 64 in
+  match choose 0 weighted with
+  | `Build -> (
+    match Rng.int rng 4 with
+    | 0 -> Build_list (gen_values rng ~max_len:12)
+    | 1 -> Build_tree (Rng.range rng 1 5)
+    | 2 -> Build_graph { nodes = Rng.range rng 1 16; gseed = Rng.int rng 1000 }
+    | _ -> Build_wide)
+  | `Sum -> Sum { worker = idx (); obj = idx () }
+  | `Visit -> Visit { worker = idx (); obj = idx (); limit = Rng.int rng 40 }
+  | `Update ->
+    Update
+      { worker = idx (); obj = idx (); idx = idx (); delta = Rng.range rng (-9) 9 }
+  | `Map ->
+    Map
+      {
+        worker = idx ();
+        obj = idx ();
+        mul = Rng.range rng (-3) 3;
+        add = Rng.range rng (-9) 9;
+      }
+  | `Nested -> Nested { w1 = idx (); w2 = idx (); obj = idx () }
+  | `Local_update ->
+    Local_update { obj = idx (); idx = idx (); delta = Rng.range rng (-9) 9 }
+  | `Append ->
+    Append { obj = idx (); home = Rng.int rng 4; values = gen_values rng ~max_len:6 }
+  | `Free -> Free { obj = idx () }
+  | `Poke ->
+    Poke
+      { worker = idx (); obj = idx (); idx = Rng.int rng 1024;
+        delta = Rng.range rng (-9) 9 }
+
+(* Strategies legal in concurrent mode: no Twin_diff grain (indices 6
+   and 9 of [Interp.strategy_table]), no delta coherency (8 and 9). *)
+let concurrent_strategies = [| 0; 1; 2; 3; 4; 5; 7 |]
+
+let pair ~seed ~depth ~fault =
+  let rng = Rng.create seed in
+  let workers = Rng.range rng 1 3 in
+  let arches = List.init workers (fun _ -> Rng.int rng 4) in
+  let strategy =
+    concurrent_strategies.(Rng.int rng (Array.length concurrent_strategies))
+  in
+  let n = max 1 depth in
+  let side () =
+    gen_build rng :: List.init (n - 1) (fun _ -> gen_op_restricted rng)
+  in
+  let ops_a = side () in
+  let ops_b = side () in
+  ( { Script.workers; arches; strategy; fault; ops = ops_a },
+    { Script.workers; arches; strategy; fault; ops = ops_b } )
+
+let forced_build rng (kind : Script.kind) =
+  let open Script in
+  match kind with
+  | KList -> Build_list (gen_values rng ~max_len:12)
+  | KTree -> Build_tree (Rng.range rng 1 5)
+  | KGraph -> Build_graph { nodes = Rng.range rng 1 16; gseed = Rng.int rng 1000 }
+  | KWide -> Build_wide
+
+let session_script ~seed ~depth ~workers ~kind ~fault =
+  let rng = Rng.create seed in
+  let workers = max 1 (min 3 workers) in
+  let arches = List.init workers (fun _ -> Rng.int rng 4) in
+  let strategy =
+    concurrent_strategies.(Rng.int rng (Array.length concurrent_strategies))
+  in
+  let n = max 1 depth in
+  let ops =
+    forced_build rng kind
+    :: List.init (n - 1) (fun _ -> gen_op_restricted rng)
+  in
+  { Script.workers; arches; strategy; fault; ops }
+
 let script ~seed ~depth ~fault =
   let rng = Rng.create seed in
   let workers = Rng.range rng 1 3 in

@@ -6,3 +6,31 @@
     first is always a build so most runs do real work). When [fault] is
     [Some _] the op mix also includes worker crashes. *)
 val script : seed:int -> depth:int -> fault:Script.fault option -> Script.t
+
+(** Strategy-table indices legal in concurrent-session mode: no
+    [Twin_diff] grain, no delta coherency (see
+    [Node.request_admission]'s mode requirements). *)
+val concurrent_strategies : int array
+
+(** [pair ~seed ~depth ~fault] draws two session scripts that share one
+    cluster shape — same worker count, architectures and (restricted)
+    strategy — for the two-session weave harness. The op mix excludes
+    [New_session], [Crash] and [Callback]: the harness owns session
+    boundaries, concurrent mode runs without crash plans, and the
+    callback bonus proc is tied to the single-session checker's
+    ground. *)
+val pair :
+  seed:int -> depth:int -> fault:Script.fault option -> Script.t * Script.t
+
+(** [session_script ~seed ~depth ~workers ~kind ~fault] draws one
+    session script for the traffic generator: the leading build op is
+    forced to [kind] (so the workload mix is controllable), the op mix
+    is restricted as in {!pair}, and the worker count is clamped to
+    [1..3] as usual. *)
+val session_script :
+  seed:int ->
+  depth:int ->
+  workers:int ->
+  kind:Script.kind ->
+  fault:Script.fault option ->
+  Script.t

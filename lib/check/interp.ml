@@ -157,6 +157,162 @@ let final_read ground kind ptr =
     List.init (e * e) (fun i ->
         int_of_float (Matrix.get ground ptr ~row:(i / e) ~col:(i mod e)))
 
+(* The per-op execution environment: the weave and traffic harnesses
+   build their own clusters (several grounds, shared workers) and run
+   resolved ops through the very same code path as the single-session
+   checker, so the two can never diverge on op semantics. *)
+type env = {
+  e_cluster : Cluster.t;
+  e_ground : Node.t;
+  e_workers : Node.t list;
+  e_objs : (int, kind * Access.ptr ref) Hashtbl.t;
+  e_crashed : int list ref;
+}
+
+let make_env ~cluster ~ground ~workers =
+  {
+    e_cluster = cluster;
+    e_ground = ground;
+    e_workers = workers;
+    e_objs = Hashtbl.create 16;
+    e_crashed = ref [];
+  }
+
+let exec_rop env rop =
+  let cluster = env.e_cluster in
+  let ground = env.e_ground in
+  let workers = env.e_workers in
+  let objs = env.e_objs in
+  let crashed = env.e_crashed in
+  let worker_at i = List.nth workers i in
+  let wid i = Node.id (worker_at i) in
+  let wsite i = (wid i).Space_id.site in
+  let get id = Hashtbl.find objs id in
+  let call w proc args = outs (Node.call ground ~dst:(wid w) proc args) in
+  match rop with
+  | RBuild { id; shape } -> (
+    match shape with
+    | SList vs ->
+      let h = Linked_list.build ground vs in
+      Hashtbl.replace objs id (KList, ref h);
+      [ Linked_list.length ground h ]
+    | STree d ->
+      let r = Tree.build ground ~depth:d in
+      Hashtbl.replace objs id (KTree, ref r);
+      [ Tree.count ground r ]
+    | SGraph { nodes; gseed } ->
+      let r = Graph.build ground ~nodes ~seed:gseed in
+      Hashtbl.replace objs id (KGraph, ref r);
+      let n, s = Graph.reachable_sum ground r in
+      [ n; s ]
+    | SWide ->
+      let r = Matrix.create ground ~tile_rows:1 ~tile_cols:1 in
+      Hashtbl.replace objs id (KWide, ref r);
+      let rows, cols = Matrix.dims ground r in
+      [ rows; cols ])
+  | RSum { worker; id } -> (
+    let kind, p = get id in
+    let pv = Access.to_value !p in
+    match kind with
+    | KList -> call worker "ck_list_sum" [ pv ]
+    | KTree -> call worker "ck_tree_visit" [ pv; Value.int max_int ]
+    | KGraph -> call worker "ck_graph_sum" [ pv ]
+    | KWide -> call worker "ck_mat_frob" [ pv ])
+  | RVisit { worker; id; limit } ->
+    let _, p = get id in
+    call worker "ck_tree_visit" [ Access.to_value !p; Value.int limit ]
+  | RUpdate { worker; id; idx; delta } -> (
+    let kind, p = get id in
+    let args = [ Access.to_value !p; Value.int idx; Value.int delta ] in
+    match kind with
+    | KList -> call worker "ck_list_update" args
+    | KTree -> call worker "ck_tree_update" args
+    | KGraph | KWide -> assert false)
+  | RPoke { worker; id; idx; delta } ->
+    let _, p = get id in
+    let e = Script.wide_edge in
+    call worker "ck_mat_poke"
+      [
+        Access.to_value !p; Value.int (idx / e); Value.int (idx mod e);
+        Value.int delta;
+      ]
+  | RWideRow { worker; id; row } ->
+    let _, p = get id in
+    call worker "ck_mat_row" [ Access.to_value !p; Value.int row ]
+  | RMapList { worker; id; mul; add } ->
+    let _, p = get id in
+    call worker "ck_list_map"
+      [ Access.to_value !p; Value.int mul; Value.int add ]
+  | RMapTree { worker; id; limit } ->
+    let _, p = get id in
+    call worker "ck_tree_mapu" [ Access.to_value !p; Value.int limit ]
+  | RNested { w1; w2; id } -> (
+    let kind, p = get id in
+    let pv = Access.to_value !p in
+    let relay proc args =
+      call w1 "ck_relay" (Value.str proc :: Value.int (wsite w2) :: args)
+    in
+    match kind with
+    | KList -> relay "ck_list_sum" [ pv ]
+    | KTree -> relay "ck_tree_visit" [ pv; Value.int max_int ]
+    | KGraph -> relay "ck_graph_sum" [ pv ]
+    | KWide -> relay "ck_mat_frob" [ pv ])
+  | RCallback { worker; id } -> (
+    let kind, p = get id in
+    let pv = Access.to_value !p in
+    match kind with
+    | KList -> call worker "ck_list_bonus" [ pv ]
+    | KTree -> call worker "ck_tree_bonus" [ pv ]
+    | KGraph -> call worker "ck_graph_bonus" [ pv ]
+    | KWide -> assert false)
+  | RLocalUpdate { id; idx; delta } -> (
+    let kind, p = get id in
+    match kind with
+    | KList ->
+      let cell = Linked_list.nth ground !p idx in
+      let v = Access.get_int ground cell ~field:"value" + delta in
+      Access.set_int ground cell ~field:"value" v;
+      [ v ]
+    | KTree ->
+      let cell = Tree.nth_preorder ground !p idx in
+      let v = Access.get_int ground cell ~field:"data" + delta in
+      Access.set_int ground cell ~field:"data" v;
+      [ v ]
+    | KWide ->
+      let e = Script.wide_edge in
+      let row = idx / e and col = idx mod e in
+      let v = int_of_float (Matrix.get ground !p ~row ~col) + delta in
+      Matrix.set ground !p ~row ~col (float_of_int v);
+      [ v ]
+    | KGraph -> assert false)
+  | RAppend { id; home; values } ->
+    let _, p = get id in
+    let home_id = if home = 0 then Node.id ground else wid (home - 1) in
+    p := Linked_list.append ground !p ~home:home_id values;
+    [ Linked_list.length ground !p ]
+  | RFree { id } -> (
+    let kind, p = get id in
+    Hashtbl.remove objs id;
+    match kind with
+    | KList ->
+      Linked_list.free ground !p;
+      []
+    | KTree ->
+      Tree.free ground !p;
+      []
+    | KGraph | KWide -> assert false)
+  | RSession ->
+    Node.end_session ground;
+    Node.begin_session ground;
+    []
+  | RCrash { worker } ->
+    if not (List.mem worker !crashed) then begin
+      Transport.crash (Cluster.transport cluster)
+        (Space_id.to_string (wid worker));
+      crashed := worker :: !crashed
+    end;
+    []
+
 let run plan =
   let cluster = Cluster.create ~cost:Cost_model.zero () in
   let strategy = strategy_table.(plan.p_strategy) in
@@ -181,143 +337,12 @@ let run plan =
     Fault_plan.set_global fp
       (Fault_plan.profile ~drop:f.drop ~duplicate:f.dup ());
     Cluster.install_faults cluster fp);
-  let worker_at i = List.nth workers i in
-  let wid i = Node.id (worker_at i) in
-  let wsite i = (wid i).Space_id.site in
-  let objs : (int, kind * Access.ptr ref) Hashtbl.t = Hashtbl.create 16 in
-  let get id = Hashtbl.find objs id in
-  let crashed : int list ref = ref [] in
+  let env = make_env ~cluster ~ground ~workers in
+  let wid i = Node.id (List.nth workers i) in
+  let get id = Hashtbl.find env.e_objs id in
   let obs_acc = ref [] in
   let kind_of id = List.assoc id plan.p_kinds in
-  let call w proc args = outs (Node.call ground ~dst:(wid w) proc args) in
-  let step rop =
-    let obs =
-      match rop with
-      | RBuild { id; shape } -> (
-        match shape with
-        | SList vs ->
-          let h = Linked_list.build ground vs in
-          Hashtbl.replace objs id (KList, ref h);
-          [ Linked_list.length ground h ]
-        | STree d ->
-          let r = Tree.build ground ~depth:d in
-          Hashtbl.replace objs id (KTree, ref r);
-          [ Tree.count ground r ]
-        | SGraph { nodes; gseed } ->
-          let r = Graph.build ground ~nodes ~seed:gseed in
-          Hashtbl.replace objs id (KGraph, ref r);
-          let n, s = Graph.reachable_sum ground r in
-          [ n; s ]
-        | SWide ->
-          let r = Matrix.create ground ~tile_rows:1 ~tile_cols:1 in
-          Hashtbl.replace objs id (KWide, ref r);
-          let rows, cols = Matrix.dims ground r in
-          [ rows; cols ])
-      | RSum { worker; id } -> (
-        let kind, p = get id in
-        let pv = Access.to_value !p in
-        match kind with
-        | KList -> call worker "ck_list_sum" [ pv ]
-        | KTree -> call worker "ck_tree_visit" [ pv; Value.int max_int ]
-        | KGraph -> call worker "ck_graph_sum" [ pv ]
-        | KWide -> call worker "ck_mat_frob" [ pv ])
-      | RVisit { worker; id; limit } ->
-        let _, p = get id in
-        call worker "ck_tree_visit" [ Access.to_value !p; Value.int limit ]
-      | RUpdate { worker; id; idx; delta } -> (
-        let kind, p = get id in
-        let args = [ Access.to_value !p; Value.int idx; Value.int delta ] in
-        match kind with
-        | KList -> call worker "ck_list_update" args
-        | KTree -> call worker "ck_tree_update" args
-        | KGraph | KWide -> assert false)
-      | RPoke { worker; id; idx; delta } ->
-        let _, p = get id in
-        let e = Script.wide_edge in
-        call worker "ck_mat_poke"
-          [
-            Access.to_value !p; Value.int (idx / e); Value.int (idx mod e);
-            Value.int delta;
-          ]
-      | RWideRow { worker; id; row } ->
-        let _, p = get id in
-        call worker "ck_mat_row" [ Access.to_value !p; Value.int row ]
-      | RMapList { worker; id; mul; add } ->
-        let _, p = get id in
-        call worker "ck_list_map"
-          [ Access.to_value !p; Value.int mul; Value.int add ]
-      | RMapTree { worker; id; limit } ->
-        let _, p = get id in
-        call worker "ck_tree_mapu" [ Access.to_value !p; Value.int limit ]
-      | RNested { w1; w2; id } -> (
-        let kind, p = get id in
-        let pv = Access.to_value !p in
-        let relay proc args =
-          call w1 "ck_relay" (Value.str proc :: Value.int (wsite w2) :: args)
-        in
-        match kind with
-        | KList -> relay "ck_list_sum" [ pv ]
-        | KTree -> relay "ck_tree_visit" [ pv; Value.int max_int ]
-        | KGraph -> relay "ck_graph_sum" [ pv ]
-        | KWide -> relay "ck_mat_frob" [ pv ])
-      | RCallback { worker; id } -> (
-        let kind, p = get id in
-        let pv = Access.to_value !p in
-        match kind with
-        | KList -> call worker "ck_list_bonus" [ pv ]
-        | KTree -> call worker "ck_tree_bonus" [ pv ]
-        | KGraph -> call worker "ck_graph_bonus" [ pv ]
-        | KWide -> assert false)
-      | RLocalUpdate { id; idx; delta } -> (
-        let kind, p = get id in
-        match kind with
-        | KList ->
-          let cell = Linked_list.nth ground !p idx in
-          let v = Access.get_int ground cell ~field:"value" + delta in
-          Access.set_int ground cell ~field:"value" v;
-          [ v ]
-        | KTree ->
-          let cell = Tree.nth_preorder ground !p idx in
-          let v = Access.get_int ground cell ~field:"data" + delta in
-          Access.set_int ground cell ~field:"data" v;
-          [ v ]
-        | KWide ->
-          let e = Script.wide_edge in
-          let row = idx / e and col = idx mod e in
-          let v = int_of_float (Matrix.get ground !p ~row ~col) + delta in
-          Matrix.set ground !p ~row ~col (float_of_int v);
-          [ v ]
-        | KGraph -> assert false)
-      | RAppend { id; home; values } ->
-        let _, p = get id in
-        let home_id = if home = 0 then Node.id ground else wid (home - 1) in
-        p := Linked_list.append ground !p ~home:home_id values;
-        [ Linked_list.length ground !p ]
-      | RFree { id } -> (
-        let kind, p = get id in
-        Hashtbl.remove objs id;
-        match kind with
-        | KList ->
-          Linked_list.free ground !p;
-          []
-        | KTree ->
-          Tree.free ground !p;
-          []
-        | KGraph | KWide -> assert false)
-      | RSession ->
-        Node.end_session ground;
-        Node.begin_session ground;
-        []
-      | RCrash { worker } ->
-        if not (List.mem worker !crashed) then begin
-          Transport.crash (Cluster.transport cluster)
-            (Space_id.to_string (wid worker));
-          crashed := worker :: !crashed
-        end;
-        []
-    in
-    obs_acc := obs :: !obs_acc
-  in
+  let step rop = obs_acc := exec_rop env rop :: !obs_acc in
   (* Recovery shared by the completion and abort paths: bring crashed
      endpoints back while the plan is still installed, then restore the
      reliable transport and probe that both sides answer a fresh
@@ -326,7 +351,7 @@ let run plan =
     List.iter
       (fun w ->
         Transport.revive (Cluster.transport cluster) (Space_id.to_string (wid w)))
-      !crashed;
+      !(env.e_crashed);
     if plan.p_fault <> None then Cluster.clear_faults cluster;
     match
       Node.with_session ground (fun () ->

@@ -4,7 +4,48 @@
     recording every observation vector, the final observable state, and
     the full wire/protocol trace. *)
 
+open Srpc_core
 open Srpc_simnet
+
+(** The architecture pool plans index into ([Script.t.arches]). *)
+val arch_table : Srpc_memory.Arch.t array
+
+(** The strategy pool plans index into ([Script.t.strategy] mod its
+    length). Indices 6 and 9 use [Twin_diff] grain; 8 and 9 enable
+    delta coherency — both excluded by the concurrent-mode harnesses
+    (see [Node.require_concurrent]'s contract in docs/TRAFFIC.md). *)
+val strategy_table : Strategy.t array
+
+(** [register_procs ~ground workers] installs the checker's remote
+    procedures on [ground] and every worker. The weave and traffic
+    harnesses call it once per ground node. *)
+val register_procs : ground:Node.t -> Node.t list -> unit
+
+(** [final_read ground kind ptr] reads an object's observable state
+    through the access layer (used for phase A/B verification). *)
+val final_read : Node.t -> Script.kind -> Access.ptr -> int list
+
+(** The per-op execution environment. The weave and traffic harnesses
+    build their own clusters (several grounds, shared workers) and run
+    resolved ops through {!exec_rop} — the very same code path as the
+    single-session checker — so the harnesses can never diverge from
+    the checker on op semantics. *)
+type env = {
+  e_cluster : Cluster.t;
+  e_ground : Node.t;
+  e_workers : Node.t list;
+  e_objs : (int, Script.kind * Access.ptr ref) Hashtbl.t;
+      (** object id -> (kind, live root pointer) *)
+  e_crashed : int list ref;  (** worker indices crashed so far *)
+}
+
+val make_env : cluster:Cluster.t -> ground:Node.t -> workers:Node.t list -> env
+
+(** [exec_rop env rop] executes one resolved op on [env]'s cluster from
+    [env]'s ground and returns its observation vector. Must run inside
+    a session on the ground node (except [RSession]/[RCrash], which
+    manage sessions themselves). *)
+val exec_rop : env -> Script.rop -> int list
 
 type outcome = {
   obs : int list list;

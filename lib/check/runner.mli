@@ -62,5 +62,9 @@ val check :
 (** The script seed [check] would run for this [seed]. *)
 val script_for : depth:int -> faults:float -> int -> Script.t
 
+(** The fault spec [check] (and the weave/traffic sweeps) install for
+    this [seed]: odd seeds are faulted when [faults > 0]. *)
+val fault_for : faults:float -> seed:int -> Script.fault option
+
 (** [replay script] reruns one script and reports the failure, if any. *)
 val replay : Script.t -> (unit, string) Stdlib.result

@@ -1,0 +1,173 @@
+(* Concurrent-session admission (paper section 3.1, lifted to many
+   sessions).
+
+   The paper's coherency protocol is safe because one thread of control
+   is active inside a session; the admission controller generalizes the
+   guarantee to the cluster: sessions whose static footprints are
+   disjoint (no CC-series error under [Footprint.interferes]) may be
+   open simultaneously, because no datum root can be written by one
+   while another reads or writes it. Conflicting candidates are either
+   FIFO-queued on the contended roots or denied for backoff-retry,
+   per [Strategy.admission_policy].
+
+   Optimistic validation at close piggybacks on the same idea as the
+   delta layer's shadow versions: every committed session bumps a
+   per-root version counter for the roots it wrote, and every admitted
+   session snapshots the counters of all roots it will touch. A
+   mismatch at close means a conflicting foreign write slipped past
+   admission (only possible when the conflict check was bypassed, e.g.
+   [Node.chaos_admit_conflicting]); the session must abort and retry
+   rather than commit a lost update. *)
+
+open Srpc_analysis
+
+type decision = Admitted | Queued | Denied
+
+type waiting = { w_session : int; w_fp : Footprint.t }
+
+type t = {
+  policy : Strategy.admission_policy;
+  stats : Srpc_simnet.Stats.t;
+  open_tbl : (int, Footprint.t) Hashtbl.t;
+  mutable queue : waiting list;  (* FIFO; head is the oldest waiter *)
+  versions : (string, int) Hashtbl.t;  (* datum root -> committed writes *)
+  snaps : (int, (string * int) list) Hashtbl.t;
+      (* session -> root versions observed at admission *)
+  deferred : (int, unit) Hashtbl.t;
+      (* sessions that were queued or denied at least once *)
+}
+
+let create ?(policy = Strategy.Queue_conflicts) stats =
+  {
+    policy;
+    stats;
+    open_tbl = Hashtbl.create 16;
+    queue = [];
+    versions = Hashtbl.create 64;
+    snaps = Hashtbl.create 16;
+    deferred = Hashtbl.create 16;
+  }
+
+let policy t = t.policy
+let open_count t = Hashtbl.length t.open_tbl
+let queue_length t = List.length t.queue
+
+let root_version t root =
+  Option.value (Hashtbl.find_opt t.versions root) ~default:0
+
+let fp_roots (fp : Footprint.t) =
+  List.map (fun (r : Footprint.region) -> r.Footprint.root) fp.Footprint.regions
+  |> List.sort_uniq String.compare
+
+let fp_write_roots (fp : Footprint.t) =
+  List.filter_map
+    (fun (r : Footprint.region) ->
+      match r.Footprint.mode with
+      | Footprint.Write | Footprint.Free -> Some r.Footprint.root
+      | Footprint.Read -> None)
+    fp.Footprint.regions
+  |> List.sort_uniq String.compare
+
+let pair_conflicts fp fp' =
+  List.exists Diagnostic.is_error (Footprint.interferes fp fp')
+
+(* Roots contended between [fp] and the sessions currently open (the
+   queue is not consulted: this reports who we would wait on). *)
+let contended_roots t fp =
+  Hashtbl.fold
+    (fun _ fp' acc ->
+      if pair_conflicts fp fp' then
+        List.filter (fun root -> List.mem root (fp_roots fp')) (fp_roots fp)
+        @ acc
+      else acc)
+    t.open_tbl []
+  |> List.sort_uniq String.compare
+
+let conflicts_with_open t fp =
+  Hashtbl.fold (fun _ fp' hit -> hit || pair_conflicts fp fp') t.open_tbl false
+
+let conflicts_with_queue t fp =
+  List.exists (fun w -> pair_conflicts fp w.w_fp) t.queue
+
+let snapshot t ~session fp =
+  Hashtbl.replace t.snaps session
+    (List.map (fun root -> (root, root_version t root)) (fp_roots fp))
+
+let admit t ~session fp =
+  Hashtbl.replace t.open_tbl session fp;
+  snapshot t ~session fp;
+  Srpc_simnet.Stats.incr_sessions_admitted t.stats;
+  if Hashtbl.mem t.deferred session then begin
+    Srpc_simnet.Stats.incr_sessions_retried t.stats;
+    Hashtbl.remove t.deferred session
+  end
+
+let request ?(force = false) t ~session fp =
+  if force then begin
+    admit t ~session fp;
+    Admitted
+  end
+  else if
+    conflicts_with_open t fp
+    || (t.policy = Strategy.Queue_conflicts && conflicts_with_queue t fp)
+  then (
+    Hashtbl.replace t.deferred session ();
+    match t.policy with
+    | Strategy.Queue_conflicts ->
+      t.queue <- t.queue @ [ { w_session = session; w_fp = fp } ];
+      Srpc_simnet.Stats.incr_sessions_queued t.stats;
+      Queued
+    | Strategy.Abort_retry ->
+      Srpc_simnet.Stats.incr_sessions_aborted t.stats;
+      Denied)
+  else begin
+    admit t ~session fp;
+    Admitted
+  end
+
+let validate t ~session =
+  match Hashtbl.find_opt t.snaps session with
+  | None -> true
+  | Some snap ->
+    List.for_all (fun (root, v) -> root_version t root = v) snap
+
+let fail_validation t ~session =
+  Srpc_simnet.Stats.incr_validations_failed t.stats;
+  Hashtbl.replace t.deferred session ()
+
+(* Drain the FIFO after [close]: a waiter is admitted when it conflicts
+   with neither the (updated) open set nor any waiter still ahead of it
+   — no barging past an older waiter contending the same roots. *)
+let drain t =
+  let admitted = ref [] in
+  let still = ref [] in
+  List.iter
+    (fun w ->
+      if
+        conflicts_with_open t w.w_fp
+        || List.exists (fun w' -> pair_conflicts w.w_fp w'.w_fp) !still
+      then still := w :: !still
+      else begin
+        admit t ~session:w.w_session w.w_fp;
+        admitted := (w.w_session, w.w_fp) :: !admitted
+      end)
+    t.queue;
+  t.queue <- List.rev !still;
+  List.rev !admitted
+
+let close ?(committed = true) t ~session =
+  (match (committed, Hashtbl.find_opt t.open_tbl session) with
+  | true, Some fp ->
+    List.iter
+      (fun root -> Hashtbl.replace t.versions root (root_version t root + 1))
+      (fp_write_roots fp)
+  | _ -> ());
+  Hashtbl.remove t.open_tbl session;
+  Hashtbl.remove t.snaps session;
+  drain t
+
+(* A denied session retries under capped exponential backoff; the delay
+   is virtual time, scheduled by the caller's event loop. *)
+let backoff_delay ~attempt ~base =
+  let capped = min attempt 6 in
+  base *. float_of_int (1 lsl capped)

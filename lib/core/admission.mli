@@ -1,0 +1,69 @@
+(** Concurrent-session admission controller.
+
+    Generalizes the paper's one-session-at-a-time safety argument: two
+    sessions may be open simultaneously iff their static footprints
+    ({!Srpc_analysis.Footprint}) raise no CC-series error under
+    [interferes] — then no datum root is written by one while the other
+    reads or writes it, so every per-session coherency step (write-back,
+    invalidation) stays correct verbatim. One controller instance guards
+    a cluster; the ground harness asks it via [Node.request_admission]
+    before each session starts.
+
+    Conflicting candidates follow the {!Strategy.admission_policy}:
+    FIFO-queued on the contended datum roots (admitted by {!close}'s
+    drain once the holders leave, never barging past an older waiter),
+    or denied outright for capped-exponential backoff-retry in virtual
+    time.
+
+    {b Optimistic validation at close.} Every committed session bumps a
+    per-root version counter for the roots it wrote; every admitted
+    session snapshots the counters of all roots it touches. {!validate}
+    at close detects a conflicting foreign commit (possible only when
+    admission was bypassed, e.g. [Node.chaos_admit_conflicting]): the
+    loser must abort and retry instead of committing a lost update.
+
+    All outcomes feed the [Stats] admission counters
+    ([sessions_admitted], [sessions_queued], [sessions_aborted],
+    [sessions_retried], [validations_failed]). See docs/TRAFFIC.md. *)
+
+open Srpc_analysis
+
+type decision =
+  | Admitted  (** footprint disjoint from every open session: go *)
+  | Queued  (** FIFO-queued; {!close}'s drain will admit it later *)
+  | Denied  (** abort-retry policy: back off and re-request *)
+
+type t
+
+val create : ?policy:Strategy.admission_policy -> Srpc_simnet.Stats.t -> t
+val policy : t -> Strategy.admission_policy
+
+(** [request t ~session fp] decides admission for [session] with
+    footprint [fp]. [?force] bypasses the conflict check (the
+    [chaos_admit_conflicting] mutation hook) — the session is recorded
+    as open so close-time validation still runs. *)
+val request : ?force:bool -> t -> session:int -> Footprint.t -> decision
+
+(** [close t ~session] retires an open session — [~committed:false] for
+    aborts (its writes bump no root versions) — and drains the FIFO:
+    returns the waiters admitted now, in queue order, already recorded
+    as open. The caller begins them (emitting their admit marks). *)
+val close : ?committed:bool -> t -> session:int -> (int * Footprint.t) list
+
+(** [validate t ~session] is false iff some datum root in the session's
+    admission-time snapshot was committed by another session since. *)
+val validate : t -> session:int -> bool
+
+(** Record a validation failure in [Stats] (the caller then aborts the
+    session and re-requests admission). *)
+val fail_validation : t -> session:int -> unit
+
+(** Datum roots the candidate would contend with the open sessions. *)
+val contended_roots : t -> Footprint.t -> string list
+
+val open_count : t -> int
+val queue_length : t -> int
+
+(** [backoff_delay ~attempt ~base] is the capped exponential retry delay
+    (virtual seconds): [base * 2^min(attempt, 6)]. *)
+val backoff_delay : attempt:int -> base:float -> float

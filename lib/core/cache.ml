@@ -12,6 +12,9 @@ type entry = {
   mutable version : int;
   mutable shadow : string option;
   mutable shadow_version : int;
+  mutable pins : int list;
+      (* sessions that touched this entry (concurrent admission only;
+         [] in single-session runs) *)
 }
 
 type cursor = { mutable page : int; mutable off : int }
@@ -28,10 +31,17 @@ type t = {
   dirty_pages : (int, unit) Hashtbl.t;
   twins : (int, bytes) Hashtbl.t;
   cursors : (string, cursor) Hashtbl.t;
-  free_slots : (int, (int * int list) list ref) Hashtbl.t;
-      (** rounded size -> freed (addr, pages) slots available for reuse *)
+  free_slots : (string, (int * int list) list ref) Hashtbl.t;
+      (** rounded size (+ scope) -> freed (addr, pages) slots available
+          for reuse *)
   mutable next_page : int;
   mutable allocated_bytes : int;
+  mutable scope : int option;
+      (** concurrent admission: the session new entries are placed for.
+          Fault handling is page-grained, so two sessions' entries must
+          never share a page — the scope partitions the fill cursors and
+          the free-slot pools. [None] (single-session mode) keeps the
+          legacy placement byte-for-byte. *)
 }
 
 exception Region_full
@@ -58,7 +68,10 @@ let create ~space ~base ~limit ~grouping ~grain =
     free_slots = Hashtbl.create 8;
     next_page = base / psz;
     allocated_bytes = 0;
+    scope = None;
   }
+
+let set_scope t scope = t.scope <- scope
 
 let in_region t addr = addr >= t.base && addr < t.limit
 
@@ -75,22 +88,29 @@ let fresh_pages t n =
   t.next_page <- first + n;
   first
 
+let scoped t key =
+  match t.scope with
+  | None -> key
+  | Some sid -> Printf.sprintf "%s/#%d" key sid
+
 let grouping_key t (lp : Long_pointer.t) =
-  match t.grouping with
-  | Strategy.By_origin -> Space_id.to_string lp.origin
-  | Strategy.Sequential -> "*"
-  | Strategy.By_type -> lp.ty
-  | Strategy.Entry_per_page -> assert false (* handled separately *)
+  scoped t
+    (match t.grouping with
+    | Strategy.By_origin -> Space_id.to_string lp.origin
+    | Strategy.Sequential -> "*"
+    | Strategy.By_type -> lp.ty
+    | Strategy.Entry_per_page -> assert false (* handled separately *))
 
 let take_free_slot t ~size =
-  match Hashtbl.find_opt t.free_slots (round_up size) with
+  match Hashtbl.find_opt t.free_slots (scoped t (string_of_int (round_up size)))
+  with
   | Some ({ contents = slot :: rest } as r) ->
     r := rest;
     Some slot
   | Some { contents = [] } | None -> None
 
 let release_slot t ~addr ~size ~pages =
-  let key = round_up size in
+  let key = scoped t (string_of_int (round_up size)) in
   match Hashtbl.find_opt t.free_slots key with
   | Some r -> r := (addr, pages) :: !r
   | None -> Hashtbl.add t.free_slots key (ref [ (addr, pages) ])
@@ -178,6 +198,7 @@ let allocate t lp ~size =
       version = 0;
       shadow = None;
       shadow_version = -1;
+      pins = [];
     }
   in
   Long_pointer.Table.add t.by_lp lp entry;
@@ -253,14 +274,22 @@ let entry_changed_vs_twin t e =
           not (Bytes.equal current (Bytes.sub twin off len)))
     e.pages
 
-let dirty_entries t =
+let pin e ~session =
+  if not (List.mem session e.pins) then e.pins <- session :: e.pins
+
+let pinned_by e ~session = List.mem session e.pins
+
+let dirty_entries ?pinned_by:filter t =
+  let keep e =
+    match filter with None -> true | Some s -> List.mem s e.pins
+  in
   let seen = Hashtbl.create 16 in
   let out = ref [] in
   List.iter
     (fun page ->
       List.iter
         (fun e ->
-          if e.present && not (Hashtbl.mem seen e.local_addr) then begin
+          if e.present && keep e && not (Hashtbl.mem seen e.local_addr) then begin
             Hashtbl.add seen e.local_addr ();
             let ship =
               match t.grain with
@@ -277,18 +306,30 @@ let dirty_entries t =
   (* Entries dirtied without a page fault (installed writebacks, fresh
      remote allocations) may sit on pages never marked dirty. *)
   iter_entries t (fun e ->
-      if e.dirty && e.present && not (Hashtbl.mem seen e.local_addr) then begin
+      if e.dirty && e.present && keep e && not (Hashtbl.mem seen e.local_addr)
+      then begin
         Hashtbl.add seen e.local_addr ();
         out := e :: !out
       end);
   !out
 
-let clean_after_flush t =
-  iter_entries t (fun e -> e.dirty <- false);
-  Hashtbl.reset t.twins;
-  let pages = dirty_pages t in
-  Hashtbl.reset t.dirty_pages;
-  List.iter (fun page -> refresh_protection t ~page) pages
+let clean_after_flush ?pinned_by:filter t =
+  match filter with
+  | None ->
+    iter_entries t (fun e -> e.dirty <- false);
+    Hashtbl.reset t.twins;
+    let pages = dirty_pages t in
+    Hashtbl.reset t.dirty_pages;
+    List.iter (fun page -> refresh_protection t ~page) pages
+  | Some s ->
+    (* Session-scoped flush: only the session's entries are marked
+       clean. Page dirty bits are left alone — a page may also carry
+       another open session's page-grain dirtiness, which the entry
+       flags cannot witness. The cost is conservative: the session's
+       clean entries on a still-dirty page are re-shipped unchanged at
+       its close (idempotent at the home, since footprints are
+       disjoint). *)
+    iter_entries t (fun e -> if List.mem s e.pins then e.dirty <- false)
 
 let bump_version e = e.version <- e.version + 1
 
@@ -351,6 +392,32 @@ let remove t e =
     e.pages;
   release_slot t ~addr:e.local_addr ~size:e.size ~pages:e.pages;
   t.allocated_bytes <- t.allocated_bytes - round_up e.size
+
+let invalidate_session t ~session =
+  (* Drop the closing session's cached copies without disturbing other
+     open sessions' entries. Entries the session shares with nobody are
+     removed (their slots recycle); shared pins are just released. *)
+  let victims = ref [] in
+  iter_entries t (fun e ->
+      if List.mem session e.pins then begin
+        e.pins <- List.filter (fun s -> s <> session) e.pins;
+        if e.pins = [] then victims := e :: !victims
+      end);
+  List.iter (fun e -> remove t e) !victims;
+  (* The session's fill cursors and recycled slots die with it: its
+     pages must not be refilled by a later session (page-grain fault
+     handling would sweep across the sessions sharing the page). *)
+  let suffix = Printf.sprintf "/#%d" session in
+  let ends_with s key =
+    let n = String.length s and k = String.length key in
+    k >= n && String.sub key (k - n) n = s
+  in
+  let doomed tbl =
+    Hashtbl.fold (fun k _ acc -> if ends_with suffix k then k :: acc else acc)
+      tbl []
+  in
+  List.iter (Hashtbl.remove t.cursors) (doomed t.cursors);
+  List.iter (Hashtbl.remove t.free_slots) (doomed t.free_slots)
 
 let invalidate t =
   Hashtbl.iter (fun page _ -> Address_space.unmap t.space ~page) t.by_page;

@@ -38,6 +38,11 @@ type entry = {
       (** last canonical encoding known to agree byte-for-byte with the
           home's record of our copy — the delta base image *)
   mutable shadow_version : int;
+  mutable pins : int list;
+      (** ids of the open sessions that touched this entry — concurrent
+          admission's per-session pin counts. Always [[]] in
+          single-session runs (the runtime only pins when the session
+          registry is in multi-open mode). *)
 }
 
 type t
@@ -62,6 +67,14 @@ val in_region : t -> int -> bool
     @raise Invalid_argument otherwise. *)
 val set_policy :
   t -> grouping:Strategy.alloc_grouping -> grain:Strategy.writeback_grain -> unit
+
+(** [set_scope t scope] partitions placement by session (concurrent
+    admission): while [scope] is [Some sid], new entries are placed on
+    pages that no other session's entries share, because fault handling
+    is page-grained — a fault sweeps every absent entry on the page, and
+    a page mixing two sessions would cross-contaminate their fetches.
+    [None] (the default) is the legacy single-session placement. *)
+val set_scope : t -> int option -> unit
 
 (** [allocate t lp ~size] reserves a slot for [lp] (absent, clean) and
     returns its entry. The slot's pages are mapped and protected.
@@ -94,15 +107,26 @@ val mark_page_dirty : t -> page:int -> unit
 val is_page_dirty : t -> page:int -> bool
 val dirty_pages : t -> int list
 
+(** [pin e ~session] records [session] as a user of [e]'s copy. *)
+val pin : entry -> session:int -> unit
+
+val pinned_by : entry -> session:int -> bool
+
 (** [dirty_entries t] is the modified data set to ship at the next
     control transfer: with [Page_grain], every present entry on a dirty
     page; with [Twin_diff], only entries whose bytes differ from the
-    twin. *)
-val dirty_entries : t -> entry list
+    twin. [?pinned_by] restricts the set to one session's pinned entries
+    (concurrent admission: a session's control transfer must not leak
+    another open session's modified data). *)
+val dirty_entries : ?pinned_by:int -> t -> entry list
 
 (** [clean_after_flush t] marks the whole modified data set clean,
-    drops twins, and restores read-only protection. *)
-val clean_after_flush : t -> unit
+    drops twins, and restores read-only protection. With [?pinned_by],
+    only that session's entries are cleaned and page dirty bits are
+    left alone (they may witness another open session's page-grain
+    dirtiness); the page state fully resets when the last session
+    closes. *)
+val clean_after_flush : ?pinned_by:int -> t -> unit
 
 (** Delta-coherency snapshot plumbing (see docs/DELTA.md). *)
 
@@ -143,6 +167,12 @@ val remove : t -> entry -> unit
 (** [invalidate t] drops every entry, twin and page — the session-end
     invalidation. *)
 val invalidate : t -> unit
+
+(** [invalidate_session t ~session] is the session-scoped variant used
+    under concurrent admission: entries pinned only by [session] are
+    removed (slots recycle), shared entries merely lose the pin, and
+    other open sessions' entries are untouched. *)
+val invalidate_session : t -> session:int -> unit
 
 (** [refresh_protection t ~page] recomputes the page's protection from
     its entries' state. *)

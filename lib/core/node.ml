@@ -27,9 +27,9 @@ type t = {
   policy : Srpc_policy.Engine.t option;
   mutable strategy : Strategy.t;
   procs : (string, proc) Hashtbl.t;
-  shipped : (int, unit) Hashtbl.t Space_id.Table.t;
+  mutable shipped : (int, unit) Hashtbl.t Space_id.Table.t;
       (** per peer, addresses of own data already sent in this session *)
-  traveling : unit Long_pointer.Table.t;
+  mutable traveling : unit Long_pointer.Table.t;
       (** own data modified elsewhere this session: the paper's modified
           data set keeps traveling with the thread of control even after
           reaching home, so stale caches at other participants are
@@ -64,6 +64,19 @@ type t = {
       (** the session whose cached state this node currently holds; a
           frame from a newer session purges leftovers from one whose
           invalidation or abort never reached us (crashed at the time) *)
+  sstash : (int, saved_sstate) Hashtbl.t;
+      (** concurrent admission: parked per-session runtime state of
+          open sessions other than the focused one. [shipped],
+          [traveling] and the pending batches above always describe the
+          focused session; switching focus swaps them through here.
+          Unused (empty) in single-open mode. *)
+  mutable focused : int option;
+      (** the session whose state currently occupies the swappable
+          fields; [None] outside concurrent mode *)
+  dir_owner : (int, int) Hashtbl.t;
+      (** concurrent admission: datum address -> session that recorded
+          its copy-directory rows, so a session-scoped purge can drop
+          exactly its rows. Unused in single-open mode. *)
 }
 
 and proc = t -> Value.t list -> Value.t list
@@ -73,6 +86,13 @@ and reply_slot = { rs_seq : int; rs_reply : string; mutable rs_used : int }
 and staged_wb =
   | S_full of Space_id.t * Wire.item
   | S_delta of Space_id.t * Wire.delta
+
+and saved_sstate = {
+  sv_shipped : (int, unit) Hashtbl.t Space_id.Table.t;
+  sv_traveling : unit Long_pointer.Table.t;
+  sv_allocs : pending_alloc list;
+  sv_frees : Long_pointer.t list;
+}
 
 exception Remote_error of string
 exception Unknown_procedure of string
@@ -125,6 +145,16 @@ let note_access t ~datum akind =
 let note_datum t (lp : Long_pointer.t) akind =
   if lp.Long_pointer.addr > 0 then note_access t ~datum:(datum_name lp) akind
 
+(* Concurrent admission: a cache entry belongs to the open sessions that
+   touched it. Pins drive the session-scoped dirty-set filter and the
+   session-scoped invalidation; in single-open mode nothing pins, so the
+   cache behaves exactly as before. *)
+let pin_entry t (e : Cache.entry) =
+  if Session.concurrent_enabled t.session then
+    match Session.current t.session with
+    | Some info -> Cache.pin e ~session:info.Session.id
+    | None -> ()
+
 (* --- pointer swizzling (paper, section 3.2) --- *)
 
 let swizzle t = function
@@ -133,9 +163,12 @@ let swizzle t = function
     if Space_id.equal lp.origin t.id then lp.addr
     else (
       match Cache.find_by_lp t.cache lp with
-      | Some e -> e.Cache.local_addr
+      | Some e ->
+        pin_entry t e;
+        e.Cache.local_addr
       | None ->
         let e = Cache.allocate t.cache lp ~size:(sizeof t lp.ty) in
+        pin_entry t e;
         Log.debug (fun m ->
             m "%a: swizzled %a -> 0x%x" Space_id.pp t.id Long_pointer.pp lp
               e.Cache.local_addr);
@@ -184,6 +217,10 @@ let dir_table t addr =
 
 (* [peer]'s copy of our datum at [addr] is now byte-for-byte [image]. *)
 let dir_record t ~peer ~addr image =
+  (if Session.concurrent_enabled t.session then
+     match Session.current t.session with
+     | Some info -> Hashtbl.replace t.dir_owner addr info.Session.id
+     | None -> ());
   Space_id.Table.replace (dir_table t addr) peer image
 
 let dir_base t ~peer ~addr =
@@ -250,6 +287,7 @@ let install_item t ~src ~kind (item : Wire.item) =
       | Some e -> e
       | None -> Cache.allocate t.cache lp ~size:(sizeof t lp.ty)
     in
+    pin_entry t e;
     let fresh = not e.Cache.present in
     if dirty || fresh then begin
       note_datum t lp Trace.Acc_install;
@@ -550,6 +588,87 @@ let hard_reset t =
   t.pending_frees <- [];
   t.state_session <- None
 
+(* --- concurrent admission: per-session state focus --- *)
+
+(* Point the swappable per-session fields at [sid]'s state. Sessions
+   interleave only at operation granularity — the simulated cluster is
+   single-threaded, and every frame is handled to completion before
+   another session's frame can arrive — so swapping at each focus
+   switch is sound. The shared session registry's focus is re-asserted
+   unconditionally: another node of the cluster may have moved it since
+   this node last ran. *)
+let focus_node t sid =
+  if Session.concurrent_enabled t.session then begin
+    if t.focused <> Some sid then begin
+      (match t.focused with
+      | Some old ->
+        Hashtbl.replace t.sstash old
+          {
+            sv_shipped = t.shipped;
+            sv_traveling = t.traveling;
+            sv_allocs = t.pending_allocs;
+            sv_frees = t.pending_frees;
+          }
+      | None -> ());
+      (match Hashtbl.find_opt t.sstash sid with
+      | Some sv ->
+        Hashtbl.remove t.sstash sid;
+        t.shipped <- sv.sv_shipped;
+        t.traveling <- sv.sv_traveling;
+        t.pending_allocs <- sv.sv_allocs;
+        t.pending_frees <- sv.sv_frees
+      | None ->
+        t.shipped <- Space_id.Table.create 4;
+        t.traveling <- Long_pointer.Table.create 16;
+        t.pending_allocs <- [];
+        t.pending_frees <- []);
+      t.focused <- Some sid;
+      (* fault handling is page-grained: [sid]'s cache entries must not
+         share pages with another session's (see {!Cache.set_scope}) *)
+      Cache.set_scope t.cache (Some sid)
+    end;
+    Session.focus t.session sid
+  end
+
+(* Re-align the shared registry's focus with this node's own focused
+   session before a ground-side operation: between two of this ground's
+   operations, another ground's activity may have moved the focus. *)
+let refocus t =
+  if Session.concurrent_enabled t.session then
+    match t.focused with
+    | Some sid when Session.find t.session sid <> None ->
+      Session.focus t.session sid
+    | Some _ | None -> ()
+
+(* Session-scoped purge (concurrent admission): drop exactly [sid]'s
+   state at this node — its pinned cache entries (per-datum drop marks;
+   a wildcard drop would erase other open sessions' access history in
+   the race checker), its swapped runtime state, its staged write-backs
+   and its copy-directory rows — leaving every other open session
+   untouched. *)
+let purge_session t sid =
+  focus_node t sid;
+  Cache.iter_entries t.cache (fun e ->
+      if Cache.pinned_by e ~session:sid then note_datum t e.Cache.lp Trace.Acc_drop);
+  Cache.invalidate_session t.cache ~session:sid;
+  Space_id.Table.reset t.shipped;
+  Long_pointer.Table.reset t.traveling;
+  t.pending_allocs <- [];
+  t.pending_frees <- [];
+  Hashtbl.remove t.staged sid;
+  let owned =
+    Hashtbl.fold
+      (fun addr owner acc -> if owner = sid then addr :: acc else acc)
+      t.dir_owner []
+  in
+  List.iter
+    (fun addr ->
+      Hashtbl.remove t.directory addr;
+      Hashtbl.remove t.dir_owner addr)
+    owned;
+  Hashtbl.remove t.sstash sid;
+  t.focused <- None
+
 let request t ~dst req =
   let dst_ep = Space_id.to_string dst in
   match Transport.fault_plan t.transport with
@@ -604,7 +723,8 @@ let abort_session t ~reason : 'a =
         (* the dead peer purges its own leftovers on next contact *)
         ())
     others;
-  hard_reset t;
+  if Session.concurrent_enabled t.session then purge_session t sid
+  else hard_reset t;
   Session.close t.session;
   Transport.mark t.transport ~src:(endpoint t) (Trace.Session_end sid);
   raise (Session.Session_aborted { session = sid; reason })
@@ -691,10 +811,18 @@ let chaos_lose_first_writeback = ref false
    checker catches stale reads; never set it in production code. *)
 let chaos_reorder_invalidate = ref false
 
+(* Concurrent admission: the focused session's id, as the filter for the
+   session-scoped dirty set and flush. [None] in single-open mode, where
+   the cache-wide behavior is unchanged. *)
+let focused_pin t =
+  if Session.concurrent_enabled t.session then
+    Option.map (fun (i : Session.info) -> i.Session.id) (Session.current t.session)
+  else None
+
 (* Drain the dirty entries, charging the twin-diff CPU cost and applying
    the chaos defect switch — shared by the plain and delta collectors. *)
 let take_dirty_entries t =
-  let entries = Cache.dirty_entries t.cache in
+  let entries = Cache.dirty_entries ?pinned_by:(focused_pin t) t.cache in
   if t.strategy.Strategy.grain = Strategy.Twin_diff then begin
     let psz = Address_space.page_size t.space in
     Transport.charge_cpu_bytes t.transport
@@ -724,7 +852,7 @@ let collect_writebacks t =
     (fun (i : Wire.item) ->
       Stats.add_writeback_bytes stats (item_wire_size (String.length i.data)))
     items;
-  Cache.clean_after_flush t.cache;
+  Cache.clean_after_flush ?pinned_by:(focused_pin t) t.cache;
   items
 
 (* Encode one dirty entry for transfer to its home: [Some delta] when
@@ -832,7 +960,7 @@ let collect_writebacks_delta t ~dst =
   let full = List.rev !full in
   let deltas = List.rev !deltas in
   Stats.add_writebacks stats (List.length full + List.length deltas);
-  Cache.clean_after_flush t.cache;
+  Cache.clean_after_flush ?pinned_by:(focused_pin t) t.cache;
   (full, deltas)
 
 (* Delta-mode session close: the dirty foreign entries grouped by their
@@ -871,7 +999,7 @@ let collect_close_batches_delta t =
            (origin, (List.rev !full, List.rev !deltas)))
   in
   Stats.add_writebacks stats !n;
-  Cache.clean_after_flush t.cache;
+  Cache.clean_after_flush ?pinned_by:(focused_pin t) t.cache;
   batches
 
 (* --- marshaling of argument values --- *)
@@ -1001,6 +1129,7 @@ let call_delta t (info : Session.info) ~dst proc args =
     failwith "protocol error: bad reply to Call_d"
 
 let call t ~dst proc args =
+  refocus t;
   let info = Session.current_exn t.session in
   if Space_id.equal dst t.id then invalid_arg "Node.call: dst is self";
   ground_guard t @@ fun () ->
@@ -1066,6 +1195,7 @@ let fetch_missing t missing =
     batches
 
 let handle_fault t (fault : Address_space.fault) =
+  refocus t;
   ground_guard t @@ fun () ->
   Transport.charge_fault t.transport;
   let page = fault.page in
@@ -1165,23 +1295,39 @@ let record_outcomes t =
 
 (* Every frame names its session; a frame from a session other than the
    active one is a protocol violation (e.g. a stale remote pointer used
-   after its session ended) and must fail loudly. *)
+   after its session ended) and must fail loudly. Under concurrent
+   admission several sessions are open at once: the frame is instead
+   demultiplexed onto its session's state — the wire-level session id is
+   exactly the interleaving key. *)
 let check_session t session =
-  let info = Session.current_exn t.session in
-  if session <> info.Session.id then
-    failwith
-      (Printf.sprintf "session mismatch: frame for #%d, active #%d" session
-         info.Session.id)
+  if Session.concurrent_enabled t.session then
+    match Session.find t.session session with
+    | Some _ -> focus_node t session
+    | None ->
+      failwith
+        (Printf.sprintf "session mismatch: frame for #%d, which is not open"
+           session)
+  else
+    let info = Session.current_exn t.session in
+    if session <> info.Session.id then
+      failwith
+        (Printf.sprintf "session mismatch: frame for #%d, active #%d" session
+           info.Session.id)
 
 (* A node that was unreachable when its session's invalidation or abort
    went out still holds that session's cached state. The first frame of
    a newer session purges it before any processing — the lazy half of
    crash-safe reusability. *)
 let ensure_fresh t session =
-  (match t.state_session with
-  | Some s when s <> session -> hard_reset t
-  | Some _ | None -> ());
-  t.state_session <- Some session
+  (* Concurrent admission tracks per-session state explicitly (and runs
+     without crash plans), so the single-session staleness heuristic
+     does not apply. *)
+  if not (Session.concurrent_enabled t.session) then begin
+    (match t.state_session with
+    | Some s when s <> session -> hard_reset t
+    | Some _ | None -> ());
+    t.state_session <- Some session
+  end
 
 (* Drop every piece of cached session state — the [Invalidate] body,
    shared with the invalidation ridden by a [Wb_delta] close frame. *)
@@ -1268,7 +1414,7 @@ let handle t src req =
     Session.join t.session t.id;
     List.iter (install_item t ~src:(peer ()) ~kind:`Writeback) items;
     Wire.Ack
-  | Wire.Wb_delta { full; deltas; frees; invalidate; session = _ } ->
+  | Wire.Wb_delta { full; deltas; frees; invalidate; session } ->
     (* delta-coherency close frame: apply the per-destination batch —
        frees, full write-backs, byte-range deltas — then, if the
        targeted invalidation rides along, drop all session state *)
@@ -1277,7 +1423,9 @@ let handle t src req =
     apply_frees t frees;
     List.iter (install_item t ~src:peer ~kind:`Writeback) full;
     List.iter (apply_delta t ~src:peer) deltas;
-    if invalidate then apply_invalidate t;
+    if invalidate then
+      if Session.concurrent_enabled t.session then purge_session t session
+      else apply_invalidate t;
     Wire.Ack
   | Wire.Wb_stage { items; session } ->
     (* all-or-nothing close, phase one: hold the items without applying;
@@ -1307,9 +1455,10 @@ let handle t src req =
         staged
     | None -> ());
     Wire.Ack
-  | Wire.Abort { session = _ } ->
+  | Wire.Abort { session } ->
     (* discard everything the session put here; nothing is applied *)
-    hard_reset t;
+    if Session.concurrent_enabled t.session then purge_session t session
+    else hard_reset t;
     Wire.Ack
   | Wire.Alloc_batch { reqs; session = _ } ->
     Session.join t.session t.id;
@@ -1325,8 +1474,9 @@ let handle t src req =
   | Wire.Free_batch { lps; session = _ } ->
     apply_frees t lps;
     Wire.Ack
-  | Wire.Invalidate { session = _ } ->
-    apply_invalidate t;
+  | Wire.Invalidate { session } ->
+    if Session.concurrent_enabled t.session then purge_session t session
+    else apply_invalidate t;
     Wire.Ack
 
 let handle_encoded t src req =
@@ -1390,13 +1540,21 @@ let begin_session t =
    ground's own cache, run the policy's control decision, close the
    session and record the end mark. *)
 let close_tail t (info : Session.info) =
-  record_outcomes t;
-  note_access t ~datum:"*" Trace.Acc_drop;
-  Cache.invalidate t.cache;
-  Space_id.Table.reset t.shipped;
-  Long_pointer.Table.reset t.traveling;
-  Hashtbl.reset t.directory;
-  t.state_session <- None;
+  (if Session.concurrent_enabled t.session then
+     (* scoped: other sessions may still be open at this ground's peers,
+        and (at a shared registry level) at this very process. Outcome
+        accounting is skipped — it reads the whole cache, which may hold
+        other open sessions' entries. *)
+     purge_session t info.Session.id
+   else begin
+     record_outcomes t;
+     note_access t ~datum:"*" Trace.Acc_drop;
+     Cache.invalidate t.cache;
+     Space_id.Table.reset t.shipped;
+     Long_pointer.Table.reset t.traveling;
+     Hashtbl.reset t.directory;
+     t.state_session <- None
+   end);
   (* Every participant has now recorded its outcomes into the shared
      profile; run one control decision and install the derived hints so
      the next session ships under the revised policy. *)
@@ -1593,6 +1751,7 @@ let end_session_delta_faulty t (info : Session.info) =
   close_tail t info
 
 let end_session t =
+  refocus t;
   let info = Session.current_exn t.session in
   if not (Space_id.equal info.Session.ground t.id) then
     invalid_arg "Node.end_session: only the ground thread may end the session";
@@ -1615,14 +1774,94 @@ let with_session t f =
     (try end_session t with _ -> ());
     raise exn
 
+(* --- concurrent admission (see docs/TRAFFIC.md) --- *)
+
+(* Test-only defect switch: when set, admission requests bypass the
+   footprint conflict check and every candidate is admitted — two
+   sessions writing the same datum root run concurrently. Exists so the
+   traffic harness can prove that Race_lint, the SP008 protocol rule and
+   the close-time optimistic validation all catch a broken admission
+   controller; never set it in production code. *)
+let chaos_admit_conflicting = ref false
+
+let require_concurrent t who =
+  if not (Session.concurrent_enabled t.session) then
+    invalid_arg (who ^ ": session registry is not in concurrent mode");
+  if t.strategy.Strategy.grain = Strategy.Twin_diff then
+    invalid_arg (who ^ ": Twin_diff write-back grain is single-session only");
+  if delta_on t then
+    invalid_arg (who ^ ": delta coherency is single-session only")
+
+let reserve_session t =
+  require_concurrent t "Node.reserve_session";
+  Session.reserve t.session
+
+(* Demultiplex explicitly — e.g. the harness resuming a parked client's
+   logical thread between two of its operations. *)
+let focus_session t ~id = focus_node t id
+
+(* Open a session that the admission controller has already recorded as
+   admitted — either directly by [request_admission] or later by the
+   close-time FIFO drain. Emits the admit mark the offline linters key
+   the multiplexed protocol machine on, then the ordinary begin mark. *)
+let start_admitted t ~id =
+  require_concurrent t "Node.start_admitted";
+  Transport.mark t.transport ~src:(endpoint t) (Trace.Session_admit id);
+  let _info = Session.begin_reserved t.session ~id ~ground:t.id in
+  focus_node t id;
+  t.session_t0 <- Clock.now (Transport.clock t.transport);
+  Transport.mark t.transport ~src:(endpoint t) (Trace.Session_begin id)
+
+(* Ask the admission controller whether the session may open now. On
+   [Admitted] the session is begun immediately; on [Queued] the caller
+   parks it until a close's drain admits it (then [start_admitted]); on
+   [Denied] the caller backs off ([Admission.backoff_delay]) and asks
+   again with the same reserved id. *)
+let request_admission t adm ~id ~footprint =
+  require_concurrent t "Node.request_admission";
+  match
+    Admission.request ~force:!chaos_admit_conflicting adm ~session:id footprint
+  with
+  | Admission.Admitted ->
+    start_admitted t ~id;
+    Admission.Admitted
+  | (Admission.Queued | Admission.Denied) as d ->
+    Transport.mark t.transport ~src:(endpoint t) (Trace.Session_queued id);
+    d
+
+(* Close with optimistic validation: if another session committed a
+   write to any datum root this session touched since it was admitted
+   (possible only when admission was bypassed), the close becomes an
+   abort — the modified data set is discarded, never committed over the
+   foreign write — and the caller retries the whole session. Either way
+   the controller retires the session and returns the FIFO waiters its
+   departure admitted; the caller starts each with [start_admitted]. *)
+let end_session_validated t adm =
+  require_concurrent t "Node.end_session_validated";
+  refocus t;
+  let info = Session.current_exn t.session in
+  let sid = info.Session.id in
+  if Admission.validate adm ~session:sid then begin
+    end_session t;
+    (`Committed, Admission.close adm ~session:sid)
+  end
+  else begin
+    Admission.fail_validation adm ~session:sid;
+    (try abort_session t ~reason:"admission validation failed"
+     with Session.Session_aborted _ -> ());
+    (`Validation_failed, Admission.close ~committed:false adm ~session:sid)
+  end
+
 (* --- memory management --- *)
 
 let malloc t ~ty =
+  refocus t;
   let addr = Allocator.alloc t.heap ~size:(sizeof t ty) in
   note_access t ~datum:(datum_of_addr t addr) Trace.Acc_alloc;
   addr
 
 let malloc_n t ~ty n =
+  refocus t;
   let size =
     Layout.sizeof t.registry (arch t) (Type_desc.Array (Type_desc.Named ty, n))
   in
@@ -1631,12 +1870,14 @@ let malloc_n t ~ty n =
   addr
 
 let extended_malloc t ~home ~ty =
+  refocus t;
   if Space_id.equal home t.id then malloc t ~ty
   else begin
     ignore (Session.current_exn t.session);
     t.prov_counter <- t.prov_counter + 1;
     let prov = Long_pointer.make ~origin:home ~addr:(-t.prov_counter) ~ty in
     let e = Cache.allocate t.cache prov ~size:(sizeof t ty) in
+    pin_entry t e;
     e.Cache.dirty <- true;
     Cache.mark_present t.cache e;
     Stats.add_remote_allocs (Transport.stats t.transport) 1;
@@ -1646,6 +1887,7 @@ let extended_malloc t ~home ~ty =
   end
 
 let extended_free t addr =
+  refocus t;
   if addr = 0 then ()
   else if Cache.in_region t.cache addr then (
     match Cache.find_by_addr t.cache addr with
@@ -1729,6 +1971,9 @@ let create ?(page_size = 4096) ?(heap_base = 0x10000) ?(heap_limit = 0x4000000)
       staged = Hashtbl.create 4;
       directory = Hashtbl.create 32;
       state_session = None;
+      sstash = Hashtbl.create 4;
+      focused = None;
+      dir_owner = Hashtbl.create 32;
     }
   in
   Mmu.set_handler mmu (handle_fault t);
@@ -1756,6 +2001,7 @@ let run_local t name args =
 let traced t = Transport.traced t.transport
 
 let charge_touch ?addr ?(write = false) t =
+  refocus t;
   Transport.charge_local_touches t.transport 1;
   match addr with
   | None -> ()

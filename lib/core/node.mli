@@ -135,6 +135,61 @@ val end_session : t -> unit
     The session is also ended if [f] raises. *)
 val with_session : t -> (unit -> 'a) -> 'a
 
+(** {1 Concurrent-session admission}
+
+    With the shared session registry in multi-open mode
+    ({!Session.set_concurrent}) a cluster runs many sessions at once;
+    an {!Admission} controller decides which may be open concurrently
+    (disjoint static footprints) and the wire-level session id on every
+    frame demultiplexes each node's per-session runtime state. Sessions
+    interleave at operation granularity — the simulated cluster is
+    single-threaded. Concurrent mode requires [Page_grain] write-back
+    and no delta coherency; see docs/TRAFFIC.md. *)
+
+(** [reserve_session t] draws a session id without opening it (the
+    admission controller names queued sessions before they begin).
+    @raise Invalid_argument outside concurrent mode. *)
+val reserve_session : t -> int
+
+(** [request_admission t adm ~id ~footprint] asks [adm] whether the
+    reserved session may open now. [Admitted]: the session has begun
+    (admit and begin marks recorded) and this node is its ground.
+    [Queued]: parked; a later close's drain admits it and the caller
+    then runs {!start_admitted}. [Denied] (abort-retry policy): back
+    off by {!Admission.backoff_delay} and ask again with the same id.
+    While {!chaos_admit_conflicting} is set the conflict check is
+    bypassed and every request is admitted. *)
+val request_admission :
+  t ->
+  Admission.t ->
+  id:int ->
+  footprint:Srpc_analysis.Footprint.t ->
+  Admission.decision
+
+(** [start_admitted t ~id] begins a session the controller has already
+    admitted (from {!Admission.close}'s drain). *)
+val start_admitted : t -> id:int -> unit
+
+(** [focus_session t ~id] re-points this node at open session [id] —
+    the harness resuming a parked logical thread. Frames refocus
+    automatically; ground-side operations refocus to this node's own
+    open session. *)
+val focus_session : t -> id:int -> unit
+
+(** [end_session_validated t adm] closes the focused session with
+    optimistic validation: if some datum root it touched was committed
+    by another session since admission (possible only when admission
+    was bypassed), the close turns into an abort — nothing is committed
+    over the foreign write — and [`Validation_failed] is returned; the
+    caller retries the session. Either way the controller retires the
+    session and the FIFO waiters admitted by its departure are
+    returned, to be started with {!start_admitted}. *)
+val end_session_validated :
+  t ->
+  Admission.t ->
+  [ `Committed | `Validation_failed ]
+  * (int * Srpc_analysis.Footprint.t) list
+
 (** [call t ~dst proc args] performs a smart RPC: flushes batched remote
     allocations, ships the modified data set and (for an unbounded
     closure budget) the eager closure of pointer arguments, then blocks
@@ -215,6 +270,14 @@ val chaos_lose_first_writeback : bool ref
     been reordered past the accesses it was meant to fence. Leave it
     [false] outside tests. *)
 val chaos_reorder_invalidate : bool ref
+
+(** Test-only defect switch used by the traffic mutation tests: while
+    set, {!request_admission} bypasses the footprint conflict check and
+    admits everything — conflicting sessions run concurrently, which
+    Race_lint (CC101), the protocol linter (SP008) and the close-time
+    optimistic validation must each catch. Leave it [false] outside
+    tests. *)
+val chaos_admit_conflicting : bool ref
 
 (** Render this node's data allocation table (paper, Table 1). *)
 val pp_alloc_table : Format.formatter -> t -> unit

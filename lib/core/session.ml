@@ -7,41 +7,89 @@ type info = {
   mutable cachers : Space_id.Set.t;
 }
 
-type t = { mutable counter : int; mutable current : info option }
+type t = {
+  mutable counter : int;
+  mutable current : info option;
+  opened : (int, info) Hashtbl.t;
+  mutable concurrent : bool;
+}
 
 exception No_active_session
 exception Session_already_active
 exception Session_aborted of { session : int; reason : string }
 
-let create () = { counter = 0; current = None }
+let create () =
+  { counter = 0; current = None; opened = Hashtbl.create 8; concurrent = false }
+
+let set_concurrent t flag = t.concurrent <- flag
+let concurrent_enabled t = t.concurrent
+let reserve t =
+  t.counter <- t.counter + 1;
+  t.counter
+
+let make_info ~id ~ground =
+  {
+    id;
+    ground;
+    participants = Space_id.Set.singleton ground;
+    cachers = Space_id.Set.empty;
+  }
+
+let begin_reserved t ~id ~ground =
+  if not t.concurrent then raise Session_already_active;
+  if Hashtbl.mem t.opened id then raise Session_already_active;
+  let info = make_info ~id ~ground in
+  Hashtbl.replace t.opened id info;
+  t.current <- Some info;
+  info
 
 let begin_session t ~ground =
-  match t.current with
-  | Some _ -> raise Session_already_active
-  | None ->
-    t.counter <- t.counter + 1;
-    let info =
-      {
-        id = t.counter;
-        ground;
-        participants = Space_id.Set.singleton ground;
-        cachers = Space_id.Set.empty;
-      }
-    in
-    t.current <- Some info;
-    info
+  if t.concurrent then begin_reserved t ~id:(reserve t) ~ground
+  else
+    match t.current with
+    | Some _ -> raise Session_already_active
+    | None ->
+      t.counter <- t.counter + 1;
+      let info = make_info ~id:t.counter ~ground in
+      t.current <- Some info;
+      info
 
 let close t =
   match t.current with
   | None -> raise No_active_session
-  | Some _ -> t.current <- None
+  | Some info ->
+    if t.concurrent then Hashtbl.remove t.opened info.id;
+    t.current <- None
 
 let current t = t.current
 
 let current_exn t =
   match t.current with None -> raise No_active_session | Some info -> info
 
-let is_active t = Option.is_some t.current
+let is_active t =
+  Option.is_some t.current || (t.concurrent && Hashtbl.length t.opened > 0)
+
+let find t id = Hashtbl.find_opt t.opened id
+
+let focus t id =
+  if not t.concurrent then (
+    match t.current with
+    | Some info when info.id = id -> ()
+    | _ -> raise No_active_session)
+  else
+    match Hashtbl.find_opt t.opened id with
+    | Some info -> t.current <- Some info
+    | None -> raise No_active_session
+
+let open_count t =
+  if t.concurrent then Hashtbl.length t.opened
+  else if Option.is_some t.current then 1
+  else 0
+
+let open_ids t =
+  if t.concurrent then
+    Hashtbl.fold (fun id _ acc -> id :: acc) t.opened [] |> List.sort compare
+  else match t.current with Some info -> [ info.id ] | None -> []
 
 let join t id =
   let info = current_exn t in

@@ -5,7 +5,17 @@
     period for which the runtime system guarantees to respond to remote
     data references and to maintain the coherency of the cached data"
     (paper, section 3.1). One session is active at a time — the paper's
-    single-active-thread model. *)
+    single-active-thread model.
+
+    {b Concurrent admission.} When [set_concurrent] turns the registry
+    into multi-open mode, several sessions may be open simultaneously
+    (the admission controller guarantees their footprints do not
+    conflict). [current] then designates the {e focused} session — the
+    one the node runtimes charge work to. The focus is switched with
+    {!focus} by the ground harness before each session step and by every
+    node's dispatcher on each incoming frame (requests carry their
+    session id on the wire). In the default single-open mode nothing
+    about the historical behavior changes. *)
 
 open Srpc_memory
 
@@ -37,14 +47,42 @@ exception Session_aborted of { session : int; reason : string }
 val create : unit -> t
 
 (** [begin_session t ~ground] opens a session rooted at [ground].
-    @raise Session_already_active if one is open. *)
+    @raise Session_already_active if one is open (single-open mode). *)
 val begin_session : t -> ground:Space_id.t -> info
 
-(** [close t] marks the session ended (the ground node's runtime calls
-    this after write-back and invalidation). *)
+(** [close t] marks the focused session ended (the ground node's runtime
+    calls this after write-back and invalidation). *)
 val close : t -> unit
 
 val current : t -> info option
+
+(** [set_concurrent t flag] switches the registry between the historical
+    single-open mode ([false], the default) and multi-open mode. *)
+val set_concurrent : t -> bool -> unit
+
+val concurrent_enabled : t -> bool
+
+(** [reserve t] draws the next session id without opening it — the
+    admission controller names queued sessions before they begin. *)
+val reserve : t -> int
+
+(** [begin_reserved t ~id ~ground] opens a previously {!reserve}d
+    session (multi-open mode only) and focuses it.
+    @raise Session_already_active outside multi-open mode, or if [id] is
+    already open. *)
+val begin_reserved : t -> id:int -> ground:Space_id.t -> info
+
+(** [focus t id] makes the open session [id] the current one.
+    @raise No_active_session if [id] is not open. *)
+val focus : t -> int -> unit
+
+(** [find t id] is the open session [id], multi-open mode only. *)
+val find : t -> int -> info option
+
+val open_count : t -> int
+
+(** Open session ids, ascending. *)
+val open_ids : t -> int list
 
 (** @raise No_active_session when none is open. *)
 val current_exn : t -> info

@@ -2,6 +2,7 @@ type closure_budget = Unbounded | Bytes of int
 type alloc_grouping = By_origin | Sequential | By_type | Entry_per_page
 type closure_order = Breadth_first | Depth_first
 type writeback_grain = Page_grain | Twin_diff
+type admission_policy = Queue_conflicts | Abort_retry
 
 type t = {
   budget : closure_budget;
@@ -10,9 +11,11 @@ type t = {
   grain : writeback_grain;
   batch_remote_ops : bool;
   delta_coherency : bool;
+  admission : admission_policy;
 }
 
-let smart ?(closure_size = 8192) ?(delta = false) () =
+let smart ?(closure_size = 8192) ?(delta = false)
+    ?(admission = Queue_conflicts) () =
   {
     budget = Bytes closure_size;
     grouping = By_origin;
@@ -20,6 +23,7 @@ let smart ?(closure_size = 8192) ?(delta = false) () =
     grain = Page_grain;
     batch_remote_ops = true;
     delta_coherency = delta;
+    admission;
   }
 
 let fully_eager =
@@ -30,6 +34,7 @@ let fully_eager =
     grain = Page_grain;
     batch_remote_ops = true;
     delta_coherency = false;
+    admission = Queue_conflicts;
   }
 
 let fully_lazy =
@@ -40,6 +45,7 @@ let fully_lazy =
     grain = Page_grain;
     batch_remote_ops = true;
     delta_coherency = false;
+    admission = Queue_conflicts;
   }
 
 let pp ppf t =
@@ -55,9 +61,15 @@ let pp ppf t =
   in
   let order = function Breadth_first -> "bfs" | Depth_first -> "dfs" in
   let grain = function Page_grain -> "page" | Twin_diff -> "twin-diff" in
-  Format.fprintf ppf "{closure=%a;group=%s;order=%s;grain=%s;batch=%b;delta=%b}"
-    budget t.budget (grouping t.grouping) (order t.order) (grain t.grain)
+  let admission = function
+    | Queue_conflicts -> "queue"
+    | Abort_retry -> "abort-retry"
+  in
+  Format.fprintf ppf
+    "{closure=%a;group=%s;order=%s;grain=%s;batch=%b;delta=%b;adm=%s}" budget
+    t.budget (grouping t.grouping) (order t.order) (grain t.grain)
     t.batch_remote_ops t.delta_coherency
+    (admission t.admission)
 
 let budget_allows t ~total ~extra =
   match t.budget with

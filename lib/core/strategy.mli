@@ -26,6 +26,17 @@ type alloc_grouping =
 
 type closure_order = Breadth_first | Depth_first
 
+(** What the admission controller does with a session whose static
+    footprint conflicts with a session already open (only consulted when
+    concurrent admission is enabled, see [Srpc_core.Admission]). *)
+type admission_policy =
+  | Queue_conflicts
+      (** FIFO-queue the session on the contended datum roots; it is
+          admitted when the conflicting holders close *)
+  | Abort_retry
+      (** deny admission outright; the caller backs off (capped
+          exponential, virtual time) and retries *)
+
 type writeback_grain =
   | Page_grain
       (** ship every datum on a dirty page (paper: "dirtiness can be
@@ -50,11 +61,17 @@ type t = {
           data (see docs/DELTA.md); [false] reproduces the paper's
           full-item write-back + cluster-wide invalidation multicast,
           byte-identical on the wire to the pre-delta runtime *)
+  admission : admission_policy;
+      (** conflict policy when concurrent admission is enabled; inert
+          (and defaulted to [Queue_conflicts]) otherwise *)
 }
 
 (** The proposed method; [closure_size] in bytes defaults to the paper's
-    8192. [delta] turns on delta coherency (default off). *)
-val smart : ?closure_size:int -> ?delta:bool -> unit -> t
+    8192. [delta] turns on delta coherency (default off); [admission]
+    picks the concurrent-admission conflict policy (default
+    [Queue_conflicts]). *)
+val smart :
+  ?closure_size:int -> ?delta:bool -> ?admission:admission_policy -> unit -> t
 
 (** Whole closure shipped with the pointer; no faults afterwards. *)
 val fully_eager : t

@@ -16,6 +16,11 @@ type snapshot = {
   delta_bytes_saved : int;
   full_fallbacks : int;
   invalidations_skipped : int;
+  sessions_admitted : int;
+  sessions_queued : int;
+  sessions_aborted : int;
+  sessions_retried : int;
+  validations_failed : int;
 }
 
 type t = {
@@ -36,6 +41,11 @@ type t = {
   mutable delta_bytes_saved : int;
   mutable full_fallbacks : int;
   mutable invalidations_skipped : int;
+  mutable sessions_admitted : int;
+  mutable sessions_queued : int;
+  mutable sessions_aborted : int;
+  mutable sessions_retried : int;
+  mutable validations_failed : int;
 }
 
 let create () =
@@ -57,6 +67,11 @@ let create () =
     delta_bytes_saved = 0;
     full_fallbacks = 0;
     invalidations_skipped = 0;
+    sessions_admitted = 0;
+    sessions_queued = 0;
+    sessions_aborted = 0;
+    sessions_retried = 0;
+    validations_failed = 0;
   }
 
 let incr_messages t = t.messages <- t.messages + 1
@@ -82,6 +97,12 @@ let incr_full_fallbacks t = t.full_fallbacks <- t.full_fallbacks + 1
 let add_invalidations_skipped t n =
   t.invalidations_skipped <- t.invalidations_skipped + n
 
+let incr_sessions_admitted t = t.sessions_admitted <- t.sessions_admitted + 1
+let incr_sessions_queued t = t.sessions_queued <- t.sessions_queued + 1
+let incr_sessions_aborted t = t.sessions_aborted <- t.sessions_aborted + 1
+let incr_sessions_retried t = t.sessions_retried <- t.sessions_retried + 1
+let incr_validations_failed t = t.validations_failed <- t.validations_failed + 1
+
 let snapshot t : snapshot =
   {
     messages = t.messages;
@@ -101,6 +122,11 @@ let snapshot t : snapshot =
     delta_bytes_saved = t.delta_bytes_saved;
     full_fallbacks = t.full_fallbacks;
     invalidations_skipped = t.invalidations_skipped;
+    sessions_admitted = t.sessions_admitted;
+    sessions_queued = t.sessions_queued;
+    sessions_aborted = t.sessions_aborted;
+    sessions_retried = t.sessions_retried;
+    validations_failed = t.validations_failed;
   }
 
 let reset t =
@@ -120,7 +146,12 @@ let reset t =
   t.writeback_bytes <- 0;
   t.delta_bytes_saved <- 0;
   t.full_fallbacks <- 0;
-  t.invalidations_skipped <- 0
+  t.invalidations_skipped <- 0;
+  t.sessions_admitted <- 0;
+  t.sessions_queued <- 0;
+  t.sessions_aborted <- 0;
+  t.sessions_retried <- 0;
+  t.validations_failed <- 0
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
   {
@@ -141,6 +172,11 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     delta_bytes_saved = a.delta_bytes_saved - b.delta_bytes_saved;
     full_fallbacks = a.full_fallbacks - b.full_fallbacks;
     invalidations_skipped = a.invalidations_skipped - b.invalidations_skipped;
+    sessions_admitted = a.sessions_admitted - b.sessions_admitted;
+    sessions_queued = a.sessions_queued - b.sessions_queued;
+    sessions_aborted = a.sessions_aborted - b.sessions_aborted;
+    sessions_retried = a.sessions_retried - b.sessions_retried;
+    validations_failed = a.validations_failed - b.validations_failed;
   }
 
 let zero : snapshot =
@@ -162,6 +198,11 @@ let zero : snapshot =
     delta_bytes_saved = 0;
     full_fallbacks = 0;
     invalidations_skipped = 0;
+    sessions_admitted = 0;
+    sessions_queued = 0;
+    sessions_aborted = 0;
+    sessions_retried = 0;
+    validations_failed = 0;
   }
 
 let pp_snapshot ppf (s : snapshot) =
@@ -172,4 +213,16 @@ let pp_snapshot ppf (s : snapshot) =
     s.messages s.bytes s.faults s.callbacks s.writebacks s.remote_allocs
     s.remote_frees s.prefetched_bytes s.wasted_prefetch_bytes s.stall_ns
     s.retries s.timeouts s.duplicates s.writeback_bytes s.delta_bytes_saved
-    s.full_fallbacks s.invalidations_skipped
+    s.full_fallbacks s.invalidations_skipped;
+  (* admission counters only appear once the concurrent-session layer is
+     in play; single-session runs keep the historical one-line format *)
+  if
+    s.sessions_admitted <> 0 || s.sessions_queued <> 0
+    || s.sessions_aborted <> 0 || s.sessions_retried <> 0
+    || s.validations_failed <> 0
+  then
+    Format.fprintf ppf
+      "@ @[<h>admitted=%d queued=%d adm-aborted=%d adm-retried=%d \
+       validation-failed=%d@]"
+      s.sessions_admitted s.sessions_queued s.sessions_aborted
+      s.sessions_retried s.validations_failed

@@ -39,6 +39,20 @@ type snapshot = {
   invalidations_skipped : int;
       (** session participants spared an invalidation message because
           the copy directory showed they cached nothing *)
+  sessions_admitted : int;
+      (** sessions the admission controller let begin (immediately or
+          after queueing) *)
+  sessions_queued : int;
+      (** admission requests deferred because their footprint conflicted
+          with a session already open *)
+  sessions_aborted : int;
+      (** admission requests denied outright under the abort-and-retry
+          policy (the caller backs off and retries) *)
+  sessions_retried : int;
+      (** previously deferred sessions that were eventually admitted *)
+  validations_failed : int;
+      (** sessions whose optimistic validation at close detected a
+          conflicting foreign write (the loser retries) *)
 }
 
 val create : unit -> t
@@ -59,6 +73,11 @@ val add_writeback_bytes : t -> int -> unit
 val add_delta_bytes_saved : t -> int -> unit
 val incr_full_fallbacks : t -> unit
 val add_invalidations_skipped : t -> int -> unit
+val incr_sessions_admitted : t -> unit
+val incr_sessions_queued : t -> unit
+val incr_sessions_aborted : t -> unit
+val incr_sessions_retried : t -> unit
+val incr_validations_failed : t -> unit
 val snapshot : t -> snapshot
 val reset : t -> unit
 

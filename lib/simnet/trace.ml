@@ -16,6 +16,8 @@ type kind =
   | Dup of direction
   | Session_begin of int
   | Session_end of int
+  | Session_admit of int
+  | Session_queued of int
   | Write_back of int
   | Invalidate of int
   | Session_abort of int
@@ -83,6 +85,8 @@ let pp_kind ppf = function
   | Dup Reply -> Format.pp_print_string ppf "reply (duplicate)"
   | Session_begin id -> Format.fprintf ppf "session-begin #%d" id
   | Session_end id -> Format.fprintf ppf "session-end #%d" id
+  | Session_admit id -> Format.fprintf ppf "session-admit #%d" id
+  | Session_queued id -> Format.fprintf ppf "session-queued #%d" id
   | Write_back id -> Format.fprintf ppf "write-back #%d" id
   | Invalidate id -> Format.fprintf ppf "invalidate #%d" id
   | Session_abort id -> Format.fprintf ppf "session-abort #%d" id
@@ -104,8 +108,9 @@ let pp_event ppf e =
         pp_kind e.kind e.label e.bytes
   | Copy _ | Inval_sent _ ->
     Format.fprintf ppf "%10.6f %s -> %s %a" e.at e.src e.dst pp_kind e.kind
-  | Session_begin _ | Session_end _ | Write_back _ | Invalidate _
-  | Session_abort _ | Crash _ | Revive _ | Access _ ->
+  | Session_begin _ | Session_end _ | Session_admit _ | Session_queued _
+  | Write_back _ | Invalidate _ | Session_abort _ | Crash _ | Revive _
+  | Access _ ->
     Format.fprintf ppf "%10.6f %s %a" e.at e.src pp_kind e.kind
 
 let pp ppf t =

@@ -33,6 +33,15 @@ type kind =
   | Dup of direction  (** the duplicate copy of a frame delivered twice *)
   | Session_begin of int  (** a ground thread opened session [id] *)
   | Session_end of int  (** session [id] closed *)
+  | Session_admit of int
+      (** the admission controller licensed session [id] to open
+          concurrently with the sessions already running — emitted just
+          before its [Session_begin] when concurrent admission is on
+          (rules SP003/SP008) *)
+  | Session_queued of int
+      (** the admission controller deferred session [id] because its
+          footprint conflicted with an open session: FIFO-queued or
+          denied for backoff-retry depending on policy (rule SP008) *)
   | Write_back of int
       (** the ground space started the session-close write-back phase *)
   | Invalidate of int

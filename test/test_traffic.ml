@@ -1,0 +1,251 @@
+(* Concurrent-session admission and the srpc-traffic generator.
+
+   Four layers of evidence, from unit to end-to-end:
+   - the Admission controller's decision table, FIFO no-barging drain,
+     OCC validation and backoff arithmetic, in isolation;
+   - the traffic generator itself: deterministic, disjoint clients
+     overlap (>= 2x the serialized throughput at 8 clients), contended
+     clients queue or abort-retry with live Stats counters;
+   - the shared-counter workload: admission serializes conflicting
+     bumps with no lost update, and with the conflict check chaosed off
+     the close-time validation, Race_lint (CC101) and the protocol
+     linter (SP008) all catch the overlap while the counter still ends
+     exactly at the committed-bump count;
+   - the pre-PR fingerprint: a single-session (legacy-mode) run's trace
+     is byte-identical to the trace the tree produced before concurrent
+     admission existed, pinned by digest. *)
+
+open Srpc_core
+open Srpc_simnet
+open Srpc_analysis
+open Srpc_check
+open Srpc_traffic
+
+(* {1 Admission unit tests} *)
+
+let fp_of label regions =
+  Footprint.session ~label
+    (List.map
+       (fun (root, mode) -> { Footprint.root; path = "*"; mode })
+       regions)
+
+let w root = (root, Footprint.Write)
+let r root = (root, Footprint.Read)
+
+let test_admission_disjoint () =
+  let adm = Admission.create (Stats.create ()) in
+  (match Admission.request adm ~session:1 (fp_of "a" [ w "x" ]) with
+  | Admission.Admitted -> ()
+  | _ -> Alcotest.fail "first session not admitted");
+  (match Admission.request adm ~session:2 (fp_of "b" [ w "y" ]) with
+  | Admission.Admitted -> ()
+  | _ -> Alcotest.fail "disjoint session not admitted");
+  (* two readers of the same (otherwise untouched) root do not conflict *)
+  (match Admission.request adm ~session:3 (fp_of "c" [ r "z" ]) with
+  | Admission.Admitted -> ()
+  | _ -> Alcotest.fail "first reader not admitted");
+  (match Admission.request adm ~session:4 (fp_of "d" [ r "z" ]) with
+  | Admission.Admitted -> ()
+  | _ -> Alcotest.fail "read-read treated as a conflict");
+  (* a reader of a root an open session is writing does conflict *)
+  (match Admission.request adm ~session:5 (fp_of "e" [ r "x" ]) with
+  | Admission.Admitted -> Alcotest.fail "read admitted against an open writer"
+  | _ -> ());
+  Alcotest.(check int) "open" 4 (Admission.open_count adm)
+
+let test_admission_queue_fifo () =
+  let adm = Admission.create ~policy:Strategy.Queue_conflicts (Stats.create ()) in
+  ignore (Admission.request adm ~session:1 (fp_of "a" [ w "x" ]));
+  (match Admission.request adm ~session:2 (fp_of "b" [ w "x" ]) with
+  | Admission.Queued -> ()
+  | _ -> Alcotest.fail "conflicting session not queued");
+  (* session 3 conflicts with QUEUED session 2 — it must not barge *)
+  (match Admission.request adm ~session:3 (fp_of "c" [ w "x" ]) with
+  | Admission.Queued -> ()
+  | _ -> Alcotest.fail "younger conflicting session barged the queue");
+  Alcotest.(check int) "queue" 2 (Admission.queue_length adm);
+  let drained = Admission.close adm ~session:1 in
+  (* FIFO: only session 2 comes out (3 conflicts with it) *)
+  Alcotest.(check (list int)) "drain order" [ 2 ] (List.map fst drained);
+  let drained = Admission.close adm ~session:2 in
+  Alcotest.(check (list int)) "second drain" [ 3 ] (List.map fst drained)
+
+let test_admission_abort_retry () =
+  let stats = Stats.create () in
+  let adm = Admission.create ~policy:Strategy.Abort_retry stats in
+  ignore (Admission.request adm ~session:1 (fp_of "a" [ w "x" ]));
+  (match Admission.request adm ~session:2 (fp_of "b" [ w "x" ]) with
+  | Admission.Denied -> ()
+  | _ -> Alcotest.fail "conflicting session not denied under abort-retry");
+  ignore (Admission.close adm ~session:1);
+  (match Admission.request adm ~session:2 (fp_of "b" [ w "x" ]) with
+  | Admission.Admitted -> ()
+  | _ -> Alcotest.fail "retry after the holder left not admitted");
+  let snap = Stats.snapshot stats in
+  Alcotest.(check int) "denied counted" 1 snap.Stats.sessions_aborted;
+  Alcotest.(check int) "retry counted" 1 snap.Stats.sessions_retried
+
+let test_admission_validation () =
+  let adm = Admission.create (Stats.create ()) in
+  (* forced concurrent writers to the same root: the later closer must
+     fail validation *)
+  ignore (Admission.request ~force:true adm ~session:1 (fp_of "a" [ w "x" ]));
+  ignore (Admission.request ~force:true adm ~session:2 (fp_of "b" [ w "x" ]));
+  ignore (Admission.close adm ~session:1);
+  Alcotest.(check bool) "loser fails validation" false
+    (Admission.validate adm ~session:2);
+  (* an uncontended root is unaffected *)
+  ignore (Admission.request adm ~session:3 (fp_of "c" [ w "y" ]));
+  Alcotest.(check bool) "disjoint session validates" true
+    (Admission.validate adm ~session:3)
+
+let test_backoff () =
+  Alcotest.(check (float 1e-9)) "attempt 0" 1e-3
+    (Admission.backoff_delay ~attempt:0 ~base:1e-3);
+  Alcotest.(check (float 1e-9)) "attempt 3" 8e-3
+    (Admission.backoff_delay ~attempt:3 ~base:1e-3);
+  (* capped at 2^6 *)
+  Alcotest.(check (float 1e-9)) "attempt 40" 64e-3
+    (Admission.backoff_delay ~attempt:40 ~base:1e-3)
+
+(* {1 Traffic} *)
+
+let small = { Traffic.default with Traffic.sessions_per_client = 3 }
+
+let test_traffic_deterministic () =
+  let a = Traffic.run small and b = Traffic.run small in
+  if a <> b then Alcotest.fail "same config+seed gave two different results"
+
+let test_traffic_disjoint_speedup () =
+  let cmp = Traffic.compare_runs Traffic.default in
+  let c = cmp.Traffic.concurrent in
+  Alcotest.(check int) "all sessions committed" c.Traffic.r_sessions
+    c.Traffic.r_committed;
+  Alcotest.(check int) "no races" 0 c.Traffic.r_race_errors;
+  Alcotest.(check int) "no protocol violations" 0 c.Traffic.r_proto_errors;
+  Alcotest.(check int) "no validation failures" 0
+    c.Traffic.r_validation_failed;
+  if cmp.Traffic.speedup < 2.0 then
+    Alcotest.failf
+      "8 disjoint clients only reached %.2fx the serialized throughput"
+      cmp.Traffic.speedup
+
+let test_traffic_contended_queue () =
+  let cfg =
+    { small with Traffic.contention = Traffic.Hot;
+      policy = Strategy.Queue_conflicts }
+  in
+  let res = Traffic.run cfg in
+  Alcotest.(check int) "all sessions committed" res.Traffic.r_sessions
+    res.Traffic.r_committed;
+  if res.Traffic.r_queued = 0 then
+    Alcotest.fail "hot contention never queued a session";
+  Alcotest.(check int) "no races" 0 res.Traffic.r_race_errors;
+  Alcotest.(check int) "no protocol violations" 0 res.Traffic.r_proto_errors
+
+let test_traffic_contended_abort_retry () =
+  let cfg =
+    { small with Traffic.contention = Traffic.Hot;
+      policy = Strategy.Abort_retry }
+  in
+  let res = Traffic.run cfg in
+  Alcotest.(check int) "all sessions committed" res.Traffic.r_sessions
+    res.Traffic.r_committed;
+  if res.Traffic.r_denied = 0 then
+    Alcotest.fail "hot contention never denied a session";
+  if res.Traffic.r_retried = 0 then
+    Alcotest.fail "denied sessions were never credited as retried";
+  Alcotest.(check int) "no races" 0 res.Traffic.r_race_errors;
+  Alcotest.(check int) "no protocol violations" 0 res.Traffic.r_proto_errors
+
+(* {1 The shared counter: no lost update} *)
+
+let test_counter_serializes () =
+  List.iter
+    (fun policy ->
+      let o = Traffic.run_counter ~clients:6 ~seed:0 ~policy () in
+      Alcotest.(check int) "every client committed" 6 o.Traffic.k_committed;
+      Alcotest.(check int) "final = committed bumps" o.Traffic.k_committed
+        o.Traffic.k_final;
+      Alcotest.(check int) "no validation failures" 0
+        o.Traffic.k_validation_failures;
+      Alcotest.(check int) "no races" 0 o.Traffic.k_race_errors;
+      Alcotest.(check int) "no protocol violations" 0 o.Traffic.k_proto_errors)
+    [ Strategy.Queue_conflicts; Strategy.Abort_retry ]
+
+let test_counter_chaos_detected () =
+  (* bypassing admission makes the bump sessions overlap: validation
+     must abort every loser (no lost update — the counter still ends at
+     the committed count) and both linters must flag the overlap *)
+  let o =
+    Traffic.run_counter ~chaos:true ~clients:6 ~seed:0
+      ~policy:Strategy.Queue_conflicts ()
+  in
+  Alcotest.(check int) "every client eventually committed" 6
+    o.Traffic.k_committed;
+  Alcotest.(check int) "final = committed bumps (no lost update)"
+    o.Traffic.k_committed o.Traffic.k_final;
+  if o.Traffic.k_validation_failures = 0 then
+    Alcotest.fail "overlapping bumps never failed validation";
+  if o.Traffic.k_race_errors = 0 then
+    Alcotest.fail "Race_lint missed the chaos-admitted overlap (CC101)";
+  if o.Traffic.k_proto_errors = 0 then
+    Alcotest.fail "the protocol linter missed the overlap (SP008)"
+
+(* {1 Single-session byte identity} *)
+
+(* Digest of the full pp'd traces of five unfaulted legacy-mode checker
+   runs, computed on the tree immediately before concurrent admission
+   was added. Sessions that never opt into [Session.set_concurrent]
+   must keep producing these exact bytes. *)
+let pre_pr_fingerprint = "26a0510b3f30e198c808bc999dc63a64"
+
+let test_single_session_fingerprint () =
+  let buf = Buffer.create 65536 in
+  List.iter
+    (fun seed ->
+      let script = Gen.script ~seed ~depth:12 ~fault:None in
+      let plan = Script.resolve script in
+      let out = Interp.run plan in
+      Buffer.add_string buf
+        (Format.asprintf "%a" Trace.pp out.Interp.trace))
+    [ 0; 2; 3; 4; 6 ];
+  let got = Digest.to_hex (Digest.string (Buffer.contents buf)) in
+  Alcotest.(check string) "single-session traces byte-identical to pre-PR"
+    pre_pr_fingerprint got
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "traffic"
+    [
+      ( "admission",
+        [
+          tc "disjoint footprints admit" `Quick test_admission_disjoint;
+          tc "conflicts queue FIFO, no barging" `Quick
+            test_admission_queue_fifo;
+          tc "abort-retry denies then admits" `Quick
+            test_admission_abort_retry;
+          tc "optimistic validation" `Quick test_admission_validation;
+          tc "capped exponential backoff" `Quick test_backoff;
+        ] );
+      ( "traffic",
+        [
+          tc "runs are deterministic" `Quick test_traffic_deterministic;
+          tc "8 disjoint clients >= 2x serialized" `Quick
+            test_traffic_disjoint_speedup;
+          tc "hot contention queues" `Quick test_traffic_contended_queue;
+          tc "hot contention abort-retries" `Quick
+            test_traffic_contended_abort_retry;
+        ] );
+      ( "counter",
+        [
+          tc "admission serializes the bumps" `Quick test_counter_serializes;
+          tc "chaos overlap caught, no lost update" `Quick
+            test_counter_chaos_detected;
+        ] );
+      ( "identity",
+        [
+          tc "single-session trace fingerprint" `Quick
+            test_single_session_fingerprint;
+        ] );
+    ]
