@@ -487,6 +487,113 @@ let run_traffic () =
   Printf.printf "wrote %s\n" path;
   ignore (traffic_failures rows)
 
+(* --- soak (srpc-recover: chaos traffic with recovery armed) --- *)
+
+(* The robustness gate: over >= 300 virtual seconds at 1% drop with
+   periodic crash/revive cycles, session completion must stay >= 99%,
+   validation must detect zero lost updates, p99 latency must stay
+   within 5x the fault-free baseline's p99, and the recovery machinery
+   must demonstrably fire (crashes applied, heartbeats sent, at least
+   one session recovered). The two deliberately overloaded hot rows
+   (tiny queue cap and retry budget) gate only on typed shedding and
+   zero lost updates — under overload the controller must shed, not
+   corrupt. *)
+let soak_completion_gate = 0.99
+let soak_p99_ratio_gate = 5.0
+
+let soak_seed () =
+  match Sys.getenv_opt "SRPC_SEED" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None -> 0)
+  | None -> 0
+
+let soak_measure () =
+  let module S = Srpc_traffic.Soak in
+  let seed = soak_seed () in
+  let gate = { S.default with S.seed } in
+  let hot policy =
+    {
+      S.default with
+      S.seed;
+      policy;
+      contention = Srpc_traffic.Traffic.Hot;
+      horizon = 60.0;
+      rate = 1.0;
+      crash_period = 16.0;
+      queue_cap = 2;
+      retry_budget = 6;
+    }
+  in
+  List.map
+    (fun (label, cfg) -> (label, cfg, S.compare_runs cfg))
+    [
+      ("chaos-gate", gate);
+      ("hot/queue", hot Srpc_core.Strategy.Queue_conflicts);
+      ("hot/abort-retry", hot Srpc_core.Strategy.Abort_retry);
+    ]
+
+let soak_failures rows =
+  let module S = Srpc_traffic.Soak in
+  let failures = ref 0 in
+  List.iter
+    (fun (label, (cfg : S.config), (cmp : S.comparison)) ->
+      let c = cmp.S.chaos in
+      let fail fmt =
+        incr failures;
+        Printf.printf fmt
+      in
+      Printf.printf
+        "soak %-16s %3d/%3d committed (%.1f%%)  p99 x%.2f  aborts %d \
+         recovered %d sheds %d trips %d hb %d  races %d proto %d\n"
+        label c.S.s_committed c.S.s_sessions (100.0 *. c.S.s_completion)
+        cmp.S.p99_ratio c.S.s_aborts c.S.s_recovered c.S.s_sheds
+        c.S.s_breaker_trips c.S.s_heartbeats c.S.s_race_errors
+        c.S.s_proto_errors;
+      if c.S.s_validation_failed > 0 then
+        fail "soak %s: %d validation-detected lost update(s)\n" label
+          c.S.s_validation_failed;
+      if c.S.s_race_errors > 0 then
+        fail "soak %s: %d Race_lint error(s)\n" label c.S.s_race_errors;
+      if c.S.s_proto_errors > 0 then
+        fail "soak %s: %d Proto_lint error(s)\n" label c.S.s_proto_errors;
+      if c.S.s_committed + c.S.s_failed <> c.S.s_sessions then
+        fail "soak %s: %d committed + %d failed != %d sessions\n" label
+          c.S.s_committed c.S.s_failed c.S.s_sessions;
+      if cfg.S.contention = Srpc_traffic.Traffic.Disjoint then begin
+        if c.S.s_completion < soak_completion_gate then
+          fail "soak %s: completion %.4f below the %.2f gate\n" label
+            c.S.s_completion soak_completion_gate;
+        if cmp.S.p99_ratio > soak_p99_ratio_gate then
+          fail "soak %s: p99 x%.2f the fault-free baseline (gate x%.1f)\n"
+            label cmp.S.p99_ratio soak_p99_ratio_gate;
+        if c.S.s_crashes = 0 || c.S.s_revives <> c.S.s_crashes then
+          fail "soak %s: crash/revive schedule did not run (%d/%d)\n" label
+            c.S.s_crashes c.S.s_revives;
+        if c.S.s_heartbeats = 0 then
+          fail "soak %s: the failure detector never probed\n" label;
+        if c.S.s_recovered = 0 then
+          fail "soak %s: no session exercised crash recovery\n" label;
+        if c.S.s_recoveries <> c.S.s_recovered then
+          fail "soak %s: Stats.recoveries %d != recovered sessions %d\n"
+            label c.S.s_recoveries c.S.s_recovered
+      end
+      else if c.S.s_sheds = 0 then
+        fail "soak %s: overload never shed (queue_cap %d, budget %d)\n" label
+          cfg.S.queue_cap cfg.S.retry_budget)
+    rows;
+  !failures
+
+let run_soak () =
+  let rows = soak_measure () in
+  let json = Srpc_traffic.Soak_json.report rows in
+  let path = "BENCH_soak.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  ignore (soak_failures rows)
+
 (* Scaled-down adaptive + faults acceptance gate, wired into `dune runtest`
    via the bench-smoke alias: fails the build if the controller stops
    converging or the fault machinery regresses. *)
@@ -512,7 +619,17 @@ let run_smoke () =
   output_string oc json;
   close_out oc;
   let tfailures = traffic_failures trows in
-  if failures > 0 || ffailures > 0 || dfailures > 0 || tfailures > 0 then begin
+  let srows = soak_measure () in
+  let sjson = Srpc_traffic.Soak_json.report srows in
+  print_string sjson;
+  let oc = open_out "BENCH_soak.json" in
+  output_string oc sjson;
+  close_out oc;
+  let sfailures = soak_failures srows in
+  if
+    failures > 0 || ffailures > 0 || dfailures > 0 || tfailures > 0
+    || sfailures > 0
+  then begin
     if failures > 0 then
       Printf.eprintf "bench-smoke: %d ratio(s) outside the 1.15x bound\n"
         failures;
@@ -522,6 +639,8 @@ let run_smoke () =
       Printf.eprintf "bench-smoke: %d delta gate failure(s)\n" dfailures;
     if tfailures > 0 then
       Printf.eprintf "bench-smoke: %d traffic gate failure(s)\n" tfailures;
+    if sfailures > 0 then
+      Printf.eprintf "bench-smoke: %d soak gate failure(s)\n" sfailures;
     exit 1
   end
 
@@ -635,6 +754,7 @@ let all_sections =
     ("faults", ("Faults: retry envelope overhead + chaos sweep", run_faults));
     ("delta", ("Delta coherency: dirty ranges vs full write-backs", run_delta));
     ("traffic", ("Concurrent-session traffic vs serialized baseline", run_traffic));
+    ("soak", ("Chaos soak: recovery + overload protection under faults", run_soak));
     ("smoke", ("Adaptive + faults + delta acceptance smoke (scaled down)", run_smoke));
     ("wan", ("Derived: Fig. 4 over a WAN link", run_wan));
     ("kv", ("Derived: remote B-tree key-value store", run_kv));

@@ -683,6 +683,149 @@ let traffic_cmd =
       const run $ verbose_arg $ clients_arg $ servers_arg $ rate_arg $ mix_arg
       $ sessions_arg $ seeds_arg $ hot_arg $ abort_retry_arg $ out_arg)
 
+let soak_cmd =
+  let module S = Srpc_traffic.Soak in
+  let module T = Srpc_traffic.Traffic in
+  let clients_arg =
+    Arg.(value & opt int S.default.S.clients
+         & info [ "clients" ] ~docv:"N"
+             ~doc:"Concurrent client (session ground) nodes.")
+  in
+  let servers_arg =
+    Arg.(value & opt int S.default.S.servers
+         & info [ "servers" ] ~docv:"N" ~doc:"Shared server nodes (2-8).")
+  in
+  let rate_arg =
+    Arg.(value & opt float S.default.S.rate & info [ "rate" ] ~docv:"R"
+           ~doc:"Poisson session arrivals per virtual second, per client.")
+  in
+  let horizon_arg =
+    Arg.(value & opt float S.default.S.horizon & info [ "horizon" ] ~docv:"S"
+           ~doc:"Virtual seconds of offered arrivals.")
+  in
+  let drop_arg =
+    Arg.(value & opt float S.default.S.drop & info [ "drop" ] ~docv:"P"
+           ~doc:"Per-frame drop probability.")
+  in
+  let crash_period_arg =
+    Arg.(value & opt float S.default.S.crash_period
+         & info [ "crash-period" ] ~docv:"S"
+             ~doc:"Virtual seconds between planned server crashes (0 \
+                   disables the crash schedule).")
+  in
+  let outage_arg =
+    Arg.(value & opt float S.default.S.outage & info [ "outage" ] ~docv:"S"
+           ~doc:"How long each crashed server stays down.")
+  in
+  let queue_cap_arg =
+    Arg.(value & opt int S.default.S.queue_cap
+         & info [ "queue-cap" ] ~docv:"N"
+             ~doc:"Admission conflict-queue bound.")
+  in
+  let retry_budget_arg =
+    Arg.(value & opt int S.default.S.retry_budget
+         & info [ "retry-budget" ] ~docv:"N"
+             ~doc:"Admission deferral budget per session id.")
+  in
+  let seeds_arg =
+    Arg.(value & opt ints_conv [ 0 ] & info [ "seeds" ] ~docv:"S,S,..."
+           ~doc:"Seeds to run; one result row per seed (overridden by the \
+                 SRPC_SEED environment variable).")
+  in
+  let hot_arg =
+    Arg.(value & flag & info [ "hot" ]
+           ~doc:"Point every session at one shared datum root (full \
+                 contention) instead of per-client disjoint roots.")
+  in
+  let abort_retry_arg =
+    Arg.(value & flag & info [ "abort-retry" ]
+           ~doc:"Resolve admission conflicts by abort + backoff retry \
+                 instead of FIFO queueing.")
+  in
+  let out_arg =
+    Arg.(value & opt string "BENCH_soak.json"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON report.")
+  in
+  let run verbose clients servers rate horizon drop crash_period outage
+      queue_cap retry_budget seeds hot abort_retry out =
+    setup_logs verbose;
+    let seeds =
+      match Sys.getenv_opt "SRPC_SEED" with
+      | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n -> [ n ]
+        | None -> seeds)
+      | None -> seeds
+    in
+    let cfg seed =
+      {
+        S.default with
+        S.clients;
+        servers;
+        rate;
+        horizon;
+        drop;
+        crash_period;
+        outage;
+        queue_cap;
+        retry_budget;
+        seed;
+        policy =
+          (if abort_retry then Srpc_core.Strategy.Abort_retry
+           else Srpc_core.Strategy.Queue_conflicts);
+        contention = (if hot then T.Hot else T.Disjoint);
+      }
+    in
+    let rows =
+      List.map
+        (fun seed ->
+          let c = cfg seed in
+          (Printf.sprintf "seed%d" seed, c, S.compare_runs c))
+        seeds
+    in
+    List.iter
+      (fun (label, _, (cmp : S.comparison)) ->
+        let c = cmp.S.chaos in
+        Format.printf
+          "%s: %d/%d committed (%.2f%%), %d failed, %d aborted, %d \
+           recovered  p50 %.4fs p99 %.4fs (fault-free p99 %.4fs, x%.2f)@."
+          label c.S.s_committed c.S.s_sessions (100.0 *. c.S.s_completion)
+          c.S.s_failed c.S.s_aborts c.S.s_recovered c.S.s_p50 c.S.s_p99
+          cmp.S.fault_free.S.s_p99 cmp.S.p99_ratio;
+        Format.printf
+          "        crashes %d revives %d heartbeats %d suspicions %d sheds \
+           %d breaker-trips %d recoveries %d validation-failed %d races %d \
+           proto %d@."
+          c.S.s_crashes c.S.s_revives c.S.s_heartbeats c.S.s_suspicions
+          c.S.s_sheds c.S.s_breaker_trips c.S.s_recoveries
+          c.S.s_validation_failed c.S.s_race_errors c.S.s_proto_errors)
+      rows;
+    let oc = open_out out in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        output_string oc (Srpc_traffic.Soak_json.report rows));
+    Format.printf "soak: wrote %s@." out;
+    if
+      List.exists
+        (fun (_, _, (cmp : S.comparison)) ->
+          cmp.S.chaos.S.s_validation_failed > 0
+          || cmp.S.chaos.S.s_race_errors > 0
+          || cmp.S.chaos.S.s_proto_errors > 0)
+        rows
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Chaos soak: open-loop traffic over a long virtual-time horizon \
+             under frame drops and periodic server crash/revive cycles, \
+             with liveness detection, session recovery and overload \
+             protection armed; writes completion, latency and robustness \
+             counters as JSON.")
+    Term.(
+      const run $ verbose_arg $ clients_arg $ servers_arg $ rate_arg
+      $ horizon_arg $ drop_arg $ crash_period_arg $ outage_arg
+      $ queue_cap_arg $ retry_budget_arg $ seeds_arg $ hot_arg
+      $ abort_retry_arg $ out_arg)
+
 let () =
   let doc = "Smart Remote Procedure Calls (ICDCS 1994) reproduction driver" in
   let info = Cmd.info "srpc" ~version:"1.0.0" ~doc in
@@ -692,5 +835,5 @@ let () =
           [
             table1_cmd; fig4_cmd; fig6_cmd; fig7_cmd; ablations_cmd; kv_cmd;
             wan_cmd; hints_cmd; run_cmd; inspect_cmd; lint_cmd; check_cmd;
-            traffic_cmd;
+            traffic_cmd; soak_cmd;
           ]))

@@ -83,6 +83,8 @@ let rules =
       title = "targeted invalidation misses a space that received a copy this session" };
     { id = "SP008"; default_severity = Error;
       title = "concurrently open sessions wrote the same datum root without a queue/abort between them" };
+    { id = "SP009"; default_severity = Error;
+      title = "breaker/shed discipline: no session may begin against a crashed peer or after a typed shed without re-admission" };
     { id = "CC001"; default_severity = Error;
       title = "session footprints interfere: both sessions may write the same region" };
     { id = "CC002"; default_severity = Error;

@@ -71,6 +71,13 @@ let check_close_order st idx ~space lbl =
 
 let pp_ev e = Format.asprintf "%a" Trace.pp_event e
 
+(* Heartbeat exchanges belong to the failure detector, not to any
+   session: they are exempt from session attribution, thread-of-control
+   and pairing checks in both machines. A live trace only ever carries
+   them between live endpoints (the transport raises before recording a
+   frame that names a crashed peer). *)
+let is_hb_label lbl = String.equal lbl "hb" || String.equal lbl "hb-ack"
+
 let check_open st idx (e : Trace.event) =
   match st.session with
   | Some id -> Some id
@@ -98,6 +105,9 @@ let check_mark_session st idx id what =
 
 let step st idx (e : Trace.event) =
   match e.Trace.kind with
+  | (Trace.Message _ | Trace.Dropped _ | Trace.Dup _)
+    when is_hb_label e.Trace.label ->
+    ()
   | Trace.Session_begin id -> (
     match st.session with
     | Some open_id ->
@@ -264,7 +274,7 @@ let step st idx (e : Trace.event) =
     (* datum-granular witnesses belong to Race_lint, not the protocol
        state machine *)
     ()
-  | Trace.Session_admit id | Trace.Session_queued id ->
+  | Trace.Session_admit id | Trace.Session_queued id | Trace.Session_shed id ->
     (* admission marks only appear in concurrent traces, which are
        verified by the multiplexed machine below; reaching one here
        means the trace mixed modes *)
@@ -320,11 +330,17 @@ type sess = {
   x_copy_dsts : (string, unit) Hashtbl.t;
   x_inval_dsts : (string, unit) Hashtbl.t;
   x_writes : (string, unit) Hashtbl.t;  (* datum roots written so far *)
+  x_dead_at_begin : (string, unit) Hashtbl.t;
+      (* endpoints already past their crash mark when this session began
+         — frames to one of them witness a breaker failure (SP009) *)
 }
 
 type mstate = {
   opened : (int, sess) Hashtbl.t;
   m_admitted : (int, unit) Hashtbl.t;  (* ids carrying a Session_admit mark *)
+  m_shed : (int, unit) Hashtbl.t;
+      (* ids whose latest admission outcome was a typed shed: terminal
+         until a fresh Session_admit (SP009) *)
   m_crashed : (string, unit) Hashtbl.t;
   mutable m_out : Diagnostic.t list;
 }
@@ -421,16 +437,36 @@ let close_sess m idx id (s : sess) =
 
 let step_multi m idx (e : Trace.event) =
   match e.Trace.kind with
-  | Trace.Session_admit id -> Hashtbl.replace m.m_admitted id ()
+  | (Trace.Message _ | Trace.Dropped _ | Trace.Dup _)
+    when is_hb_label e.Trace.label ->
+    ()
+  | Trace.Session_admit id ->
+    Hashtbl.replace m.m_admitted id ();
+    Hashtbl.remove m.m_shed id
   | Trace.Session_queued _ ->
     (* a deferral: the session is not open, nothing to track — its later
        admission carries its own Session_admit mark *)
     ()
+  | Trace.Session_shed id ->
+    (* the typed rejection: terminal for this attempt. A shed of an open
+       session is nonsense — the controller refused something it had
+       already admitted. *)
+    if Hashtbl.mem m.opened id then
+      memit m idx "SP009"
+        (Printf.sprintf "session #%d shed while it is open" id);
+    Hashtbl.replace m.m_shed id ();
+    Hashtbl.remove m.m_admitted id
   | Trace.Session_begin id ->
     if Hashtbl.mem m.opened id then
       memit m idx "SP003"
         (Printf.sprintf "session #%d begins but is already open" id)
     else begin
+      if Hashtbl.mem m.m_shed id then
+        memit m idx "SP009"
+          (Printf.sprintf
+             "session #%d begins after being shed: a typed rejection is \
+              terminal until a fresh admission"
+             id);
       (if (not (Hashtbl.mem m.m_admitted id)) && Hashtbl.length m.opened > 0
        then
          let open_id = Hashtbl.fold (fun k _ _ -> Some k) m.opened None in
@@ -442,6 +478,8 @@ let step_multi m idx (e : Trace.event) =
                  mark)"
                 id open_id)
          | None -> ());
+      let dead = Hashtbl.create 4 in
+      Hashtbl.iter (fun ep () -> Hashtbl.replace dead ep ()) m.m_crashed;
       Hashtbl.replace m.opened id
         {
           x_id = id;
@@ -454,6 +492,7 @@ let step_multi m idx (e : Trace.event) =
           x_copy_dsts = Hashtbl.create 4;
           x_inval_dsts = Hashtbl.create 4;
           x_writes = Hashtbl.create 8;
+          x_dead_at_begin = dead;
         }
     end
   | Trace.Session_end id -> (
@@ -464,6 +503,19 @@ let step_multi m idx (e : Trace.event) =
     mcheck_crashed m idx e;
     match holder_session m e.Trace.src with
     | Some s ->
+      (* SP009 (breaker): the session targets a peer that was already
+         crashed when it began and has not revived since — admission
+         should have refused it. A mid-session crash is SP006's
+         territory, not a breaker failure. *)
+      if
+        Hashtbl.mem s.x_dead_at_begin e.Trace.dst
+        && Hashtbl.mem m.m_crashed e.Trace.dst
+      then
+        memit ~space:e.Trace.dst m idx "SP009"
+          (Printf.sprintf
+             "session #%d targets %s, which was crashed when the session \
+              began: the circuit breaker must hold until revival"
+             s.x_id e.Trace.dst);
       mcheck_close_order m idx ~space:e.Trace.src s e.Trace.label;
       s.x_stack <- (e.Trace.src, e.Trace.dst, e.Trace.label) :: s.x_stack;
       s.x_holder <- e.Trace.dst
@@ -585,6 +637,7 @@ let check_events_multi events =
     {
       opened = Hashtbl.create 8;
       m_admitted = Hashtbl.create 8;
+      m_shed = Hashtbl.create 8;
       m_crashed = Hashtbl.create 4;
       m_out = [];
     }
@@ -610,7 +663,9 @@ let check_events events =
     List.exists
       (fun (e : Trace.event) ->
         match e.Trace.kind with
-        | Trace.Session_admit _ | Trace.Session_queued _ -> true
+        | Trace.Session_admit _ | Trace.Session_queued _ | Trace.Session_shed _
+          ->
+          true
         | _ -> false)
       events
   in

@@ -217,6 +217,13 @@ let session_close st idx id ~committed =
 
 let step st idx (e : Trace.event) =
   match e.Trace.kind with
+  | (Trace.Message _ | Trace.Dup _ | Trace.Dropped _)
+    when String.equal e.Trace.label "hb" || String.equal e.Trace.label "hb-ack"
+    ->
+    (* failure-detector heartbeats synchronize nothing the program can
+       observe — giving them happens-before edges could mask a genuine
+       race between sessions, so they are invisible here *)
+    ()
   | Trace.Message _ -> frame_edge st ~src:e.Trace.src ~dst:e.Trace.dst
   | Trace.Dup _ ->
     (* the duplicate still carries the sender's knowledge; the receiver's
@@ -241,7 +248,8 @@ let step st idx (e : Trace.event) =
   | Trace.Access { session; datum; akind } ->
     access st idx ~src:e.Trace.src ~session ~datum akind
   | Trace.Write_back _ | Trace.Invalidate _ | Trace.Copy _
-  | Trace.Inval_sent _ | Trace.Session_admit _ | Trace.Session_queued _ ->
+  | Trace.Inval_sent _ | Trace.Session_admit _ | Trace.Session_queued _
+  | Trace.Session_shed _ ->
     ()
 
 let check_events events =

@@ -13,7 +13,7 @@ let gen_op rng ~fault =
       (1, `Callback); (2, `Local_update); (2, `Append); (1, `Free);
       (2, `New_session); (2, `Poke);
     ]
-    @ (if fault then [ (1, `Crash) ] else [])
+    @ (if fault then [ (1, `Crash); (1, `Revive) ] else [])
   in
   let total = List.fold_left (fun a (w, _) -> a + w) 0 weighted in
   let roll = Rng.int rng total in
@@ -56,6 +56,7 @@ let gen_op rng ~fault =
       { worker = idx (); obj = idx (); idx = Rng.int rng 1024;
         delta = Rng.range rng (-9) 9 }
   | `Crash -> Crash { worker = idx () }
+  | `Revive -> Revive { worker = idx () }
 
 let gen_build rng =
   let open Script in

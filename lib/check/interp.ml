@@ -312,6 +312,13 @@ let exec_rop env rop =
       crashed := worker :: !crashed
     end;
     []
+  | RRevive { worker } ->
+    if List.mem worker !crashed then begin
+      Transport.revive (Cluster.transport cluster)
+        (Space_id.to_string (wid worker));
+      crashed := List.filter (fun w -> w <> worker) !crashed
+    end;
+    []
 
 let run plan =
   let cluster = Cluster.create ~cost:Cost_model.zero () in

@@ -134,7 +134,7 @@ let run plan =
     | RFree { id } ->
       Hashtbl.remove objs id;
       []
-    | RSession | RCrash _ -> []
+    | RSession | RCrash _ | RRevive _ -> []
   in
   let m_obs = List.map step plan.p_rops in
   let m_final = List.map (fun id -> (id, final_obs (get id))) plan.p_verify_all in

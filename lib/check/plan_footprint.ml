@@ -62,7 +62,7 @@ let sessions (p : Script.plan) =
         touch id Footprint.Read;
         escapes := true
     | RSession -> close ()
-    | RCrash _ -> ()
+    | RCrash _ | RRevive _ -> ()
   in
   List.iter step p.Script.p_rops;
   (* phase A: the interpreter re-reads every live object at ground

@@ -15,6 +15,7 @@ type op =
   | Free of { obj : int }
   | New_session
   | Crash of { worker : int }
+  | Revive of { worker : int }
   | Build_wide
   | Poke of { worker : int; obj : int; idx : int; delta : int }
 
@@ -46,6 +47,7 @@ type rop =
   | RFree of { id : int }
   | RSession
   | RCrash of { worker : int }
+  | RRevive of { worker : int }
   | RPoke of { worker : int; id : int; idx : int; delta : int }
   | RWideRow of { worker : int; id : int; row : int }
 
@@ -249,6 +251,8 @@ let resolve t =
     | New_session -> boundary ~final:false
     | Crash { worker } ->
       if fault <> None then emit (RCrash { worker = wrk worker })
+    | Revive { worker } ->
+      if fault <> None then emit (RRevive { worker = wrk worker })
   in
   List.iter apply t.ops;
   boundary ~final:true;
@@ -291,6 +295,7 @@ let op_to_sexp op =
   | Free { obj } -> l "free" [ int obj ]
   | New_session -> Atom "new-session"
   | Crash { worker } -> l "crash" [ int worker ]
+  | Revive { worker } -> l "revive" [ int worker ]
   | Build_wide -> Atom "build-wide"
   | Poke { worker; obj; idx; delta } ->
     l "poke" [ int worker; int obj; int idx; int delta ]
@@ -322,6 +327,7 @@ let op_of_sexp s =
       Append { obj = to_int o; home = to_int h; values = ints_of_sexp vs }
     | "free", [ o ] -> Free { obj = to_int o }
     | "crash", [ w ] -> Crash { worker = to_int w }
+    | "revive", [ w ] -> Revive { worker = to_int w }
     | "poke", [ w; o; i; d ] ->
       Poke { worker = to_int w; obj = to_int o; idx = to_int i; delta = to_int d }
     | _ -> bad ())

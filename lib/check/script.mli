@@ -31,8 +31,9 @@
       cache-slot addresses in ground originals; those slots die with the
       session's invalidation multicast, so "mixed" objects are verified
       inside their final session and dropped at every boundary.
-    - [Crash] resolves to a skip unless a fault schedule is present (the
-      transport refuses {!Srpc_simnet.Transport.crash} without a plan). *)
+    - [Crash] and [Revive] resolve to skips unless a fault schedule is
+      present (the transport refuses {!Srpc_simnet.Transport.crash} and
+      [revive] without a plan). *)
 
 (** An optional fault schedule layered on {!Srpc_simnet.Fault_plan}. *)
 type fault = { fseed : int; drop : float; dup : float }
@@ -60,6 +61,9 @@ type op =
   | Free of { obj : int }  (** release via [extended_free] (deferred) *)
   | New_session  (** close the current session and open the next *)
   | Crash of { worker : int }  (** kill a worker endpoint (fault runs) *)
+  | Revive of { worker : int }
+      (** bring a crashed worker endpoint back (fault runs); a no-op
+          when the worker is alive *)
   | Build_wide
       (** build one tile-backed wide struct ([wide_edge]² elements, one
           datum larger than a page) at ground *)
@@ -102,6 +106,7 @@ type rop =
   | RFree of { id : int }
   | RSession
   | RCrash of { worker : int }
+  | RRevive of { worker : int }
   | RPoke of { worker : int; id : int; idx : int; delta : int }
       (** remote write of element [idx] of a wide struct *)
   | RWideRow of { worker : int; id : int; row : int }

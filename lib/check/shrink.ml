@@ -53,7 +53,7 @@ let simpler_op op =
     List.map (fun idx -> Poke { worker; obj; idx; delta }) (simpler_int idx)
     @ List.map (fun delta -> Poke { worker; obj; idx; delta }) (simpler_int delta)
     @ List.map (fun obj -> Poke { worker; obj; idx; delta }) (simpler_int obj)
-  | Free _ | New_session | Crash _ | Build_wide -> []
+  | Free _ | New_session | Crash _ | Revive _ | Build_wide -> []
 
 let structural t =
   List.concat

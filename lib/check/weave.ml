@@ -86,8 +86,18 @@ type side = {
   mutable s_attempt : int;
 }
 
-(* One weave execution. Returns the failure description, if any. *)
-let run_pair ?(policy = Strategy.Queue_conflicts) ?(variant = Disjoint)
+type outcome = {
+  o_failure : string option;
+  o_committed_a : bool;
+  o_committed_b : bool;
+  o_aborted_a : string option;
+  o_aborted_b : string option;
+}
+
+(* One weave execution. Returns the failure description, if any, plus
+   each side's fate (the crash/revive tests need to tell "rode out the
+   outage and committed" apart from "aborted acceptably"). *)
+let run_pair_full ?(policy = Strategy.Queue_conflicts) ?(variant = Disjoint)
     (sa : Script.t) (sb : Script.t) =
   let pa = Script.resolve sa and pb = Script.resolve sb in
   let cluster = Cluster.create ~cost:Cost_model.zero () in
@@ -161,6 +171,10 @@ let run_pair ?(policy = Strategy.Queue_conflicts) ?(variant = Disjoint)
     | Admission.Denied ->
       s.s_attempt <- s.s_attempt + 1;
       s.s_state <- Backoff
+    | Admission.Overloaded _ ->
+      (* unreachable here: the weave controller has no queue cap, retry
+         budget or health detector installed *)
+      invalid_arg "Weave: unexpected admission shed"
   in
   let abort_side s reason =
     s.s_aborted <- Some reason;
@@ -183,7 +197,8 @@ let run_pair ?(policy = Strategy.Queue_conflicts) ?(variant = Disjoint)
     | Finished | Parked -> ()
     | Backoff ->
       Clock.advance (Cluster.clock cluster)
-        (Admission.backoff_delay ~attempt:s.s_attempt ~base:1e-3);
+        (Admission.backoff_delay ~session:s.s_id ~attempt:s.s_attempt
+           ~base:1e-3);
       request s
     | Running -> (
       match s.s_remaining with
@@ -285,20 +300,32 @@ let run_pair ?(policy = Strategy.Queue_conflicts) ?(variant = Disjoint)
             None fb
       else None
   in
-  if !stuck then Some "interleave driver stuck (admission never converged)"
-  else
-    match errors (Race_lint.check trace) with
-    | _ :: _ as ds -> Some ("race: " ^ pp_diags ds)
-    | [] -> (
-      match judge_side side_a fb_a with
-      | Some e -> Some e
-      | None -> (
-        match judge_side side_b fb_b with
+  let failure =
+    if !stuck then Some "interleave driver stuck (admission never converged)"
+    else
+      match errors (Race_lint.check trace) with
+      | _ :: _ as ds -> Some ("race: " ^ pp_diags ds)
+      | [] -> (
+        match judge_side side_a fb_a with
         | Some e -> Some e
         | None -> (
-          match errors (Proto_lint.check trace) with
-          | _ :: _ as ds -> Some ("protocol: " ^ pp_diags ds)
-          | [] -> None)))
+          match judge_side side_b fb_b with
+          | Some e -> Some e
+          | None -> (
+            match errors (Proto_lint.check trace) with
+            | _ :: _ as ds -> Some ("protocol: " ^ pp_diags ds)
+            | [] -> None)))
+  in
+  {
+    o_failure = failure;
+    o_committed_a = side_a.s_committed;
+    o_committed_b = side_b.s_committed;
+    o_aborted_a = side_a.s_aborted;
+    o_aborted_b = side_b.s_aborted;
+  }
+
+let run_pair ?policy ?variant sa sb =
+  (run_pair_full ?policy ?variant sa sb).o_failure
 
 let variant_for seed = if seed mod 2 = 0 then Disjoint else Conflicting
 

@@ -43,6 +43,25 @@ val run_pair :
   Script.t ->
   string option
 
+(** The full fate of one weave: the oracle verdict plus each side's
+    outcome — under a fault schedule an abort is acceptable, so tests
+    that must prove a side *survived* (e.g. a crash/revive cycle
+    mid-weave) check [o_committed_*] rather than just [o_failure]. *)
+type outcome = {
+  o_failure : string option;
+  o_committed_a : bool;
+  o_committed_b : bool;
+  o_aborted_a : string option;
+  o_aborted_b : string option;
+}
+
+val run_pair_full :
+  ?policy:Strategy.admission_policy ->
+  ?variant:variant ->
+  Script.t ->
+  Script.t ->
+  outcome
+
 (** Deterministic sweeps: even seeds are disjoint, odd conflicting;
     seeds alternate queue / abort-retry policy in blocks of two. *)
 val variant_for : int -> variant

@@ -700,7 +700,8 @@ let request t ~dst req =
 let expect_ack = function
   | Wire.Ack -> ()
   | Wire.Error msg -> raise (Remote_error msg)
-  | Wire.Return _ | Wire.Fetched _ | Wire.Allocated _ | Wire.Return_d _ ->
+  | Wire.Return _ | Wire.Fetched _ | Wire.Allocated _ | Wire.Return_d _
+  | Wire.Hb_ack ->
     failwith "protocol error: expected Ack"
 
 (* Crash-safe session abort (ground only): discard the modified data set
@@ -780,7 +781,7 @@ let flush_remote_ops t =
               | None -> failwith "protocol error: allocation not answered")
             pas
         | Wire.Error msg -> raise (Remote_error msg)
-        | Wire.Return _ | Wire.Fetched _ | Wire.Ack | Wire.Return_d _ ->
+        | Wire.Return _ | Wire.Fetched _ | Wire.Ack | Wire.Return_d _ | Wire.Hb_ack ->
           failwith "protocol error: expected Allocated")
       batches
   end;
@@ -1078,7 +1079,7 @@ let call_plain t (info : Session.info) ~dst proc args =
     List.iter (install_item t ~src:dst ~kind:`Eager) eager;
     List.map (value_of_wire t) results
   | Wire.Error msg -> raise (Remote_error msg)
-  | Wire.Fetched _ | Wire.Allocated _ | Wire.Ack | Wire.Return_d _ ->
+  | Wire.Fetched _ | Wire.Allocated _ | Wire.Ack | Wire.Return_d _ | Wire.Hb_ack ->
     failwith "protocol error: bad reply to Call"
 
 (* The delta-coherency control transfer: coherency traffic for [dst] is
@@ -1125,7 +1126,7 @@ let call_delta t (info : Session.info) ~dst proc args =
     List.iter (install_item t ~src:dst ~kind:`Eager) eager;
     List.map (value_of_wire t) results
   | Wire.Error msg -> raise (Remote_error msg)
-  | Wire.Return _ | Wire.Fetched _ | Wire.Allocated _ | Wire.Ack ->
+  | Wire.Return _ | Wire.Fetched _ | Wire.Allocated _ | Wire.Ack | Wire.Hb_ack ->
     failwith "protocol error: bad reply to Call_d"
 
 let call t ~dst proc args =
@@ -1190,7 +1191,7 @@ let fetch_missing t missing =
                 ~seconds:share)
             entries)
       | Wire.Error msg -> raise (Remote_error msg)
-      | Wire.Return _ | Wire.Allocated _ | Wire.Ack | Wire.Return_d _ ->
+      | Wire.Return _ | Wire.Allocated _ | Wire.Ack | Wire.Return_d _ | Wire.Hb_ack ->
         failwith "protocol error: bad reply to Fetch")
     batches
 
@@ -1349,6 +1350,12 @@ let apply_invalidate t =
   end
 
 let handle t src req =
+  match (req : Wire.request) with
+  (* Liveness probes carry no session: answered before any session
+     bookkeeping so a heartbeat neither disturbs nor depends on open
+     sessions (and stays valid between them). *)
+  | Wire.Hb -> Wire.Hb_ack
+  | _ ->
   check_session t (Wire.request_session req);
   ensure_fresh t (Wire.request_session req);
   let peer () = Space_id.of_string src in
@@ -1478,6 +1485,7 @@ let handle t src req =
     if Session.concurrent_enabled t.session then purge_session t session
     else apply_invalidate t;
     Wire.Ack
+  | Wire.Hb -> Wire.Hb_ack (* handled above; unreachable *)
 
 let handle_encoded t src req =
   match handle t src req with
@@ -1817,16 +1825,22 @@ let start_admitted t ~id =
    parks it until a close's drain admits it (then [start_admitted]); on
    [Denied] the caller backs off ([Admission.backoff_delay]) and asks
    again with the same reserved id. *)
-let request_admission t adm ~id ~footprint =
+let request_admission ?(peers = []) t adm ~id ~footprint =
   require_concurrent t "Node.request_admission";
   match
-    Admission.request ~force:!chaos_admit_conflicting adm ~session:id footprint
+    Admission.request ~force:!chaos_admit_conflicting ~peers adm ~session:id
+      footprint
   with
   | Admission.Admitted ->
     start_admitted t ~id;
     Admission.Admitted
   | (Admission.Queued | Admission.Denied) as d ->
     Transport.mark t.transport ~src:(endpoint t) (Trace.Session_queued id);
+    d
+  | Admission.Overloaded _ as d ->
+    (* the typed rejection is witnessed in the trace: rule SP009 holds a
+       shed terminal until a fresh admit mark *)
+    Transport.mark t.transport ~src:(endpoint t) (Trace.Session_shed id);
     d
 
 (* Close with optimistic validation: if another session committed a

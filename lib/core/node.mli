@@ -157,9 +157,15 @@ val reserve_session : t -> int
     [Queued]: parked; a later close's drain admits it and the caller
     then runs {!start_admitted}. [Denied] (abort-retry policy): back
     off by {!Admission.backoff_delay} and ask again with the same id.
-    While {!chaos_admit_conflicting} is set the conflict check is
-    bypassed and every request is admitted. *)
+    [Overloaded]: the typed shed (queue full, retry budget exhausted,
+    or circuit breaker holding for a dead peer) — a [Session_shed]
+    trace mark witnesses the rejection (rule SP009) and the attempt is
+    terminal. [?peers] names the endpoints the session will talk to,
+    for the controller's circuit breaker. While
+    {!chaos_admit_conflicting} is set the conflict check is bypassed
+    and every request is admitted. *)
 val request_admission :
+  ?peers:string list ->
   t ->
   Admission.t ->
   id:int ->

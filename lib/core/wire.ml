@@ -49,6 +49,7 @@ type request =
       eager : item list;
       frees : Long_pointer.t list;
     }
+  | Hb
 
 type response =
   | Return of { results : wvalue list; writebacks : item list; eager : item list }
@@ -63,6 +64,7 @@ type response =
       eager : item list;
       frees : Long_pointer.t list;
     }
+  | Hb_ack
 
 let encode_wvalue ~reg enc = function
   | WUnit -> Enc.int enc 0
@@ -223,6 +225,7 @@ let encode_request_body ~reg enc r =
     Enc.list enc (encode_delta ~reg) wb_deltas;
     Enc.list enc (encode_item ~reg) eager;
     Enc.list enc (encode_lp ~reg) frees
+  | Hb -> Enc.int enc 12
 
 let encode_request ~reg r =
   let enc = Enc.create () in
@@ -304,6 +307,7 @@ let decode_request_tagged ~reg dec tag =
     let eager = Dec.list dec (decode_item ~reg) in
     let frees = Dec.list dec (decode_lp ~reg) in
     Call_d { session; proc; args; writebacks; wb_deltas; eager; frees }
+  | 12 -> Hb
   | n -> raise (Decode_error (Printf.sprintf "bad request tag %d" n))
 
 let decode_request ~reg s =
@@ -337,6 +341,9 @@ let request_session = function
   | Wb_delta { session; _ }
   | Wb_stage_delta { session; _ }
   | Call_d { session; _ } -> session
+  (* heartbeats live outside any session; the protocol linter exempts
+     them from session attribution by label *)
+  | Hb -> -1
 
 let request_label = function
   | Call _ -> "call"
@@ -351,6 +358,7 @@ let request_label = function
   | Wb_delta { invalidate; _ } -> if invalidate then "wb-delta+inv" else "wb-delta"
   | Wb_stage_delta _ -> "wb-stage-delta"
   | Call_d _ -> "call-d"
+  | Hb -> "hb"
 
 let response_label = function
   | Return _ -> "return"
@@ -359,6 +367,7 @@ let response_label = function
   | Ack -> "ack"
   | Error _ -> "error"
   | Return_d _ -> "return-d"
+  | Hb_ack -> "hb-ack"
 
 let encode_response ~reg r =
   let enc = Enc.create () in
@@ -388,7 +397,8 @@ let encode_response ~reg r =
     Enc.list enc (encode_item ~reg) writebacks;
     Enc.list enc (encode_delta ~reg) wb_deltas;
     Enc.list enc (encode_item ~reg) eager;
-    Enc.list enc (encode_lp ~reg) frees);
+    Enc.list enc (encode_lp ~reg) frees
+  | Hb_ack -> Enc.int enc 6);
   Enc.to_string enc
 
 let decode_response ~reg s =
@@ -418,6 +428,7 @@ let decode_response ~reg s =
       let eager = Dec.list dec (decode_item ~reg) in
       let frees = Dec.list dec (decode_lp ~reg) in
       Return_d { results; writebacks; wb_deltas; eager; frees }
+    | 6 -> Hb_ack
     | n -> raise (Decode_error (Printf.sprintf "bad response tag %d" n))
   in
   Dec.check_end dec;
@@ -453,6 +464,7 @@ let pp_request ppf = function
     Format.fprintf ppf "CallD[%d] %s/%d (wb %a, %d deltas, eager %a, %d frees)"
       session proc (List.length args) pp_items writebacks
       (List.length wb_deltas) pp_items eager (List.length frees)
+  | Hb -> Format.pp_print_string ppf "Hb"
 
 let pp_response ppf = function
   | Return { results; writebacks; eager } ->
@@ -466,3 +478,4 @@ let pp_response ppf = function
     Format.fprintf ppf "ReturnD/%d (wb %a, %d deltas, eager %a, %d frees)"
       (List.length results) pp_items writebacks (List.length wb_deltas)
       pp_items eager (List.length frees)
+  | Hb_ack -> Format.pp_print_string ppf "HbAck"

@@ -84,6 +84,11 @@ type request =
           provisional pointers must never appear on the wire, so the
           [Alloc_batch] round-trip still precedes the call (see
           docs/DELTA.md). *)
+  | Hb
+      (** liveness probe from the failure detector ({!Health}); answered
+          with a bare [Ack]. Carries no session — [request_session]
+          reports [-1] and the protocol linter exempts frames labeled
+          ["hb"] from session attribution. *)
 
 type response =
   | Return of { results : wvalue list; writebacks : item list; eager : item list }
@@ -100,6 +105,9 @@ type response =
     }
       (** reply to [Call_d]: the callee's control transfer back, with
           the same delta treatment and coalesced frees *)
+  | Hb_ack
+      (** reply to {!request.Hb}: distinct from [Ack] so heartbeat
+          exchanges are identifiable by frame label alone *)
 
 val encode_request : reg:Srpc_types.Registry.t -> request -> string
 val decode_request : reg:Srpc_types.Registry.t -> string -> request

@@ -21,6 +21,11 @@ type snapshot = {
   sessions_aborted : int;
   sessions_retried : int;
   validations_failed : int;
+  heartbeats_sent : int;
+  suspicions : int;
+  sheds : int;
+  breaker_trips : int;
+  recoveries : int;
 }
 
 type t = {
@@ -46,6 +51,11 @@ type t = {
   mutable sessions_aborted : int;
   mutable sessions_retried : int;
   mutable validations_failed : int;
+  mutable heartbeats_sent : int;
+  mutable suspicions : int;
+  mutable sheds : int;
+  mutable breaker_trips : int;
+  mutable recoveries : int;
 }
 
 let create () =
@@ -72,6 +82,11 @@ let create () =
     sessions_aborted = 0;
     sessions_retried = 0;
     validations_failed = 0;
+    heartbeats_sent = 0;
+    suspicions = 0;
+    sheds = 0;
+    breaker_trips = 0;
+    recoveries = 0;
   }
 
 let incr_messages t = t.messages <- t.messages + 1
@@ -102,6 +117,11 @@ let incr_sessions_queued t = t.sessions_queued <- t.sessions_queued + 1
 let incr_sessions_aborted t = t.sessions_aborted <- t.sessions_aborted + 1
 let incr_sessions_retried t = t.sessions_retried <- t.sessions_retried + 1
 let incr_validations_failed t = t.validations_failed <- t.validations_failed + 1
+let incr_heartbeats_sent t = t.heartbeats_sent <- t.heartbeats_sent + 1
+let incr_suspicions t = t.suspicions <- t.suspicions + 1
+let incr_sheds t = t.sheds <- t.sheds + 1
+let incr_breaker_trips t = t.breaker_trips <- t.breaker_trips + 1
+let incr_recoveries t = t.recoveries <- t.recoveries + 1
 
 let snapshot t : snapshot =
   {
@@ -127,6 +147,11 @@ let snapshot t : snapshot =
     sessions_aborted = t.sessions_aborted;
     sessions_retried = t.sessions_retried;
     validations_failed = t.validations_failed;
+    heartbeats_sent = t.heartbeats_sent;
+    suspicions = t.suspicions;
+    sheds = t.sheds;
+    breaker_trips = t.breaker_trips;
+    recoveries = t.recoveries;
   }
 
 let reset t =
@@ -151,7 +176,12 @@ let reset t =
   t.sessions_queued <- 0;
   t.sessions_aborted <- 0;
   t.sessions_retried <- 0;
-  t.validations_failed <- 0
+  t.validations_failed <- 0;
+  t.heartbeats_sent <- 0;
+  t.suspicions <- 0;
+  t.sheds <- 0;
+  t.breaker_trips <- 0;
+  t.recoveries <- 0
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
   {
@@ -177,6 +207,11 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     sessions_aborted = a.sessions_aborted - b.sessions_aborted;
     sessions_retried = a.sessions_retried - b.sessions_retried;
     validations_failed = a.validations_failed - b.validations_failed;
+    heartbeats_sent = a.heartbeats_sent - b.heartbeats_sent;
+    suspicions = a.suspicions - b.suspicions;
+    sheds = a.sheds - b.sheds;
+    breaker_trips = a.breaker_trips - b.breaker_trips;
+    recoveries = a.recoveries - b.recoveries;
   }
 
 let zero : snapshot =
@@ -203,6 +238,11 @@ let zero : snapshot =
     sessions_aborted = 0;
     sessions_retried = 0;
     validations_failed = 0;
+    heartbeats_sent = 0;
+    suspicions = 0;
+    sheds = 0;
+    breaker_trips = 0;
+    recoveries = 0;
   }
 
 let pp_snapshot ppf (s : snapshot) =
@@ -225,4 +265,14 @@ let pp_snapshot ppf (s : snapshot) =
       "@ @[<h>admitted=%d queued=%d adm-aborted=%d adm-retried=%d \
        validation-failed=%d@]"
       s.sessions_admitted s.sessions_queued s.sessions_aborted
-      s.sessions_retried s.validations_failed
+      s.sessions_retried s.validations_failed;
+  (* robustness counters likewise stay silent until the health/recovery
+     layer is active *)
+  if
+    s.heartbeats_sent <> 0 || s.suspicions <> 0 || s.sheds <> 0
+    || s.breaker_trips <> 0 || s.recoveries <> 0
+  then
+    Format.fprintf ppf
+      "@ @[<h>heartbeats=%d suspicions=%d sheds=%d breaker-trips=%d \
+       recoveries=%d@]"
+      s.heartbeats_sent s.suspicions s.sheds s.breaker_trips s.recoveries

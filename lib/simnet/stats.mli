@@ -53,6 +53,20 @@ type snapshot = {
   validations_failed : int;
       (** sessions whose optimistic validation at close detected a
           conflicting foreign write (the loser retries) *)
+  heartbeats_sent : int;
+      (** liveness probes the failure detector put on the wire *)
+  suspicions : int;
+      (** peers the failure detector marked suspected after consecutive
+          missed heartbeats *)
+  sheds : int;
+      (** admission requests shed with a typed [Overloaded] rejection
+          (conflict queue full or retry budget exhausted) *)
+  breaker_trips : int;
+      (** admission requests refused because the session would touch a
+          suspected- or confirmed-dead peer *)
+  recoveries : int;
+      (** crash-aborted sessions transparently replayed to completion
+          after the dead peer revived *)
 }
 
 val create : unit -> t
@@ -78,6 +92,11 @@ val incr_sessions_queued : t -> unit
 val incr_sessions_aborted : t -> unit
 val incr_sessions_retried : t -> unit
 val incr_validations_failed : t -> unit
+val incr_heartbeats_sent : t -> unit
+val incr_suspicions : t -> unit
+val incr_sheds : t -> unit
+val incr_breaker_trips : t -> unit
+val incr_recoveries : t -> unit
 val snapshot : t -> snapshot
 val reset : t -> unit
 

@@ -18,6 +18,7 @@ type kind =
   | Session_end of int
   | Session_admit of int
   | Session_queued of int
+  | Session_shed of int
   | Write_back of int
   | Invalidate of int
   | Session_abort of int
@@ -87,6 +88,7 @@ let pp_kind ppf = function
   | Session_end id -> Format.fprintf ppf "session-end #%d" id
   | Session_admit id -> Format.fprintf ppf "session-admit #%d" id
   | Session_queued id -> Format.fprintf ppf "session-queued #%d" id
+  | Session_shed id -> Format.fprintf ppf "session-shed #%d" id
   | Write_back id -> Format.fprintf ppf "write-back #%d" id
   | Invalidate id -> Format.fprintf ppf "invalidate #%d" id
   | Session_abort id -> Format.fprintf ppf "session-abort #%d" id
@@ -109,8 +111,8 @@ let pp_event ppf e =
   | Copy _ | Inval_sent _ ->
     Format.fprintf ppf "%10.6f %s -> %s %a" e.at e.src e.dst pp_kind e.kind
   | Session_begin _ | Session_end _ | Session_admit _ | Session_queued _
-  | Write_back _ | Invalidate _ | Session_abort _ | Crash _ | Revive _
-  | Access _ ->
+  | Session_shed _ | Write_back _ | Invalidate _ | Session_abort _ | Crash _
+  | Revive _ | Access _ ->
     Format.fprintf ppf "%10.6f %s %a" e.at e.src pp_kind e.kind
 
 let pp ppf t =

@@ -42,6 +42,13 @@ type kind =
       (** the admission controller deferred session [id] because its
           footprint conflicted with an open session: FIFO-queued or
           denied for backoff-retry depending on policy (rule SP008) *)
+  | Session_shed of int
+      (** the admission controller refused session [id] with a typed
+          rejection — conflict queue full, retry budget exhausted, or
+          the circuit breaker held because a footprint peer is
+          suspected dead. Terminal for the attempt: a later
+          [Session_begin] for [id] requires a fresh [Session_admit]
+          (rule SP009) *)
   | Write_back of int
       (** the ground space started the session-close write-back phase *)
   | Invalidate of int

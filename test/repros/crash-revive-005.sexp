@@ -1,0 +1,22 @@
+; A worker participates in the session, crashes, is revived, and then
+; services another mutating call before the session closes cleanly.
+; Pins the crash/revive cycle semantics: the revived worker's cached
+; state is still coherent, the close commits exactly once, and the
+; sequential oracle agrees with every observation (no lost or doubled
+; update across the outage).
+(srpc-check-repro
+ (version 1)
+ (seed 5)
+ (workers 2)
+ (arches (0 1))
+ (strategy 0)
+ (fault ((seed 42) (drop 0.0) (dup 0.0)))
+ (ops
+  ((build-list (1 2 3 4))
+   (sum 1 0)
+   (crash 1)
+   (revive 1)
+   (update 1 0 2 5)
+   new-session
+   (local-update 0 1 -2)
+   (sum 0 0))))

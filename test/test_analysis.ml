@@ -311,6 +311,75 @@ let test_crash_revive_clean () =
   in
   Alcotest.(check (list string)) "revived traffic legal" [] (proto_ids events)
 
+(* --- SP009: typed shedding and the circuit breaker --- *)
+
+let test_shed_while_open () =
+  (* the controller refused a session it had already admitted *)
+  let events =
+    [
+      mark "a" (Trace.Session_admit 1);
+      mark "a" (Trace.Session_begin 1);
+      req "a" "b"; rep "b" "a";
+      mark "a" (Trace.Session_shed 1);
+    ]
+    @ close_phase "a" "b" 1
+  in
+  Alcotest.(check bool) "SP009" true (List.mem "SP009" (proto_ids events))
+
+let test_begin_after_shed () =
+  (* a typed shed is terminal for the attempt: beginning anyway without
+     a fresh admission is a violation... *)
+  let shed_then_begin =
+    [
+      mark "a" (Trace.Session_shed 1);
+      mark "a" (Trace.Session_begin 1);
+      req "a" "b"; rep "b" "a";
+    ]
+    @ close_phase "a" "b" 1
+  in
+  Alcotest.(check bool) "SP009" true
+    (List.mem "SP009" (proto_ids shed_then_begin));
+  (* ...but a fresh Session_admit clears the shed for the same id *)
+  let readmitted =
+    [
+      mark "a" (Trace.Session_shed 1);
+      mark "a" (Trace.Session_admit 1);
+      mark "a" (Trace.Session_begin 1);
+      req "a" "b"; rep "b" "a";
+    ]
+    @ close_phase "a" "b" 1
+  in
+  Alcotest.(check (list string)) "fresh admission clears the shed" []
+    (proto_ids readmitted)
+
+let test_breaker_bypassed () =
+  (* the session begins while b is crashed and then sends it a frame:
+     the circuit breaker should have held the session until revival *)
+  let events =
+    [
+      mark "b" (Trace.Crash "b");
+      mark "a" (Trace.Session_admit 1);
+      mark "a" (Trace.Session_begin 1);
+      req "a" "b"; rep "b" "a";
+    ]
+    @ close_phase "a" "c" 1
+  in
+  Alcotest.(check bool) "SP009" true (List.mem "SP009" (proto_ids events));
+  (* revived before the frame: no breaker violation (and a crash that
+     happens mid-session is SP006's territory, not SP009's) *)
+  let revived =
+    [
+      mark "b" (Trace.Crash "b");
+      mark "a" (Trace.Session_admit 1);
+      mark "a" (Trace.Session_begin 1);
+      mark "b" (Trace.Revive "b");
+      req "a" "b"; rep "b" "a";
+    ]
+    @ close_phase "a" "b" 1
+  in
+  Alcotest.(check bool) "no SP009 after revival" false
+    (List.mem "SP009" (proto_ids revived))
+
 let test_dropped_and_dup_frames_tolerated () =
   (* a dropped request is thread-neutral; a dropped reply hands the
      thread back to the requester, who retries; duplicates are noise *)
@@ -798,6 +867,9 @@ let () =
           tc "abort without invalidation" `Quick test_abort_without_invalidation;
           tc "frame after crash" `Quick test_frame_after_crash;
           tc "crash and revive clean" `Quick test_crash_revive_clean;
+          tc "SP009 shed while open" `Quick test_shed_while_open;
+          tc "SP009 begin after shed" `Quick test_begin_after_shed;
+          tc "SP009 breaker bypassed" `Quick test_breaker_bypassed;
           tc "dropped and dup frames tolerated" `Quick test_dropped_and_dup_frames_tolerated;
           tc "runtime trace verifies" `Quick test_runtime_trace_verifies;
           tc "targeted invalidation misses a casher" `Quick

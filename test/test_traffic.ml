@@ -100,13 +100,160 @@ let test_admission_validation () =
     (Admission.validate adm ~session:3)
 
 let test_backoff () =
-  Alcotest.(check (float 1e-9)) "attempt 0" 1e-3
-    (Admission.backoff_delay ~attempt:0 ~base:1e-3);
-  Alcotest.(check (float 1e-9)) "attempt 3" 8e-3
-    (Admission.backoff_delay ~attempt:3 ~base:1e-3);
+  (* jittered capped exponential: delay = base * 2^min(attempt,6) * j
+     with j drawn deterministically from (session, attempt) in
+     [0.5, 1.5) *)
+  let check_range name ~attempt ~expo =
+    let d = Admission.backoff_delay ~session:7 ~attempt ~base:1e-3 in
+    let lo = 0.5 *. expo *. 1e-3 and hi = 1.5 *. expo *. 1e-3 in
+    if d < lo || d >= hi then
+      Alcotest.failf "%s: %.6g outside jitter window [%.6g, %.6g)" name d lo hi
+  in
+  check_range "attempt 0" ~attempt:0 ~expo:1.0;
+  check_range "attempt 3" ~attempt:3 ~expo:8.0;
   (* capped at 2^6 *)
-  Alcotest.(check (float 1e-9)) "attempt 40" 64e-3
-    (Admission.backoff_delay ~attempt:40 ~base:1e-3)
+  check_range "attempt 40" ~attempt:40 ~expo:64.0;
+  (* deterministic: same (session, attempt) -> same delay *)
+  Alcotest.(check (float 0.0)) "deterministic"
+    (Admission.backoff_delay ~session:3 ~attempt:2 ~base:1e-3)
+    (Admission.backoff_delay ~session:3 ~attempt:2 ~base:1e-3);
+  (* the point of the jitter: distinct sessions denied at the same
+     attempt spread out instead of re-colliding in lockstep *)
+  let d1 = Admission.backoff_delay ~session:1 ~attempt:1 ~base:1e-3
+  and d2 = Admission.backoff_delay ~session:2 ~attempt:1 ~base:1e-3 in
+  if Float.abs (d1 -. d2) < 1e-6 then
+    Alcotest.failf "sessions 1 and 2 got identical backoff %.6g" d1
+
+(* {1 Overload protection: bounded queue, retry budget, breaker} *)
+
+let test_admission_queue_cap () =
+  let stats = Stats.create () in
+  let adm =
+    Admission.create ~policy:Strategy.Queue_conflicts ~queue_cap:1 stats
+  in
+  ignore (Admission.request adm ~session:1 (fp_of "a" [ w "x" ]));
+  (match Admission.request adm ~session:2 (fp_of "b" [ w "x" ]) with
+  | Admission.Queued -> ()
+  | _ -> Alcotest.fail "first conflict not queued");
+  (match Admission.request adm ~session:3 (fp_of "c" [ w "x" ]) with
+  | Admission.Overloaded Admission.Queue_full -> ()
+  | _ -> Alcotest.fail "full queue did not shed");
+  Alcotest.(check int) "queue stayed bounded" 1 (Admission.queue_length adm);
+  Alcotest.(check int) "shed counted" 1 (Stats.snapshot stats).Stats.sheds;
+  (* the shed is terminal but not fatal: once the queue drains, the same
+     reserved id is admitted by a fresh request *)
+  ignore (Admission.close adm ~session:1);
+  ignore (Admission.close adm ~session:2);
+  match Admission.request adm ~session:3 (fp_of "c" [ w "x" ]) with
+  | Admission.Admitted -> ()
+  | _ -> Alcotest.fail "shed session not admitted after the queue drained"
+
+let test_admission_retry_budget () =
+  let stats = Stats.create () in
+  let adm =
+    Admission.create ~policy:Strategy.Abort_retry ~retry_budget:2 stats
+  in
+  ignore (Admission.request adm ~session:1 (fp_of "a" [ w "x" ]));
+  for _ = 1 to 2 do
+    match Admission.request adm ~session:2 (fp_of "b" [ w "x" ]) with
+    | Admission.Denied -> ()
+    | _ -> Alcotest.fail "in-budget conflict not denied"
+  done;
+  (match Admission.request adm ~session:2 (fp_of "b" [ w "x" ]) with
+  | Admission.Overloaded Admission.Retry_budget -> ()
+  | _ -> Alcotest.fail "exhausted budget did not shed");
+  Alcotest.(check int) "shed counted" 1 (Stats.snapshot stats).Stats.sheds
+
+(* A two-node cluster the detector can actually probe: the node answers
+   heartbeats from its transport dispatcher, and the fault plan lets the
+   test crash and revive it. *)
+let health_fixture () =
+  let cluster = Cluster.create () in
+  let node = Cluster.add_node cluster ~site:1 () in
+  Cluster.install_faults cluster (Fault_plan.create ());
+  let h =
+    Health.create ~src:"monitor" ~registry:(Cluster.registry cluster)
+      ~stats:(Cluster.stats cluster)
+      (Cluster.transport cluster)
+  in
+  (cluster, h, Srpc_memory.Space_id.to_string (Node.id node))
+
+let test_health_ladder () =
+  let cluster, h, ep = health_fixture () in
+  Health.watch h ep;
+  Alcotest.(check bool) "initially available" true (Health.available h ep);
+  (match Health.probe h ep with
+  | Health.Alive -> ()
+  | _ -> Alcotest.fail "answered probe left the peer un-alive");
+  Transport.crash (Cluster.transport cluster) ep;
+  (* suspect_after = 2 consecutive misses, confirm_after = 4 *)
+  ignore (Health.probe h ep);
+  (match Health.probe h ep with
+  | Health.Suspected -> ()
+  | _ -> Alcotest.fail "2 misses did not suspect");
+  Alcotest.(check bool) "suspected peer unavailable" false
+    (Health.available h ep);
+  ignore (Health.probe h ep);
+  (match Health.probe h ep with
+  | Health.Dead -> ()
+  | _ -> Alcotest.fail "4 misses did not confirm death");
+  Transport.revive (Cluster.transport cluster) ep;
+  (match Health.probe h ep with
+  | Health.Alive -> ()
+  | _ -> Alcotest.fail "answered probe did not revive the peer");
+  Alcotest.(check int) "revival recorded" 1 (Health.revivals h ep);
+  let snap = Cluster.snapshot cluster in
+  Alcotest.(check int) "every probe counted" 6 snap.Stats.heartbeats_sent;
+  Alcotest.(check int) "one suspicion counted" 1 snap.Stats.suspicions
+
+let test_health_observe () =
+  (* ground-truth crash/revive marks fold into the detector without
+     waiting out a probe cycle *)
+  let cluster, h, ep = health_fixture () in
+  Health.watch h ep;
+  let trace = Trace.create () in
+  Transport.set_trace (Cluster.transport cluster) (Some trace);
+  Transport.crash (Cluster.transport cluster) ep;
+  let cursor = Health.observe h trace ~from:0 in
+  (match Health.state h ep with
+  | Health.Dead -> ()
+  | _ -> Alcotest.fail "crash mark did not mark the peer dead");
+  Transport.revive (Cluster.transport cluster) ep;
+  ignore (Health.observe h trace ~from:cursor);
+  (match Health.state h ep with
+  | Health.Alive -> ()
+  | _ -> Alcotest.fail "revive mark's confirming probe did not restore");
+  Alcotest.(check int) "revival recorded" 1 (Health.revivals h ep)
+
+let test_admission_breaker () =
+  let cluster, h, ep = health_fixture () in
+  Health.watch h ep;
+  let stats = Cluster.stats cluster in
+  let adm = Admission.create ~retry_budget:3 ~health:h stats in
+  Transport.crash (Cluster.transport cluster) ep;
+  ignore (Health.probe h ep);
+  ignore (Health.probe h ep);
+  (* suspected: the breaker must refuse sessions naming the peer... *)
+  (match Admission.request adm ~peers:[ ep ] ~session:1 (fp_of "a" [ w "x" ]) with
+  | Admission.Overloaded (Admission.Dead_peer e) ->
+    Alcotest.(check string) "names the dead peer" ep e
+  | _ -> Alcotest.fail "breaker did not trip on a suspected peer");
+  (* ...without charging the session's retry budget *)
+  (match Admission.request adm ~peers:[ ep ] ~session:1 (fp_of "a" [ w "x" ]) with
+  | Admission.Overloaded (Admission.Dead_peer _) -> ()
+  | _ -> Alcotest.fail "second breaker trip expected");
+  let snap = Stats.snapshot stats in
+  Alcotest.(check int) "trips counted" 2 snap.Stats.breaker_trips;
+  Alcotest.(check int) "trips are not sheds" 0 snap.Stats.sheds;
+  (* a session not touching the peer is unaffected *)
+  (match Admission.request adm ~session:2 (fp_of "b" [ w "y" ]) with
+  | Admission.Admitted -> ()
+  | _ -> Alcotest.fail "breaker blocked an unrelated session");
+  Transport.revive (Cluster.transport cluster) ep;
+  ignore (Health.probe h ep);
+  match Admission.request adm ~peers:[ ep ] ~session:1 (fp_of "a" [ w "x" ]) with
+  | Admission.Admitted -> ()
+  | _ -> Alcotest.fail "breaker still open after confirmed revival"
 
 (* {1 Traffic} *)
 
@@ -192,6 +339,76 @@ let test_counter_chaos_detected () =
   if o.Traffic.k_proto_errors = 0 then
     Alcotest.fail "the protocol linter missed the overlap (SP008)"
 
+(* {1 The chaos soak: recovery and overload protection, end to end} *)
+
+(* A scaled-down chaos config that still exercises the full recovery
+   path: two crash/revive cycles inside the horizon, drops on, recovery
+   demonstrably fired (pinned by seed 0's schedule). *)
+let soak_chaos =
+  { Soak.default with Soak.horizon = 80.0; crash_period = 20.0 }
+
+let test_soak_deterministic () =
+  let a = Soak.run soak_chaos and b = Soak.run soak_chaos in
+  if a <> b then Alcotest.fail "same config gave two different soak results"
+
+let test_soak_recovery () =
+  let r = Soak.run soak_chaos in
+  Alcotest.(check int) "every session committed" r.Soak.s_sessions
+    r.Soak.s_committed;
+  Alcotest.(check int) "no lost updates" 0 r.Soak.s_validation_failed;
+  Alcotest.(check int) "no races" 0 r.Soak.s_race_errors;
+  Alcotest.(check int) "no protocol violations" 0 r.Soak.s_proto_errors;
+  if r.Soak.s_crashes = 0 then Alcotest.fail "chaos schedule never ran";
+  Alcotest.(check int) "every crash revived" r.Soak.s_crashes
+    r.Soak.s_revives;
+  if r.Soak.s_heartbeats = 0 then
+    Alcotest.fail "the failure detector never probed";
+  if r.Soak.s_recovered = 0 then
+    Alcotest.fail "no session aborted by a crash was replayed to commit";
+  Alcotest.(check int) "Stats.recoveries agrees" r.Soak.s_recovered
+    r.Soak.s_recoveries;
+  if r.Soak.s_breaker_trips = 0 then
+    Alcotest.fail "the circuit breaker never held a session back"
+
+let test_soak_overload_sheds () =
+  (* deliberately overloaded: hot contention against a tiny queue and
+     budget. The controller must shed (typed, counted), never corrupt —
+     and the accounting must close: every session either committed or
+     was abandoned by its client. *)
+  let cfg =
+    {
+      Soak.default with
+      Soak.contention = Traffic.Hot;
+      horizon = 60.0;
+      rate = 1.0;
+      crash_period = 16.0;
+      queue_cap = 2;
+      retry_budget = 6;
+    }
+  in
+  List.iter
+    (fun policy ->
+      let r = Soak.run { cfg with Soak.policy } in
+      if r.Soak.s_sheds = 0 then
+        Alcotest.fail "overload never shed a session";
+      Alcotest.(check int) "accounting closes" r.Soak.s_sessions
+        (r.Soak.s_committed + r.Soak.s_failed);
+      Alcotest.(check int) "no lost updates" 0 r.Soak.s_validation_failed;
+      Alcotest.(check int) "no races" 0 r.Soak.s_race_errors;
+      Alcotest.(check int) "no protocol violations" 0 r.Soak.s_proto_errors)
+    [ Strategy.Queue_conflicts; Strategy.Abort_retry ]
+
+let test_soak_baseline_fault_free () =
+  (* the fault-free baseline installs no fault plan and no detector:
+     zero heartbeats, zero suspicions, zero chaos *)
+  let b = Soak.baseline soak_chaos in
+  Alcotest.(check int) "no crashes" 0 b.Soak.s_crashes;
+  Alcotest.(check int) "no heartbeats" 0 b.Soak.s_heartbeats;
+  Alcotest.(check int) "no suspicions" 0 b.Soak.s_suspicions;
+  Alcotest.(check int) "no aborts" 0 b.Soak.s_aborts;
+  Alcotest.(check int) "every session committed" b.Soak.s_sessions
+    b.Soak.s_committed
+
 (* {1 Single-session byte identity} *)
 
 (* Digest of the full pp'd traces of five unfaulted legacy-mode checker
@@ -228,6 +445,15 @@ let () =
           tc "optimistic validation" `Quick test_admission_validation;
           tc "capped exponential backoff" `Quick test_backoff;
         ] );
+      ( "overload",
+        [
+          tc "bounded queue sheds" `Quick test_admission_queue_cap;
+          tc "retry budget sheds" `Quick test_admission_retry_budget;
+          tc "health probe ladder" `Quick test_health_ladder;
+          tc "health folds trace marks" `Quick test_health_observe;
+          tc "circuit breaker holds until revival" `Quick
+            test_admission_breaker;
+        ] );
       ( "traffic",
         [
           tc "runs are deterministic" `Quick test_traffic_deterministic;
@@ -242,6 +468,15 @@ let () =
           tc "admission serializes the bumps" `Quick test_counter_serializes;
           tc "chaos overlap caught, no lost update" `Quick
             test_counter_chaos_detected;
+        ] );
+      ( "soak",
+        [
+          tc "runs are deterministic" `Quick test_soak_deterministic;
+          tc "crash recovery replays to commit" `Quick test_soak_recovery;
+          tc "overload sheds, never corrupts" `Quick
+            test_soak_overload_sheds;
+          tc "fault-free baseline is chaos-free" `Quick
+            test_soak_baseline_fault_free;
         ] );
       ( "identity",
         [

@@ -72,6 +72,56 @@ let test_conflicting_serializes () =
   | Some d -> Alcotest.failf "conflicting abort-retry weave failed: %s" d
   | None -> ()
 
+let test_crash_mid_weave () =
+  (* the shared worker crashes in the middle of side B's session and is
+     revived before B's next call to it. B must ride out the outage and
+     commit (not merely abort acceptably); A stays ground-local and
+     commits untouched; the combined trace still passes both linters
+     with no lost update. The contrast run drops the revive: B's next
+     call then hits the dead worker and B aborts — but A still commits
+     and the abort is clean. *)
+  let fault = Some { Script.fseed = 11; drop = 0.0; dup = 0.0 } in
+  let mk ops =
+    { Script.workers = 1; arches = [ 0 ]; strategy = 0; fault; ops }
+  in
+  let sa =
+    mk
+      [
+        Script.Build_list [ 10; 20; 30 ];
+        Script.Local_update { obj = 0; idx = 0; delta = 1 };
+        Script.Local_update { obj = 0; idx = 2; delta = -4 };
+      ]
+  in
+  let sb_ops ~revived =
+    [
+      Script.Build_list [ 1; 2; 3 ];
+      Script.Sum { worker = 0; obj = 0 };
+      Script.Crash { worker = 0 };
+    ]
+    @ (if revived then [ Script.Revive { worker = 0 } ] else [])
+    @ [
+        Script.Update { worker = 0; obj = 0; idx = 1; delta = 7 };
+        Script.Sum { worker = 0; obj = 0 };
+      ]
+  in
+  let run sb =
+    Weave.run_pair_full ~policy:Strategy.Queue_conflicts
+      ~variant:Weave.Disjoint sa sb
+  in
+  let o = run (mk (sb_ops ~revived:true)) in
+  (match o.Weave.o_failure with
+  | Some d -> Alcotest.failf "crash/revive weave failed: %s" d
+  | None -> ());
+  Alcotest.(check bool) "revived side committed" true o.Weave.o_committed_b;
+  Alcotest.(check bool) "local side committed" true o.Weave.o_committed_a;
+  let o = run (mk (sb_ops ~revived:false)) in
+  (match o.Weave.o_failure with
+  | Some d -> Alcotest.failf "crash-without-revive weave failed: %s" d
+  | None -> ());
+  Alcotest.(check bool) "unrevived side aborted" true
+    (o.Weave.o_aborted_b <> None);
+  Alcotest.(check bool) "local side still committed" true o.Weave.o_committed_a
+
 let test_mutation_chaos_admission () =
   (* bypassing admission on a conflicting pair must be caught: the runs
      are physically disjoint, so the oracle stays quiet — but the
@@ -110,6 +160,7 @@ let () =
         [
           tc "500-seed sweep is clean" `Slow test_weave_sweep;
           tc "conflicting pairs serialize" `Quick test_conflicting_serializes;
+          tc "crash/revive mid-weave" `Quick test_crash_mid_weave;
         ] );
       ( "mutation",
         [
