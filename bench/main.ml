@@ -594,6 +594,128 @@ let run_soak () =
   Printf.printf "wrote %s\n" path;
   ignore (soak_failures rows)
 
+(* --- offload (srpc-offload: traversal plans shipped to the home) --- *)
+
+(* The wire gate: at the lowest-locality point (K = 1) the offloaded
+   traversal must move an order of magnitude fewer bytes than the eager
+   closure, for the same answer. The adaptive gate: the per-type
+   learner, fed only per-traversal seconds, must offload at the lowest
+   repeat point and keep the walk local at the highest — no hints. *)
+let offload_wire_gate = 10
+
+let offload_measure ?(depth = 10)
+    ?(repeat_points = Experiments.default_offload_repeats) ?(sessions = 24) ()
+    =
+  let rows = Experiments.offload_sweep ~depth ~repeat_points () in
+  let points = Experiments.offload_adaptive_sweep ~depth ~sessions () in
+  (rows, points)
+
+let offload_failures (rows, points) =
+  let failures = ref 0 in
+  let fail fmt =
+    incr failures;
+    Printf.printf fmt
+  in
+  (match rows with
+  | [] -> fail "offload: empty sweep\n"
+  | (first : Experiments.offload_row) :: _ ->
+    let e = first.Experiments.of_eager
+    and o = first.Experiments.of_always in
+    Printf.printf "offload K=%d  eager %d B  offloaded %d B  x%.1f\n"
+      first.Experiments.of_repeats e.Experiments.of_bytes
+      o.Experiments.of_bytes
+      (float_of_int e.Experiments.of_bytes
+      /. float_of_int (max 1 o.Experiments.of_bytes));
+    if o.Experiments.of_bytes * offload_wire_gate > e.Experiments.of_bytes
+    then
+      fail "offload: K=%d moved %d B, above the eager/%d gate (%d B)\n"
+        first.Experiments.of_repeats o.Experiments.of_bytes offload_wire_gate
+        e.Experiments.of_bytes);
+  List.iter
+    (fun (r : Experiments.offload_row) ->
+      let want = r.Experiments.of_eager.Experiments.of_result in
+      if
+        r.Experiments.of_lazy.Experiments.of_result <> want
+        || r.Experiments.of_always.Experiments.of_result <> want
+      then
+        fail "offload: K=%d arms disagree on the traversal result\n"
+          r.Experiments.of_repeats)
+    rows;
+  (match points with
+  | [ lo; hi ] ->
+    Printf.printf "offload adaptive  K=%d -> %s  K=%d -> %s\n"
+      lo.Experiments.oa_repeats lo.Experiments.oa_choice
+      hi.Experiments.oa_repeats hi.Experiments.oa_choice;
+    if not (String.equal lo.Experiments.oa_choice "offload") then
+      fail "offload: learner picked %S at K=%d, expected \"offload\"\n"
+        lo.Experiments.oa_choice lo.Experiments.oa_repeats;
+    if not (String.equal hi.Experiments.oa_choice "local") then
+      fail "offload: learner picked %S at K=%d, expected \"local\"\n"
+        hi.Experiments.oa_choice hi.Experiments.oa_repeats;
+    if
+      lo.Experiments.oa_run.Experiments.of_result
+      <> hi.Experiments.oa_run.Experiments.of_result
+    then fail "offload: adaptive endpoints disagree on the result\n"
+  | points ->
+    fail "offload: expected two adaptive points, got %d\n"
+      (List.length points));
+  !failures
+
+let offload_json ~depth (rows, points) =
+  let b = Buffer.create 2048 in
+  Printf.bprintf b
+    "{\n\
+    \  \"experiment\": \"offload\",\n\
+    \  \"depth\": %d,\n\
+    \  \"wire_gate\": %d,\n\
+    \  \"rows\": [\n"
+    depth offload_wire_gate;
+  let run (r : Experiments.offload_run) =
+    Printf.sprintf
+      "{\"seconds\": %.6f, \"messages\": %d, \"bytes\": %d, \
+       \"offload_calls\": %d, \"result\": %d}"
+      r.Experiments.of_seconds r.Experiments.of_messages
+      r.Experiments.of_bytes r.Experiments.of_offload_calls
+      r.Experiments.of_result
+  in
+  let n = List.length rows in
+  List.iteri
+    (fun i (r : Experiments.offload_row) ->
+      Printf.bprintf b
+        "    {\"repeats\": %d,\n\
+        \     \"eager\": %s,\n\
+        \     \"lazy\": %s,\n\
+        \     \"offload\": %s}%s\n"
+        r.Experiments.of_repeats
+        (run r.Experiments.of_eager)
+        (run r.Experiments.of_lazy)
+        (run r.Experiments.of_always)
+        (if i = n - 1 then "" else ","))
+    rows;
+  Buffer.add_string b "  ],\n  \"adaptive\": [\n";
+  let m = List.length points in
+  List.iteri
+    (fun i (p : Experiments.offload_adaptive_point) ->
+      Printf.bprintf b "    {\"repeats\": %d, \"choice\": %S, \"run\": %s}%s\n"
+        p.Experiments.oa_repeats p.Experiments.oa_choice
+        (run p.Experiments.oa_run)
+        (if i = m - 1 then "" else ","))
+    points;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let run_offload () =
+  let depth = 10 in
+  let rows, points = offload_measure ~depth () in
+  Format.printf "%a@." Experiments.pp_offload (rows, points);
+  let json = offload_json ~depth (rows, points) in
+  let path = "BENCH_offload.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  ignore (offload_failures (rows, points))
+
 (* Scaled-down adaptive + faults acceptance gate, wired into `dune runtest`
    via the bench-smoke alias: fails the build if the controller stops
    converging or the fault machinery regresses. *)
@@ -626,9 +748,19 @@ let run_smoke () =
   output_string oc sjson;
   close_out oc;
   let sfailures = soak_failures srows in
+  let odepth = 8 in
+  let omeasure =
+    offload_measure ~depth:odepth ~repeat_points:[ 1; 8; 32 ] ()
+  in
+  let ojson = offload_json ~depth:odepth omeasure in
+  print_string ojson;
+  let oc = open_out "BENCH_offload.json" in
+  output_string oc ojson;
+  close_out oc;
+  let ofailures = offload_failures omeasure in
   if
     failures > 0 || ffailures > 0 || dfailures > 0 || tfailures > 0
-    || sfailures > 0
+    || sfailures > 0 || ofailures > 0
   then begin
     if failures > 0 then
       Printf.eprintf "bench-smoke: %d ratio(s) outside the 1.15x bound\n"
@@ -641,6 +773,8 @@ let run_smoke () =
       Printf.eprintf "bench-smoke: %d traffic gate failure(s)\n" tfailures;
     if sfailures > 0 then
       Printf.eprintf "bench-smoke: %d soak gate failure(s)\n" sfailures;
+    if ofailures > 0 then
+      Printf.eprintf "bench-smoke: %d offload gate failure(s)\n" ofailures;
     exit 1
   end
 
@@ -755,6 +889,7 @@ let all_sections =
     ("delta", ("Delta coherency: dirty ranges vs full write-backs", run_delta));
     ("traffic", ("Concurrent-session traffic vs serialized baseline", run_traffic));
     ("soak", ("Chaos soak: recovery + overload protection under faults", run_soak));
+    ("offload", ("Offload: traversal plans vs closure transfer", run_offload));
     ("smoke", ("Adaptive + faults + delta acceptance smoke (scaled down)", run_smoke));
     ("wan", ("Derived: Fig. 4 over a WAN link", run_wan));
     ("kv", ("Derived: remote B-tree key-value store", run_kv));

@@ -826,6 +826,88 @@ let soak_cmd =
       $ queue_cap_arg $ retry_budget_arg $ seeds_arg $ hot_arg
       $ abort_retry_arg $ out_arg)
 
+let offload_cmd =
+  let depth_arg =
+    Arg.(value & opt int 10 & info [ "depth" ] ~docv:"D"
+           ~doc:"Tree depth of the traversed structure.")
+  in
+  let repeats_arg =
+    Arg.(value & opt ints_conv Experiments.default_offload_repeats
+         & info [ "repeats" ] ~docv:"K,K,..."
+             ~doc:"Reuse counts swept: traversals per session.")
+  in
+  let sessions_arg =
+    Arg.(value & opt int 24 & info [ "sessions" ] ~docv:"N"
+           ~doc:"Sessions the adaptive learner observes per repeat point.")
+  in
+  let out_arg =
+    Arg.(value & opt string "BENCH_offload.json"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON report.")
+  in
+  let run verbose depth repeats sessions out =
+    setup_logs verbose;
+    let rows = Experiments.offload_sweep ~depth ~repeat_points:repeats () in
+    let points = Experiments.offload_adaptive_sweep ~depth ~sessions () in
+    Format.printf "%a@." Experiments.pp_offload (rows, points);
+    let jrun (r : Experiments.offload_run) =
+      Printf.sprintf
+        "{\"seconds\": %.6f, \"messages\": %d, \"bytes\": %d, \
+         \"offload_calls\": %d, \"result\": %d}"
+        r.Experiments.of_seconds r.Experiments.of_messages
+        r.Experiments.of_bytes r.Experiments.of_offload_calls
+        r.Experiments.of_result
+    in
+    let b = Buffer.create 2048 in
+    Printf.bprintf b
+      "{\n  \"experiment\": \"offload\",\n  \"depth\": %d,\n  \"rows\": [\n"
+      depth;
+    let n = List.length rows in
+    List.iteri
+      (fun i (r : Experiments.offload_row) ->
+        Printf.bprintf b
+          "    {\"repeats\": %d, \"eager\": %s, \"lazy\": %s, \
+           \"offload\": %s}%s\n"
+          r.Experiments.of_repeats
+          (jrun r.Experiments.of_eager)
+          (jrun r.Experiments.of_lazy)
+          (jrun r.Experiments.of_always)
+          (if i = n - 1 then "" else ","))
+      rows;
+    Buffer.add_string b "  ],\n  \"adaptive\": [\n";
+    let m = List.length points in
+    List.iteri
+      (fun i (p : Experiments.offload_adaptive_point) ->
+        Printf.bprintf b
+          "    {\"repeats\": %d, \"choice\": %S, \"run\": %s}%s\n"
+          p.Experiments.oa_repeats p.Experiments.oa_choice
+          (jrun p.Experiments.oa_run)
+          (if i = m - 1 then "" else ","))
+      points;
+    Buffer.add_string b "  ]\n}\n";
+    let oc = open_out out in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        output_string oc (Buffer.contents b));
+    Format.printf "offload: wrote %s@." out;
+    (* transparency is non-negotiable: every arm must compute the same
+       traversal result at every repeat point *)
+    if
+      List.exists
+        (fun (r : Experiments.offload_row) ->
+          let want = r.Experiments.of_eager.Experiments.of_result in
+          r.Experiments.of_lazy.Experiments.of_result <> want
+          || r.Experiments.of_always.Experiments.of_result <> want)
+        rows
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "offload"
+       ~doc:"Traversal offloading: wire bytes per transfer mode and the \
+             adaptive learner's choice as the reuse count K sweeps, written \
+             as JSON.")
+    Term.(
+      const run $ verbose_arg $ depth_arg $ repeats_arg $ sessions_arg
+      $ out_arg)
+
 let () =
   let doc = "Smart Remote Procedure Calls (ICDCS 1994) reproduction driver" in
   let info = Cmd.info "srpc" ~version:"1.0.0" ~doc in
@@ -835,5 +917,5 @@ let () =
           [
             table1_cmd; fig4_cmd; fig6_cmd; fig7_cmd; ablations_cmd; kv_cmd;
             wan_cmd; hints_cmd; run_cmd; inspect_cmd; lint_cmd; check_cmd;
-            traffic_cmd; soak_cmd;
+            traffic_cmd; soak_cmd; offload_cmd;
           ]))

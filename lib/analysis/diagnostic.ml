@@ -85,6 +85,8 @@ let rules =
       title = "concurrently open sessions wrote the same datum root without a queue/abort between them" };
     { id = "SP009"; default_severity = Error;
       title = "breaker/shed discipline: no session may begin against a crashed peer or after a typed shed without re-admission" };
+    { id = "SP010"; default_severity = Error;
+      title = "offload-call must target a space in the session's touched footprint, never a peer crashed since before the session began" };
     { id = "CC001"; default_severity = Error;
       title = "session footprints interfere: both sessions may write the same region" };
     { id = "CC002"; default_severity = Error;

@@ -20,8 +20,22 @@ type state = {
       (* endpoints that received a data copy this session (Copy notes) *)
   inval_dsts : (string, unit) Hashtbl.t;
       (* endpoints the ground sent (or attempted) an invalidation to *)
+  touched : (string, unit) Hashtbl.t;
+      (* spaces whose data the session's footprint covers, harvested
+         from the space prefix of Access datums ("space/addr") — the
+         set an offload-call may legitimately target (SP010) *)
+  dead_at_begin : (string, unit) Hashtbl.t;
+      (* endpoints already past their crash mark when the open session
+         began *)
   mutable out : Diagnostic.t list;
 }
+
+(* The home-space prefix of a datum rendered "space/addr"; wildcard
+   footprints ("*") and malformed datums carry no space. *)
+let datum_space datum =
+  match String.index_opt datum '/' with
+  | Some i when i > 0 -> Some (String.sub datum 0 i)
+  | _ -> None
 
 let emit ?(space = "") st idx rule_id message =
   st.out <-
@@ -36,6 +50,7 @@ let emit ?(space = "") st idx rule_id message =
 let expected_reply = function
   | "call" -> Some "return"
   | "call-d" -> Some "return-d"
+  | "offload-call" -> Some "offload-return"
   | "fetch" -> Some "fetched"
   | "alloc-batch" -> Some "allocated"
   | "write-back" | "free-batch" | "invalidate" | "abort" | "wb-stage"
@@ -122,7 +137,14 @@ let step st idx (e : Trace.event) =
       st.inv_seen <- false;
       st.aborted <- false;
       Hashtbl.reset st.copy_dsts;
-      Hashtbl.reset st.inval_dsts)
+      Hashtbl.reset st.inval_dsts;
+      Hashtbl.reset st.touched;
+      (* the ground space's own heap is always in the footprint *)
+      Hashtbl.replace st.touched e.Trace.src ();
+      Hashtbl.reset st.dead_at_begin;
+      Hashtbl.iter
+        (fun ep () -> Hashtbl.replace st.dead_at_begin ep ())
+        st.crashed)
   | Trace.Session_end id -> (
     check_mark_session st idx id "session end";
     match st.session with
@@ -176,6 +198,30 @@ let step st idx (e : Trace.event) =
               control is at %s"
              e.Trace.src st.holder);
       check_close_order st idx ~space:e.Trace.src e.Trace.label;
+      (* SP010: a traversal plan may only be shipped to a space whose
+         data the session has already touched (the client marks the
+         root datum before framing the call), and never to a peer that
+         was dead before the session began and has not revived. *)
+      if String.equal e.Trace.label "offload-call" then begin
+        if
+          Hashtbl.mem st.dead_at_begin e.Trace.dst
+          && Hashtbl.mem st.crashed e.Trace.dst
+        then
+          emit ~space:e.Trace.dst st idx "SP010"
+            (Printf.sprintf
+               "offload-call targets %s, which was crashed when the session \
+                began"
+               e.Trace.dst)
+        else if
+          (not (String.equal e.Trace.dst st.ground))
+          && not (Hashtbl.mem st.touched e.Trace.dst)
+        then
+          emit ~space:e.Trace.dst st idx "SP010"
+            (Printf.sprintf
+               "offload-call into %s but the session holds no footprint \
+                there (no datum of that space was touched)"
+               e.Trace.dst)
+      end;
       st.stack <- (e.Trace.src, e.Trace.dst, e.Trace.label) :: st.stack;
       st.holder <- e.Trace.dst)
   | Trace.Message Trace.Reply -> (
@@ -270,10 +316,13 @@ let step st idx (e : Trace.event) =
     (* crash marks may appear outside sessions (planned chaos) *)
     Hashtbl.replace st.crashed ep ()
   | Trace.Revive ep -> Hashtbl.remove st.crashed ep
-  | Trace.Access _ ->
-    (* datum-granular witnesses belong to Race_lint, not the protocol
-       state machine *)
-    ()
+  | Trace.Access { datum; _ } -> (
+    (* datum-granular race analysis belongs to Race_lint; the protocol
+       machine only harvests the footprint — the space prefix of each
+       touched datum — which bounds where offload-calls may go (SP010) *)
+    match datum_space datum with
+    | Some sp -> Hashtbl.replace st.touched sp ()
+    | None -> ())
   | Trace.Session_admit id | Trace.Session_queued id | Trace.Session_shed id ->
     (* admission marks only appear in concurrent traces, which are
        verified by the multiplexed machine below; reaching one here
@@ -286,7 +335,8 @@ let check_events_single events =
   let st =
     { session = None; holder = ""; stack = []; wb_seen = false; inv_seen = false;
       aborted = false; crashed = Hashtbl.create 4; ground = "";
-      copy_dsts = Hashtbl.create 4; inval_dsts = Hashtbl.create 4; out = [] }
+      copy_dsts = Hashtbl.create 4; inval_dsts = Hashtbl.create 4;
+      touched = Hashtbl.create 8; dead_at_begin = Hashtbl.create 4; out = [] }
   in
   List.iteri (fun idx e -> step st idx e) events;
   (* a trace may stop mid-session (e.g. a live inspection), but every
@@ -330,6 +380,9 @@ type sess = {
   x_copy_dsts : (string, unit) Hashtbl.t;
   x_inval_dsts : (string, unit) Hashtbl.t;
   x_writes : (string, unit) Hashtbl.t;  (* datum roots written so far *)
+  x_touched : (string, unit) Hashtbl.t;
+      (* spaces in this session's footprint (datum space prefixes),
+         bounding offload-call destinations (SP010) *)
   x_dead_at_begin : (string, unit) Hashtbl.t;
       (* endpoints already past their crash mark when this session began
          — frames to one of them witness a breaker failure (SP009) *)
@@ -480,6 +533,9 @@ let step_multi m idx (e : Trace.event) =
          | None -> ());
       let dead = Hashtbl.create 4 in
       Hashtbl.iter (fun ep () -> Hashtbl.replace dead ep ()) m.m_crashed;
+      let touched = Hashtbl.create 8 in
+      (* the ground space's own heap is always in the footprint *)
+      Hashtbl.replace touched e.Trace.src ();
       Hashtbl.replace m.opened id
         {
           x_id = id;
@@ -492,6 +548,7 @@ let step_multi m idx (e : Trace.event) =
           x_copy_dsts = Hashtbl.create 4;
           x_inval_dsts = Hashtbl.create 4;
           x_writes = Hashtbl.create 8;
+          x_touched = touched;
           x_dead_at_begin = dead;
         }
     end
@@ -516,6 +573,29 @@ let step_multi m idx (e : Trace.event) =
              "session #%d targets %s, which was crashed when the session \
               began: the circuit breaker must hold until revival"
              s.x_id e.Trace.dst);
+      (* SP010: an offload-call may only target a space whose data this
+         session's footprint covers, and never a peer dead since before
+         the session began (see the single-session machine). *)
+      if String.equal e.Trace.label "offload-call" then begin
+        if
+          Hashtbl.mem s.x_dead_at_begin e.Trace.dst
+          && Hashtbl.mem m.m_crashed e.Trace.dst
+        then
+          memit ~space:e.Trace.dst m idx "SP010"
+            (Printf.sprintf
+               "session #%d offload-call targets %s, which was crashed when \
+                the session began"
+               s.x_id e.Trace.dst)
+        else if
+          (not (String.equal e.Trace.dst s.x_ground))
+          && not (Hashtbl.mem s.x_touched e.Trace.dst)
+        then
+          memit ~space:e.Trace.dst m idx "SP010"
+            (Printf.sprintf
+               "session #%d offload-call into %s but the session holds no \
+                footprint there (no datum of that space was touched)"
+               s.x_id e.Trace.dst)
+      end;
       mcheck_close_order m idx ~space:e.Trace.src s e.Trace.label;
       s.x_stack <- (e.Trace.src, e.Trace.dst, e.Trace.label) :: s.x_stack;
       s.x_holder <- e.Trace.dst
@@ -614,6 +694,9 @@ let step_multi m idx (e : Trace.event) =
     match Hashtbl.find_opt m.opened session with
     | None -> ()
     | Some s ->
+      (match datum_space datum with
+      | Some sp -> Hashtbl.replace s.x_touched sp ()
+      | None -> ());
       Hashtbl.replace s.x_writes datum ();
       if not s.x_aborted then
         Hashtbl.iter
@@ -630,7 +713,14 @@ let step_multi m idx (e : Trace.event) =
                     separates them)"
                    other_id session datum))
           m.opened)
-  | Trace.Access _ -> ()
+  | Trace.Access { session; datum; _ } -> (
+    (* non-write accesses still widen the session's footprint (SP010) *)
+    match Hashtbl.find_opt m.opened session with
+    | None -> ()
+    | Some s -> (
+      match datum_space datum with
+      | Some sp -> Hashtbl.replace s.x_touched sp ()
+      | None -> ()))
 
 let check_events_multi events =
   let m =

@@ -171,3 +171,33 @@ let script ~seed ~depth ~fault =
     :: List.init (n - 1) (fun _ -> gen_op rng ~fault:has_fault)
   in
   { Script.workers; arches; strategy; fault; ops }
+
+(* Offload-heavy mix: roughly a third of the ops submit traversal plans
+   to the object's home, the rest come from the ordinary mix. A separate
+   entry point (own RNG stream) so [script]'s seeds stay stable. *)
+let gen_op_offload rng ~fault =
+  let open Script in
+  let idx () = Rng.int rng 64 in
+  match Rng.int rng 10 with
+  | 0 | 1 | 2 ->
+    Offload { worker = idx (); obj = idx (); limit = Rng.range rng 1 64 }
+  | 3 | 4 ->
+    Offload_update
+      { worker = idx (); obj = idx (); idx = idx (); delta = Rng.range rng (-9) 9 }
+  | _ -> gen_op rng ~fault
+
+let script_offload ~seed ~depth ~fault =
+  let rng = Rng.create seed in
+  let workers = Rng.range rng 1 3 in
+  let arches = List.init workers (fun _ -> Rng.int rng 4) in
+  (* full table, including the offload strategies 10-12: scripts under
+     Offload_never walk client-side, so one sweep checks offloaded and
+     cached traversals against the same model *)
+  let strategy = Rng.int rng 13 in
+  let has_fault = fault <> None in
+  let n = max 1 depth in
+  let ops =
+    gen_build rng
+    :: List.init (n - 1) (fun _ -> gen_op_offload rng ~fault:has_fault)
+  in
+  { Script.workers; arches; strategy; fault; ops }

@@ -7,6 +7,15 @@
     [Some _] the op mix also includes worker crashes. *)
 val script : seed:int -> depth:int -> fault:Script.fault option -> Script.t
 
+(** [script_offload ~seed ~depth ~fault] is {!script} with an
+    offload-heavy op mix (about a third of the ops are [Offload] /
+    [Offload_update]) and the strategy drawn from the full table
+    including the offload modes (indices 10–12). A separate entry point
+    with its own RNG stream, so {!script}'s seed → script mapping is
+    untouched. *)
+val script_offload :
+  seed:int -> depth:int -> fault:Script.fault option -> Script.t
+
 (** Strategy-table indices legal in concurrent-session mode: no
     [Twin_diff] grain, no delta coherency (see
     [Node.request_admission]'s mode requirements). *)

@@ -24,6 +24,10 @@ let strategy_table =
     { (Strategy.smart ()) with Strategy.grouping = Strategy.By_type };
     Strategy.smart ~delta:true ();
     { (Strategy.smart ~delta:true ()) with Strategy.grain = Strategy.Twin_diff };
+    (* 10-12: traversal offloading — plans run at the datum's home *)
+    { (Strategy.smart ()) with Strategy.offload = Strategy.Offload_always };
+    { Strategy.fully_lazy with Strategy.offload = Strategy.Offload_always };
+    { (Strategy.smart ()) with Strategy.offload = Strategy.Offload_auto };
   |]
 
 type outcome = {
@@ -143,6 +147,50 @@ let register_procs ~ground workers =
       | [ p; r ] ->
         let row = Value.to_int r in
         [ Value.int (int_of_float (Matrix.row_sum node (Access.of_value p) ~row)) ]
+      | _ -> assert false);
+  (* the offload family: the worker submits a traversal plan instead of
+     walking the structure through its cache; under [Offload_never] the
+     very same plan replays client-side, so both paths hit one oracle *)
+  let offload node pv plan =
+    ints (Node.offload node ~root:(Access.of_value pv).Access.addr plan)
+  in
+  on_worker "ck_off_list" (fun node args ->
+      match args with
+      | [ p; lim ] ->
+        offload node p
+          (Linked_list.plan ~op:Srpc_core.Offload.Op_sum
+             ~hop_bound:(Value.to_int lim) ())
+      | _ -> assert false);
+  on_worker "ck_off_tree" (fun node args ->
+      match args with
+      | [ p; lim ] -> offload node p (Tree.plan ~hop_bound:(Value.to_int lim) ())
+      | _ -> assert false);
+  on_worker "ck_off_graph" (fun node args ->
+      match args with
+      | [ p; lim ] -> offload node p (Graph.plan ~hop_bound:(Value.to_int lim) ())
+      | _ -> assert false);
+  on_worker "ck_off_wide" (fun node args ->
+      match args with
+      | [ p; lim ] ->
+        offload node p (Matrix.plan ~hop_bound:(Value.to_int lim) ())
+      | _ -> assert false);
+  on_worker "ck_off_list_update" (fun node args ->
+      match args with
+      | [ p; i; d ] ->
+        let idx = Value.to_int i in
+        offload node p
+          (Linked_list.plan
+             ~op:(Srpc_core.Offload.Op_update { idx; delta = Value.to_int d })
+             ~hop_bound:(idx + 1) ())
+      | _ -> assert false);
+  on_worker "ck_off_tree_update" (fun node args ->
+      match args with
+      | [ p; i; d ] ->
+        let idx = Value.to_int i in
+        offload node p
+          (Tree.plan
+             ~op:(Srpc_core.Offload.Op_update { idx; delta = Value.to_int d })
+             ~hop_bound:(idx + 1) ())
       | _ -> assert false)
 
 let final_read ground kind ptr =
@@ -265,6 +313,27 @@ let exec_rop env rop =
     | KTree -> call worker "ck_tree_bonus" [ pv ]
     | KGraph -> call worker "ck_graph_bonus" [ pv ]
     | KWide -> assert false)
+  | ROffSum { worker; id; limit } -> (
+    let kind, p = get id in
+    let args = [ Access.to_value !p; Value.int limit ] in
+    match kind with
+    | KList -> call worker "ck_off_list" args
+    | KGraph -> call worker "ck_off_graph" args
+    | KTree | KWide -> assert false)
+  | ROffVisit { worker; id; limit } -> (
+    let kind, p = get id in
+    let args = [ Access.to_value !p; Value.int limit ] in
+    match kind with
+    | KTree -> call worker "ck_off_tree" args
+    | KWide -> call worker "ck_off_wide" args
+    | KList | KGraph -> assert false)
+  | ROffUpdate { worker; id; idx; delta } -> (
+    let kind, p = get id in
+    let args = [ Access.to_value !p; Value.int idx; Value.int delta ] in
+    match kind with
+    | KList -> call worker "ck_off_list_update" args
+    | KTree -> call worker "ck_off_tree_update" args
+    | KGraph | KWide -> assert false)
   | RLocalUpdate { id; idx; delta } -> (
     let kind, p = get id in
     match kind with

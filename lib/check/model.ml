@@ -89,7 +89,8 @@ let run plan =
       | _ -> assert false)
     | RUpdate { id; idx; delta; _ }
     | RLocalUpdate { id; idx; delta }
-    | RPoke { id; idx; delta; _ } -> (
+    | RPoke { id; idx; delta; _ }
+    | ROffUpdate { id; idx; delta; _ } -> (
       match get id with
       | ML l ->
         l := List.mapi (fun i x -> if i = idx then x + delta else x) !l;
@@ -98,6 +99,51 @@ let run plan =
         a.(idx) <- a.(idx) + delta;
         [ a.(idx) ]
       | MG _ -> assert false)
+    | ROffSum { id; limit; _ } -> (
+      (* the home walker's preorder with a hop bound: first [limit]
+         nodes in walk order contribute their value slots *)
+      match get id with
+      | ML l -> [ list_sum (List.filteri (fun i _ -> i < limit) !l) ]
+      | MT a ->
+        let v = min limit (Array.length a) in
+        let sum = ref 0 in
+        for i = 0 to v - 1 do
+          sum := !sum + a.(i)
+        done;
+        [ !sum ]
+      | MG { nodes; gseed } ->
+        (* DFS from vertex 0 following out-slots in ascending order,
+           seen-set plus bound — the walker's exact order *)
+        let adj = Srpc_workloads.Graph.edges ~nodes ~seed:gseed in
+        let seen = Array.make nodes false in
+        let visited = ref 0 in
+        let sum = ref 0 in
+        let rec go i =
+          if (not seen.(i)) && !visited < limit then begin
+            seen.(i) <- true;
+            incr visited;
+            sum := !sum + i;
+            List.iter (fun (_, j) -> go j) adj.(i)
+          end
+        in
+        go 0;
+        [ !sum ]
+      | MW _ -> assert false)
+    | ROffVisit { id; limit; _ } -> (
+      match get id with
+      | MT a ->
+        let v = min limit (Array.length a) in
+        let sum = ref 0 in
+        for i = 0 to v - 1 do
+          sum := !sum + a.(i)
+        done;
+        [ v; !sum ]
+      | MW a ->
+        (* 1×1 tile grid: the grid header (no value slots) plus one
+           tile holding every element *)
+        if limit <= 1 then [ 1; 0 ]
+        else [ 2; Array.fold_left ( + ) 0 a ]
+      | _ -> assert false)
     | RWideRow { id; row; _ } -> (
       match get id with
       | MW a ->

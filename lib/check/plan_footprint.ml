@@ -44,10 +44,10 @@ let sessions (p : Script.plan) =
         Hashtbl.replace obj_homes id [ ground_space ];
         touch id Footprint.Write
     | RSum { id; _ } | RVisit { id; _ } | RWideRow { id; _ } | RNested { id; _ }
-      ->
+    | ROffSum { id; _ } | ROffVisit { id; _ } ->
         touch id Footprint.Read
     | RUpdate { id; _ } | RMapList { id; _ } | RMapTree { id; _ }
-    | RPoke { id; _ } ->
+    | RPoke { id; _ } | ROffUpdate { id; _ } ->
         touch id Footprint.Read;
         touch id Footprint.Write
     | RLocalUpdate { id; _ } -> touch id Footprint.Write

@@ -150,15 +150,16 @@ let fault_for ~faults ~seed =
     Some { Script.fseed = seed; drop = faults; dup = faults /. 2.0 }
   else None
 
-let script_for ~depth ~faults seed =
-  Gen.script ~seed ~depth ~fault:(fault_for ~faults ~seed)
+let script_for ?(offload = false) ~depth ~faults seed =
+  let gen = if offload then Gen.script_offload else Gen.script in
+  gen ~seed ~depth ~fault:(fault_for ~faults ~seed)
 
-let check ?(progress = fun _ -> ()) ~seeds ~depth ~faults () =
+let check ?(progress = fun _ -> ()) ?(offload = false) ~seeds ~depth ~faults () =
   let stats = ref { runs = 0; completed = 0; aborted = 0; fault_runs = 0 } in
   let rec loop seed =
     if seed >= seeds then Ok !stats
     else begin
-      let script = script_for ~depth ~faults seed in
+      let script = script_for ~offload ~depth ~faults seed in
       let failure, was_aborted = run_one script in
       stats :=
         {

@@ -55,12 +55,20 @@ type report =
     seeds carry a fault schedule with drop probability [faults] (and
     half that duplication) when [faults > 0]. Stops at the first
     failing seed and shrinks it. [progress] is called after each run
-    with the seed just finished. *)
+    with the seed just finished. [offload] draws scripts from
+    {!Gen.script_offload} instead — the offload-heavy mix over the
+    full strategy table. *)
 val check :
-  ?progress:(int -> unit) -> seeds:int -> depth:int -> faults:float -> unit -> report
+  ?progress:(int -> unit) ->
+  ?offload:bool ->
+  seeds:int ->
+  depth:int ->
+  faults:float ->
+  unit ->
+  report
 
 (** The script seed [check] would run for this [seed]. *)
-val script_for : depth:int -> faults:float -> int -> Script.t
+val script_for : ?offload:bool -> depth:int -> faults:float -> int -> Script.t
 
 (** The fault spec [check] (and the weave/traffic sweeps) install for
     this [seed]: odd seeds are faulted when [faults > 0]. *)

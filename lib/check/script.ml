@@ -18,6 +18,8 @@ type op =
   | Revive of { worker : int }
   | Build_wide
   | Poke of { worker : int; obj : int; idx : int; delta : int }
+  | Offload of { worker : int; obj : int; limit : int }
+  | Offload_update of { worker : int; obj : int; idx : int; delta : int }
 
 type t = {
   workers : int;
@@ -50,6 +52,9 @@ type rop =
   | RRevive of { worker : int }
   | RPoke of { worker : int; id : int; idx : int; delta : int }
   | RWideRow of { worker : int; id : int; row : int }
+  | ROffSum of { worker : int; id : int; limit : int }
+  | ROffVisit of { worker : int; id : int; limit : int }
+  | ROffUpdate of { worker : int; id : int; idx : int; delta : int }
 
 type kind = KList | KTree | KGraph | KWide
 
@@ -97,7 +102,7 @@ let resolve t =
     let given = List.map (fun a -> abs a mod 4) t.arches in
     take workers (given @ [ 0; 0; 0 ])
   in
-  let strategy = abs t.strategy mod 10 in
+  let strategy = abs t.strategy mod 13 in
   let fault =
     Option.map
       (fun f ->
@@ -248,6 +253,28 @@ let resolve t =
            boundary. *)
         if (not o.mixed) && o.kind <> KGraph && o.kind <> KWide then
           pending_frees := o.id :: !pending_frees)
+    | Offload { worker; obj; limit } -> (
+      match pick obj with
+      | None -> ()
+      | Some o ->
+        o.touched <- true;
+        let worker = wrk worker in
+        let limit = clamp 1 64 (abs limit) in
+        (match o.kind with
+        | KList | KGraph -> emit (ROffSum { worker; id = o.id; limit })
+        | KTree | KWide -> emit (ROffVisit { worker; id = o.id; limit })))
+    | Offload_update { worker; obj; idx; delta } -> (
+      match pick obj with
+      | None -> ()
+      | Some o ->
+        o.touched <- true;
+        let worker = wrk worker in
+        match o.kind with
+        | (KList | KTree) when o.len > 0 ->
+          emit (ROffUpdate { worker; id = o.id; idx = abs idx mod o.len; delta })
+        | KList | KTree | KGraph ->
+          emit (ROffSum { worker; id = o.id; limit = max 1 o.len })
+        | KWide -> emit (ROffVisit { worker; id = o.id; limit = 4 }))
     | New_session -> boundary ~final:false
     | Crash { worker } ->
       if fault <> None then emit (RCrash { worker = wrk worker })
@@ -299,6 +326,9 @@ let op_to_sexp op =
   | Build_wide -> Atom "build-wide"
   | Poke { worker; obj; idx; delta } ->
     l "poke" [ int worker; int obj; int idx; int delta ]
+  | Offload { worker; obj; limit } -> l "offload" [ int worker; int obj; int limit ]
+  | Offload_update { worker; obj; idx; delta } ->
+    l "offload-update" [ int worker; int obj; int idx; int delta ]
 
 let op_of_sexp s =
   let open Sexp in
@@ -330,6 +360,11 @@ let op_of_sexp s =
     | "revive", [ w ] -> Revive { worker = to_int w }
     | "poke", [ w; o; i; d ] ->
       Poke { worker = to_int w; obj = to_int o; idx = to_int i; delta = to_int d }
+    | "offload", [ w; o; lim ] ->
+      Offload { worker = to_int w; obj = to_int o; limit = to_int lim }
+    | "offload-update", [ w; o; i; d ] ->
+      Offload_update
+        { worker = to_int w; obj = to_int o; idx = to_int i; delta = to_int d }
     | _ -> bad ())
   | _ -> bad ()
 

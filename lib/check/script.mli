@@ -71,11 +71,19 @@ type op =
       (** write one small field of a large struct: targets the most
           recently built wide object (falls back to [Update] semantics
           on [obj] when none is live) — the delta write-back probe *)
+  | Offload of { worker : int; obj : int; limit : int }
+      (** worker submits a traversal plan to the object's home instead
+          of walking the structure through its cache: sum for
+          lists/graphs, bounded visit for trees/wide structs *)
+  | Offload_update of { worker : int; obj : int; idx : int; delta : int }
+      (** offloaded point mutation ([Op_update] on the k-th value slot);
+          graphs fall back to an offloaded sum, wide structs to an
+          offloaded visit *)
 
 type t = {
   workers : int;  (** clamped to 1–3 *)
   arches : int list;  (** per-worker architecture index (mod 4) *)
-  strategy : int;  (** transfer-strategy index (mod 10) *)
+  strategy : int;  (** transfer-strategy index (mod 13) *)
   fault : fault option;
   ops : op list;
 }
@@ -111,13 +119,20 @@ type rop =
       (** remote write of element [idx] of a wide struct *)
   | RWideRow of { worker : int; id : int; row : int }
       (** remote sum of one element row of a wide struct *)
+  | ROffSum of { worker : int; id : int; limit : int }
+      (** worker offloads an [Op_sum] traversal plan (hop bound [limit])
+          to the object's home *)
+  | ROffVisit of { worker : int; id : int; limit : int }
+      (** worker offloads an [Op_visit] plan (hop bound [limit]) *)
+  | ROffUpdate of { worker : int; id : int; idx : int; delta : int }
+      (** worker offloads an [Op_update] plan hitting value slot [idx] *)
 
 type kind = KList | KTree | KGraph | KWide
 
 type plan = {
   p_workers : int;
   p_arches : int list;  (** length [p_workers], each in 0–3 *)
-  p_strategy : int;  (** in 0–9 *)
+  p_strategy : int;  (** in 0–12 *)
   p_fault : fault option;
   p_rops : rop list;
   p_kinds : (int * kind) list;  (** object id -> kind, build order *)

@@ -53,6 +53,20 @@ let simpler_op op =
     List.map (fun idx -> Poke { worker; obj; idx; delta }) (simpler_int idx)
     @ List.map (fun delta -> Poke { worker; obj; idx; delta }) (simpler_int delta)
     @ List.map (fun obj -> Poke { worker; obj; idx; delta }) (simpler_int obj)
+  | Offload { worker; obj; limit } ->
+    (* a client-side walk over the same prefix is the simpler variant *)
+    [ Sum { worker; obj } ]
+    @ List.filter_map
+        (fun limit ->
+          if limit >= 1 then Some (Offload { worker; obj; limit }) else None)
+        (simpler_int limit)
+    @ List.map (fun obj -> Offload { worker; obj; limit }) (simpler_int obj)
+  | Offload_update { worker; obj; idx; delta } ->
+    [ Update { worker; obj; idx; delta } ]
+    @ List.map (fun idx -> Offload_update { worker; obj; idx; delta }) (simpler_int idx)
+    @ List.map
+        (fun delta -> Offload_update { worker; obj; idx; delta })
+        (simpler_int delta)
   | Free _ | New_session | Crash _ | Revive _ | Build_wide -> []
 
 let structural t =

@@ -701,7 +701,7 @@ let expect_ack = function
   | Wire.Ack -> ()
   | Wire.Error msg -> raise (Remote_error msg)
   | Wire.Return _ | Wire.Fetched _ | Wire.Allocated _ | Wire.Return_d _
-  | Wire.Hb_ack ->
+  | Wire.Hb_ack | Wire.Offload_return _ ->
     failwith "protocol error: expected Ack"
 
 (* Crash-safe session abort (ground only): discard the modified data set
@@ -781,7 +781,8 @@ let flush_remote_ops t =
               | None -> failwith "protocol error: allocation not answered")
             pas
         | Wire.Error msg -> raise (Remote_error msg)
-        | Wire.Return _ | Wire.Fetched _ | Wire.Ack | Wire.Return_d _ | Wire.Hb_ack ->
+        | Wire.Return _ | Wire.Fetched _ | Wire.Ack | Wire.Return_d _
+        | Wire.Hb_ack | Wire.Offload_return _ ->
           failwith "protocol error: expected Allocated")
       batches
   end;
@@ -1079,7 +1080,8 @@ let call_plain t (info : Session.info) ~dst proc args =
     List.iter (install_item t ~src:dst ~kind:`Eager) eager;
     List.map (value_of_wire t) results
   | Wire.Error msg -> raise (Remote_error msg)
-  | Wire.Fetched _ | Wire.Allocated _ | Wire.Ack | Wire.Return_d _ | Wire.Hb_ack ->
+  | Wire.Fetched _ | Wire.Allocated _ | Wire.Ack | Wire.Return_d _
+  | Wire.Hb_ack | Wire.Offload_return _ ->
     failwith "protocol error: bad reply to Call"
 
 (* The delta-coherency control transfer: coherency traffic for [dst] is
@@ -1126,7 +1128,8 @@ let call_delta t (info : Session.info) ~dst proc args =
     List.iter (install_item t ~src:dst ~kind:`Eager) eager;
     List.map (value_of_wire t) results
   | Wire.Error msg -> raise (Remote_error msg)
-  | Wire.Return _ | Wire.Fetched _ | Wire.Allocated _ | Wire.Ack | Wire.Hb_ack ->
+  | Wire.Return _ | Wire.Fetched _ | Wire.Allocated _ | Wire.Ack
+  | Wire.Hb_ack | Wire.Offload_return _ ->
     failwith "protocol error: bad reply to Call_d"
 
 let call t ~dst proc args =
@@ -1191,7 +1194,8 @@ let fetch_missing t missing =
                 ~seconds:share)
             entries)
       | Wire.Error msg -> raise (Remote_error msg)
-      | Wire.Return _ | Wire.Allocated _ | Wire.Ack | Wire.Return_d _ | Wire.Hb_ack ->
+      | Wire.Return _ | Wire.Allocated _ | Wire.Ack | Wire.Return_d _
+      | Wire.Hb_ack | Wire.Offload_return _ ->
         failwith "protocol error: bad reply to Fetch")
     batches
 
@@ -1233,6 +1237,148 @@ let handle_fault t (fault : Address_space.fault) =
         Transport.charge_cpu_bytes t.transport (Address_space.page_size t.space);
       Cache.mark_page_dirty t.cache ~page
     | Address_space.Read -> Cache.refresh_protection t.cache ~page
+
+(* --- traversal offloading (docs/OFFLOAD.md) --- *)
+
+let charge_touch ?addr ?(write = false) t =
+  refocus t;
+  Transport.charge_local_touches t.transport 1;
+  match addr with
+  | None -> ()
+  | Some a ->
+    if Cache.in_region t.cache a then (
+      match Cache.find_containing t.cache a with
+      | Some e ->
+        e.Cache.touched <- true;
+        note_datum t e.Cache.lp
+          (if write then Trace.Acc_write else Trace.Acc_read)
+      | None -> ())
+    else if in_heap t a && Transport.traced t.transport then
+      (* interior addresses need the O(live) scan; only pay it when a
+         trace is actually collecting witnesses *)
+      match Allocator.find_containing t.heap a with
+      | Some (base, _) ->
+        note_access t ~datum:(datum_of_addr t base)
+          (if write then Trace.Acc_write else Trace.Acc_read)
+      | None -> ()
+
+(* The plan walker's memory closure over this node's program path: every
+   access charges one local touch with its race-checker witness, exactly
+   like the Access layer, and loads go through the MMU — so a plan run
+   client-side faults over the cache and pays the honest lazy cost the
+   strategy comparison needs, while the home walks its own (unprotected)
+   heap for free. *)
+let walker_mem t : Offload.mem =
+  let open Type_desc in
+  let load p addr =
+    charge_touch ~addr t;
+    match p with
+    | I8 -> Mem.load_i8 t.mmu ~addr
+    | I16 -> Mem.load_i16 t.mmu ~addr
+    | I32 -> Int32.to_int (Mem.load_i32 t.mmu ~addr)
+    | I64 -> Int64.to_int (Mem.load_i64 t.mmu ~addr)
+    | F32 -> int_of_float (Mem.load_f32 t.mmu ~addr)
+    | F64 -> int_of_float (Mem.load_f64 t.mmu ~addr)
+  in
+  let store p addr v =
+    (* a store of the value already there is witnessed as a read, like
+       the Access layer: it produces no twin diff, so it never travels
+       and must not create a write obligation for the race checker *)
+    let unchanged =
+      match p with
+      | I8 -> Mem.load_i8 t.mmu ~addr = v
+      | I16 -> Mem.load_i16 t.mmu ~addr = v
+      | I32 -> Mem.load_i32 t.mmu ~addr = Int32.of_int v
+      | I64 -> Mem.load_i64 t.mmu ~addr = Int64.of_int v
+      | F32 -> Mem.load_f32 t.mmu ~addr = float_of_int v
+      | F64 -> Mem.load_f64 t.mmu ~addr = float_of_int v
+    in
+    charge_touch ~addr ~write:(not unchanged) t;
+    match p with
+    | I8 -> Mem.store_i8 t.mmu ~addr v
+    | I16 -> Mem.store_i16 t.mmu ~addr v
+    | I32 -> Mem.store_i32 t.mmu ~addr (Int32.of_int v)
+    | I64 -> Mem.store_i64 t.mmu ~addr (Int64.of_int v)
+    | F32 -> Mem.store_f32 t.mmu ~addr (float_of_int v)
+    | F64 -> Mem.store_f64 t.mmu ~addr (float_of_int v)
+  in
+  {
+    Offload.w_arch = arch t;
+    w_reg = t.registry;
+    w_load_word =
+      (fun addr ->
+        charge_touch ~addr t;
+        Mem.load_word t.mmu ~addr);
+    w_load = load;
+    w_store = store;
+  }
+
+let offload_local t plan ~root =
+  (Offload.run (walker_mem t) plan ~root).Offload.results
+
+let offload_remote t (info : Session.info) ~dst ~(root : Long_pointer.t) plan =
+  (* the session's footprint witness on the targeted space precedes the
+     frame — rule SP010 orders the offload-call against it *)
+  note_datum t root Trace.Acc_read;
+  flush_remote_ops t;
+  let writebacks = collect_writebacks t in
+  record_copy t ~dst (List.length writebacks);
+  Stats.incr_offload_calls (Transport.stats t.transport);
+  Log.debug (fun m ->
+      m "%a -> %a: offload %a (%d wb)" Space_id.pp t.id Space_id.pp dst
+        Offload.pp_plan plan (List.length writebacks));
+  match
+    request t ~dst
+      (Wire.Offload_call { session = info.Session.id; root; plan; writebacks })
+  with
+  | Wire.Offload_return { results; writebacks; wset = _ } ->
+    (* the write set rides in [writebacks] too (the home keeps mutated
+       data traveling), so installing them refreshes our copies *)
+    List.iter (install_item t ~src:dst ~kind:`Writeback) writebacks;
+    results
+  | Wire.Error msg -> raise (Remote_error msg)
+  | Wire.Return _ | Wire.Fetched _ | Wire.Allocated _ | Wire.Ack
+  | Wire.Return_d _ | Wire.Hb_ack ->
+    failwith "protocol error: bad reply to Offload_call"
+
+(* Run a traversal plan rooted at the (ordinary, possibly swizzled)
+   address [root]. Where it runs is the strategy's third per-call-site
+   mode: client-side over the cache (identical wire behavior to not
+   having the feature), at the root's home ([Offload_always], foreign
+   roots only), or wherever the adaptive controller's per-root-type
+   learner currently believes is cheaper ([Offload_auto]). *)
+let offload t ~root plan =
+  refocus t;
+  let info = Session.current_exn t.session in
+  (* a locally-run plan meets the same typed validation a decoded frame
+     would, so the two arms reject identically *)
+  Offload.validate ~reg:t.registry plan;
+  ground_guard t @@ fun () ->
+  match unswizzle t ~ty:plan.Offload.root_ty root with
+  | None -> offload_local t plan ~root
+  | Some lp when Space_id.equal lp.Long_pointer.origin t.id ->
+    offload_local t plan ~root
+  | Some lp -> (
+    let remote () =
+      offload_remote t info ~dst:lp.Long_pointer.origin ~root:lp plan
+    in
+    match t.strategy.Strategy.offload with
+    | Strategy.Offload_never -> offload_local t plan ~root
+    | Strategy.Offload_always -> remote ()
+    | Strategy.Offload_auto -> (
+      match t.policy with
+      | None -> remote ()
+      | Some pol ->
+        let ty = lp.Long_pointer.ty in
+        let offloaded = Srpc_policy.Engine.choose_offload pol ~ty in
+        let clock = Transport.clock t.transport in
+        let t0 = Clock.now clock in
+        let results =
+          if offloaded then remote () else offload_local t plan ~root
+        in
+        Srpc_policy.Engine.offload_feedback pol ~ty ~offloaded
+          ~seconds:(Clock.now clock -. t0);
+        results))
 
 (* --- outcome accounting for the adaptive policy --- *)
 
@@ -1485,6 +1631,43 @@ let handle t src req =
     if Session.concurrent_enabled t.session then purge_session t session
     else apply_invalidate t;
     Wire.Ack
+  | Wire.Offload_call { root; plan; writebacks; session = _ } ->
+    Session.join t.session t.id;
+    let peer = peer () in
+    (* the caller's modified data set arrives first so the walk sees the
+       session's latest writes, exactly as a Call's callee would *)
+    List.iter (install_item t ~src:peer ~kind:`Writeback) writebacks;
+    if not (Space_id.equal root.Long_pointer.origin t.id) then
+      raise
+        (Remote_error
+           (Format.asprintf "offload for foreign datum %a" Long_pointer.pp root));
+    if
+      in_heap t root.Long_pointer.addr
+      && not (Allocator.is_allocated t.heap root.Long_pointer.addr)
+    then
+      raise
+        (Remote_error
+           (Format.asprintf "dangling offload root: %a was freed"
+              Long_pointer.pp root));
+    let out = Offload.run (walker_mem t) plan ~root:root.Long_pointer.addr in
+    let stats = Transport.stats t.transport in
+    Stats.add_offload_nodes stats out.Offload.visited;
+    Stats.add_offload_wset stats (List.length out.Offload.mutated);
+    (* data an update plan mutated joins the traveling modified set, so
+       the reply below (and every later control transfer) refreshes the
+       stale copies other participants hold *)
+    let wset =
+      List.map
+        (fun (addr, ty) ->
+          let lp = Long_pointer.make ~origin:t.id ~addr ~ty in
+          Long_pointer.Table.replace t.traveling lp ();
+          lp)
+        out.Offload.mutated
+    in
+    flush_remote_ops t;
+    let wb = collect_writebacks t in
+    record_copy t ~dst:peer (List.length wb);
+    Wire.Offload_return { results = out.Offload.results; writebacks = wb; wset }
   | Wire.Hb -> Wire.Hb_ack (* handled above; unreachable *)
 
 let handle_encoded t src req =
@@ -2013,28 +2196,6 @@ let run_local t name args =
   | Some f -> f t args
   | None -> raise (Unknown_procedure name)
 let traced t = Transport.traced t.transport
-
-let charge_touch ?addr ?(write = false) t =
-  refocus t;
-  Transport.charge_local_touches t.transport 1;
-  match addr with
-  | None -> ()
-  | Some a ->
-    if Cache.in_region t.cache a then (
-      match Cache.find_containing t.cache a with
-      | Some e ->
-        e.Cache.touched <- true;
-        note_datum t e.Cache.lp
-          (if write then Trace.Acc_write else Trace.Acc_read)
-      | None -> ())
-    else if in_heap t a && Transport.traced t.transport then
-      (* interior addresses need the O(live) scan; only pay it when a
-         trace is actually collecting witnesses *)
-      match Allocator.find_containing t.heap a with
-      | Some (base, _) ->
-        note_access t ~datum:(datum_of_addr t base)
-          (if write then Trace.Acc_write else Trace.Acc_read)
-      | None -> ()
 let cached_entries t = Cache.entry_count t.cache
 let reply_cache_size t = Hashtbl.length t.replies
 

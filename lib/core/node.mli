@@ -207,6 +207,28 @@ val end_session_validated :
     if a participant became unreachable and the session was aborted *)
 val call : t -> dst:Space_id.t -> string -> Value.t list -> Value.t list
 
+(** [offload t ~root plan] runs a declarative traversal {!Offload.plan}
+    rooted at the ordinary (possibly swizzled) address [root] and
+    returns its result vector. Where it runs is the strategy's third
+    per-call-site mode ({!Strategy.offload_mode}): with
+    [Offload_never] — or whenever the root is homed here — the plan is
+    interpreted client-side over the cache, faulting data in exactly as
+    a hand-written traversal would (wire behavior identical to not
+    having the feature); with [Offload_always] a foreign-rooted plan is
+    shipped to the root's home in one [Offload_call], the home walks its
+    own heap, and only the result vector (plus the coherency refresh for
+    data an update plan mutated) comes back; with [Offload_auto] the
+    adaptive policy engine's per-root-type learner picks the cheaper arm
+    from measured durations ({!Srpc_policy.Engine.choose_offload}; no
+    engine installed: foreign roots offload). The caller's modified data
+    set ships with the frame, so the walk sees the session's latest
+    writes; under a fault plan the retry envelope and the home's reply
+    cache make update plans exactly-once.
+    @raise Session.No_active_session outside a session
+    @raise Srpc_xdr.Xdr.Decode_error if the plan is malformed
+    @raise Remote_error if the home rejected the root (foreign, freed) *)
+val offload : t -> root:int -> Offload.plan -> int list
+
 (** {1 Memory management} *)
 
 (** [malloc t ~ty] allocates one object of registered type [ty] in this

@@ -3,6 +3,7 @@ type alloc_grouping = By_origin | Sequential | By_type | Entry_per_page
 type closure_order = Breadth_first | Depth_first
 type writeback_grain = Page_grain | Twin_diff
 type admission_policy = Queue_conflicts | Abort_retry
+type offload_mode = Offload_never | Offload_auto | Offload_always
 
 type t = {
   budget : closure_budget;
@@ -12,10 +13,11 @@ type t = {
   batch_remote_ops : bool;
   delta_coherency : bool;
   admission : admission_policy;
+  offload : offload_mode;
 }
 
 let smart ?(closure_size = 8192) ?(delta = false)
-    ?(admission = Queue_conflicts) () =
+    ?(admission = Queue_conflicts) ?(offload = Offload_never) () =
   {
     budget = Bytes closure_size;
     grouping = By_origin;
@@ -24,6 +26,7 @@ let smart ?(closure_size = 8192) ?(delta = false)
     batch_remote_ops = true;
     delta_coherency = delta;
     admission;
+    offload;
   }
 
 let fully_eager =
@@ -35,6 +38,7 @@ let fully_eager =
     batch_remote_ops = true;
     delta_coherency = false;
     admission = Queue_conflicts;
+    offload = Offload_never;
   }
 
 let fully_lazy =
@@ -46,6 +50,7 @@ let fully_lazy =
     batch_remote_ops = true;
     delta_coherency = false;
     admission = Queue_conflicts;
+    offload = Offload_never;
   }
 
 let pp ppf t =
@@ -65,11 +70,18 @@ let pp ppf t =
     | Queue_conflicts -> "queue"
     | Abort_retry -> "abort-retry"
   in
+  (* The suffix is elided at [Offload_never] so every pre-offload
+     strategy renders byte-identically (trace fingerprints). *)
+  let offload = function
+    | Offload_never -> ""
+    | Offload_auto -> ";off=auto"
+    | Offload_always -> ";off=always"
+  in
   Format.fprintf ppf
-    "{closure=%a;group=%s;order=%s;grain=%s;batch=%b;delta=%b;adm=%s}" budget
+    "{closure=%a;group=%s;order=%s;grain=%s;batch=%b;delta=%b;adm=%s%s}" budget
     t.budget (grouping t.grouping) (order t.order) (grain t.grain)
     t.batch_remote_ops t.delta_coherency
-    (admission t.admission)
+    (admission t.admission) (offload t.offload)
 
 let budget_allows t ~total ~extra =
   match t.budget with

@@ -37,6 +37,19 @@ type admission_policy =
       (** deny admission outright; the caller backs off (capped
           exponential, virtual time) and retries *)
 
+(** The third per-call-site transfer mode (beside eager closure and lazy
+    faulting): ship the traversal to the data instead of the data to the
+    traversal (see docs/OFFLOAD.md). Consulted by [Node.offload]. *)
+type offload_mode =
+  | Offload_never
+      (** run traversal plans client-side over the cache; wire behavior
+          is byte-identical to the pre-offload runtime *)
+  | Offload_auto
+      (** let the adaptive policy engine pick offload vs local per root
+          type from measured outcomes (no engine: offload when the root
+          is foreign) *)
+  | Offload_always  (** always offload plans whose root is foreign *)
+
 type writeback_grain =
   | Page_grain
       (** ship every datum on a dirty page (paper: "dirtiness can be
@@ -64,14 +77,23 @@ type t = {
   admission : admission_policy;
       (** conflict policy when concurrent admission is enabled; inert
           (and defaulted to [Queue_conflicts]) otherwise *)
+  offload : offload_mode;
+      (** traversal-offloading mode (default [Offload_never], which
+          leaves the wire byte-identical to the pre-offload runtime) *)
 }
 
 (** The proposed method; [closure_size] in bytes defaults to the paper's
     8192. [delta] turns on delta coherency (default off); [admission]
     picks the concurrent-admission conflict policy (default
-    [Queue_conflicts]). *)
+    [Queue_conflicts]); [offload] picks the traversal-offloading mode
+    (default [Offload_never]). *)
 val smart :
-  ?closure_size:int -> ?delta:bool -> ?admission:admission_policy -> unit -> t
+  ?closure_size:int ->
+  ?delta:bool ->
+  ?admission:admission_policy ->
+  ?offload:offload_mode ->
+  unit ->
+  t
 
 (** Whole closure shipped with the pointer; no faults afterwards. *)
 val fully_eager : t

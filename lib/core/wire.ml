@@ -50,6 +50,12 @@ type request =
       frees : Long_pointer.t list;
     }
   | Hb
+  | Offload_call of {
+      session : int;
+      root : Long_pointer.t;
+      plan : Offload.plan;
+      writebacks : item list;
+    }
 
 type response =
   | Return of { results : wvalue list; writebacks : item list; eager : item list }
@@ -65,6 +71,11 @@ type response =
       frees : Long_pointer.t list;
     }
   | Hb_ack
+  | Offload_return of {
+      results : int list;
+      writebacks : item list;
+      wset : Long_pointer.t list;
+    }
 
 let encode_wvalue ~reg enc = function
   | WUnit -> Enc.int enc 0
@@ -226,6 +237,12 @@ let encode_request_body ~reg enc r =
     Enc.list enc (encode_item ~reg) eager;
     Enc.list enc (encode_lp ~reg) frees
   | Hb -> Enc.int enc 12
+  | Offload_call { session; root; plan; writebacks } ->
+    Enc.int enc 13;
+    Enc.int enc session;
+    encode_lp ~reg enc root;
+    Offload.encode_plan enc plan;
+    Enc.list enc (encode_item ~reg) writebacks
 
 let encode_request ~reg r =
   let enc = Enc.create () in
@@ -308,6 +325,12 @@ let decode_request_tagged ~reg dec tag =
     let frees = Dec.list dec (decode_lp ~reg) in
     Call_d { session; proc; args; writebacks; wb_deltas; eager; frees }
   | 12 -> Hb
+  | 13 ->
+    let session = Dec.int dec in
+    let root = decode_lp ~reg dec in
+    let plan = Offload.decode_plan ~reg dec in
+    let writebacks = Dec.list dec (decode_item ~reg) in
+    Offload_call { session; root; plan; writebacks }
   | n -> raise (Decode_error (Printf.sprintf "bad request tag %d" n))
 
 let decode_request ~reg s =
@@ -340,7 +363,8 @@ let request_session = function
   | Wb_commit { session }
   | Wb_delta { session; _ }
   | Wb_stage_delta { session; _ }
-  | Call_d { session; _ } -> session
+  | Call_d { session; _ }
+  | Offload_call { session; _ } -> session
   (* heartbeats live outside any session; the protocol linter exempts
      them from session attribution by label *)
   | Hb -> -1
@@ -359,6 +383,7 @@ let request_label = function
   | Wb_stage_delta _ -> "wb-stage-delta"
   | Call_d _ -> "call-d"
   | Hb -> "hb"
+  | Offload_call _ -> "offload-call"
 
 let response_label = function
   | Return _ -> "return"
@@ -368,6 +393,7 @@ let response_label = function
   | Error _ -> "error"
   | Return_d _ -> "return-d"
   | Hb_ack -> "hb-ack"
+  | Offload_return _ -> "offload-return"
 
 let encode_response ~reg r =
   let enc = Enc.create () in
@@ -398,7 +424,12 @@ let encode_response ~reg r =
     Enc.list enc (encode_delta ~reg) wb_deltas;
     Enc.list enc (encode_item ~reg) eager;
     Enc.list enc (encode_lp ~reg) frees
-  | Hb_ack -> Enc.int enc 6);
+  | Hb_ack -> Enc.int enc 6
+  | Offload_return { results; writebacks; wset } ->
+    Enc.int enc 7;
+    Enc.list enc Enc.hyper results;
+    Enc.list enc (encode_item ~reg) writebacks;
+    Enc.list enc (encode_lp ~reg) wset);
   Enc.to_string enc
 
 let decode_response ~reg s =
@@ -429,6 +460,11 @@ let decode_response ~reg s =
       let frees = Dec.list dec (decode_lp ~reg) in
       Return_d { results; writebacks; wb_deltas; eager; frees }
     | 6 -> Hb_ack
+    | 7 ->
+      let results = Dec.list dec Dec.hyper in
+      let writebacks = Dec.list dec (decode_item ~reg) in
+      let wset = Dec.list dec (decode_lp ~reg) in
+      Offload_return { results; writebacks; wset }
     | n -> raise (Decode_error (Printf.sprintf "bad response tag %d" n))
   in
   Dec.check_end dec;
@@ -465,6 +501,9 @@ let pp_request ppf = function
       session proc (List.length args) pp_items writebacks
       (List.length wb_deltas) pp_items eager (List.length frees)
   | Hb -> Format.pp_print_string ppf "Hb"
+  | Offload_call { session; root = _; plan; writebacks } ->
+    Format.fprintf ppf "OffloadCall[%d] %a (wb %a)" session Offload.pp_plan
+      plan pp_items writebacks
 
 let pp_response ppf = function
   | Return { results; writebacks; eager } ->
@@ -479,3 +518,6 @@ let pp_response ppf = function
       (List.length results) pp_items writebacks (List.length wb_deltas)
       pp_items eager (List.length frees)
   | Hb_ack -> Format.pp_print_string ppf "HbAck"
+  | Offload_return { results; writebacks; wset } ->
+    Format.fprintf ppf "OffloadReturn/%d (wb %a, %d wset)"
+      (List.length results) pp_items writebacks (List.length wset)

@@ -89,6 +89,19 @@ type request =
           with a bare [Ack]. Carries no session — [request_session]
           reports [-1] and the protocol linter exempts frames labeled
           ["hb"] from session attribution. *)
+  | Offload_call of {
+      session : int;
+      root : Long_pointer.t;
+      plan : Offload.plan;
+      writebacks : item list;
+    }
+      (** traversal offloading: instead of faulting the structure over,
+          ship a bounded declarative {!Offload.plan} to [root]'s home,
+          which walks its own heap and returns only the result. The
+          caller's traveling modified data set rides along (as with
+          [Call]) so the walk sees the session's latest writes. The plan
+          is validated at decode time ({!Offload.validate}); a malformed
+          plan is a typed decode error, never a runaway walk. *)
 
 type response =
   | Return of { results : wvalue list; writebacks : item list; eager : item list }
@@ -108,6 +121,15 @@ type response =
   | Hb_ack
       (** reply to {!request.Hb}: distinct from [Ack] so heartbeat
           exchanges are identifiable by frame label alone *)
+  | Offload_return of {
+      results : int list;
+      writebacks : item list;
+      wset : Long_pointer.t list;
+    }
+      (** reply to [Offload_call]: the plan's result vector, the home's
+          traveling modified data relevant to the caller, and the write
+          set of nodes an update plan mutated (for coherency and
+          footprint accounting) *)
 
 val encode_request : reg:Srpc_types.Registry.t -> request -> string
 val decode_request : reg:Srpc_types.Registry.t -> string -> request

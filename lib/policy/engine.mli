@@ -33,4 +33,27 @@ val sessions : t -> int
 (** Per-type budgets currently in force. *)
 val budgets : t -> (string * int) list
 
+(** {1 Traversal offloading}
+
+    A deterministic per-root-type two-arm learner for the third transfer
+    mode (see docs/OFFLOAD.md): each arm holds an EMA of the measured
+    simulated seconds a traversal plan took when run locally vs shipped
+    to the root's home. While either arm is under-sampled the decision
+    alternates (local first); afterwards the cheaper arm is exploited,
+    with a fixed-period re-exploration of the loser. *)
+
+(** [choose_offload t ~ty] — should the next plan rooted at [ty] be
+    offloaded? Counts as a decision (advances the exploration
+    schedule). *)
+val choose_offload : t -> ty:string -> bool
+
+(** [offload_feedback t ~ty ~offloaded ~seconds] reports the measured
+    duration of a plan run back to the arm that produced it. *)
+val offload_feedback : t -> ty:string -> offloaded:bool -> seconds:float -> unit
+
+(** [offload_choice t ~ty] — the current exploitation verdict:
+    ["offload"], ["local"], or ["unsampled"] while either arm lacks
+    samples. Read-only (no decision is recorded). *)
+val offload_choice : t -> ty:string -> string
+
 val pp : Format.formatter -> t -> unit

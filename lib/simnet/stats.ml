@@ -26,6 +26,9 @@ type snapshot = {
   sheds : int;
   breaker_trips : int;
   recoveries : int;
+  offload_calls : int;
+  offload_nodes : int;
+  offload_wset : int;
 }
 
 type t = {
@@ -56,6 +59,9 @@ type t = {
   mutable sheds : int;
   mutable breaker_trips : int;
   mutable recoveries : int;
+  mutable offload_calls : int;
+  mutable offload_nodes : int;
+  mutable offload_wset : int;
 }
 
 let create () =
@@ -87,6 +93,9 @@ let create () =
     sheds = 0;
     breaker_trips = 0;
     recoveries = 0;
+    offload_calls = 0;
+    offload_nodes = 0;
+    offload_wset = 0;
   }
 
 let incr_messages t = t.messages <- t.messages + 1
@@ -122,6 +131,9 @@ let incr_suspicions t = t.suspicions <- t.suspicions + 1
 let incr_sheds t = t.sheds <- t.sheds + 1
 let incr_breaker_trips t = t.breaker_trips <- t.breaker_trips + 1
 let incr_recoveries t = t.recoveries <- t.recoveries + 1
+let incr_offload_calls t = t.offload_calls <- t.offload_calls + 1
+let add_offload_nodes t n = t.offload_nodes <- t.offload_nodes + n
+let add_offload_wset t n = t.offload_wset <- t.offload_wset + n
 
 let snapshot t : snapshot =
   {
@@ -152,6 +164,9 @@ let snapshot t : snapshot =
     sheds = t.sheds;
     breaker_trips = t.breaker_trips;
     recoveries = t.recoveries;
+    offload_calls = t.offload_calls;
+    offload_nodes = t.offload_nodes;
+    offload_wset = t.offload_wset;
   }
 
 let reset t =
@@ -181,7 +196,10 @@ let reset t =
   t.suspicions <- 0;
   t.sheds <- 0;
   t.breaker_trips <- 0;
-  t.recoveries <- 0
+  t.recoveries <- 0;
+  t.offload_calls <- 0;
+  t.offload_nodes <- 0;
+  t.offload_wset <- 0
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
   {
@@ -212,6 +230,9 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     sheds = a.sheds - b.sheds;
     breaker_trips = a.breaker_trips - b.breaker_trips;
     recoveries = a.recoveries - b.recoveries;
+    offload_calls = a.offload_calls - b.offload_calls;
+    offload_nodes = a.offload_nodes - b.offload_nodes;
+    offload_wset = a.offload_wset - b.offload_wset;
   }
 
 let zero : snapshot =
@@ -243,6 +264,9 @@ let zero : snapshot =
     sheds = 0;
     breaker_trips = 0;
     recoveries = 0;
+    offload_calls = 0;
+    offload_nodes = 0;
+    offload_wset = 0;
   }
 
 let pp_snapshot ppf (s : snapshot) =
@@ -275,4 +299,8 @@ let pp_snapshot ppf (s : snapshot) =
     Format.fprintf ppf
       "@ @[<h>heartbeats=%d suspicions=%d sheds=%d breaker-trips=%d \
        recoveries=%d@]"
-      s.heartbeats_sent s.suspicions s.sheds s.breaker_trips s.recoveries
+      s.heartbeats_sent s.suspicions s.sheds s.breaker_trips s.recoveries;
+  (* offload counters stay silent until a traversal plan is shipped *)
+  if s.offload_calls <> 0 || s.offload_nodes <> 0 || s.offload_wset <> 0 then
+    Format.fprintf ppf "@ @[<h>offloads=%d off-nodes=%d off-wset=%d@]"
+      s.offload_calls s.offload_nodes s.offload_wset

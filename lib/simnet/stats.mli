@@ -67,6 +67,15 @@ type snapshot = {
   recoveries : int;
       (** crash-aborted sessions transparently replayed to completion
           after the dead peer revived *)
+  offload_calls : int;
+      (** traversal plans shipped to a datum's home ([Offload_call]
+          frames issued) *)
+  offload_nodes : int;
+      (** nodes visited by home-side plan walks (work that stayed off
+          the wire) *)
+  offload_wset : int;
+      (** home-heap data mutated by offloaded update plans (the write
+          sets [Offload_return] reported) *)
 }
 
 val create : unit -> t
@@ -97,6 +106,9 @@ val incr_suspicions : t -> unit
 val incr_sheds : t -> unit
 val incr_breaker_trips : t -> unit
 val incr_recoveries : t -> unit
+val incr_offload_calls : t -> unit
+val add_offload_nodes : t -> int -> unit
+val add_offload_wset : t -> int -> unit
 val snapshot : t -> snapshot
 val reset : t -> unit
 

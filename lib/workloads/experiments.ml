@@ -1611,3 +1611,207 @@ let pp_delta ppf (field : delta_run list) (rows : delta_fig4_row list) =
         dm_off.dc_wb_bytes dm_on.dc_wb_bytes dm_on.dc_saved dm_on.dc_fallbacks)
     rows;
   Format.fprintf ppf "@]"
+
+(* --- traversal offloading (srpc-offload, docs/OFFLOAD.md) ---
+
+   The dual of closure shipping: instead of moving the tree to the
+   computation, ship the traversal plan to the tree's home. The reuse
+   count is the axis that separates the transfer modes — a one-shot
+   traversal pays a whole closure (or a fault storm) for data it reads
+   once, while a session that walks the same structure K times amortizes
+   the one-time fetch and should keep the data local. *)
+
+type offload_run = {
+  of_seconds : float;
+  of_messages : int;
+  of_bytes : int;
+  of_offload_calls : int;
+  of_result : int;  (** the traversal's sum — must agree across modes *)
+}
+
+type offload_row = {
+  of_repeats : int;
+  of_eager : offload_run;  (** eager closure ships the tree, walks local *)
+  of_lazy : offload_run;  (** lazy faulting, walks local *)
+  of_always : offload_run;  (** every traversal shipped to the home *)
+}
+
+let give_root_proc = "give_root"
+
+let run_offload_point ~strategy ~depth ~repeats () =
+  let cluster = Cluster.create () in
+  let client = Cluster.add_node cluster ~site:1 ~strategy () in
+  let home = Cluster.add_node cluster ~site:2 ~strategy () in
+  Tree.register_types cluster;
+  let root = Tree.build home ~depth in
+  Node.register home give_root_proc (fun _node _args -> [ Access.to_value root ]);
+  let plan =
+    Tree.plan ~op:Srpc_core.Offload.Op_sum
+      ~hop_bound:(Tree.nodes_of_depth depth) ()
+  in
+  Node.begin_session client;
+  let s0 = Cluster.snapshot cluster in
+  let t0 = Cluster.now cluster in
+  let rootp =
+    match Node.call client ~dst:(Node.id home) give_root_proc [] with
+    | [ v ] -> Access.of_value v
+    | _ -> failwith (give_root_proc ^ ": bad arity")
+  in
+  let result = ref 0 in
+  for _ = 1 to repeats do
+    match Node.offload client ~root:rootp.Access.addr plan with
+    | [ s ] -> result := s
+    | _ -> failwith "offload point: bad result arity"
+  done;
+  let t1 = Cluster.now cluster in
+  let s1 = Cluster.snapshot cluster in
+  Node.end_session client;
+  let d = Stats.diff s1 s0 in
+  {
+    of_seconds = t1 -. t0;
+    of_messages = d.Stats.messages;
+    of_bytes = d.Stats.bytes;
+    of_offload_calls = d.Stats.offload_calls;
+    of_result = !result;
+  }
+
+let default_offload_repeats = [ 1; 2; 4; 8; 16; 32 ]
+
+let offload_sweep ?(depth = 10) ?(repeat_points = default_offload_repeats) () =
+  let always =
+    { Strategy.fully_lazy with Strategy.offload = Strategy.Offload_always }
+  in
+  List.map
+    (fun repeats ->
+      {
+        of_repeats = repeats;
+        of_eager =
+          run_offload_point ~strategy:Strategy.fully_eager ~depth ~repeats ();
+        of_lazy =
+          run_offload_point ~strategy:Strategy.fully_lazy ~depth ~repeats ();
+        of_always = run_offload_point ~strategy:always ~depth ~repeats ();
+      })
+    repeat_points
+
+type offload_adaptive_point = {
+  oa_repeats : int;
+  oa_run : offload_run;  (** whole sweep: all sessions, learner in charge *)
+  oa_choice : string;  (** {!Srpc_policy.Engine.offload_choice} at the end *)
+}
+
+(* Long-haul link for the adaptive sweep: real per-frame latency, and a
+   pipe where shipping the whole closure costs a handful of round trips.
+   On the paper's thin 10 Mbps LAN the per-byte cost dominates so
+   completely that offloading wins at every reuse count; on this link
+   the reuse count K genuinely decides — a one-shot traversal should
+   offload (one round trip beats shipping the tree), while a session
+   that walks the same tree many times amortizes the one-time closure
+   and should keep the walk local. *)
+let offload_link =
+  {
+    Cost_model.message_latency = 1.0e-3;
+    bandwidth = 6.0e6;
+    per_byte_cpu = 1.0e-8;
+    fault_overhead = 3.0e-5;
+    local_touch = 1.0e-6;
+  }
+
+(* Session-granular learning: the two-arm learner picks the transfer
+   mode for each session up front (the session is the natural decision
+   grain — a local fetch only amortizes across the traversals of the
+   session that paid for it, because the close's invalidation empties
+   the client's cache). Per-traversal seconds feed the chosen arm. *)
+let offload_adaptive ?(depth = 10) ?(sessions = 24) ?(link_cost = offload_link)
+    ~repeats () =
+  let policy = Srpc_policy.Engine.create () in
+  let local = Strategy.fully_eager in
+  let remote =
+    { Strategy.fully_lazy with Strategy.offload = Strategy.Offload_always }
+  in
+  let cluster = Cluster.create () in
+  let walker_local = Cluster.add_node cluster ~site:1 ~strategy:local () in
+  let home = Cluster.add_node cluster ~site:2 () in
+  let walker_remote = Cluster.add_node cluster ~site:3 ~strategy:remote () in
+  let tr = Cluster.transport cluster in
+  let h = Space_id.to_string (Node.id home) in
+  List.iter
+    (fun w ->
+      let w = Space_id.to_string (Node.id w) in
+      Transport.set_link_cost tr ~src:w ~dst:h link_cost;
+      Transport.set_link_cost tr ~src:h ~dst:w link_cost)
+    [ walker_local; walker_remote ];
+  Tree.register_types cluster;
+  let root = Tree.build home ~depth in
+  Node.register home give_root_proc (fun _node _args -> [ Access.to_value root ]);
+  let plan =
+    Tree.plan ~op:Srpc_core.Offload.Op_sum
+      ~hop_bound:(Tree.nodes_of_depth depth) ()
+  in
+  let result = ref 0 in
+  let s0 = Cluster.snapshot cluster in
+  let t0 = Cluster.now cluster in
+  for _ = 1 to sessions do
+    let offloaded =
+      Srpc_policy.Engine.choose_offload policy ~ty:Tree.type_name
+    in
+    let client = if offloaded then walker_remote else walker_local in
+    let st0 = Cluster.now cluster in
+    Node.begin_session client;
+    let rootp =
+      match Node.call client ~dst:(Node.id home) give_root_proc [] with
+      | [ v ] -> Access.of_value v
+      | _ -> failwith (give_root_proc ^ ": bad arity")
+    in
+    for _ = 1 to repeats do
+      match Node.offload client ~root:rootp.Access.addr plan with
+      | [ s ] -> result := s
+      | _ -> failwith "offload adaptive: bad result arity"
+    done;
+    Node.end_session client;
+    Srpc_policy.Engine.offload_feedback policy ~ty:Tree.type_name ~offloaded
+      ~seconds:((Cluster.now cluster -. st0) /. float_of_int repeats)
+  done;
+  let t1 = Cluster.now cluster in
+  let d = Stats.diff (Cluster.snapshot cluster) s0 in
+  {
+    oa_repeats = repeats;
+    oa_run =
+      {
+        of_seconds = t1 -. t0;
+        of_messages = d.Stats.messages;
+        of_bytes = d.Stats.bytes;
+        of_offload_calls = d.Stats.offload_calls;
+        of_result = !result;
+      };
+    oa_choice = Srpc_policy.Engine.offload_choice policy ~ty:Tree.type_name;
+  }
+
+let offload_adaptive_sweep ?(depth = 10) ?(sessions = 24)
+    ?(repeat_points = [ 1; 32 ]) () =
+  List.map
+    (fun repeats -> offload_adaptive ~depth ~sessions ~repeats ())
+    repeat_points
+
+let pp_offload ppf (rows, adaptive) =
+  Format.fprintf ppf
+    "@[<v>OFFLOAD — traversal plans shipped to the data's home (tree sum, \
+     one session, K repeats)@,";
+  Format.fprintf ppf "%8s %12s %12s %12s %10s %10s@," "repeats" "eager-bytes"
+    "lazy-bytes" "off-bytes" "off-calls" "off-time";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%8d %12d %12d %12d %10d %9.4fs@," r.of_repeats
+        r.of_eager.of_bytes r.of_lazy.of_bytes r.of_always.of_bytes
+        r.of_always.of_offload_calls r.of_always.of_seconds)
+    rows;
+  Format.fprintf ppf
+    "@,adaptive (session-granular two-arm learner, %d sessions each):@,"
+    (match adaptive with [] -> 0 | _ -> List.length adaptive);
+  Format.fprintf ppf "%8s %12s %10s %12s@," "repeats" "bytes" "off-calls"
+    "choice";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%8d %12d %10d %12s@," p.oa_repeats p.oa_run.of_bytes
+        p.oa_run.of_offload_calls p.oa_choice)
+    adaptive;
+  Format.fprintf ppf "@]"

@@ -363,3 +363,67 @@ val delta_fig4 :
   ?depth:int -> ?ratio:float -> ?closure:int -> unit -> delta_fig4_row list
 
 val pp_delta : Format.formatter -> delta_run list -> delta_fig4_row list -> unit
+
+(** {1 Offload (srpc-offload)}
+
+    Traversal plans shipped to the data's home (docs/OFFLOAD.md). The
+    sweep axis is the reuse count K: a session that walks a remote tree
+    once should offload (an order of magnitude fewer wire bytes than an
+    eager closure); a session that walks it K times amortizes the
+    one-time fetch and should keep the walk local. *)
+
+type offload_run = {
+  of_seconds : float;
+  of_messages : int;
+  of_bytes : int;
+  of_offload_calls : int;
+  of_result : int;  (** the traversal's sum — must agree across modes *)
+}
+
+type offload_row = {
+  of_repeats : int;
+  of_eager : offload_run;  (** eager closure ships the tree, walks local *)
+  of_lazy : offload_run;  (** lazy faulting, walks local *)
+  of_always : offload_run;  (** every traversal shipped to the home *)
+}
+
+val default_offload_repeats : int list
+
+(** [offload_sweep ()] measures one session of K tree-sum traversals
+    per transfer mode at each repeat point. *)
+val offload_sweep :
+  ?depth:int -> ?repeat_points:int list -> unit -> offload_row list
+
+type offload_adaptive_point = {
+  oa_repeats : int;
+  oa_run : offload_run;  (** whole sweep: all sessions, learner in charge *)
+  oa_choice : string;  (** {!Srpc_policy.Engine.offload_choice} at the end *)
+}
+
+(** The long-haul link the adaptive sweep runs over: real per-frame
+    latency, and a pipe where shipping the whole closure costs a
+    handful of round trips — the regime where the reuse count genuinely
+    decides between offloading and fetching. *)
+val offload_link : Srpc_simnet.Cost_model.t
+
+(** [offload_adaptive ~repeats ()] runs [sessions] sessions of
+    [repeats] traversals each, letting the per-type two-arm learner
+    pick each session's transfer mode and feeding back per-traversal
+    seconds; reports the learner's converged verdict. *)
+val offload_adaptive :
+  ?depth:int ->
+  ?sessions:int ->
+  ?link_cost:Srpc_simnet.Cost_model.t ->
+  repeats:int ->
+  unit ->
+  offload_adaptive_point
+
+val offload_adaptive_sweep :
+  ?depth:int ->
+  ?sessions:int ->
+  ?repeat_points:int list ->
+  unit ->
+  offload_adaptive_point list
+
+val pp_offload :
+  Format.formatter -> offload_row list * offload_adaptive_point list -> unit

@@ -74,6 +74,18 @@ let build node ~nodes ~seed =
     vertices;
   vertices.(0)
 
+(* The graph shape as a traversal plan: element-wise over the [out]
+   pointer array, reading [payload]; the walker's seen-set makes cycles
+   safe, matching [reachable_sum]'s DFS order. *)
+let plan ?(op = Offload.Op_sum) ~hop_bound () =
+  {
+    Offload.root_ty = type_name;
+    hops = [ "out" ];
+    value_field = "payload";
+    op;
+    hop_bound;
+  }
+
 let reachable_sum node root =
   let seen = Hashtbl.create 64 in
   let sum = ref 0 in

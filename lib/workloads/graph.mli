@@ -27,3 +27,9 @@ val build : Node.t -> nodes:int -> seed:int -> Access.ptr
 (** [reachable_sum node root] walks the graph from [root] (cycle-safe)
     and returns (vertices seen, payload sum). *)
 val reachable_sum : Node.t -> Access.ptr -> int * int
+
+(** [plan ?op ~hop_bound ()] is the graph shape as an offloadable
+    traversal plan (element-wise over the [out] array, reading
+    [payload]; the walker's seen-set makes cycles safe); [op] defaults
+    to {!Offload.Op_sum}. *)
+val plan : ?op:Offload.op -> hop_bound:int -> unit -> Offload.plan

@@ -63,6 +63,17 @@ let free node head =
   in
   go head
 
+(* The list shape as a traversal plan: follow [next], read [value].
+   Equivalent to [sum]/[nth]-style walks but executable at the home. *)
+let plan ?(op = Offload.Op_sum) ~hop_bound () =
+  {
+    Offload.root_ty = type_name;
+    hops = [ "next" ];
+    value_field = "value";
+    op;
+    hop_bound;
+  }
+
 let append node head ~home values =
   let tail =
     List.fold_right

@@ -34,6 +34,11 @@ val append : Node.t -> Access.ptr -> home:Srpc_memory.Space_id.t -> int list -> 
 (** [length node head] is the number of cells. *)
 val length : Node.t -> Access.ptr -> int
 
+(** [plan ?op ~hop_bound ()] is the list shape as an offloadable
+    traversal plan (follow [next], read [value]); [op] defaults to
+    {!Offload.Op_sum}. See docs/OFFLOAD.md. *)
+val plan : ?op:Offload.op -> hop_bound:int -> unit -> Offload.plan
+
 (** [free node head] releases every cell with [extended_free] (reading
     each [next] field before its cell is released). *)
 val free : Node.t -> Access.ptr -> unit

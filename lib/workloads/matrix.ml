@@ -109,3 +109,16 @@ let frobenius node grid =
         total := !total +. (v *. v)
       done);
   !total
+
+(* The tiled-matrix shape as a traversal plan: the grid hops to every
+   tile through the [tiles] pointer array; each tile contributes its
+   whole [elems] block as value slots (the grid header itself carries
+   no [elems] field, so it contributes none). *)
+let plan ?(op = Offload.Op_visit) ~hop_bound () =
+  {
+    Offload.root_ty = grid_type;
+    hops = [ "tiles" ];
+    value_field = "elems";
+    op;
+    hop_bound;
+  }

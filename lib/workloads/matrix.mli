@@ -43,3 +43,9 @@ val scale : Node.t -> Access.ptr -> float -> unit
 
 (** [frobenius node grid] is the sum of squares of all elements. *)
 val frobenius : Node.t -> Access.ptr -> float
+
+(** [plan ?op ~hop_bound ()] is the tiled-matrix shape as an offloadable
+    traversal plan (grid → every tile via the [tiles] pointer array,
+    reading each tile's [elems] block); [op] defaults to
+    {!Offload.Op_visit}. *)
+val plan : ?op:Offload.op -> hop_bound:int -> unit -> Offload.plan

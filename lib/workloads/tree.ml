@@ -116,3 +116,14 @@ let free node root =
     end
   in
   go root
+
+(* The tree shape as a traversal plan: preorder over [left] then
+   [right], reading [data] — the same walk order as [visit]. *)
+let plan ?(op = Offload.Op_visit) ~hop_bound () =
+  {
+    Offload.root_ty = type_name;
+    hops = [ "left"; "right" ];
+    value_field = "data";
+    op;
+    hop_bound;
+  }

@@ -56,3 +56,8 @@ val count : Node.t -> Access.ptr -> int
 
 (** [free node root] releases every node with [extended_free]. *)
 val free : Node.t -> Access.ptr -> unit
+
+(** [plan ?op ~hop_bound ()] is the tree shape as an offloadable
+    traversal plan (preorder over [left]/[right], reading [data] — the
+    walk order of {!visit}); [op] defaults to {!Offload.Op_visit}. *)
+val plan : ?op:Offload.op -> hop_bound:int -> unit -> Offload.plan

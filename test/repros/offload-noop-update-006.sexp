@@ -1,0 +1,18 @@
+; srpc-check reproducer — rerun with: srpc check --replay test/repros/offload-noop-update-006.sexp
+; Minimal no-op offloaded update (shrunk from seed 35 of the first
+; offload sweep, 2 ops): under the Twin_diff grain (strategy 6 has
+; Offload_never, so the plan replays client-side), a store of the value
+; already present produces no twin diff and never travels — so the
+; walker must witness it as a read, exactly like the Access layer.
+; The original walker claimed Acc_write unconditionally and Race_lint
+; flagged a phantom CC102 ("write never reached its home"). Committed
+; clean, this pins the unchanged-store convention on the walker's
+; store path through all three oracles.
+(srpc-check-repro
+ (version 1)
+ (seed 35)
+ (workers 1)
+ (arches (0))
+ (strategy 6)
+ (fault none)
+ (ops ((build-list (89)) (offload-update 52 21 0 0))))

@@ -399,7 +399,103 @@ let test_dropped_and_dup_frames_tolerated () =
   in
   Alcotest.(check (list string)) "faulty trace verifies" [] (proto_ids events)
 
-(* --- protocol verifier: a real runtime trace --- *)
+(* --- SP010: offload-calls stay inside the session footprint --- *)
+
+let off_req src dst =
+  ev ~bytes:4 ~label:"offload-call" src dst (Trace.Message Trace.Request)
+
+let off_rep src dst =
+  ev ~bytes:4 ~label:"offload-return" src dst (Trace.Message Trace.Reply)
+
+let touch ?(session = 1) ground datum =
+  ev ground ground (Trace.Access { session; datum; akind = Trace.Acc_read })
+
+let test_offload_without_footprint () =
+  (* a plan ships to b before the session touched any datum of b: the
+     client is required to mark the root datum before framing the call *)
+  let events =
+    [ mark "a" (Trace.Session_begin 1); off_req "a" "b"; off_rep "b" "a" ]
+    @ close_phase "a" "b" 1
+  in
+  Alcotest.(check bool) "SP010" true (List.mem "SP010" (proto_ids events));
+  (* the same call with the root datum marked first is clean *)
+  let marked =
+    [
+      mark "a" (Trace.Session_begin 1);
+      touch "a" "b/4096";
+      off_req "a" "b"; off_rep "b" "a";
+    ]
+    @ close_phase "a" "b" 1
+  in
+  Alcotest.(check (list string)) "footprint legitimises the call" []
+    (proto_ids marked)
+
+let test_offload_into_ground () =
+  (* the ground's own heap is always in the footprint: a callee may
+     ship a plan back to the ground without any Access mark *)
+  let events =
+    [
+      mark "a" (Trace.Session_begin 1);
+      req "a" "b";
+      off_req "b" "a"; off_rep "a" "b";
+      rep "b" "a";
+    ]
+    @ close_phase "a" "b" 1
+  in
+  Alcotest.(check (list string)) "ground is always reachable" []
+    (proto_ids events)
+
+let test_offload_to_dead_peer () =
+  (* b was crashed before the session began and never revived: even a
+     marked footprint cannot legitimise shipping a plan there *)
+  let events =
+    [
+      mark "b" (Trace.Crash "b");
+      mark "a" (Trace.Session_begin 1);
+      touch "a" "b/4096";
+      off_req "a" "b"; off_rep "b" "a";
+    ]
+    @ close_phase "a" "c" 1
+  in
+  Alcotest.(check bool) "SP010" true (List.mem "SP010" (proto_ids events));
+  (* revived before the call: liveness is restored, the footprint rules *)
+  let revived =
+    [
+      mark "b" (Trace.Crash "b");
+      mark "a" (Trace.Session_begin 1);
+      mark "b" (Trace.Revive "b");
+      touch "a" "b/4096";
+      off_req "a" "b"; off_rep "b" "a";
+    ]
+    @ close_phase "a" "b" 1
+  in
+  Alcotest.(check bool) "no SP010 after revival" false
+    (List.mem "SP010" (proto_ids revived))
+
+let test_offload_footprint_multi () =
+  (* the multiplexed machine tracks a footprint per session: another
+     session's Access marks do not legitimise this one's offload-call *)
+  let mclose ground id =
+    [ mark ground (Trace.Write_back id); mark ground (Trace.Invalidate id);
+      mark ground (Trace.Session_end id) ]
+  in
+  let events footprint =
+    [
+      mark "a" (Trace.Session_admit 1);
+      mark "a" (Trace.Session_begin 1);
+      mark "c" (Trace.Session_admit 2);
+      mark "c" (Trace.Session_begin 2);
+      (* session 2 (grounded at c) touches b; session 1 does not *)
+      touch ~session:2 "c" "b/64";
+    ]
+    @ (if footprint then [ touch ~session:1 "a" "b/4096" ] else [])
+    @ [ off_req "a" "b"; off_rep "b" "a" ]
+    @ mclose "a" 1 @ mclose "c" 2
+  in
+  Alcotest.(check bool) "SP010 against session 1's footprint" true
+    (List.mem "SP010" (proto_ids (events false)));
+  Alcotest.(check bool) "session 1's own mark clears it" false
+    (List.mem "SP010" (proto_ids (events true)))
 
 let test_runtime_trace_verifies () =
   let open Srpc_core in
@@ -829,7 +925,7 @@ let test_catalogue_covers_emitted_rules () =
       Alcotest.(check bool) (id ^ " in catalogue") true
         (Diagnostic.find_rule id <> None))
     [ "TD001"; "TD002"; "TD003"; "TD004"; "TD005"; "TD006"; "TD007";
-      "SP001"; "SP002"; "SP003"; "SP004"; "SP005"; "SP006"; "SP007";
+      "SP001"; "SP002"; "SP003"; "SP004"; "SP005"; "SP006"; "SP007"; "SP010";
       "CC001"; "CC002"; "CC003"; "CC004"; "CC005";
       "CC101"; "CC102"; "CC103" ]
 
@@ -885,6 +981,12 @@ let () =
             test_delta_inv_frame_before_writeback;
           tc "staged delta after commit point" `Quick
             test_staged_delta_after_commit;
+          tc "SP010 offload without footprint" `Quick
+            test_offload_without_footprint;
+          tc "SP010 offload into ground" `Quick test_offload_into_ground;
+          tc "SP010 offload to dead peer" `Quick test_offload_to_dead_peer;
+          tc "SP010 per-session footprint" `Quick
+            test_offload_footprint_multi;
         ] );
       ( "race-lint",
         [

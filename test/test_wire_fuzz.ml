@@ -29,6 +29,16 @@ let sid site = Srpc_memory.Space_id.make ~site ~proc:0
 let lp addr = Long_pointer.make ~origin:(sid 1) ~addr ~ty:"fznode"
 let item addr data = { Wire.lp = lp addr; data }
 
+(* A valid traversal plan over the fuzz registry's one type. *)
+let fzplan =
+  {
+    Offload.root_ty = "fznode";
+    hops = [ "next" ];
+    value_field = "data";
+    op = Offload.Op_update { idx = 3; delta = -2 };
+    hop_bound = 64;
+  }
+
 let wvals : Wire.wvalue list =
   [
     Wire.WUnit;
@@ -98,6 +108,13 @@ let requests : Wire.request list =
         eager = [ item 8192 "\xff\xfe\xfd\xfc" ];
         frees = [ lp 12288 ];
       };
+    Wire.Offload_call
+      {
+        session = 7;
+        root = lp 4096;
+        plan = fzplan;
+        writebacks = [ item 8192 "stale" ];
+      };
   ]
 
 let responses : Wire.response list =
@@ -123,6 +140,12 @@ let responses : Wire.response list =
                   { Wire.off = 16; bytes = "zw" } ] } ];
         eager = [ item 8192 "more" ];
         frees = [ lp 12288 ];
+      };
+    Wire.Offload_return
+      {
+        results = [ 123; -4; 0 ];
+        writebacks = [ item 4096 "refreshed" ];
+        wset = [ lp 4096; lp 8192 ];
       };
   ]
 
@@ -260,6 +283,43 @@ let test_malformed_delta_ranges () =
       | exception Srpc_xdr.Xdr.Decode_error _ -> ())
     cases
 
+(* Offload plans drive an automatic walk of the home's heap, so the
+   decoder validates the plan's whole shape before the handler sees it:
+   a hop bound that is not a positive sane budget, a hop listed twice
+   (a cyclic declared chain), or any field name that does not exist on
+   a struct reachable from the root type must raise a typed decode
+   error — never reach the walker. The blind encoder ships each
+   malformed plan through a real encode. *)
+let test_malformed_plans () =
+  let cases =
+    [
+      ("negative hop bound", { fzplan with Offload.hop_bound = -3 });
+      ("zero hop bound", { fzplan with Offload.hop_bound = 0 });
+      ("oversized hop bound", { fzplan with Offload.hop_bound = (1 lsl 20) + 1 });
+      ("unknown root type", { fzplan with Offload.root_ty = "phantom" });
+      ("unknown hop field", { fzplan with Offload.hops = [ "prev" ] });
+      ("unknown value field", { fzplan with Offload.value_field = "weight" });
+      (* [data] exists but is not a pointer field, so it cannot hop *)
+      ("value field as hop", { fzplan with Offload.hops = [ "data" ] });
+      (* [next] exists but is not a primitive field, so it cannot be read *)
+      ("hop field as value", { fzplan with Offload.value_field = "next" });
+      ("cyclic plan", { fzplan with Offload.hops = [ "next"; "next" ] });
+    ]
+  in
+  List.iter
+    (fun (label, plan) ->
+      let r =
+        Wire.Offload_call { session = 1; root = lp 4096; plan; writebacks = [] }
+      in
+      (match Wire.decode_request ~reg (Wire.encode_request ~reg r) with
+      | _ -> Alcotest.failf "%s: malformed plan decoded" label
+      | exception Srpc_xdr.Xdr.Decode_error _ -> ());
+      (* the retry envelope goes through the same validation *)
+      match Wire.decode_framed ~reg (Wire.encode_framed ~reg ~seq:9 r) with
+      | _ -> Alcotest.failf "%s: malformed plan decoded (framed)" label
+      | exception Srpc_xdr.Xdr.Decode_error _ -> ())
+    cases
+
 let test_roundtrip_sanity () =
   (* the corpus itself must decode: a fuzzer over frames that were never
      valid proves nothing *)
@@ -285,6 +345,8 @@ let () =
           tc "corpus roundtrips" `Quick test_roundtrip_sanity;
           tc "malformed delta ranges are rejected" `Quick
             test_malformed_delta_ranges;
+          tc "malformed offload plans are rejected" `Quick
+            test_malformed_plans;
           tc "every truncation is typed" `Quick test_truncations;
           tc "every bit flip is typed" `Quick test_bit_flips;
           tc "seeded corruption is typed" `Quick test_random_corruption;
